@@ -1,0 +1,54 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * Algorithm 1 (paper-faithful path specialisation) vs the general
+//!   Algorithm 2 on the same path query — measures what the factored
+//!   multiplicity tables recover;
+//! * §5.4 top-k capping at several k (accuracy traded in `repro param-l`;
+//!   here we measure its runtime overhead/benefit);
+//! * the naive Theorem 3.1 baseline on a micro instance, to show the
+//!   gap the paper motivates (§7.2: "this approach will take ×10k+ time").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsens_core::{naive_local_sensitivity, tsens, tsens_path, tsens_topk};
+use tsens_query::gyo_decompose;
+use tsens_workloads::facebook::{self, small_params};
+use tsens_workloads::tpch;
+
+fn bench_path_vs_general(c: &mut Criterion) {
+    let db = facebook::facebook_database(small_params(), 348);
+    let (qw, tree) = facebook::qw(&db).unwrap();
+    let mut group = c.benchmark_group("ablation_path_algorithm");
+    group.bench_function("alg1_path", |b| {
+        b.iter(|| tsens_path(&db, &qw).expect("qw is a path"))
+    });
+    group.bench_function("alg2_general", |b| b.iter(|| tsens(&db, &qw, &tree)));
+    group.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let db = facebook::facebook_database(small_params(), 348);
+    let (qw, tree) = facebook::qw(&db).unwrap();
+    let mut group = c.benchmark_group("ablation_topk");
+    for k in [1usize, 16, 1024, 1_000_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| tsens_topk(&db, &qw, &tree, k))
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_naive(c: &mut Criterion) {
+    let (db, _) = tpch::tpch_database(0.00004, 348);
+    let (q1, tree) = tpch::q1(&db).unwrap();
+    let mut group = c.benchmark_group("ablation_vs_naive");
+    group.sample_size(10);
+    group.bench_function("tsens_q1_micro", |b| b.iter(|| tsens(&db, &q1, &tree)));
+    group.bench_function("naive_q1_micro", |b| {
+        b.iter(|| naive_local_sensitivity(&db, &q1))
+    });
+    group.finish();
+    let _ = gyo_decompose(&q1);
+}
+
+criterion_group!(benches, bench_path_vs_general, bench_topk, bench_vs_naive);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion benches behind Table 1: sensitivity computation on the
+//! Facebook-style graph queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsens_core::elastic::{elastic_sensitivity, plan_order_from_tree};
+use tsens_core::tsens;
+use tsens_engine::yannakakis::count_query;
+use tsens_workloads::facebook::{self, small_params};
+
+fn bench_facebook(c: &mut Criterion) {
+    let db = facebook::facebook_database(small_params(), 348);
+    let cases: Vec<(&str, _, _)> = {
+        let (q4, t4) = facebook::q4(&db).unwrap();
+        let (qw, tw) = facebook::qw(&db).unwrap();
+        let (qo, to) = facebook::qo(&db).unwrap();
+        let (qs, ts) = facebook::qs(&db).unwrap();
+        vec![("q4", q4, t4), ("qw", qw, tw), ("qo", qo, to), ("qs", qs, ts)]
+    };
+    let mut group = c.benchmark_group("facebook");
+    for (name, q, tree) in &cases {
+        group.bench_with_input(BenchmarkId::new("tsens", name), &(), |b, ()| {
+            b.iter(|| tsens(&db, q, tree))
+        });
+        let plan = plan_order_from_tree(tree);
+        group.bench_with_input(BenchmarkId::new("elastic", name), &(), |b, ()| {
+            b.iter(|| elastic_sensitivity(&db, q, &plan, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("evaluation", name), &(), |b, ()| {
+            b.iter(|| count_query(&db, q, tree))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_facebook);
+criterion_main!(benches);

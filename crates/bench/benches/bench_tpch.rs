@@ -1,0 +1,42 @@
+//! Criterion benches behind Figures 6a/7: TSens vs Elastic vs query
+//! evaluation on the TPC-H queries, across scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsens_core::elastic::{elastic_sensitivity, plan_order_from_tree};
+use tsens_core::tsens_with_skips;
+use tsens_engine::yannakakis::count_query;
+use tsens_workloads::tpch;
+
+fn bench_tpch(c: &mut Criterion) {
+    for &scale in &[0.0005f64, 0.002] {
+        let (db, _) = tpch::tpch_database(scale, 348);
+        let cases: Vec<(&str, _, _, Vec<usize>)> = {
+            let (q1, t1) = tpch::q1(&db).unwrap();
+            let (q2, t2) = tpch::q2(&db).unwrap();
+            let (q3, t3, s3) = tpch::q3(&db).unwrap();
+            vec![
+                ("q1", q1, t1, vec![]),
+                ("q2", q2, t2, vec![]),
+                ("q3", q3, t3, s3),
+            ]
+        };
+        let mut group = c.benchmark_group(format!("tpch_scale_{scale}"));
+        group.sample_size(10);
+        for (name, q, tree, skips) in &cases {
+            group.bench_with_input(BenchmarkId::new("tsens", name), &(), |b, ()| {
+                b.iter(|| tsens_with_skips(&db, q, tree, skips))
+            });
+            let plan = plan_order_from_tree(tree);
+            group.bench_with_input(BenchmarkId::new("elastic", name), &(), |b, ()| {
+                b.iter(|| elastic_sensitivity(&db, q, &plan, 0))
+            });
+            group.bench_with_input(BenchmarkId::new("evaluation", name), &(), |b, ()| {
+                b.iter(|| count_query(&db, q, tree))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_tpch);
+criterion_main!(benches);

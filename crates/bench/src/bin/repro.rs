@@ -1,0 +1,133 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p tsens-bench --release --bin repro -- <command> [options]
+//!
+//! commands:
+//!   fig6a     local sensitivity vs scale (TSens vs Elastic, q1–q3)
+//!   fig6b     most sensitive tuple per relation (q3)
+//!   fig7      runtime vs scale (TSens / Elastic / evaluation, q1–q3)
+//!   table1    Facebook queries: sensitivity + runtime
+//!   table2    DP answering: TSensDP vs PrivSQL, 7 queries
+//!   param-l   §7.3 ℓ sweep on q*
+//!   all       everything above
+//!
+//! options:
+//!   --seed N            RNG seed (default 348)
+//!   --scales a,b,c      TPC-H scales (default 0.0001,0.001,0.01)
+//!   --q3-max-scale X    largest scale for q3 (default 0.01)
+//!   --fig6b-scale X     scale for fig6b (default 0.01)
+//!   --table2-scale X    TPC-H scale for table2 (default 0.01)
+//!   --runs N            repetitions for DP experiments (default 20)
+//!   --eps X             privacy budget per run (default 2.0; unreported in the paper)
+//!   --fb-small          use the small Facebook workload (for smoke runs)
+//! ```
+
+use tsens_bench::experiments;
+use tsens_workloads::facebook::{small_params, FacebookParams};
+
+struct Options {
+    seed: u64,
+    scales: Vec<f64>,
+    q3_max_scale: f64,
+    fig6b_scale: f64,
+    table2_scale: f64,
+    runs: usize,
+    eps: f64,
+    fb: FacebookParams,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            seed: 348,
+            scales: vec![0.0001, 0.001, 0.01],
+            q3_max_scale: 0.01,
+            fig6b_scale: 0.01,
+            table2_scale: 0.01,
+            runs: 20,
+            eps: 2.0,
+            fb: FacebookParams::default(),
+        }
+    }
+}
+
+fn parse_args() -> (String, Options) {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| usage("missing command"));
+    let mut opts = Options::default();
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| usage(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--seed" => opts.seed = value("--seed").parse().unwrap_or_else(|_| usage("bad --seed")),
+            "--scales" => {
+                opts.scales = value("--scales")
+                    .split(',')
+                    .map(|s| s.parse().unwrap_or_else(|_| usage("bad --scales")))
+                    .collect();
+            }
+            "--q3-max-scale" => {
+                opts.q3_max_scale =
+                    value("--q3-max-scale").parse().unwrap_or_else(|_| usage("bad --q3-max-scale"));
+            }
+            "--fig6b-scale" => {
+                opts.fig6b_scale =
+                    value("--fig6b-scale").parse().unwrap_or_else(|_| usage("bad --fig6b-scale"));
+            }
+            "--table2-scale" => {
+                opts.table2_scale =
+                    value("--table2-scale").parse().unwrap_or_else(|_| usage("bad --table2-scale"));
+            }
+            "--runs" => opts.runs = value("--runs").parse().unwrap_or_else(|_| usage("bad --runs")),
+            "--eps" => opts.eps = value("--eps").parse().unwrap_or_else(|_| usage("bad --eps")),
+            "--fb-small" => opts.fb = small_params(),
+            other => usage(&format!("unknown option {other}")),
+        }
+    }
+    (command, opts)
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: repro <fig6a|fig6b|fig7|table1|table2|param-l|all> \
+         [--seed N] [--scales a,b,c] [--q3-max-scale X] [--fig6b-scale X] \
+         [--table2-scale X] [--runs N] [--eps X] [--fb-small]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let (command, o) = parse_args();
+    let run_fig6a = || println!("{}", experiments::fig6a(&o.scales, o.q3_max_scale, o.seed));
+    let run_fig6b = || println!("{}", experiments::fig6b(o.fig6b_scale, o.seed));
+    let run_fig7 = || println!("{}", experiments::fig7(&o.scales, o.q3_max_scale, o.seed));
+    let run_table1 = || println!("{}", experiments::table1(o.fb, o.seed));
+    let run_table2 =
+        || println!("{}", experiments::table2(o.table2_scale, o.fb, o.eps, o.runs, o.seed));
+    let run_param_l = || {
+        println!(
+            "{}",
+            experiments::param_l(o.fb, &[1, 10, 100, 1000, 2000, 5000, 200_000], o.eps, o.runs, o.seed)
+        )
+    };
+    match command.as_str() {
+        "fig6a" => run_fig6a(),
+        "fig6b" => run_fig6b(),
+        "fig7" => run_fig7(),
+        "table1" => run_table1(),
+        "table2" => run_table2(),
+        "param-l" => run_param_l(),
+        "all" => {
+            run_fig6a();
+            run_fig6b();
+            run_fig7();
+            run_table1();
+            run_table2();
+            run_param_l();
+        }
+        other => usage(&format!("unknown command {other}")),
+    }
+}

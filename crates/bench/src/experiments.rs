@@ -1,0 +1,750 @@
+//! The paper's experiments (§7), one function per table/figure.
+//!
+//! Every function is deterministic under its seed, returns a structured
+//! result (so integration tests can assert on shapes) and implements
+//! `Display` in the layout of the paper's table/figure.
+
+use crate::harness::{fmt_count, median_f64, median_u128, time_it};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+use tsens_core::elastic::{elastic_sensitivity, plan_order_from_tree};
+use tsens_core::{multiplicity_table_for, tsens_with_skips};
+use tsens_data::{Count, Database};
+use tsens_dp::truncation::TruncationProfile;
+use tsens_dp::tsensdp::tsensdp_answer_from_profile;
+use tsens_dp::{privsql_answer, CascadeRule, PrivSqlPolicy};
+use tsens_engine::yannakakis::count_query;
+use tsens_query::{ConjunctiveQuery, DecompositionTree};
+use tsens_workloads::facebook::{self, FacebookParams};
+use tsens_workloads::tpch;
+
+/// A fully-prepared workload query: the query, its decomposition, the
+/// atoms skipped in sensitivity computation, and the DP configuration.
+pub struct PreparedQuery {
+    /// Display name (`q1`, `q2`, `q3`, `q4`, `qw`, `q∘`, `q*`).
+    pub name: String,
+    /// The conjunctive query.
+    pub cq: ConjunctiveQuery,
+    /// Join tree / GHD used by TSens, Elastic's plan, and evaluation.
+    pub tree: DecompositionTree,
+    /// Atoms whose multiplicity tables are skipped (q3's Lineitem, §7.2).
+    pub skips: Vec<usize>,
+    /// Primary private atom for the DP experiments.
+    pub private_atom: usize,
+    /// Tuple-sensitivity upper bound ℓ used by TSensDP. `None` means
+    /// "auto": 1.5× the private relation's max existing tuple sensitivity,
+    /// rounded up — the paper's fixed values (q1:100 … q*:15) play the same
+    /// role for *its* data magnitudes, which our generators don't share.
+    pub ell: Option<Count>,
+    /// PrivSQL policy (§7.3: FK cascades for TPC-H, none for Facebook).
+    pub policy: PrivSqlPolicy,
+}
+
+/// Prepare the three TPC-H queries against `db`.
+pub fn tpch_queries(db: &Database, attrs: tpch::TpchAttrs) -> Vec<PreparedQuery> {
+    let (q1, t1) = tpch::q1(db).expect("q1 builds");
+    let (q2, t2) = tpch::q2(db).expect("q2 builds");
+    let (q3, t3, skips3) = tpch::q3(db).expect("q3 builds");
+    vec![
+        PreparedQuery {
+            name: "q1".into(),
+            // q1 atoms: 0 Region, 1 Nation, 2 Customer, 3 Orders, 4 L_ok.
+            private_atom: 2,
+            ell: None,
+            policy: PrivSqlPolicy {
+                primary_atom: 2,
+                cascades: vec![
+                    CascadeRule { atom: 3, parent: 2, key: vec![attrs.ck] },
+                    CascadeRule { atom: 4, parent: 3, key: vec![attrs.ok] },
+                ],
+                max_threshold: 512,
+            },
+            cq: q1,
+            tree: t1,
+            skips: vec![],
+        },
+        PreparedQuery {
+            name: "q2".into(),
+            // q2 atoms: 0 Partsupp, 1 S_sk, 2 Part, 3 L_skpk.
+            private_atom: 1,
+            ell: None,
+            policy: PrivSqlPolicy {
+                primary_atom: 1,
+                cascades: vec![
+                    CascadeRule { atom: 0, parent: 1, key: vec![attrs.sk] },
+                    CascadeRule { atom: 3, parent: 0, key: vec![attrs.sk, attrs.pk] },
+                ],
+                max_threshold: 512,
+            },
+            cq: q2,
+            tree: t2,
+            skips: vec![],
+        },
+        PreparedQuery {
+            name: "q3".into(),
+            // q3 atoms: 0 R, 1 N, 2 C, 3 O, 4 S, 5 P, 6 PS, 7 L.
+            private_atom: 2,
+            ell: None,
+            policy: PrivSqlPolicy {
+                primary_atom: 2,
+                cascades: vec![
+                    CascadeRule { atom: 3, parent: 2, key: vec![attrs.ck] },
+                    CascadeRule { atom: 7, parent: 3, key: vec![attrs.ok] },
+                ],
+                max_threshold: 512,
+            },
+            cq: q3,
+            tree: t3,
+            skips: skips3,
+        },
+    ]
+}
+
+/// Prepare the four Facebook queries against `db` (private relation R2,
+/// no FK cascades — §7.3).
+pub fn facebook_queries(db: &Database) -> Vec<PreparedQuery> {
+    let (q4, t4) = facebook::q4(db).expect("q4 builds");
+    let (qw, tw) = facebook::qw(db).expect("qw builds");
+    let (qo, to) = facebook::qo(db).expect("q∘ builds");
+    let (qs, ts) = facebook::qs(db).expect("q* builds");
+    let policy = |primary: usize| PrivSqlPolicy {
+        primary_atom: primary,
+        cascades: vec![],
+        max_threshold: 512,
+    };
+    vec![
+        PreparedQuery {
+            name: "q4".into(),
+            private_atom: 1, // R2 of (R1, R2, R3)
+            ell: None,
+            policy: policy(1),
+            cq: q4,
+            tree: t4,
+            skips: vec![],
+        },
+        PreparedQuery {
+            name: "qw".into(),
+            private_atom: 1,
+            ell: None,
+            policy: policy(1),
+            cq: qw,
+            tree: tw,
+            skips: vec![],
+        },
+        PreparedQuery {
+            name: "q\u{2218}".into(), // q∘
+            private_atom: 1,
+            ell: None,
+            policy: policy(1),
+            cq: qo,
+            tree: to,
+            skips: vec![],
+        },
+        PreparedQuery {
+            name: "q*".into(),
+            private_atom: 2, // R2 of (Tri, R1, R2, R3)
+            ell: None,
+            policy: policy(2),
+            cq: qs,
+            tree: ts,
+            skips: vec![],
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Figure 6a — local sensitivity vs scale, TSens vs Elastic.
+// ---------------------------------------------------------------------
+
+/// One measurement point of Figure 6a.
+#[derive(Clone, Debug)]
+pub struct Fig6aPoint {
+    /// TPC-H scale factor.
+    pub scale: f64,
+    /// Query name.
+    pub query: String,
+    /// TSens local sensitivity.
+    pub tsens: Count,
+    /// Elastic sensitivity bound.
+    pub elastic: Count,
+}
+
+/// Figure 6a result: the series for q1–q3.
+pub struct Fig6a {
+    /// All measured points.
+    pub points: Vec<Fig6aPoint>,
+}
+
+/// Run Figure 6a: local sensitivity of q1, q2, q3 under TSens and
+/// Elastic at each scale. q3 is skipped above `q3_max_scale` (the paper
+/// stops at 0.1 for memory; our GHD bag materialisation hits the same
+/// wall, DESIGN.md §4).
+pub fn fig6a(scales: &[f64], q3_max_scale: f64, seed: u64) -> Fig6a {
+    let mut points = Vec::new();
+    for &scale in scales {
+        let (db, attrs) = tpch::tpch_database(scale, seed);
+        for pq in tpch_queries(&db, attrs) {
+            if pq.name == "q3" && scale > q3_max_scale {
+                continue;
+            }
+            let report = tsens_with_skips(&db, &pq.cq, &pq.tree, &pq.skips);
+            let plan = plan_order_from_tree(&pq.tree);
+            let elastic = elastic_sensitivity(&db, &pq.cq, &plan, 0);
+            points.push(Fig6aPoint {
+                scale,
+                query: pq.name,
+                tsens: report.local_sensitivity,
+                elastic: elastic.overall,
+            });
+        }
+    }
+    Fig6a { points }
+}
+
+impl fmt::Display for Fig6a {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 6a — local sensitivity (TSens vs Elastic) vs TPC-H scale")?;
+        writeln!(f, "{:>10} {:>4} {:>20} {:>20} {:>10}", "scale", "q", "TSens", "Elastic", "ratio")?;
+        for p in &self.points {
+            let ratio = if p.tsens == 0 { f64::NAN } else { p.elastic as f64 / p.tsens as f64 };
+            writeln!(
+                f,
+                "{:>10} {:>4} {:>20} {:>20} {:>10.1}",
+                p.scale,
+                p.query,
+                fmt_count(p.tsens),
+                fmt_count(p.elastic),
+                ratio
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 6b — most sensitive tuple per relation, q3 @ scale 0.01.
+// ---------------------------------------------------------------------
+
+/// One row of Figure 6b.
+#[derive(Clone, Debug)]
+pub struct Fig6bRow {
+    /// Relation name.
+    pub relation: String,
+    /// Rendered most sensitive tuple (`Region(2)`), or "skip".
+    pub witness: String,
+    /// Its tuple sensitivity under TSens.
+    pub tuple_sensitivity: Count,
+    /// Elastic bound with this relation as the only private table.
+    pub elastic_sensitivity: Count,
+}
+
+/// Figure 6b result.
+pub struct Fig6b {
+    /// Rows in descending tuple sensitivity, Lineitem last ("skip").
+    pub rows: Vec<Fig6bRow>,
+}
+
+/// Run Figure 6b: the most sensitive tuple of every q3 relation at the
+/// given scale (paper: 0.01), with the per-relation elastic bound.
+/// Lineitem is reported as "skip" with sensitivity 1 (FK-PK cap, §7.2).
+pub fn fig6b(scale: f64, seed: u64) -> Fig6b {
+    let (db, attrs) = tpch::tpch_database(scale, seed);
+    let pq = tpch_queries(&db, attrs).into_iter().nth(2).expect("q3 is third");
+    let report = tsens_with_skips(&db, &pq.cq, &pq.tree, &pq.skips);
+    let plan = plan_order_from_tree(&pq.tree);
+    let elastic = elastic_sensitivity(&db, &pq.cq, &plan, 0);
+    let elastic_of = |rel: usize| -> Count {
+        elastic
+            .per_relation
+            .iter()
+            .find(|&&(r, _)| r == rel)
+            .map(|&(_, s)| s)
+            .unwrap_or(0)
+    };
+    let mut rows: Vec<Fig6bRow> = report
+        .per_relation
+        .iter()
+        .map(|rs| Fig6bRow {
+            relation: db.relation_name(rs.relation).to_owned(),
+            witness: match &rs.witness {
+                Some(w) => w.display(&db),
+                None => "(none)".to_owned(),
+            },
+            tuple_sensitivity: rs.sensitivity,
+            elastic_sensitivity: elastic_of(rs.relation),
+        })
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.tuple_sensitivity));
+    // Lineitem, skipped by TSens, closes the table as in the paper.
+    let l_rel = pq.cq.atoms()[7].relation;
+    rows.push(Fig6bRow {
+        relation: db.relation_name(l_rel).to_owned(),
+        witness: "skip (FK-PK: δ ≤ 1)".to_owned(),
+        tuple_sensitivity: 1,
+        elastic_sensitivity: elastic_of(l_rel),
+    });
+    Fig6b { rows }
+}
+
+impl fmt::Display for Fig6b {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 6b — most sensitive tuples per relation, q3")?;
+        writeln!(
+            f,
+            "{:<10} {:<42} {:>16} {:>20}",
+            "Relation", "Most sensitive tuple", "Tuple sens.", "Elastic sens."
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<10} {:<42} {:>16} {:>20}",
+                r.relation,
+                r.witness,
+                fmt_count(r.tuple_sensitivity),
+                fmt_count(r.elastic_sensitivity)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 7 — runtime vs scale.
+// ---------------------------------------------------------------------
+
+/// One runtime point of Figure 7.
+#[derive(Clone, Debug)]
+pub struct Fig7Point {
+    /// TPC-H scale factor.
+    pub scale: f64,
+    /// Query name.
+    pub query: String,
+    /// TSens wall-clock seconds.
+    pub tsens_secs: f64,
+    /// Elastic wall-clock seconds.
+    pub elastic_secs: f64,
+    /// Query evaluation (Yannakakis count) wall-clock seconds.
+    pub eval_secs: f64,
+}
+
+/// Figure 7 result.
+pub struct Fig7 {
+    /// All measured points.
+    pub points: Vec<Fig7Point>,
+}
+
+/// Run Figure 7: wall-clock runtime of TSens, Elastic and query
+/// evaluation for q1–q3 at each scale (q3 capped as in Figure 6a).
+pub fn fig7(scales: &[f64], q3_max_scale: f64, seed: u64) -> Fig7 {
+    let mut points = Vec::new();
+    for &scale in scales {
+        let (db, attrs) = tpch::tpch_database(scale, seed);
+        for pq in tpch_queries(&db, attrs) {
+            if pq.name == "q3" && scale > q3_max_scale {
+                continue;
+            }
+            let (_, tsens_secs) =
+                time_it(|| tsens_with_skips(&db, &pq.cq, &pq.tree, &pq.skips));
+            let plan = plan_order_from_tree(&pq.tree);
+            let (_, elastic_secs) = time_it(|| elastic_sensitivity(&db, &pq.cq, &plan, 0));
+            let (_, eval_secs) = time_it(|| count_query(&db, &pq.cq, &pq.tree));
+            points.push(Fig7Point {
+                scale,
+                query: pq.name,
+                tsens_secs,
+                elastic_secs,
+                eval_secs,
+            });
+        }
+    }
+    Fig7 { points }
+}
+
+impl fmt::Display for Fig7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 7 — runtime (seconds) vs TPC-H scale")?;
+        writeln!(
+            f,
+            "{:>10} {:>4} {:>12} {:>12} {:>12} {:>14}",
+            "scale", "q", "TSens", "Elastic", "evaluation", "TSens/eval"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:>10} {:>4} {:>12.4} {:>12.4} {:>12.4} {:>14.2}",
+                p.scale,
+                p.query,
+                p.tsens_secs,
+                p.elastic_secs,
+                p.eval_secs,
+                p.tsens_secs / p.eval_secs.max(1e-9)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 1 — Facebook queries: sensitivity and runtime.
+// ---------------------------------------------------------------------
+
+/// One row of Table 1.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Query name.
+    pub query: String,
+    /// TSens local sensitivity.
+    pub tsens: Count,
+    /// Elastic bound.
+    pub elastic: Count,
+    /// TSens seconds.
+    pub tsens_secs: f64,
+    /// Elastic seconds.
+    pub elastic_secs: f64,
+    /// Query-evaluation seconds.
+    pub eval_secs: f64,
+}
+
+/// Table 1 result.
+pub struct Table1 {
+    /// Rows for q4, qw, q∘, q*.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Run Table 1 over the Facebook-style workload.
+pub fn table1(params: FacebookParams, seed: u64) -> Table1 {
+    let db = facebook::facebook_database(params, seed);
+    let mut rows = Vec::new();
+    for pq in facebook_queries(&db) {
+        let (report, tsens_secs) =
+            time_it(|| tsens_with_skips(&db, &pq.cq, &pq.tree, &pq.skips));
+        let plan = plan_order_from_tree(&pq.tree);
+        let (elastic, elastic_secs) = time_it(|| elastic_sensitivity(&db, &pq.cq, &plan, 0));
+        let (_, eval_secs) = time_it(|| count_query(&db, &pq.cq, &pq.tree));
+        rows.push(Table1Row {
+            query: pq.name,
+            tsens: report.local_sensitivity,
+            elastic: elastic.overall,
+            tsens_secs,
+            elastic_secs,
+            eval_secs,
+        });
+    }
+    Table1 { rows }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 1 — Facebook queries: local sensitivity and runtime")?;
+        writeln!(
+            f,
+            "{:>4} {:>16} {:>16} | {:>10} {:>10} {:>12}",
+            "q", "TSens LS", "Elastic LS", "TSens s", "Elastic s", "evaluation s"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>4} {:>16} {:>16} | {:>10.3} {:>10.3} {:>12.3}",
+                r.query,
+                fmt_count(r.tsens),
+                fmt_count(r.elastic),
+                r.tsens_secs,
+                r.elastic_secs,
+                r.eval_secs
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 2 — DP: TSensDP vs PrivSQL.
+// ---------------------------------------------------------------------
+
+/// One mechanism's aggregate over the repeated runs.
+#[derive(Clone, Debug)]
+pub struct DpAggregate {
+    /// Median relative error over the runs.
+    pub error: f64,
+    /// Median relative bias.
+    pub bias: f64,
+    /// Median global sensitivity.
+    pub global_sensitivity: Count,
+    /// Mean seconds per run.
+    pub secs: f64,
+}
+
+/// One row of Table 2.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Query name.
+    pub query: String,
+    /// The ℓ used by TSensDP (resolved if auto).
+    pub ell: Count,
+    /// `|Q(D)|`.
+    pub true_count: Count,
+    /// TSensDP aggregate.
+    pub tsensdp: DpAggregate,
+    /// PrivSQL aggregate.
+    pub privsql: DpAggregate,
+}
+
+/// Table 2 result.
+pub struct Table2 {
+    /// Rows for the seven queries.
+    pub rows: Vec<Table2Row>,
+}
+
+/// Resolve the TSensDP upper bound ℓ: explicit value, or 1.5× the max
+/// existing tuple sensitivity of the private relation (min 10).
+fn resolve_ell(ell: Option<Count>, profile: &TruncationProfile) -> Count {
+    match ell {
+        Some(e) => e,
+        None => ((profile.max_delta() as f64 * 1.5).ceil() as Count).max(10),
+    }
+}
+
+fn run_table2_query(
+    db: &Database,
+    pq: &PreparedQuery,
+    epsilon: f64,
+    runs: usize,
+    seed: u64,
+) -> Table2Row {
+    // The multiplicity table and truncation profile depend only on the
+    // data, so they are computed once; each run then only draws noise.
+    let (profile, table_secs) = time_it(|| {
+        let table = multiplicity_table_for(db, &pq.cq, &pq.tree, pq.private_atom);
+        TruncationProfile::build(db, &pq.cq, pq.private_atom, &table)
+    });
+    let ell = resolve_ell(pq.ell, &profile);
+    let mut ts_err = Vec::new();
+    let mut ts_bias = Vec::new();
+    let mut ts_gs = Vec::new();
+    let mut ts_secs = Vec::new();
+    let mut true_count = 0;
+    for run in 0..runs {
+        let mut rng = StdRng::seed_from_u64(seed ^ (run as u64) << 20);
+        let (r, secs) = time_it(|| tsensdp_answer_from_profile(&profile, ell, epsilon, &mut rng));
+        ts_err.push(r.relative_error());
+        ts_bias.push(r.relative_bias());
+        ts_gs.push(r.threshold);
+        ts_secs.push(secs + table_secs);
+        true_count = r.true_count;
+    }
+
+    let mut ps_err = Vec::new();
+    let mut ps_bias = Vec::new();
+    let mut ps_gs = Vec::new();
+    let mut ps_secs = Vec::new();
+    for run in 0..runs {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5AFE ^ (run as u64) << 20);
+        let (r, secs) =
+            time_it(|| privsql_answer(db, &pq.cq, &pq.tree, &pq.policy, epsilon, &mut rng));
+        ps_err.push(r.relative_error());
+        ps_bias.push(r.relative_bias());
+        ps_gs.push(r.global_sensitivity);
+        ps_secs.push(secs);
+    }
+
+    Table2Row {
+        query: pq.name.clone(),
+        ell,
+        true_count,
+        tsensdp: DpAggregate {
+            error: median_f64(&ts_err),
+            bias: median_f64(&ts_bias),
+            global_sensitivity: median_u128(&ts_gs),
+            secs: ts_secs.iter().sum::<f64>() / runs as f64,
+        },
+        privsql: DpAggregate {
+            error: median_f64(&ps_err),
+            bias: median_f64(&ps_bias),
+            global_sensitivity: median_u128(&ps_gs),
+            secs: ps_secs.iter().sum::<f64>() / runs as f64,
+        },
+    }
+}
+
+/// Run Table 2: TSensDP vs PrivSQL on all seven queries (TPC-H at
+/// `tpch_scale`, Facebook at `params`), `runs` repetitions, budget
+/// `epsilon` per run.
+pub fn table2(
+    tpch_scale: f64,
+    params: FacebookParams,
+    epsilon: f64,
+    runs: usize,
+    seed: u64,
+) -> Table2 {
+    let mut rows = Vec::new();
+    let (tdb, attrs) = tpch::tpch_database(tpch_scale, seed);
+    for pq in tpch_queries(&tdb, attrs) {
+        rows.push(run_table2_query(&tdb, &pq, epsilon, runs, seed));
+    }
+    let fdb = facebook::facebook_database(params, seed);
+    for pq in facebook_queries(&fdb) {
+        rows.push(run_table2_query(&fdb, &pq, epsilon, runs, seed));
+    }
+    Table2 { rows }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 2 — DP query answering: TSensDP vs PrivSQL (medians)")?;
+        writeln!(
+            f,
+            "{:>4} {:>12} {:<9} {:>10} {:>10} {:>16} {:>8}",
+            "q", "|Q(D)|", "method", "error", "bias", "global sens.", "time s"
+        )?;
+        for r in &self.rows {
+            for (name, a) in [("TSensDP", &r.tsensdp), ("PrivSQL", &r.privsql)] {
+                writeln!(
+                    f,
+                    "{:>4} {:>12} {:<9} {:>9.2}% {:>9.2}% {:>16} {:>8.3}",
+                    r.query,
+                    fmt_count(r.true_count),
+                    name,
+                    a.error * 100.0,
+                    a.bias * 100.0,
+                    fmt_count(a.global_sensitivity),
+                    a.secs
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// §7.3 parameter study — ℓ sweep on q*.
+// ---------------------------------------------------------------------
+
+/// One ℓ setting's aggregate.
+#[derive(Clone, Debug)]
+pub struct ParamLRow {
+    /// The tuple-sensitivity upper bound ℓ.
+    pub ell: Count,
+    /// Median learned threshold (= released global sensitivity).
+    pub threshold: Count,
+    /// Median relative bias.
+    pub bias: f64,
+    /// Median relative error.
+    pub error: f64,
+}
+
+/// Parameter-study result.
+pub struct ParamL {
+    /// The true local sensitivity of q* w.r.t. the private relation.
+    pub true_ls: Count,
+    /// One row per ℓ.
+    pub rows: Vec<ParamLRow>,
+}
+
+/// Run the §7.3 parameter analysis: vary ℓ for q* (private relation R2)
+/// and report learned threshold / bias / error medians over `runs`.
+pub fn param_l(
+    params: FacebookParams,
+    ells: &[Count],
+    epsilon: f64,
+    runs: usize,
+    seed: u64,
+) -> ParamL {
+    let db = facebook::facebook_database(params, seed);
+    let pq = facebook_queries(&db).into_iter().nth(3).expect("q* is fourth");
+    let table = multiplicity_table_for(&db, &pq.cq, &pq.tree, pq.private_atom);
+    let profile = TruncationProfile::build(&db, &pq.cq, pq.private_atom, &table);
+    let true_ls = table.max_sensitivity(&pq.cq.atoms()[pq.private_atom].schema).sensitivity;
+    let mut rows = Vec::new();
+    for &ell in ells {
+        let mut thresholds = Vec::new();
+        let mut biases = Vec::new();
+        let mut errors = Vec::new();
+        for run in 0..runs {
+            let mut rng = StdRng::seed_from_u64(seed ^ ell as u64 ^ (run as u64) << 24);
+            let r = tsensdp_answer_from_profile(&profile, ell, epsilon, &mut rng);
+            thresholds.push(r.threshold);
+            biases.push(r.relative_bias());
+            errors.push(r.relative_error());
+        }
+        rows.push(ParamLRow {
+            ell,
+            threshold: median_u128(&thresholds),
+            bias: median_f64(&biases),
+            error: median_f64(&errors),
+        });
+    }
+    ParamL { true_ls, rows }
+}
+
+impl fmt::Display for ParamL {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "§7.3 parameter study — ℓ sweep on q* (true local sensitivity of R2: {})",
+            fmt_count(self.true_ls)
+        )?;
+        writeln!(f, "{:>8} {:>12} {:>10} {:>10}", "ℓ", "threshold", "bias", "error")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>8} {:>12} {:>9.1}% {:>9.1}%",
+                fmt_count(r.ell),
+                fmt_count(r.threshold),
+                r.bias * 100.0,
+                r.error * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepared_tpch_queries_are_consistent() {
+        let (db, attrs) = tpch::tpch_database(0.0002, 1);
+        let qs = tpch_queries(&db, attrs);
+        assert_eq!(qs.len(), 3);
+        for pq in &qs {
+            assert!(pq.private_atom < pq.cq.atom_count());
+            assert_eq!(pq.policy.primary_atom, pq.private_atom);
+            // Cascade parents precede dependents and reference real atoms.
+            for rule in &pq.policy.cascades {
+                assert!(rule.atom < pq.cq.atom_count());
+                assert!(rule.parent < pq.cq.atom_count());
+            }
+        }
+        assert_eq!(qs[2].skips, vec![7]); // q3 skips Lineitem
+    }
+
+    #[test]
+    fn prepared_facebook_queries_are_consistent() {
+        let db = facebook::facebook_database(tsens_workloads::facebook::small_params(), 1);
+        let qs = facebook_queries(&db);
+        assert_eq!(qs.len(), 4);
+        for pq in &qs {
+            assert!(pq.private_atom < pq.cq.atom_count());
+            assert!(pq.policy.cascades.is_empty(), "no FK cascades on graphs");
+        }
+        // The private atom is R2 in each query.
+        for pq in &qs {
+            let rel = pq.cq.atoms()[pq.private_atom].relation;
+            assert!(db.relation_name(rel).ends_with("R2"), "{}", pq.name);
+        }
+    }
+
+    #[test]
+    fn resolve_ell_auto_scales() {
+        use tsens_dp::truncation::TruncationProfile;
+        let (db, _) = tpch::tpch_database(0.0002, 2);
+        let (q, tree) = tpch::q1(&db).unwrap();
+        let table = multiplicity_table_for(&db, &q, &tree, 2);
+        let profile = TruncationProfile::build(&db, &q, 2, &table);
+        let auto = resolve_ell(None, &profile);
+        assert!(auto >= profile.max_delta());
+        assert_eq!(resolve_ell(Some(77), &profile), 77);
+    }
+}

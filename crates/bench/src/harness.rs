@@ -1,0 +1,77 @@
+//! Timing and aggregation helpers for the experiment harness.
+
+use std::time::Instant;
+
+/// Run `f`, returning its value and the elapsed wall-clock seconds.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Median of a float sample (NaNs not supported). Returns 0.0 when empty.
+pub fn median_f64(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+/// Median of an integer sample. Returns 0 when empty.
+pub fn median_u128(values: &[u128]) -> u128 {
+    if values.is_empty() {
+        return 0;
+    }
+    let mut v = values.to_vec();
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+/// Render a count with thousands separators for table output.
+pub fn fmt_count(c: u128) -> String {
+    let s = c.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, ch) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn medians() {
+        assert_eq!(median_f64(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_f64(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(median_f64(&[]), 0.0);
+        assert_eq!(median_u128(&[5, 1, 9]), 5);
+        assert_eq!(median_u128(&[]), 0);
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1_000), "1,000");
+        assert_eq!(fmt_count(2_200_000), "2,200,000");
+    }
+
+    #[test]
+    fn timing_returns_value() {
+        let (v, secs) = time_it(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

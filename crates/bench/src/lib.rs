@@ -1,0 +1,21 @@
+//! # tsens-bench
+//!
+//! Benchmark harness reproducing every table and figure of the paper's
+//! evaluation (§7). The `repro` binary prints the same rows/series the
+//! paper reports; the Criterion benches (`benches/`) measure the same
+//! computations under a statistics-grade harness.
+//!
+//! | paper artifact | subcommand |
+//! |---|---|
+//! | Figure 6a (local sensitivity vs scale, q1–q3) | `repro fig6a` |
+//! | Figure 6b (most sensitive tuples of q3 @ 0.01) | `repro fig6b` |
+//! | Figure 7 (runtime vs scale, q1–q3)            | `repro fig7`  |
+//! | Table 1 (Facebook queries)                    | `repro table1` |
+//! | Table 2 (TSensDP vs PrivSQL, 7 queries)       | `repro table2` |
+//! | §7.3 parameter study (ℓ sweep on q*)          | `repro param-l` |
+
+pub mod experiments;
+pub mod harness;
+
+pub use experiments::{fig6a, fig6b, fig7, param_l, table1, table2};
+pub use harness::{median_f64, median_u128, time_it};

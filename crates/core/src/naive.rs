@@ -1,0 +1,178 @@
+//! The Theorem 3.1 baseline: polynomial data complexity by brute force.
+//!
+//! * downward: re-evaluate `|Q(D \ {t})|` for every distinct tuple of
+//!   every relation;
+//! * upward: re-evaluate `|Q(D ∪ {t})|` for every tuple in the cross
+//!   product of representative domains (Definition 3.1).
+//!
+//! Exponential in the query size (`O(m n^k)` candidates) — ground truth
+//! for tests and the "repeat query evaluation" comparison of §7.2, never a
+//! production path.
+
+use crate::report::{RelationSensitivity, SensitivityReport, TupleRef};
+use tsens_data::domain::representative_rows_among;
+use tsens_data::{Count, Database, FastSet, Row};
+use tsens_engine::naive_eval::naive_count;
+use tsens_query::ConjunctiveQuery;
+
+/// Brute-force local sensitivity with per-relation breakdown.
+///
+/// The database is cloned once; every candidate mutation is applied and
+/// rolled back in place.
+pub fn naive_local_sensitivity(db: &Database, cq: &ConjunctiveQuery) -> SensitivityReport {
+    let mut work = db.clone();
+    let base = naive_count(&work, cq);
+    // Representative domains are intersected over the *query's* relations
+    // only (Def. 3.1 in the query's context) — the catalog may hold
+    // relations of other queries.
+    let scope: Vec<usize> = cq.atoms().iter().map(|a| a.relation).collect();
+    let mut per_relation = Vec::with_capacity(cq.atom_count());
+
+    for atom in cq.atoms() {
+        let rel_idx = atom.relation;
+        let mut best: Count = 0;
+        let mut witness: Option<Row> = None;
+
+        // Downward: each distinct existing row.
+        let mut seen: FastSet<Row> = FastSet::default();
+        let rows: Vec<Row> = work.relation(rel_idx).rows().to_vec();
+        for row in rows {
+            if !seen.insert(row.clone()) {
+                continue;
+            }
+            let removed = work.remove_row(rel_idx, &row);
+            debug_assert!(removed);
+            let delta = base - naive_count(&work, cq);
+            work.insert_row(rel_idx, row.clone());
+            if delta > best || (witness.is_none() && delta == best) {
+                best = delta;
+                witness = Some(row);
+            }
+        }
+
+        // Upward: representative-domain candidates.
+        for row in representative_rows_among(&work, rel_idx, &scope) {
+            work.insert_row(rel_idx, row.clone());
+            let delta = naive_count(&work, cq) - base;
+            let removed = work.remove_row(rel_idx, &row);
+            debug_assert!(removed);
+            if delta > best || (witness.is_none() && delta == best) {
+                best = delta;
+                witness = Some(row);
+            }
+        }
+
+        per_relation.push(RelationSensitivity {
+            relation: rel_idx,
+            sensitivity: best,
+            witness: witness.map(|row| TupleRef {
+                relation: rel_idx,
+                values: row.into_iter().map(Some).collect(),
+            }),
+        });
+    }
+
+    SensitivityReport::from_per_relation(per_relation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsens_data::{Relation, Schema, Value};
+
+    #[test]
+    fn two_relation_join_sensitivities() {
+        // R(A) = {1, 1, 2}, S(A,B) = {(1,x)}. Join size = 2.
+        // δ for inserting (1, x) into S: 2 (two R-copies of 1).
+        // δ for inserting 1 into R: 1; removing an existing S row: 2.
+        let mut db = Database::new();
+        let [a, b] = db.attrs(["A", "B"]);
+        db.add_relation(
+            "R",
+            Relation::from_rows(
+                Schema::new(vec![a]),
+                vec![vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]],
+            ),
+        )
+        .unwrap();
+        db.add_relation(
+            "S",
+            Relation::from_rows(
+                Schema::new(vec![a, b]),
+                vec![vec![Value::Int(1), Value::Int(7)]],
+            ),
+        )
+        .unwrap();
+        let q = ConjunctiveQuery::over(&db, "rs", &["R", "S"]).unwrap();
+        let report = naive_local_sensitivity(&db, &q);
+        assert_eq!(report.local_sensitivity, 2);
+        assert_eq!(report.per_relation[0].sensitivity, 1);
+        assert_eq!(report.per_relation[1].sensitivity, 2);
+        let w = report.witness.unwrap();
+        assert_eq!(w.relation, 1);
+    }
+
+    #[test]
+    fn empty_join_can_still_have_positive_upward_sensitivity() {
+        // R(A) = {1}, S(A) = ∅ over shared attr: representative domain of
+        // S's A is {1}; inserting 1 creates one output.
+        let mut db = Database::new();
+        let a = db.attr("A");
+        db.add_relation(
+            "R",
+            Relation::from_rows(Schema::new(vec![a]), vec![vec![Value::Int(1)]]),
+        )
+        .unwrap();
+        db.add_relation("S", Relation::new(Schema::new(vec![a]))).unwrap();
+        let q = ConjunctiveQuery::over(&db, "rs", &["R", "S"]).unwrap();
+        let report = naive_local_sensitivity(&db, &q);
+        assert_eq!(report.local_sensitivity, 1);
+        assert_eq!(report.witness.unwrap().relation, 1);
+    }
+
+    #[test]
+    fn duplicate_rows_count_once_per_removal() {
+        // R(A) = {1, 1}, S(A) = {1}: removing ONE copy of (1) from R
+        // removes one output row, not two.
+        let mut db = Database::new();
+        let a = db.attr("A");
+        db.add_relation(
+            "R",
+            Relation::from_rows(
+                Schema::new(vec![a]),
+                vec![vec![Value::Int(1)], vec![Value::Int(1)]],
+            ),
+        )
+        .unwrap();
+        db.add_relation(
+            "S",
+            Relation::from_rows(Schema::new(vec![a]), vec![vec![Value::Int(1)]]),
+        )
+        .unwrap();
+        let q = ConjunctiveQuery::over(&db, "rs", &["R", "S"]).unwrap();
+        let report = naive_local_sensitivity(&db, &q);
+        // Removing the S row kills both outputs: LS = 2.
+        assert_eq!(report.per_relation[0].sensitivity, 1);
+        assert_eq!(report.per_relation[1].sensitivity, 2);
+    }
+
+    #[test]
+    fn database_is_left_untouched() {
+        let mut db = Database::new();
+        let a = db.attr("A");
+        db.add_relation(
+            "R",
+            Relation::from_rows(Schema::new(vec![a]), vec![vec![Value::Int(1)]]),
+        )
+        .unwrap();
+        db.add_relation(
+            "S",
+            Relation::from_rows(Schema::new(vec![a]), vec![vec![Value::Int(1)]]),
+        )
+        .unwrap();
+        let q = ConjunctiveQuery::over(&db, "rs", &["R", "S"]).unwrap();
+        let before = format!("{db:?}");
+        let _ = naive_local_sensitivity(&db, &q);
+        assert_eq!(before, format!("{db:?}"));
+    }
+}

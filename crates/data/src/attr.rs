@@ -1,0 +1,116 @@
+//! Attribute identifiers and the name registry.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense identifier of an attribute (a query *variable* in datalog terms).
+///
+/// Attributes are global to a [`crate::Database`]: two relations sharing
+/// `AttrId` participate in a natural join on that attribute, exactly as in
+/// the paper's conjunctive-query model (§2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u32);
+
+impl AttrId {
+    /// The dense index of this attribute.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// Bidirectional mapping between attribute names and [`AttrId`]s.
+///
+/// Names are case-sensitive. Registration is idempotent: registering an
+/// existing name returns its existing id.
+#[derive(Clone, Debug, Default)]
+pub struct AttrRegistry {
+    names: Vec<String>,
+    by_name: HashMap<String, AttrId>,
+}
+
+impl AttrRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `name`, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, name: &str) -> AttrId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = AttrId(u32::try_from(self.names.len()).expect("too many attributes"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Look up an attribute id by name without registering it.
+    pub fn get(&self, name: &str) -> Option<AttrId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of `id`. Panics if `id` was not issued by this registry.
+    pub fn name(&self, id: AttrId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of registered attributes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no attributes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over `(id, name)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (AttrId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut reg = AttrRegistry::new();
+        let a = reg.intern("A");
+        let b = reg.intern("B");
+        assert_ne!(a, b);
+        assert_eq!(reg.intern("A"), a);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn name_lookup_roundtrip() {
+        let mut reg = AttrRegistry::new();
+        let a = reg.intern("custkey");
+        assert_eq!(reg.name(a), "custkey");
+        assert_eq!(reg.get("custkey"), Some(a));
+        assert_eq!(reg.get("orderkey"), None);
+    }
+
+    #[test]
+    fn iter_preserves_registration_order() {
+        let mut reg = AttrRegistry::new();
+        reg.intern("x");
+        reg.intern("y");
+        let names: Vec<&str> = reg.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["x", "y"]);
+        assert!(!reg.is_empty());
+    }
+}

@@ -1,0 +1,231 @@
+//! Active and representative domains (§3.1 of the paper).
+//!
+//! * The **active domain** `Σ^{A,i}_act` of attribute `A` w.r.t. relation
+//!   `R_i` is the set of values `A` takes in `R_i`.
+//! * The **representative domain** `Σ^{A,i}_repr` (Def. 3.1) is the
+//!   intersection of `A`'s active domains over *other* relations containing
+//!   `A` — the only values an inserted tuple can take and still join.
+//!
+//! The naive local-sensitivity algorithm (Thm 3.1) enumerates the cross
+//! product of representative domains; TSens never materialises them, but
+//! tests use these functions to cross-check.
+
+use crate::attr::AttrId;
+use crate::database::Database;
+use crate::value::Value;
+use std::collections::BTreeSet;
+
+/// Active domain of `attr` in relation `rel_idx` of `db`: the sorted set of
+/// distinct values. Returns an empty set if the relation lacks the column.
+pub fn active_domain(db: &Database, rel_idx: usize, attr: AttrId) -> BTreeSet<Value> {
+    let rel = db.relation(rel_idx);
+    match rel.schema().position(attr) {
+        None => BTreeSet::new(),
+        Some(pos) => rel.rows().iter().map(|r| r[pos].clone()).collect(),
+    }
+}
+
+/// Active domain of `attr` across **all** relations of `db` that contain it.
+pub fn active_domain_multi(db: &Database, attr: AttrId) -> BTreeSet<Value> {
+    let mut out = BTreeSet::new();
+    for (i, _, rel) in db.iter() {
+        if rel.schema().contains(attr) {
+            out.extend(active_domain(db, i, attr));
+        }
+    }
+    out
+}
+
+/// Representative domain of `attr` w.r.t. relation `rel_idx` (Def. 3.1):
+/// the intersection of active domains of `attr` over the other relations
+/// that contain it. If no *other* relation contains `attr`, the paper picks
+/// an arbitrary singleton from the relation's own active domain (the value
+/// is irrelevant to the join); we return that singleton, or a fresh value
+/// when the relation is empty too.
+///
+/// Considers every relation of `db`; when the query touches only a subset
+/// of the catalog (e.g. one query's views in a multi-query database), use
+/// [`representative_domain_among`] with the query's relations instead.
+pub fn representative_domain(db: &Database, rel_idx: usize, attr: AttrId) -> BTreeSet<Value> {
+    let all: Vec<usize> = db.iter().map(|(i, _, _)| i).collect();
+    representative_domain_among(db, rel_idx, attr, &all)
+}
+
+/// [`representative_domain`] restricted to the relations in `scope` —
+/// the form the Theorem 3.1 algorithm needs: only relations *in the
+/// query* constrain what an inserted tuple can join with.
+pub fn representative_domain_among(
+    db: &Database,
+    rel_idx: usize,
+    attr: AttrId,
+    scope: &[usize],
+) -> BTreeSet<Value> {
+    let mut others: Vec<usize> = Vec::new();
+    for &i in scope {
+        if i != rel_idx && db.relation(i).schema().contains(attr) {
+            others.push(i);
+        }
+    }
+    if others.is_empty() {
+        // Attribute appears only in this relation: any value works; pick one.
+        let own = active_domain(db, rel_idx, attr);
+        return match own.into_iter().next() {
+            Some(v) => [v].into_iter().collect(),
+            None => [Value::Int(0)].into_iter().collect(),
+        };
+    }
+    let mut iter = others.into_iter();
+    let mut acc = active_domain(db, iter.next().unwrap(), attr);
+    for i in iter {
+        let next = active_domain(db, i, attr);
+        acc = acc.intersection(&next).cloned().collect();
+    }
+    acc
+}
+
+/// Cross product of the representative domains of all attributes of
+/// relation `rel_idx`, in schema order — the candidate insertions of the
+/// naive algorithm. **Exponential**; use only on small instances.
+pub fn representative_rows(db: &Database, rel_idx: usize) -> Vec<Vec<Value>> {
+    let all: Vec<usize> = db.iter().map(|(i, _, _)| i).collect();
+    representative_rows_among(db, rel_idx, &all)
+}
+
+/// [`representative_rows`] with the domain intersections restricted to
+/// the relations in `scope` (the query's relations).
+pub fn representative_rows_among(
+    db: &Database,
+    rel_idx: usize,
+    scope: &[usize],
+) -> Vec<Vec<Value>> {
+    let schema = db.relation(rel_idx).schema().clone();
+    let domains: Vec<Vec<Value>> = schema
+        .attrs()
+        .iter()
+        .map(|&a| {
+            representative_domain_among(db, rel_idx, a, scope)
+                .into_iter()
+                .collect()
+        })
+        .collect();
+    let mut out: Vec<Vec<Value>> = vec![Vec::new()];
+    for dom in &domains {
+        if dom.is_empty() {
+            return Vec::new();
+        }
+        let mut next = Vec::with_capacity(out.len() * dom.len());
+        for prefix in &out {
+            for v in dom {
+                let mut row = prefix.clone();
+                row.push(v.clone());
+                next.push(row);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+    use crate::schema::Schema;
+
+    /// The Figure 1 example database of the paper.
+    fn figure1_db() -> Database {
+        let mut db = Database::new();
+        let [a, b, c, d, e, f] = db.attrs(["A", "B", "C", "D", "E", "F"]);
+        let v = |s: &str| Value::str(s);
+        let r1 = Relation::from_rows(
+            Schema::new(vec![a, b, c]),
+            vec![
+                vec![v("a1"), v("b1"), v("c1")],
+                vec![v("a1"), v("b2"), v("c1")],
+                vec![v("a2"), v("b1"), v("c1")],
+            ],
+        );
+        let r2 = Relation::from_rows(
+            Schema::new(vec![a, b, d]),
+            vec![
+                vec![v("a1"), v("b1"), v("d1")],
+                vec![v("a2"), v("b2"), v("d2")],
+            ],
+        );
+        let r3 = Relation::from_rows(
+            Schema::new(vec![a, e]),
+            vec![
+                vec![v("a1"), v("e1")],
+                vec![v("a2"), v("e1")],
+                vec![v("a2"), v("e2")],
+            ],
+        );
+        let r4 = Relation::from_rows(
+            Schema::new(vec![b, f]),
+            vec![
+                vec![v("b1"), v("f1")],
+                vec![v("b2"), v("f1")],
+                vec![v("b2"), v("f2")],
+            ],
+        );
+        db.add_relation("R1", r1).unwrap();
+        db.add_relation("R2", r2).unwrap();
+        db.add_relation("R3", r3).unwrap();
+        db.add_relation("R4", r4).unwrap();
+        db
+    }
+
+    #[test]
+    fn active_domain_of_figure1() {
+        let db = figure1_db();
+        let a = db.attr_id("A").unwrap();
+        let dom = active_domain(&db, 0, a);
+        assert_eq!(dom.len(), 2); // {a1, a2}
+        assert!(dom.contains(&Value::str("a1")));
+    }
+
+    #[test]
+    fn representative_domain_matches_example_3_1() {
+        // Σ^{A,1}_repr = Σ^{A,2}_act ∩ Σ^{A,3}_act = {a1,a2}.
+        let db = figure1_db();
+        let a = db.attr_id("A").unwrap();
+        let dom = representative_domain(&db, 0, a);
+        assert_eq!(
+            dom,
+            [Value::str("a1"), Value::str("a2")].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn lone_attribute_gets_singleton_domain() {
+        // E appears only in R3 (index 2): representative domain is a singleton.
+        let db = figure1_db();
+        let e = db.attr_id("E").unwrap();
+        let dom = representative_domain(&db, 2, e);
+        assert_eq!(dom.len(), 1);
+    }
+
+    #[test]
+    fn representative_rows_cross_product() {
+        let db = figure1_db();
+        // R1(A,B,C): A→{a1,a2}, B→{b1,b2}, C→{c1} (C only in R1 → singleton)
+        let rows = representative_rows(&db, 0);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.contains(&vec![Value::str("a2"), Value::str("b2"), Value::str("c1")]));
+    }
+
+    #[test]
+    fn active_domain_multi_unions_relations() {
+        let db = figure1_db();
+        let b = db.attr_id("B").unwrap();
+        let dom = active_domain_multi(&db, b);
+        assert_eq!(dom.len(), 2);
+    }
+
+    #[test]
+    fn missing_attr_gives_empty_domain() {
+        let db = figure1_db();
+        let e = db.attr_id("E").unwrap();
+        assert!(active_domain(&db, 0, e).is_empty());
+    }
+}

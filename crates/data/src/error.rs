@@ -1,0 +1,55 @@
+//! Error types for the data layer.
+
+use std::fmt;
+
+/// Errors raised by catalog and schema operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A relation with this name already exists in the database.
+    DuplicateRelation(String),
+    /// A named relation was not found.
+    UnknownRelation(String),
+    /// A named attribute was not found.
+    UnknownAttribute(String),
+    /// A row's arity did not match its relation's schema.
+    ArityMismatch {
+        /// Expected arity (schema width).
+        expected: usize,
+        /// Actual row length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::DuplicateRelation(n) => write!(f, "relation {n:?} already exists"),
+            DataError::UnknownRelation(n) => write!(f, "unknown relation {n:?}"),
+            DataError::UnknownAttribute(n) => write!(f, "unknown attribute {n:?}"),
+            DataError::ArityMismatch { expected, actual } => {
+                write!(f, "row arity {actual} does not match schema arity {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            DataError::DuplicateRelation("R".into()).to_string(),
+            "relation \"R\" already exists"
+        );
+        assert_eq!(
+            DataError::ArityMismatch { expected: 2, actual: 3 }.to_string(),
+            "row arity 3 does not match schema arity 2"
+        );
+        assert!(DataError::UnknownRelation("X".into()).to_string().contains("X"));
+        assert!(DataError::UnknownAttribute("A".into()).to_string().contains("A"));
+    }
+}

@@ -1,0 +1,128 @@
+//! A fast, non-cryptographic hasher for join keys.
+//!
+//! Join processing hashes short `Vec<Value>` keys billions of times; the
+//! standard library's SipHash is DoS-resistant but slow for this. The
+//! workspace is offline/analytical — HashDoS is not a threat model — so we
+//! use the well-known Fx multiply-rotate-xor scheme (as used by rustc).
+//! Implemented from scratch because external hasher crates are outside the
+//! workspace's dependency allowance.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc Fx hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fx-style streaming hasher: `state = (state.rotate_left(5) ^ word) * SEED`.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add(i as u64);
+    }
+}
+
+/// `HashMap` using [`FxHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` using [`FxHasher`].
+pub type FastSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// A `FastMap` with `capacity` pre-reserved.
+pub fn fast_map_with_capacity<K, V>(capacity: usize) -> FastMap<K, V> {
+    FastMap::with_capacity_and_hasher(capacity, BuildHasherDefault::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn equal_keys_hash_equal() {
+        let mut m: FastMap<Vec<Value>, u32> = FastMap::default();
+        m.insert(vec![Value::Int(1), Value::str("x")], 7);
+        assert_eq!(m.get(&vec![Value::Int(1), Value::str("x")]), Some(&7));
+        assert_eq!(m.get(&vec![Value::Int(2), Value::str("x")]), None);
+    }
+
+    #[test]
+    fn distinct_inputs_rarely_collide() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let bh: BuildHasherDefault<FxHasher> = BuildHasherDefault::default();
+        let mut seen = HashSet::new();
+        for i in 0..10_000i64 {
+            seen.insert(bh.hash_one(i));
+        }
+        // Fx on sequential integers is collision-free in practice.
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn write_handles_unaligned_tails() {
+        let mut h1 = FxHasher::default();
+        h1.write(b"hello world, tsens"); // 18 bytes: two chunks + tail
+        let mut h2 = FxHasher::default();
+        h2.write(b"hello world, tsens");
+        assert_eq!(h1.finish(), h2.finish());
+        let mut h3 = FxHasher::default();
+        h3.write(b"hello world, tsenS");
+        assert_ne!(h1.finish(), h3.finish());
+    }
+
+    #[test]
+    fn fast_map_with_capacity_allocates() {
+        let m: FastMap<u64, u64> = fast_map_with_capacity(100);
+        assert!(m.capacity() >= 100);
+    }
+}

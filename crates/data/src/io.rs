@@ -1,0 +1,162 @@
+//! Minimal CSV import/export for relations.
+//!
+//! Deliberately simple (comma-separated, header row of attribute names,
+//! no quoting/escaping — keys and counts are what sensitivity analysis
+//! consumes): enough to load real tables into a [`Database`] from the
+//! `tsens-cli` binary without external dependencies.
+
+use crate::database::Database;
+use crate::error::DataError;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::value::Value;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Parse a field: integers become [`Value::Int`], everything else
+/// [`Value::Str`] (whitespace-trimmed).
+fn parse_field(field: &str) -> Value {
+    let trimmed = field.trim();
+    match trimmed.parse::<i64>() {
+        Ok(i) => Value::Int(i),
+        Err(_) => Value::str(trimmed),
+    }
+}
+
+/// Read a relation from CSV text: the first line names the attributes
+/// (interned into `db`), each further non-empty line is a row.
+///
+/// # Errors
+/// Returns [`DataError::ArityMismatch`] when a row's field count differs
+/// from the header's.
+pub fn relation_from_csv_reader(
+    db: &mut Database,
+    reader: impl BufRead,
+) -> Result<Relation, DataError> {
+    let mut lines = reader.lines();
+    let header = match lines.next() {
+        Some(Ok(h)) => h,
+        _ => return Err(DataError::ArityMismatch { expected: 1, actual: 0 }),
+    };
+    let attrs: Vec<_> = header.split(',').map(|name| db.attr(name.trim())).collect();
+    let schema = Schema::new(attrs);
+    let arity = schema.arity();
+    let mut rel = Relation::new(schema);
+    for line in lines {
+        let line = line.map_err(|_| DataError::ArityMismatch { expected: arity, actual: 0 })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row: Vec<Value> = line.split(',').map(parse_field).collect();
+        if row.len() != arity {
+            return Err(DataError::ArityMismatch { expected: arity, actual: row.len() });
+        }
+        rel.push(row);
+    }
+    Ok(rel)
+}
+
+/// Load `path` as a relation named after its file stem and add it to
+/// `db`. Returns the relation's catalog index.
+///
+/// # Errors
+/// I/O failures are mapped to [`DataError::UnknownRelation`] with the
+/// path in the message; parse errors propagate.
+pub fn load_csv(db: &mut Database, path: &Path) -> Result<usize, DataError> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| DataError::UnknownRelation(format!("{}: {e}", path.display())))?;
+    let rel = relation_from_csv_reader(db, std::io::BufReader::new(file))?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .ok_or_else(|| DataError::UnknownRelation(path.display().to_string()))?
+        .to_owned();
+    db.add_relation(&name, rel)
+}
+
+/// Write a relation as CSV (header of attribute names, then rows).
+///
+/// # Errors
+/// Propagates I/O failures as [`DataError::UnknownRelation`] messages.
+pub fn write_csv(db: &Database, rel_idx: usize, path: &Path) -> Result<(), DataError> {
+    let rel = db.relation(rel_idx);
+    let file = std::fs::File::create(path)
+        .map_err(|e| DataError::UnknownRelation(format!("{}: {e}", path.display())))?;
+    let mut out = BufWriter::new(file);
+    let header: Vec<&str> = rel
+        .schema()
+        .attrs()
+        .iter()
+        .map(|&a| db.registry().name(a))
+        .collect();
+    let io_err = |e: std::io::Error| DataError::UnknownRelation(format!("{}: {e}", path.display()));
+    writeln!(out, "{}", header.join(",")).map_err(io_err)?;
+    for row in rel.rows() {
+        let fields: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        writeln!(out, "{}", fields.join(",")).map_err(io_err)?;
+    }
+    out.flush().map_err(io_err)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_through_reader() {
+        let csv = "custkey,name\n1,alice\n2,bob\n2,bob\n";
+        let mut db = Database::new();
+        let rel = relation_from_csv_reader(&mut db, Cursor::new(csv)).unwrap();
+        assert_eq!(rel.len(), 3);
+        assert_eq!(rel.schema().arity(), 2);
+        assert_eq!(rel.rows()[0][0], Value::Int(1));
+        assert_eq!(rel.rows()[0][1], Value::str("alice"));
+        // Duplicates preserved (bag semantics).
+        assert_eq!(rel.multiplicity(&[Value::Int(2), Value::str("bob")]), 2);
+        // Attributes interned.
+        assert!(db.attr_id("custkey").is_some());
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let csv = "a,b\n1,2\n3\n";
+        let mut db = Database::new();
+        let err = relation_from_csv_reader(&mut db, Cursor::new(csv)).unwrap_err();
+        assert!(matches!(err, DataError::ArityMismatch { expected: 2, actual: 1 }));
+    }
+
+    #[test]
+    fn blank_lines_skipped_and_fields_trimmed() {
+        let csv = "a , b\n 1 , x \n\n 2 , y \n";
+        let mut db = Database::new();
+        let rel = relation_from_csv_reader(&mut db, Cursor::new(csv)).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.rows()[0][1], Value::str("x"));
+        assert!(db.attr_id("a").is_some());
+        assert!(db.attr_id("b").is_some());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("tsens_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("orders.csv");
+        std::fs::write(&path, "ck,ok\n1,10\n1,11\n2,12\n").unwrap();
+        let mut db = Database::new();
+        let idx = load_csv(&mut db, &path).unwrap();
+        assert_eq!(db.relation_name(idx), "orders");
+        assert_eq!(db.relation(idx).len(), 3);
+        let out = dir.join("out.csv");
+        write_csv(&db, idx, &out).unwrap();
+        let mut db2 = Database::new();
+        let rel2 = relation_from_csv_reader(
+            &mut db2,
+            std::io::BufReader::new(std::fs::File::open(&out).unwrap()),
+        )
+        .unwrap();
+        assert_eq!(rel2.rows(), db.relation(idx).rows());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,222 @@
+//! Bag-semantics relations.
+
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt;
+
+/// A database row: one [`Value`] per schema column.
+pub type Row = Vec<Value>;
+
+/// A bag-semantics relation: a schema plus a multiset of rows.
+///
+/// Duplicate rows are meaningful (the paper counts join outputs with
+/// multiplicity). All per-row invariants (`row.len() == schema.arity()`)
+/// are enforced on insertion.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Relation {
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Relation {
+    /// An empty relation over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        Relation { schema, rows: Vec::new() }
+    }
+
+    /// Build a relation from rows.
+    ///
+    /// # Panics
+    /// Panics if any row's arity differs from the schema's.
+    pub fn from_rows(schema: Schema, rows: Vec<Row>) -> Self {
+        for row in &rows {
+            assert_eq!(row.len(), schema.arity(), "row arity must match schema arity");
+        }
+        Relation { schema, rows }
+    }
+
+    /// The relation's schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Borrow the rows.
+    #[inline]
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows (with multiplicity).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the relation has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the row arity differs from the schema arity.
+    pub fn push(&mut self, row: Row) {
+        assert_eq!(row.len(), self.schema.arity(), "row arity must match schema arity");
+        self.rows.push(row);
+    }
+
+    /// Reserve capacity for `additional` more rows.
+    pub fn reserve(&mut self, additional: usize) {
+        self.rows.reserve(additional);
+    }
+
+    /// Remove **one** occurrence of `row`, returning `true` if one existed.
+    ///
+    /// This is the `D \ {t}` of downward tuple sensitivity (Def 2.1):
+    /// under bag semantics exactly one copy is removed.
+    pub fn remove_one(&mut self, row: &[Value]) -> bool {
+        if let Some(pos) = self.rows.iter().position(|r| r.as_slice() == row) {
+            self.rows.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of occurrences of `row`.
+    pub fn multiplicity(&self, row: &[Value]) -> usize {
+        self.rows.iter().filter(|r| r.as_slice() == row).count()
+    }
+
+    /// True if at least one occurrence of `row` exists.
+    pub fn contains_row(&self, row: &[Value]) -> bool {
+        self.rows.iter().any(|r| r.as_slice() == row)
+    }
+
+    /// Bag projection onto `target` (a subset of the schema). Keeps
+    /// duplicates — this is the multiplicity-preserving `π` of the paper.
+    pub fn project(&self, target: &Schema) -> Relation {
+        let idx = self.schema.projection_indices(target);
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| idx.iter().map(|&i| r[i].clone()).collect())
+            .collect();
+        Relation { schema: target.clone(), rows }
+    }
+
+    /// Keep only rows satisfying `pred`.
+    pub fn retain(&mut self, mut pred: impl FnMut(&[Value]) -> bool) {
+        self.rows.retain(|r| pred(r));
+    }
+
+    /// A relation with the same schema and the rows for which `pred` holds.
+    pub fn filtered(&self, mut pred: impl FnMut(&[Value]) -> bool) -> Relation {
+        Relation {
+            schema: self.schema.clone(),
+            rows: self.rows.iter().filter(|r| pred(r)).cloned().collect(),
+        }
+    }
+
+    /// Sort rows lexicographically (canonical form for comparisons).
+    pub fn sort(&mut self) {
+        self.rows.sort_unstable();
+    }
+
+    /// Iterate over rows.
+    pub fn iter(&self) -> impl Iterator<Item = &Row> {
+        self.rows.iter()
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Relation{:?} [{} rows]", self.schema, self.rows.len())?;
+        for row in self.rows.iter().take(20) {
+            writeln!(f, "  {row:?}")?;
+        }
+        if self.rows.len() > 20 {
+            writeln!(f, "  … ({} more)", self.rows.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrId;
+
+    fn schema(ids: &[u32]) -> Schema {
+        Schema::new(ids.iter().map(|&i| AttrId(i)).collect())
+    }
+
+    fn row(vals: &[i64]) -> Row {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut r = Relation::new(schema(&[0, 1]));
+        assert!(r.is_empty());
+        r.push(row(&[1, 2]));
+        r.push(row(&[1, 2]));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.multiplicity(&row(&[1, 2])), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_rejected() {
+        let mut r = Relation::new(schema(&[0, 1]));
+        r.push(row(&[1]));
+    }
+
+    #[test]
+    fn remove_one_removes_single_copy() {
+        let mut r = Relation::from_rows(schema(&[0]), vec![row(&[5]), row(&[5]), row(&[6])]);
+        assert!(r.remove_one(&row(&[5])));
+        assert_eq!(r.multiplicity(&row(&[5])), 1);
+        assert!(r.remove_one(&row(&[5])));
+        assert!(!r.remove_one(&row(&[5])));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains_row(&row(&[6])));
+    }
+
+    #[test]
+    fn project_preserves_duplicates() {
+        let r = Relation::from_rows(
+            schema(&[0, 1]),
+            vec![row(&[1, 10]), row(&[1, 20]), row(&[2, 10])],
+        );
+        let p = r.project(&schema(&[0]));
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.multiplicity(&row(&[1])), 2);
+    }
+
+    #[test]
+    fn project_reorders_columns() {
+        let r = Relation::from_rows(schema(&[0, 1]), vec![row(&[1, 10])]);
+        let p = r.project(&schema(&[1, 0]));
+        assert_eq!(p.rows()[0], row(&[10, 1]));
+    }
+
+    #[test]
+    fn filtered_and_retain() {
+        let mut r = Relation::from_rows(schema(&[0]), vec![row(&[1]), row(&[2]), row(&[3])]);
+        let f = r.filtered(|t| t[0].as_int().unwrap() >= 2);
+        assert_eq!(f.len(), 2);
+        r.retain(|t| t[0].as_int().unwrap() == 3);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn sort_gives_canonical_order() {
+        let mut r = Relation::from_rows(schema(&[0]), vec![row(&[3]), row(&[1]), row(&[2])]);
+        r.sort();
+        assert_eq!(r.rows(), &[row(&[1]), row(&[2]), row(&[3])]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Relation schemas: ordered lists of distinct attributes.
+
+use crate::attr::AttrId;
+use std::fmt;
+
+/// An ordered list of distinct attributes.
+///
+/// Schemas identify the columns of a [`crate::Relation`] /
+/// [`crate::CountedRelation`]. Order matters for row layout; set-like
+/// operations ([`Schema::intersect`], [`Schema::union`],
+/// [`Schema::is_subset_of`]) treat the schema as the underlying attribute
+/// set.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Schema {
+    attrs: Vec<AttrId>,
+}
+
+impl Schema {
+    /// Build a schema from a list of attributes.
+    ///
+    /// # Panics
+    /// Panics if `attrs` contains duplicates — a relation never has two
+    /// columns for the same query variable in the paper's model.
+    pub fn new(attrs: Vec<AttrId>) -> Self {
+        let mut seen = attrs.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), attrs.len(), "schema contains duplicate attributes");
+        Schema { attrs }
+    }
+
+    /// The empty schema (used for `⊤(root) = ∅` in Algorithm 2).
+    pub fn empty() -> Self {
+        Schema { attrs: Vec::new() }
+    }
+
+    /// The attributes in column order.
+    #[inline]
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Number of columns (arity).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True if the schema has no columns.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Column position of `attr`, if present.
+    #[inline]
+    pub fn position(&self, attr: AttrId) -> Option<usize> {
+        self.attrs.iter().position(|&a| a == attr)
+    }
+
+    /// True if `attr` is one of the columns.
+    #[inline]
+    pub fn contains(&self, attr: AttrId) -> bool {
+        self.position(attr).is_some()
+    }
+
+    /// Attributes present in both schemas, in `self`'s column order.
+    pub fn intersect(&self, other: &Schema) -> Schema {
+        Schema {
+            attrs: self
+                .attrs
+                .iter()
+                .copied()
+                .filter(|a| other.contains(*a))
+                .collect(),
+        }
+    }
+
+    /// Attributes of `self` absent from `other`, in `self`'s column order.
+    pub fn difference(&self, other: &Schema) -> Schema {
+        Schema {
+            attrs: self
+                .attrs
+                .iter()
+                .copied()
+                .filter(|a| !other.contains(*a))
+                .collect(),
+        }
+    }
+
+    /// Union: `self`'s columns followed by `other`'s new columns.
+    pub fn union(&self, other: &Schema) -> Schema {
+        let mut attrs = self.attrs.clone();
+        for &a in &other.attrs {
+            if !self.contains(a) {
+                attrs.push(a);
+            }
+        }
+        Schema { attrs }
+    }
+
+    /// True if every column of `self` appears in `other`.
+    pub fn is_subset_of(&self, other: &Schema) -> bool {
+        self.attrs.iter().all(|&a| other.contains(a))
+    }
+
+    /// True if the schemas share no attributes.
+    pub fn is_disjoint_from(&self, other: &Schema) -> bool {
+        self.attrs.iter().all(|&a| !other.contains(a))
+    }
+
+    /// Column positions (into `self`) of the attributes of `target`,
+    /// in `target`'s order.
+    ///
+    /// # Panics
+    /// Panics if `target` is not a subset of `self`.
+    pub fn projection_indices(&self, target: &Schema) -> Vec<usize> {
+        target
+            .attrs
+            .iter()
+            .map(|&a| {
+                self.position(a)
+                    .unwrap_or_else(|| panic!("attribute {a:?} not in schema {self:?}"))
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<AttrId> for Schema {
+    fn from_iter<T: IntoIterator<Item = AttrId>>(iter: T) -> Self {
+        Schema::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(ids: &[u32]) -> Schema {
+        Schema::new(ids.iter().map(|&i| AttrId(i)).collect())
+    }
+
+    #[test]
+    fn positions_and_contains() {
+        let sc = s(&[3, 1, 4]);
+        assert_eq!(sc.arity(), 3);
+        assert_eq!(sc.position(AttrId(1)), Some(1));
+        assert_eq!(sc.position(AttrId(9)), None);
+        assert!(sc.contains(AttrId(4)));
+        assert!(!sc.contains(AttrId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_attrs_rejected() {
+        let _ = s(&[1, 2, 1]);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = s(&[1, 2, 3]);
+        let b = s(&[3, 4, 1]);
+        assert_eq!(a.intersect(&b), s(&[1, 3]));
+        assert_eq!(a.difference(&b), s(&[2]));
+        assert_eq!(a.union(&b), s(&[1, 2, 3, 4]));
+        assert!(s(&[1, 3]).is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+        assert!(s(&[5]).is_disjoint_from(&a));
+        assert!(!a.is_disjoint_from(&b));
+    }
+
+    #[test]
+    fn empty_schema() {
+        let e = Schema::empty();
+        assert!(e.is_empty());
+        assert!(e.is_subset_of(&s(&[1])));
+        assert!(e.is_disjoint_from(&s(&[1])));
+        assert_eq!(e.arity(), 0);
+    }
+
+    #[test]
+    fn projection_indices_follow_target_order() {
+        let big = s(&[10, 20, 30, 40]);
+        let tgt = s(&[30, 10]);
+        assert_eq!(big.projection_indices(&tgt), vec![2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in schema")]
+    fn projection_indices_rejects_nonsubset() {
+        let _ = s(&[1]).projection_indices(&s(&[2]));
+    }
+}

@@ -1,0 +1,156 @@
+//! Attribute values.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A single attribute value.
+///
+/// The paper's workloads are almost entirely integer-keyed (TPC-H keys,
+/// graph node ids), so `Int` is the fast path. Strings are stored as
+/// `Arc<str>` so cloning a value is a reference-count bump, never a heap
+/// copy — rows are cloned heavily during join processing.
+///
+/// Ordering is total: all integers sort before all strings. This is only
+/// used to make sort-merge joins and canonical orderings deterministic; the
+/// algorithms never rely on a semantic order between heterogeneous values.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// 64-bit signed integer value.
+    Int(i64),
+    /// Interned string value (content-compared).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Returns the integer payload, if this is an `Int`.
+    #[inline]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a `Str`.
+    #[inline]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+
+    /// True if the value is an integer.
+    #[inline]
+    pub fn is_int(&self) -> bool {
+        matches!(self, Value::Int(_))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn int_roundtrip() {
+        let v = Value::from(42i64);
+        assert_eq!(v.as_int(), Some(42));
+        assert_eq!(v.as_str(), None);
+        assert!(v.is_int());
+    }
+
+    #[test]
+    fn str_roundtrip() {
+        let v = Value::str("hello");
+        assert_eq!(v.as_str(), Some("hello"));
+        assert_eq!(v.as_int(), None);
+        assert!(!v.is_int());
+    }
+
+    #[test]
+    fn string_values_compare_by_content() {
+        assert_eq!(Value::str("a"), Value::from("a"));
+        assert_ne!(Value::str("a"), Value::str("b"));
+        let mut set = HashSet::new();
+        set.insert(Value::str("x"));
+        assert!(set.contains(&Value::str("x")));
+    }
+
+    #[test]
+    fn ordering_is_total_and_ints_sort_first() {
+        let mut vs = vec![Value::str("b"), Value::Int(10), Value::str("a"), Value::Int(-3)];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![Value::Int(-3), Value::Int(10), Value::str("a"), Value::str("b")]
+        );
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::str("x").to_string(), "x");
+        assert_eq!(format!("{:?}", Value::str("x")), "\"x\"");
+        assert_eq!(format!("{:?}", Value::Int(7)), "7");
+    }
+}

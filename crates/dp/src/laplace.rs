@@ -1,0 +1,91 @@
+//! The Laplace mechanism (Definition 6.3).
+
+use rand::{Rng, RngExt};
+
+/// Draw one sample from `Laplace(0, scale)` by inverse-CDF sampling.
+///
+/// # Panics
+/// Panics if `scale` is not finite and positive.
+pub fn laplace_noise<R: Rng>(rng: &mut R, scale: f64) -> f64 {
+    assert!(scale.is_finite() && scale > 0.0, "Laplace scale must be positive");
+    // u uniform in (-0.5, 0.5]; the open lower end avoids ln(0).
+    let u: f64 = 0.5 - rng.random::<f64>();
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln()
+}
+
+/// Release `value` under ε-DP for a query with global sensitivity
+/// `sensitivity`: `value + Laplace(sensitivity / ε)`.
+///
+/// # Panics
+/// Panics if `epsilon` or `sensitivity` is not finite and positive.
+pub fn laplace_mechanism<R: Rng>(
+    rng: &mut R,
+    value: f64,
+    sensitivity: f64,
+    epsilon: f64,
+) -> f64 {
+    assert!(epsilon.is_finite() && epsilon > 0.0, "epsilon must be positive");
+    assert!(
+        sensitivity.is_finite() && sensitivity > 0.0,
+        "sensitivity must be positive"
+    );
+    value + laplace_noise(rng, sensitivity / epsilon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noise_is_zero_mean_with_correct_scale() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let scale = 3.0;
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| laplace_noise(&mut rng, scale)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        // Mean of |X| for Laplace(b) is b.
+        let mean_abs = samples.iter().map(|x| x.abs()).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((mean_abs - scale).abs() < 0.05, "E|X| {mean_abs} ≠ {scale}");
+    }
+
+    #[test]
+    fn mechanism_centres_on_true_value() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let sum: f64 = (0..n)
+            .map(|_| laplace_mechanism(&mut rng, 42.0, 2.0, 1.0))
+            .sum();
+        let mean = sum / n as f64;
+        assert!((mean - 42.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..10).map(|_| laplace_noise(&mut rng, 1.0)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..10).map(|_| laplace_noise(&mut rng, 1.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn rejects_bad_scale() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = laplace_noise(&mut rng, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn rejects_bad_epsilon() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = laplace_mechanism(&mut rng, 1.0, 1.0, -1.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # tsens-dp
+//!
+//! Differential privacy on top of TSens (§6 of the paper):
+//!
+//! * [`laplace`] — the Laplace mechanism (Def 6.3);
+//! * [`svt`] — the sparse vector technique (AboveThreshold) used to learn
+//!   truncation thresholds privately;
+//! * [`truncation`] — the TSens truncation operator `T_TSens(Q, D, τ)`
+//!   (Def 6.4): drop primary-private tuples whose tuple sensitivity
+//!   exceeds `τ`, capping the query's global sensitivity at `τ`;
+//! * [`tsensdp`] — the end-to-end **TSensDP** mechanism (Thm 6.1): spend
+//!   `ε_tsens` releasing a noisy reference answer and running SVT to find
+//!   the threshold, then `ε − ε_tsens` answering on the truncated
+//!   database;
+//! * [`privsql`] — a PrivSQL-style baseline (Kotsogiannis et al., 2019,
+//!   §7.3 configuration: synopsis disabled, direct Laplace): truncation by
+//!   *join-key frequency* at non-primary relations with SVT-learned
+//!   thresholds, and a static policy-propagated global sensitivity.
+//!
+//! All randomness flows through caller-provided `rand` RNGs so experiments
+//! are reproducible.
+
+pub mod laplace;
+pub mod privsql;
+pub mod svt;
+pub mod truncation;
+pub mod tsensdp;
+
+pub use laplace::{laplace_mechanism, laplace_noise};
+pub use privsql::{privsql_answer, CascadeRule, PrivSqlPolicy, PrivSqlResult};
+pub use svt::svt_first_above;
+pub use truncation::{truncate_database, truncated_count, TruncationProfile};
+pub use tsensdp::{tsensdp_answer, tsensdp_answer_from_profile, TSensDpResult};

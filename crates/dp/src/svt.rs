@@ -1,0 +1,86 @@
+//! The sparse vector technique (AboveThreshold), as analysed by
+//! Lyu, Su & Li (2017) — reference \[34\] of the paper.
+
+use crate::laplace::laplace_noise;
+use rand::Rng;
+
+/// Run AboveThreshold: return the index of the first query whose noisy
+/// value meets the noisy threshold, or `None` if the stream ends first.
+///
+/// * the threshold is perturbed once with `Laplace(2Δ/ε)`;
+/// * every query is perturbed with `Laplace(4Δ/ε)`;
+/// * reporting one above-threshold index consumes the full `ε`.
+///
+/// `sensitivity` is the global sensitivity Δ of **each** query in the
+/// stream (the paper's SVT streams have Δ = 1 by construction, §6.2).
+///
+/// # Panics
+/// Panics if `epsilon` or `sensitivity` is not finite and positive.
+pub fn svt_first_above<R: Rng>(
+    rng: &mut R,
+    epsilon: f64,
+    sensitivity: f64,
+    threshold: f64,
+    queries: impl IntoIterator<Item = f64>,
+) -> Option<usize> {
+    assert!(epsilon.is_finite() && epsilon > 0.0, "epsilon must be positive");
+    assert!(
+        sensitivity.is_finite() && sensitivity > 0.0,
+        "sensitivity must be positive"
+    );
+    let noisy_threshold = threshold + laplace_noise(rng, 2.0 * sensitivity / epsilon);
+    for (i, q) in queries.into_iter().enumerate() {
+        let noisy_q = q + laplace_noise(rng, 4.0 * sensitivity / epsilon);
+        if noisy_q >= noisy_threshold {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_clearly_above_threshold_query() {
+        // Queries far below 0 then one far above: with ε = 5 the noise is
+        // small relative to the gap, so SVT almost always stops at index 5.
+        let mut hits = 0;
+        for seed in 0..50 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let queries = vec![-100.0, -100.0, -100.0, -100.0, -100.0, 100.0];
+            if svt_first_above(&mut rng, 5.0, 1.0, 0.0, queries) == Some(5) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 45, "only {hits}/50 runs found the obvious index");
+    }
+
+    #[test]
+    fn returns_none_when_everything_is_far_below() {
+        let mut none = 0;
+        for seed in 0..50 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            if svt_first_above(&mut rng, 5.0, 1.0, 0.0, vec![-1000.0; 20]).is_none() {
+                none += 1;
+            }
+        }
+        assert!(none >= 45, "only {none}/50 runs rejected everything");
+    }
+
+    #[test]
+    fn empty_stream_returns_none() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(svt_first_above(&mut rng, 1.0, 1.0, 0.0, Vec::new()), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn rejects_bad_epsilon() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = svt_first_above(&mut rng, 0.0, 1.0, 0.0, vec![1.0]);
+    }
+}

@@ -1,0 +1,244 @@
+//! The TSens truncation operator `T_TSens(Q, D, τ)` (Definition 6.4).
+//!
+//! Truncation drops every tuple of the **primary private relation** whose
+//! tuple sensitivity exceeds `τ`. The composed query
+//! `Q(T_TSens(Q, ·, τ))` then has global sensitivity `τ`: a tuple with
+//! `δ > τ` is removed (or would be removed on insertion), and any other
+//! tuple changes the count by at most its own sensitivity `≤ τ`.
+//!
+//! A key algebraic fact makes threshold search cheap: because the query
+//! has no self-joins, the bag count is **linear** in the private
+//! relation's rows —
+//!
+//! ```text
+//! |Q(T(D, τ))| = Σ { δ(t) : t ∈ PR, δ(t) ≤ τ }
+//! ```
+//!
+//! where `δ(t)` is read off the relation's multiplicity table (it counts
+//! join combinations of the *other* relations only, which truncation never
+//! touches). [`TruncationProfile`] materialises the per-row sensitivities
+//! once and serves every `|Q(T(D, i))|` by prefix sum — this is what lets
+//! TSensDP's SVT scan thresholds `1..ℓ` without re-evaluating the query.
+
+use tsens_core::MultiplicityTable;
+use tsens_data::{sat_add, Count, Database};
+use tsens_query::ConjunctiveQuery;
+
+/// Pre-computed per-row sensitivities of the primary private relation,
+/// with prefix sums over distinct sensitivity values.
+#[derive(Clone, Debug)]
+pub struct TruncationProfile {
+    /// Distinct per-row sensitivities, ascending (zeros omitted).
+    deltas: Vec<Count>,
+    /// `prefix[i]` = Σ δ(t) over rows with `δ(t) ≤ deltas[i]`.
+    prefix: Vec<Count>,
+    /// Per-row `(row index in the relation, δ)` for rows with `δ > 0`.
+    row_deltas: Vec<(usize, Count)>,
+}
+
+impl TruncationProfile {
+    /// Score every row of the private relation against its multiplicity
+    /// table. Rows failing the atom's selection predicate contribute 0.
+    pub fn build(
+        db: &Database,
+        cq: &ConjunctiveQuery,
+        private_atom: usize,
+        table: &MultiplicityTable,
+    ) -> Self {
+        let atom = &cq.atoms()[private_atom];
+        let rel = db.relation(atom.relation);
+        let mut row_deltas: Vec<(usize, Count)> = Vec::new();
+        for (i, row) in rel.rows().iter().enumerate() {
+            if !atom.predicate.is_trivial() && !atom.predicate.eval(&atom.schema, row) {
+                continue;
+            }
+            let delta = table.sensitivity_of(&atom.schema, row);
+            if delta > 0 {
+                row_deltas.push((i, delta));
+            }
+        }
+        let mut by_delta = row_deltas.clone();
+        by_delta.sort_by_key(|&(_, d)| d);
+        let mut deltas: Vec<Count> = Vec::new();
+        let mut prefix: Vec<Count> = Vec::new();
+        let mut acc: Count = 0;
+        for (_, d) in by_delta {
+            acc = sat_add(acc, d);
+            match deltas.last() {
+                Some(&last) if last == d => *prefix.last_mut().expect("non-empty") = acc,
+                _ => {
+                    deltas.push(d);
+                    prefix.push(acc);
+                }
+            }
+        }
+        TruncationProfile { deltas, prefix, row_deltas }
+    }
+
+    /// `|Q(T_TSens(Q, D, τ))|` — the bag count after truncating at `τ`.
+    pub fn truncated_count(&self, tau: Count) -> Count {
+        // Largest delta ≤ tau.
+        match self.deltas.partition_point(|&d| d <= tau) {
+            0 => 0,
+            i => self.prefix[i - 1],
+        }
+    }
+
+    /// `|Q(D)|` — the untruncated bag count (τ = ∞).
+    pub fn full_count(&self) -> Count {
+        self.prefix.last().copied().unwrap_or(0)
+    }
+
+    /// The maximum per-row sensitivity (the relation's contribution to the
+    /// local sensitivity from *existing* rows).
+    pub fn max_delta(&self) -> Count {
+        self.deltas.last().copied().unwrap_or(0)
+    }
+
+    /// Number of rows that would be dropped when truncating at `τ`.
+    pub fn dropped_rows(&self, tau: Count) -> usize {
+        self.row_deltas.iter().filter(|&&(_, d)| d > tau).count()
+    }
+
+    /// Row indices (into the private relation) that survive truncation at
+    /// `τ`. Rows with `δ = 0` always survive — they support no output.
+    pub fn surviving_row_set(&self, tau: Count) -> impl Iterator<Item = usize> + '_ {
+        self.row_deltas
+            .iter()
+            .filter(move |&&(_, d)| d > tau)
+            .map(|&(i, _)| i)
+    }
+}
+
+/// Materialise `T_TSens(Q, D, τ)`: a copy of `db` with the offending
+/// primary-private rows removed. For counting, prefer
+/// [`TruncationProfile::truncated_count`]; this exists for callers that
+/// need the truncated instance itself (e.g. to feed other mechanisms).
+pub fn truncate_database(
+    db: &Database,
+    cq: &ConjunctiveQuery,
+    private_atom: usize,
+    table: &MultiplicityTable,
+    tau: Count,
+) -> Database {
+    let atom = &cq.atoms()[private_atom];
+    let mut out = db.clone();
+    let schema = atom.schema.clone();
+    out.relation_mut(atom.relation)
+        .retain(|row| table.sensitivity_of(&schema, row) <= tau);
+    out
+}
+
+/// Convenience: build the profile and return `|Q(T(D, τ))|` directly.
+pub fn truncated_count(
+    db: &Database,
+    cq: &ConjunctiveQuery,
+    private_atom: usize,
+    table: &MultiplicityTable,
+    tau: Count,
+) -> Count {
+    TruncationProfile::build(db, cq, private_atom, table).truncated_count(tau)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsens_core::multiplicity_table_for;
+    use tsens_data::{Relation, Schema, Value};
+    use tsens_engine::naive_eval::naive_count;
+    use tsens_query::gyo_decompose;
+
+    /// R(A,B) ⋈ S(B,C): per-row sensitivities of R are the B-frequencies
+    /// in S.
+    fn setup() -> (Database, ConjunctiveQuery) {
+        let mut db = Database::new();
+        let [a, b, c] = db.attrs(["A", "B", "C"]);
+        let rows = |v: &[(i64, i64)]| -> Vec<Vec<Value>> {
+            v.iter().map(|&(x, y)| vec![Value::Int(x), Value::Int(y)]).collect()
+        };
+        db.add_relation(
+            "R",
+            Relation::from_rows(
+                Schema::new(vec![a, b]),
+                rows(&[(1, 1), (2, 1), (3, 2), (4, 3)]),
+            ),
+        )
+        .unwrap();
+        db.add_relation(
+            "S",
+            Relation::from_rows(
+                Schema::new(vec![b, c]),
+                rows(&[(1, 10), (1, 11), (1, 12), (2, 10), (3, 10), (3, 11)]),
+            ),
+        )
+        .unwrap();
+        let q = ConjunctiveQuery::over(&db, "rs", &["R", "S"]).unwrap();
+        (db, q)
+    }
+
+    #[test]
+    fn truncated_counts_match_naive_re_evaluation() {
+        let (db, q) = setup();
+        let tree = gyo_decompose(&q).unwrap().expect_acyclic("acyclic");
+        let table = multiplicity_table_for(&db, &q, &tree, 0);
+        let profile = TruncationProfile::build(&db, &q, 0, &table);
+        // δ per R row: (1,1)→3, (2,1)→3, (3,2)→1, (4,3)→2. |Q| = 9.
+        assert_eq!(profile.full_count(), naive_count(&db, &q));
+        assert_eq!(profile.max_delta(), 3);
+        for tau in 0..5u128 {
+            let truncated = truncate_database(&db, &q, 0, &table, tau);
+            assert_eq!(
+                profile.truncated_count(tau),
+                naive_count(&truncated, &q),
+                "tau {tau}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_caps_global_sensitivity() {
+        // Invariant 7 of DESIGN.md: adding any tuple with δ > τ to the
+        // private relation never changes the truncated answer.
+        let (mut db, q) = setup();
+        let tree = gyo_decompose(&q).unwrap().expect_acyclic("acyclic");
+        let tau = 2;
+        let table = multiplicity_table_for(&db, &q, &tree, 0);
+        let before = TruncationProfile::build(&db, &q, 0, &table).truncated_count(tau);
+        // (9, 1) has δ = 3 > τ: inserting it must not move the answer.
+        db.insert_row(0, vec![Value::Int(9), Value::Int(1)]);
+        let table2 = multiplicity_table_for(&db, &q, &tree, 0);
+        let after = TruncationProfile::build(&db, &q, 0, &table2).truncated_count(tau);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn dropped_rows_counts() {
+        let (db, q) = setup();
+        let tree = gyo_decompose(&q).unwrap().expect_acyclic("acyclic");
+        let table = multiplicity_table_for(&db, &q, &tree, 0);
+        let profile = TruncationProfile::build(&db, &q, 0, &table);
+        assert_eq!(profile.dropped_rows(0), 4);
+        assert_eq!(profile.dropped_rows(1), 3);
+        assert_eq!(profile.dropped_rows(2), 2);
+        assert_eq!(profile.dropped_rows(3), 0);
+    }
+
+    #[test]
+    fn empty_private_relation() {
+        let mut db = Database::new();
+        let a = db.attr("A");
+        db.add_relation("R", Relation::new(Schema::new(vec![a]))).unwrap();
+        db.add_relation(
+            "S",
+            Relation::from_rows(Schema::new(vec![a]), vec![vec![Value::Int(1)]]),
+        )
+        .unwrap();
+        let q = ConjunctiveQuery::over(&db, "rs", &["R", "S"]).unwrap();
+        let tree = gyo_decompose(&q).unwrap().expect_acyclic("acyclic");
+        let table = multiplicity_table_for(&db, &q, &tree, 0);
+        let profile = TruncationProfile::build(&db, &q, 0, &table);
+        assert_eq!(profile.full_count(), 0);
+        assert_eq!(profile.truncated_count(100), 0);
+        assert_eq!(profile.max_delta(), 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # tsens-engine
+//!
+//! Multiplicity-propagating execution engine for the `tsens` workspace.
+//!
+//! All operators work on [`tsens_data::CountedRelation`]s — relations with
+//! a `cnt` column — and implement the paper's `r⋈` / `γ` machinery (§4.2):
+//! joins multiply counts, group-bys sum them.
+//!
+//! * [`ops`] — natural hash join, keyed lookup join, semijoin, multiway
+//!   join with connectivity-aware ordering;
+//! * [`passes`] — the botjoin (`⊥`, post-order) and topjoin (`⊤`,
+//!   pre-order) passes over a decomposition tree (Eqns 4–8), shared by
+//!   Yannakakis evaluation and the TSens sensitivity algorithms;
+//! * [`yannakakis`] — near-linear count evaluation of acyclic (and, via
+//!   GHDs, certain cyclic) counting queries: the paper's "query
+//!   evaluation" runtime baseline;
+//! * [`naive_eval`] — brute-force full-join evaluation for cross-checks.
+
+pub mod naive_eval;
+pub mod ops;
+pub mod passes;
+pub mod yannakakis;
+
+pub use naive_eval::{full_join, naive_count};
+pub use ops::{hash_join, lookup_join, multiway_join, semijoin, sort_merge_join};
+pub use passes::{bag_relations, bag_relations_from, botjoin_pass, lift_atoms, topjoin_pass};
+pub use yannakakis::count_query;

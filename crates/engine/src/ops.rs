@@ -1,0 +1,341 @@
+//! Multiplicity-propagating relational operators.
+
+use tsens_data::fast::fast_map_with_capacity;
+use tsens_data::{sat_mul, Count, CountedRelation, FastMap, Row, Value};
+
+/// Project `row` (laid out by `schema`) onto the positions `idx`.
+#[inline]
+fn project_row(row: &[Value], idx: &[usize]) -> Row {
+    idx.iter().map(|&i| row[i].clone()).collect()
+}
+
+/// Natural join `r⋈`: join on all shared attributes, multiply counts.
+///
+/// Result schema is `left ∪ right` (left's columns first). With no shared
+/// attributes this degenerates to the counted cross product, which is what
+/// the paper's GHD bags need (e.g. `N ⋈ L` inside q3's root bag).
+///
+/// The right side is hashed on the shared key; runtime is
+/// `O(|left| + |right| + |out|)`.
+pub fn hash_join(left: &CountedRelation, right: &CountedRelation) -> CountedRelation {
+    let shared = left.schema().intersect(right.schema());
+    let out_schema = left.schema().union(right.schema());
+    let right_extra = right.schema().difference(left.schema());
+    let l_key = left.schema().projection_indices(&shared);
+    let r_key = right.schema().projection_indices(&shared);
+    let r_extra = right.schema().projection_indices(&right_extra);
+
+    // Hash the right side: key → entries.
+    let mut index: FastMap<Row, Vec<(Row, Count)>> = fast_map_with_capacity(right.len());
+    for (row, c) in right.iter() {
+        let key = project_row(row, &r_key);
+        index
+            .entry(key)
+            .or_default()
+            .push((project_row(row, &r_extra), *c));
+    }
+
+    let mut out = CountedRelation::new(out_schema);
+    for (lrow, lc) in left.iter() {
+        let key = project_row(lrow, &l_key);
+        if let Some(matches) = index.get(&key) {
+            for (extra, rc) in matches {
+                let mut row = lrow.clone();
+                row.extend(extra.iter().cloned());
+                out.push(row, sat_mul(*lc, *rc));
+            }
+        }
+    }
+    out
+}
+
+/// Keyed lookup join: `keyed`'s schema must be a subset of `base`'s, and
+/// `keyed` must be key-distinct (the output of a `γ` group-by). Each base
+/// row matches at most one keyed entry; matched rows keep `base`'s schema
+/// with counts multiplied, unmatched rows are dropped.
+///
+/// This is the workhorse of the ⊤/⊥ passes: in Eqns (7)–(8) every botjoin
+/// and topjoin consumed by a node is grouped on a subset of that node's
+/// attributes, so the whole pass is `O(n · d)` hash lookups (Theorem 5.1).
+///
+/// # Panics
+/// Panics if `keyed.schema() ⊄ base.schema()`.
+pub fn lookup_join(base: &CountedRelation, keyed: &CountedRelation) -> CountedRelation {
+    assert!(
+        keyed.schema().is_subset_of(base.schema()),
+        "lookup_join: keyed schema {:?} must be a subset of base schema {:?}",
+        keyed.schema(),
+        base.schema()
+    );
+    let key_idx = base.schema().projection_indices(keyed.schema());
+    let mut index: FastMap<&[Value], Count> = fast_map_with_capacity(keyed.len());
+    for (row, c) in keyed.iter() {
+        // Defensive: sum if the caller passed a non-grouped relation.
+        let slot = index.entry(row.as_slice()).or_insert(0);
+        *slot = slot.saturating_add(*c);
+    }
+
+    let mut out = CountedRelation::new(base.schema().clone());
+    for (row, c) in base.iter() {
+        let key = project_row(row, &key_idx);
+        if let Some(&kc) = index.get(key.as_slice()) {
+            out.push(row.clone(), sat_mul(*c, kc));
+        }
+    }
+    out
+}
+
+/// Semijoin: keep base entries whose projection onto `filter`'s schema
+/// appears in `filter`; counts are unchanged. (Classic Yannakakis
+/// reduction step; exposed for completeness and used in tests.)
+///
+/// # Panics
+/// Panics if `filter.schema() ⊄ base.schema()`.
+pub fn semijoin(base: &CountedRelation, filter: &CountedRelation) -> CountedRelation {
+    assert!(
+        filter.schema().is_subset_of(base.schema()),
+        "semijoin: filter schema must be a subset of base schema"
+    );
+    let key_idx = base.schema().projection_indices(filter.schema());
+    let mut keys: tsens_data::FastSet<&[Value]> = tsens_data::FastSet::default();
+    for (row, _) in filter.iter() {
+        keys.insert(row.as_slice());
+    }
+    let mut out = CountedRelation::new(base.schema().clone());
+    for (row, c) in base.iter() {
+        let key = project_row(row, &key_idx);
+        if keys.contains(key.as_slice()) {
+            out.push(row.clone(), *c);
+        }
+    }
+    out
+}
+
+/// Join several counted relations, choosing at each step the input sharing
+/// the most attributes with the accumulated schema (falling back to a
+/// cross product only when nothing connects — unavoidable for GHD bags
+/// whose members are disconnected, like q3's `{R, N, L}`).
+///
+/// # Panics
+/// Panics if `inputs` is empty.
+pub fn multiway_join(inputs: &[&CountedRelation]) -> CountedRelation {
+    assert!(!inputs.is_empty(), "multiway_join needs at least one input");
+    let mut used = vec![false; inputs.len()];
+    let mut acc = inputs[0].clone();
+    used[0] = true;
+    for _ in 1..inputs.len() {
+        // Pick the unused input with the largest schema overlap.
+        let mut best: Option<(usize, usize)> = None;
+        for (i, rel) in inputs.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let overlap = acc.schema().intersect(rel.schema()).arity();
+            if best.is_none_or(|(_, o)| overlap > o) {
+                best = Some((i, overlap));
+            }
+        }
+        let (i, _) = best.expect("an unused input must remain");
+        used[i] = true;
+        acc = hash_join(&acc, inputs[i]);
+    }
+    acc
+}
+
+/// Natural join by **sort-merge** — the join the paper's Algorithm 1/2
+/// descriptions use ("sort both relations on the join column, join
+/// together, then groupby and add the cnt values", §4.2). Produces the
+/// same bag as [`hash_join`]; complexity `O(n log n + |out|)`.
+///
+/// Kept alongside the hash join so `bench_ablation` can compare them; the
+/// passes default to hashing, which benches faster on this workload's
+/// integer keys.
+pub fn sort_merge_join(left: &CountedRelation, right: &CountedRelation) -> CountedRelation {
+    let shared = left.schema().intersect(right.schema());
+    let out_schema = left.schema().union(right.schema());
+    let right_extra = right.schema().difference(left.schema());
+    let l_key = left.schema().projection_indices(&shared);
+    let r_key = right.schema().projection_indices(&shared);
+    let r_extra = right.schema().projection_indices(&right_extra);
+
+    // Sort both sides by join key.
+    let mut l: Vec<(Row, &Row, Count)> = left
+        .iter()
+        .map(|(row, c)| (project_row(row, &l_key), row, *c))
+        .collect();
+    let mut r: Vec<(Row, Row, Count)> = right
+        .iter()
+        .map(|(row, c)| (project_row(row, &r_key), project_row(row, &r_extra), *c))
+        .collect();
+    l.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    r.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+
+    let mut out = CountedRelation::new(out_schema);
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < l.len() && j < r.len() {
+        match l[i].0.cmp(&r[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Emit the run × run block.
+                let key = &l[i].0;
+                let mut j_end = j;
+                while j_end < r.len() && &r[j_end].0 == key {
+                    j_end += 1;
+                }
+                let mut i_cur = i;
+                while i_cur < l.len() && &l[i_cur].0 == key {
+                    let (_, lrow, lc) = &l[i_cur];
+                    for (_, extra, rc) in &r[j..j_end] {
+                        let mut row = (*lrow).clone();
+                        row.extend(extra.iter().cloned());
+                        out.push(row, sat_mul(*lc, *rc));
+                    }
+                    i_cur += 1;
+                }
+                i = i_cur;
+                j = j_end;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsens_data::{AttrId, Schema};
+
+    fn schema(ids: &[u32]) -> Schema {
+        Schema::new(ids.iter().map(|&i| AttrId(i)).collect())
+    }
+
+    fn row(vals: &[i64]) -> Row {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    fn counted(sch: &[u32], entries: &[(&[i64], Count)]) -> CountedRelation {
+        CountedRelation::from_pairs(
+            schema(sch),
+            entries.iter().map(|(r, c)| (row(r), *c)).collect(),
+        )
+    }
+
+    #[test]
+    fn hash_join_multiplies_counts() {
+        // R(A,B) ⋈ S(B,C)
+        let r = counted(&[0, 1], &[(&[1, 10], 2), (&[2, 10], 3), (&[3, 99], 1)]);
+        let s = counted(&[1, 2], &[(&[10, 7], 5), (&[10, 8], 1)]);
+        let j = hash_join(&r, &s);
+        assert_eq!(j.schema(), &schema(&[0, 1, 2]));
+        assert_eq!(j.count_of(&row(&[1, 10, 7])), 10);
+        assert_eq!(j.count_of(&row(&[2, 10, 8])), 3);
+        assert_eq!(j.count_of(&row(&[3, 99, 7])), 0); // dangling dropped
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.total_count(), 10 + 2 + 15 + 3);
+    }
+
+    #[test]
+    fn hash_join_without_shared_attrs_is_cross_product() {
+        let r = counted(&[0], &[(&[1], 2), (&[2], 1)]);
+        let s = counted(&[1], &[(&[10], 3)]);
+        let j = hash_join(&r, &s);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.total_count(), 9);
+    }
+
+    #[test]
+    fn hash_join_column_order_is_left_then_right_extra() {
+        let r = counted(&[2, 0], &[(&[5, 1], 1)]);
+        let s = counted(&[0, 3], &[(&[1, 9], 1)]);
+        let j = hash_join(&r, &s);
+        assert_eq!(j.schema(), &schema(&[2, 0, 3]));
+        assert_eq!(j.entries()[0].0, row(&[5, 1, 9]));
+    }
+
+    #[test]
+    fn lookup_join_keeps_base_schema() {
+        let base = counted(&[0, 1], &[(&[1, 10], 2), (&[2, 20], 3)]);
+        let keyed = counted(&[1], &[(&[10], 4)]);
+        let j = lookup_join(&base, &keyed);
+        assert_eq!(j.schema(), &schema(&[0, 1]));
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.count_of(&row(&[1, 10])), 8);
+    }
+
+    #[test]
+    fn lookup_join_with_unit_is_identity() {
+        let base = counted(&[0], &[(&[1], 2), (&[2], 3)]);
+        let j = lookup_join(&base, &CountedRelation::unit());
+        assert_eq!(j.entries(), base.entries());
+    }
+
+    #[test]
+    #[should_panic(expected = "subset")]
+    fn lookup_join_rejects_non_subset() {
+        let base = counted(&[0], &[(&[1], 1)]);
+        let keyed = counted(&[1], &[(&[1], 1)]);
+        let _ = lookup_join(&base, &keyed);
+    }
+
+    #[test]
+    fn semijoin_filters_without_scaling() {
+        let base = counted(&[0, 1], &[(&[1, 10], 2), (&[2, 20], 3)]);
+        let filter = counted(&[1], &[(&[10], 99)]);
+        let s = semijoin(&base, &filter);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.count_of(&row(&[1, 10])), 2);
+    }
+
+    #[test]
+    fn multiway_join_orders_by_connectivity() {
+        // R(A,B), T(C,D), S(B,C): naive left-to-right would cross-product
+        // R×T; the planner must pick S second.
+        let r = counted(&[0, 1], &[(&[1, 2], 1)]);
+        let t = counted(&[2, 3], &[(&[3, 4], 1)]);
+        let s = counted(&[1, 2], &[(&[2, 3], 1)]);
+        let j = multiway_join(&[&r, &t, &s]);
+        assert_eq!(j.total_count(), 1);
+        assert_eq!(j.schema().arity(), 4);
+    }
+
+    #[test]
+    fn multiway_join_single_input() {
+        let r = counted(&[0], &[(&[1], 5)]);
+        let j = multiway_join(&[&r]);
+        assert_eq!(j.entries(), r.entries());
+    }
+
+    #[test]
+    fn join_counts_saturate_instead_of_overflowing() {
+        let r = counted(&[0], &[(&[1], Count::MAX)]);
+        let s = counted(&[0], &[(&[1], 3)]);
+        let j = hash_join(&r, &s);
+        assert_eq!(j.count_of(&row(&[1])), Count::MAX);
+    }
+
+    #[test]
+    fn sort_merge_join_matches_hash_join() {
+        let r = counted(&[0, 1], &[(&[1, 10], 2), (&[2, 10], 3), (&[3, 99], 1), (&[1, 10], 1)]);
+        let s = counted(&[1, 2], &[(&[10, 7], 5), (&[10, 8], 1), (&[50, 1], 4)]);
+        let a = hash_join(&r, &s).group(&schema(&[0, 1, 2]));
+        let b = sort_merge_join(&r, &s).group(&schema(&[0, 1, 2]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sort_merge_join_cross_product() {
+        let r = counted(&[0], &[(&[1], 2), (&[2], 1)]);
+        let s = counted(&[1], &[(&[10], 3)]);
+        let j = sort_merge_join(&r, &s);
+        assert_eq!(j.total_count(), 9);
+    }
+
+    #[test]
+    fn sort_merge_join_empty_sides() {
+        let r = counted(&[0, 1], &[]);
+        let s = counted(&[1, 2], &[(&[1, 2], 1)]);
+        assert!(sort_merge_join(&r, &s).is_empty());
+        assert!(sort_merge_join(&s, &r).is_empty());
+    }
+}

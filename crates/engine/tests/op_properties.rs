@@ -1,0 +1,107 @@
+//! Algebraic properties of the multiplicity-propagating operators,
+//! checked with proptest.
+
+use proptest::prelude::*;
+use tsens_data::{AttrId, Count, CountedRelation, Row, Schema, Value};
+use tsens_engine::ops::{hash_join, lookup_join, multiway_join, semijoin};
+
+fn schema(ids: &[u32]) -> Schema {
+    Schema::new(ids.iter().map(|&i| AttrId(i)).collect())
+}
+
+fn counted(sch: &[u32], entries: Vec<(Vec<i64>, Count)>) -> CountedRelation {
+    CountedRelation::from_pairs(
+        schema(sch),
+        entries
+            .into_iter()
+            .map(|(r, c)| (r.into_iter().map(Value::Int).collect::<Row>(), c))
+            .collect(),
+    )
+}
+
+fn entries2(max: usize, domain: i64) -> impl Strategy<Value = Vec<(Vec<i64>, Count)>> {
+    prop::collection::vec(
+        (prop::collection::vec(0..domain, 2..=2), 1..5u128),
+        0..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Join total counts are symmetric: |R ⋈ S| == |S ⋈ R| (bag sizes).
+    #[test]
+    fn hash_join_total_is_symmetric(
+        r in entries2(10, 3),
+        s in entries2(10, 3),
+    ) {
+        let r = counted(&[0, 1], r);
+        let s = counted(&[1, 2], s);
+        let rs = hash_join(&r, &s);
+        let sr = hash_join(&s, &r);
+        prop_assert_eq!(rs.total_count(), sr.total_count());
+        // Same number of distinct output rows after grouping.
+        let target = schema(&[0, 1, 2]);
+        prop_assert_eq!(rs.group(&target).len(), sr.group(&target).len());
+    }
+
+    /// Joining with a grouped projection equals grouping the join:
+    /// γ_full(R ⋈ γ_B(S)) counts == γ over B of hash_join results.
+    #[test]
+    fn lookup_join_agrees_with_hash_join(
+        r in entries2(10, 3),
+        s in entries2(10, 3),
+    ) {
+        let r = counted(&[0, 1], r);
+        let s = counted(&[1, 2], s);
+        let keyed = s.group(&schema(&[1]));
+        let via_lookup = lookup_join(&r, &keyed);
+        let via_hash = hash_join(&r, &s).group(&schema(&[0, 1]));
+        prop_assert_eq!(via_lookup.group(&schema(&[0, 1])), via_hash);
+    }
+
+    /// Semijoin keeps a subset with unchanged counts.
+    #[test]
+    fn semijoin_is_a_filter(
+        r in entries2(10, 3),
+        s in entries2(10, 3),
+    ) {
+        let r = counted(&[0, 1], r);
+        let s = counted(&[1], s.into_iter().map(|(row, c)| (vec![row[0]], c)).collect());
+        let filtered = semijoin(&r, &s);
+        prop_assert!(filtered.total_count() <= r.total_count());
+        // Grouped view: every surviving key keeps its full multiplicity
+        // (inputs may carry duplicate rows, so compare after γ).
+        let full = schema(&[0, 1]);
+        for (row, c) in filtered.group(&full).iter() {
+            prop_assert_eq!(r.group(&full).count_of(row), *c);
+        }
+    }
+
+    /// Multiway join is order-insensitive in total count.
+    #[test]
+    fn multiway_join_total_order_invariant(
+        r in entries2(8, 3),
+        s in entries2(8, 3),
+        t in entries2(8, 3),
+    ) {
+        let r = counted(&[0, 1], r);
+        let s = counted(&[1, 2], s);
+        let t = counted(&[2, 3], t);
+        let a = multiway_join(&[&r, &s, &t]).total_count();
+        let b = multiway_join(&[&t, &r, &s]).total_count();
+        let c = multiway_join(&[&s, &t, &r]).total_count();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(b, c);
+    }
+
+    /// Group-by is idempotent and preserves totals.
+    #[test]
+    fn group_is_idempotent(r in entries2(12, 4)) {
+        let r = counted(&[0, 1], r);
+        let g1 = r.group(&schema(&[0]));
+        let g2 = g1.group(&schema(&[0]));
+        prop_assert_eq!(&g1, &g2);
+        prop_assert_eq!(g1.total_count(), r.total_count());
+    }
+}

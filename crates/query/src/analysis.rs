@@ -1,0 +1,236 @@
+//! Structural classification of conjunctive queries: path (§4),
+//! doubly acyclic (§5.3), acyclic (§2.2), or cyclic.
+
+use crate::cq::ConjunctiveQuery;
+use crate::decomposition::DecompositionTree;
+use crate::error::QueryError;
+use crate::gyo::{gyo_decompose, GyoOutcome};
+use crate::hypergraph::Hypergraph;
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+/// Structural class of a conjunctive query, from most to least special.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryClass {
+    /// `R1(A0,A1), R2(A1,A2), …, Rm(Am-1,Am)` — Algorithm 1 applies,
+    /// `O(n log n)` total (§4).
+    Path,
+    /// Acyclic, and for every join-tree node the join of its parent- and
+    /// child-side summaries is itself acyclic — Algorithm 2 runs in
+    /// `O(m n log n)` (§5.3).
+    DoublyAcyclic,
+    /// Acyclic — Algorithm 2 applies, `O(m d n^d log n)` (Theorem 5.1).
+    Acyclic,
+    /// Cyclic — needs a generalized hypertree decomposition (§5.4).
+    Cyclic,
+}
+
+/// Find a path ordering of the atoms, if the query is a path join query:
+/// every attribute appears in at most two atoms, the atom-adjacency graph
+/// is a simple path, and consecutive atoms share at least one attribute.
+///
+/// Returns atom indices in path order (either direction is valid; the
+/// returned one starts at the lower-indexed endpoint).
+pub fn path_order(cq: &ConjunctiveQuery) -> Option<Vec<usize>> {
+    let m = cq.atom_count();
+    if m == 0 {
+        return None;
+    }
+    if m == 1 {
+        return Some(vec![0]);
+    }
+    // Every attribute in ≤ 2 atoms.
+    let mut attr_count: HashMap<tsens_data::AttrId, usize> = HashMap::new();
+    for atom in cq.atoms() {
+        for &a in atom.schema.attrs() {
+            *attr_count.entry(a).or_insert(0) += 1;
+        }
+    }
+    if attr_count.values().any(|&c| c > 2) {
+        return None;
+    }
+    // Atom adjacency by shared attributes.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for i in 0..m {
+        for j in (i + 1)..m {
+            if !cq.atoms()[i].schema.is_disjoint_from(&cq.atoms()[j].schema) {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+    }
+    // A simple path: exactly two endpoints of degree 1, the rest degree 2.
+    let deg1: Vec<usize> = (0..m).filter(|&i| adj[i].len() == 1).collect();
+    if deg1.len() != 2 || (0..m).any(|i| adj[i].len() > 2 || adj[i].is_empty()) {
+        return None;
+    }
+    let start = *deg1.iter().min().unwrap();
+    let mut order = Vec::with_capacity(m);
+    let mut prev = usize::MAX;
+    let mut cur = start;
+    loop {
+        order.push(cur);
+        let next = adj[cur].iter().copied().find(|&x| x != prev);
+        match next {
+            None => break,
+            Some(nx) => {
+                prev = cur;
+                cur = nx;
+            }
+        }
+    }
+    if order.len() == m {
+        Some(order)
+    } else {
+        None // adjacency had a cycle component
+    }
+}
+
+/// §5.3: a join tree is *doubly acyclic* if for every node `R_i` the join
+/// computed for its multiplicity table — between `⊤(R_i)` (schema
+/// `A_i ∩ A_{p(i)}`) and the botjoins of its children (schemas
+/// `A_j ∩ A_i`) — is itself an acyclic join. Tested per node by GYO on the
+/// hypergraph of those summary schemas.
+///
+/// This checks the *given* tree (a sufficient condition for the query to
+/// be doubly acyclic, which asks for existence of such a tree).
+pub fn is_doubly_acyclic_tree(tree: &DecompositionTree) -> bool {
+    for i in 0..tree.bag_count() {
+        let mut edges: Vec<(usize, BTreeSet<tsens_data::AttrId>)> = Vec::new();
+        let up = tree.up_schema(i);
+        if !up.is_empty() {
+            edges.push((0, up.attrs().iter().copied().collect()));
+        }
+        for (k, &c) in tree.children(i).iter().enumerate() {
+            let cs = tree.up_schema(c);
+            edges.push((k + 1, cs.attrs().iter().copied().collect()));
+        }
+        if edges.len() <= 2 {
+            continue; // ≤2 edges are always acyclic
+        }
+        if !Hypergraph::new(edges).is_acyclic() {
+            return false;
+        }
+    }
+    true
+}
+
+/// Classify `cq`, returning the class and (for non-cyclic queries) the
+/// GYO join tree used for the doubly-acyclic test.
+///
+/// # Errors
+/// Propagates construction errors (empty or disconnected queries).
+pub fn classify(cq: &ConjunctiveQuery) -> Result<(QueryClass, Option<DecompositionTree>), QueryError> {
+    if path_order(cq).is_some() {
+        // Path queries are acyclic; still return the tree for callers.
+        let tree = gyo_decompose(cq)?.expect_acyclic("path queries are acyclic");
+        return Ok((QueryClass::Path, Some(tree)));
+    }
+    match gyo_decompose(cq)? {
+        GyoOutcome::Cyclic => Ok((QueryClass::Cyclic, None)),
+        GyoOutcome::Acyclic(tree) => {
+            let class = if is_doubly_acyclic_tree(&tree) {
+                QueryClass::DoublyAcyclic
+            } else {
+                QueryClass::Acyclic
+            };
+            Ok((class, Some(tree)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsens_data::{Database, Relation, Schema};
+
+    fn db_with(relations: &[(&str, &[&str])]) -> Database {
+        let mut db = Database::new();
+        for (name, attrs) in relations {
+            let schema = Schema::new(attrs.iter().map(|a| db.attr(a)).collect());
+            db.add_relation(name, Relation::new(schema)).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn path_query_detected_with_order() {
+        let db = db_with(&[
+            ("R2", &["B", "C"]),
+            ("R1", &["A", "B"]),
+            ("R3", &["C", "D"]),
+        ]);
+        let q = ConjunctiveQuery::over(&db, "p", &["R2", "R1", "R3"]).unwrap();
+        // Atoms are given out of path order; detection must reorder.
+        let order = path_order(&q).unwrap();
+        // Endpoints are atoms 1 (R1) and 2 (R3); start = lower index 1.
+        assert_eq!(order, vec![1, 0, 2]);
+        let (class, tree) = classify(&q).unwrap();
+        assert_eq!(class, QueryClass::Path);
+        assert!(tree.is_some());
+    }
+
+    #[test]
+    fn single_atom_is_path() {
+        let db = db_with(&[("R", &["A"])]);
+        let q = ConjunctiveQuery::over(&db, "one", &["R"]).unwrap();
+        assert_eq!(path_order(&q), Some(vec![0]));
+    }
+
+    #[test]
+    fn star_is_not_path_but_doubly_acyclic() {
+        // R0(A,B,C) with leaves sharing one distinct attr each: botjoin
+        // schemas {A},{B},{C} are disjoint → their join is trivially acyclic.
+        let db = db_with(&[
+            ("R0", &["A", "B", "C"]),
+            ("S1", &["A", "X"]),
+            ("S2", &["B", "Y"]),
+            ("S3", &["C", "Z"]),
+        ]);
+        let q = ConjunctiveQuery::over(&db, "star", &["R0", "S1", "S2", "S3"]).unwrap();
+        assert!(path_order(&q).is_none());
+        let (class, _) = classify(&q).unwrap();
+        assert_eq!(class, QueryClass::DoublyAcyclic);
+    }
+
+    #[test]
+    fn covered_triangle_is_acyclic_but_not_doubly() {
+        // §5.2's hard example: Q(A,B,C) :- R1(A,B,C), R2(A,B), R3(B,C), R4(C,A).
+        // The multiplicity table of R1 joins the three botjoins (A,B),(B,C),
+        // (C,A): a triangle → not doubly acyclic.
+        let db = db_with(&[
+            ("R1", &["A", "B", "C"]),
+            ("R2", &["A", "B"]),
+            ("R3", &["B", "C"]),
+            ("R4", &["C", "A"]),
+        ]);
+        let q = ConjunctiveQuery::over(&db, "hard", &["R1", "R2", "R3", "R4"]).unwrap();
+        let (class, tree) = classify(&q).unwrap();
+        assert_eq!(class, QueryClass::Acyclic);
+        assert!(!is_doubly_acyclic_tree(&tree.unwrap()));
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        let db = db_with(&[("R1", &["A", "B"]), ("R2", &["B", "C"]), ("R3", &["C", "A"])]);
+        let q = ConjunctiveQuery::over(&db, "tri", &["R1", "R2", "R3"]).unwrap();
+        let (class, tree) = classify(&q).unwrap();
+        assert_eq!(class, QueryClass::Cyclic);
+        assert!(tree.is_none());
+    }
+
+    #[test]
+    fn attr_in_three_atoms_breaks_path() {
+        let db = db_with(&[("R1", &["A", "B"]), ("R2", &["B", "C"]), ("R3", &["B", "D"])]);
+        let q = ConjunctiveQuery::over(&db, "y", &["R1", "R2", "R3"]).unwrap();
+        assert!(path_order(&q).is_none());
+    }
+
+    #[test]
+    fn two_atom_query_is_path() {
+        let db = db_with(&[("R1", &["A", "B"]), ("R2", &["B", "C"])]);
+        let q = ConjunctiveQuery::over(&db, "p2", &["R1", "R2"]).unwrap();
+        assert_eq!(path_order(&q), Some(vec![0, 1]));
+        assert_eq!(classify(&q).unwrap().0, QueryClass::Path);
+    }
+}

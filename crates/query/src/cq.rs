@@ -1,0 +1,269 @@
+//! Conjunctive queries.
+
+use crate::error::QueryError;
+use crate::predicate::Predicate;
+use tsens_data::{AttrId, Database, Schema};
+
+/// One atom `R_i(A_i)` of a conjunctive query: a reference to a database
+/// relation plus its schema (copied from the catalog at build time) and an
+/// optional selection predicate (§5.4 "Selections").
+#[derive(Clone, Debug)]
+pub struct Atom {
+    /// Index of the relation in the [`Database`] catalog.
+    pub relation: usize,
+    /// Schema of the relation (the atom's variables).
+    pub schema: Schema,
+    /// Per-tuple selection predicate; tuples failing it are treated as
+    /// absent and get tuple sensitivity 0.
+    pub predicate: Predicate,
+}
+
+/// A full conjunctive query without self-joins:
+/// `Q(A_D) :- R_1(A_1), …, R_m(A_m)` (natural join, bag-semantics count).
+#[derive(Clone, Debug)]
+pub struct ConjunctiveQuery {
+    name: String,
+    atoms: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Build a query over the named relations of `db`, in the given order.
+    ///
+    /// # Errors
+    /// * [`QueryError::EmptyQuery`] if `relations` is empty;
+    /// * [`QueryError::UnknownRelation`] for a name missing from `db`;
+    /// * [`QueryError::SelfJoin`] if a relation repeats.
+    pub fn over(db: &Database, name: &str, relations: &[&str]) -> Result<Self, QueryError> {
+        if relations.is_empty() {
+            return Err(QueryError::EmptyQuery);
+        }
+        let mut atoms = Vec::with_capacity(relations.len());
+        let mut seen = std::collections::HashSet::new();
+        for &rel_name in relations {
+            let idx = db
+                .relation_index(rel_name)
+                .ok_or_else(|| QueryError::UnknownRelation(rel_name.to_owned()))?;
+            if !seen.insert(idx) {
+                return Err(QueryError::SelfJoin(rel_name.to_owned()));
+            }
+            atoms.push(Atom {
+                relation: idx,
+                schema: db.relation(idx).schema().clone(),
+                predicate: Predicate::True,
+            });
+        }
+        Ok(ConjunctiveQuery { name: name.to_owned(), atoms })
+    }
+
+    /// Attach a selection predicate to the atom over relation `rel_name`.
+    ///
+    /// # Panics
+    /// Panics if no atom references that relation (use only on names that
+    /// were passed to [`ConjunctiveQuery::over`]).
+    pub fn with_predicate(mut self, db: &Database, rel_name: &str, pred: Predicate) -> Self {
+        let idx = db
+            .relation_index(rel_name)
+            .unwrap_or_else(|| panic!("unknown relation {rel_name:?}"));
+        let atom = self
+            .atoms
+            .iter_mut()
+            .find(|a| a.relation == idx)
+            .unwrap_or_else(|| panic!("no atom over relation {rel_name:?}"));
+        atom.predicate = pred;
+        self
+    }
+
+    /// The query's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The atoms in join order.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Number of atoms (the paper's `m`).
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// All attributes mentioned by the query (the head `A_D`),
+    /// deduplicated, in first-appearance order.
+    pub fn all_attrs(&self) -> Vec<AttrId> {
+        let mut out = Vec::new();
+        for atom in &self.atoms {
+            for &a in atom.schema.attrs() {
+                if !out.contains(&a) {
+                    out.push(a);
+                }
+            }
+        }
+        out
+    }
+
+    /// Build a sub-query over a subset of this query's atoms (given by
+    /// index), preserving predicates. Used for the §5.4 handling of
+    /// disconnected queries (one sub-query per connected component).
+    ///
+    /// # Errors
+    /// Propagates [`ConjunctiveQuery::over`] errors; `atom_indices` must be
+    /// non-empty and in range.
+    pub fn restrict_to_atoms(
+        &self,
+        db: &Database,
+        atom_indices: &[usize],
+    ) -> Result<ConjunctiveQuery, QueryError> {
+        let names: Vec<&str> = atom_indices
+            .iter()
+            .map(|&ai| db.relation_name(self.atoms[ai].relation))
+            .collect();
+        let mut sub = ConjunctiveQuery::over(db, &self.name, &names)?;
+        for (slot, &ai) in atom_indices.iter().enumerate() {
+            sub.atoms[slot].predicate = self.atoms[ai].predicate.clone();
+        }
+        Ok(sub)
+    }
+
+    /// True if every pair of consecutive atoms shares attributes and the
+    /// query hypergraph is connected (checked via union-find over atoms).
+    pub fn is_connected(&self) -> bool {
+        let n = self.atoms.len();
+        if n <= 1 {
+            return true;
+        }
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if !self.atoms[i].schema.is_disjoint_from(&self.atoms[j].schema) {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+            }
+        }
+        let root = find(&mut parent, 0);
+        (1..n).all(|i| find(&mut parent, i) == root)
+    }
+
+    /// Partition atom indices into connected components of the query
+    /// hypergraph (for the §5.4 "disconnected join trees" extension).
+    pub fn connected_components(&self) -> Vec<Vec<usize>> {
+        let n = self.atoms.len();
+        let mut comp: Vec<Option<usize>> = vec![None; n];
+        let mut next_comp = 0;
+        for start in 0..n {
+            if comp[start].is_some() {
+                continue;
+            }
+            let id = next_comp;
+            next_comp += 1;
+            let mut stack = vec![start];
+            comp[start] = Some(id);
+            while let Some(i) = stack.pop() {
+                #[allow(clippy::needless_range_loop)] // BFS over indices
+                for j in 0..n {
+                    if comp[j].is_none()
+                        && !self.atoms[i].schema.is_disjoint_from(&self.atoms[j].schema)
+                    {
+                        comp[j] = Some(id);
+                        stack.push(j);
+                    }
+                }
+            }
+        }
+        let mut out = vec![Vec::new(); next_comp];
+        for (i, c) in comp.into_iter().enumerate() {
+            out[c.unwrap()].push(i);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsens_data::Relation;
+
+    fn db_with(relations: &[(&str, &[&str])]) -> Database {
+        let mut db = Database::new();
+        for (name, attrs) in relations {
+            let schema = Schema::new(attrs.iter().map(|a| db.attr(a)).collect());
+            db.add_relation(name, Relation::new(schema)).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn build_query_over_names() {
+        let db = db_with(&[("R", &["A", "B"]), ("S", &["B", "C"])]);
+        let q = ConjunctiveQuery::over(&db, "q", &["R", "S"]).unwrap();
+        assert_eq!(q.atom_count(), 2);
+        assert_eq!(q.name(), "q");
+        assert_eq!(q.all_attrs().len(), 3);
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let db = db_with(&[("R", &["A"])]);
+        assert_eq!(
+            ConjunctiveQuery::over(&db, "q", &["X"]).unwrap_err(),
+            QueryError::UnknownRelation("X".into())
+        );
+    }
+
+    #[test]
+    fn self_join_rejected() {
+        let db = db_with(&[("R", &["A"])]);
+        assert_eq!(
+            ConjunctiveQuery::over(&db, "q", &["R", "R"]).unwrap_err(),
+            QueryError::SelfJoin("R".into())
+        );
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        let db = db_with(&[("R", &["A"])]);
+        assert_eq!(
+            ConjunctiveQuery::over(&db, "q", &[]).unwrap_err(),
+            QueryError::EmptyQuery
+        );
+    }
+
+    #[test]
+    fn connectivity() {
+        let db = db_with(&[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["X", "Y"])]);
+        let q = ConjunctiveQuery::over(&db, "q", &["R", "S"]).unwrap();
+        assert!(q.is_connected());
+        let q2 = ConjunctiveQuery::over(&db, "q2", &["R", "S", "T"]).unwrap();
+        assert!(!q2.is_connected());
+        let comps = q2.connected_components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![0, 1]);
+        assert_eq!(comps[1], vec![2]);
+    }
+
+    #[test]
+    fn predicate_attachment() {
+        let db = db_with(&[("R", &["A", "B"])]);
+        let a = db.attr_id("A").unwrap();
+        let q = ConjunctiveQuery::over(&db, "q", &["R"])
+            .unwrap()
+            .with_predicate(&db, "R", Predicate::ge(a, 5i64.into()));
+        assert!(!matches!(q.atoms()[0].predicate, Predicate::True));
+    }
+}

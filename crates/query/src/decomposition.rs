@@ -1,0 +1,451 @@
+//! Decomposition trees: join trees and generalized hypertree
+//! decompositions (GHDs) under one structure.
+//!
+//! The paper's Algorithm 2 runs on a join tree whose nodes are single
+//! relations; its §5.4 extension runs on a GHD where each node holds a
+//! *bag* of relations joined together. We represent both as a
+//! [`DecompositionTree`]: an acyclic query's join tree is the tree whose
+//! bags are singletons.
+
+use crate::cq::ConjunctiveQuery;
+use crate::error::QueryError;
+use crate::hypergraph::Hypergraph;
+use tsens_data::Schema;
+use std::collections::BTreeSet;
+
+/// One node of a decomposition tree: the atoms assigned to it and the
+/// union of their schemas.
+#[derive(Clone, Debug)]
+pub struct Bag {
+    /// Indices of the query atoms in this bag (each atom appears in
+    /// exactly one bag across the tree).
+    pub atoms: Vec<usize>,
+    /// Union of the atoms' schemas.
+    pub schema: Schema,
+}
+
+/// A rooted decomposition tree over the atoms of a conjunctive query.
+#[derive(Clone, Debug)]
+pub struct DecompositionTree {
+    bags: Vec<Bag>,
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+    root: usize,
+}
+
+impl DecompositionTree {
+    /// Build a tree from bags (as atom-index lists) and a parent array, and
+    /// validate it against `cq`:
+    ///
+    /// * every atom appears in exactly one bag;
+    /// * the parent array encodes a single rooted tree;
+    /// * the **running intersection property** holds: for every attribute,
+    ///   the bags whose schema contains it form a connected subtree.
+    pub fn new(
+        cq: &ConjunctiveQuery,
+        bag_atoms: Vec<Vec<usize>>,
+        parent: Vec<Option<usize>>,
+    ) -> Result<Self, QueryError> {
+        if bag_atoms.len() != parent.len() {
+            return Err(QueryError::InvalidDecomposition(
+                "bag and parent arrays differ in length".into(),
+            ));
+        }
+        if bag_atoms.is_empty() {
+            return Err(QueryError::EmptyQuery);
+        }
+        // Atom partition check.
+        let mut seen = vec![false; cq.atom_count()];
+        for atoms in &bag_atoms {
+            if atoms.is_empty() {
+                return Err(QueryError::InvalidDecomposition("empty bag".into()));
+            }
+            for &a in atoms {
+                if a >= cq.atom_count() {
+                    return Err(QueryError::InvalidDecomposition(format!(
+                        "bag references atom {a} out of range"
+                    )));
+                }
+                if seen[a] {
+                    return Err(QueryError::InvalidDecomposition(format!(
+                        "atom {a} assigned to two bags"
+                    )));
+                }
+                seen[a] = true;
+            }
+        }
+        if !seen.iter().all(|&s| s) {
+            return Err(QueryError::InvalidDecomposition(
+                "some atoms are not assigned to any bag".into(),
+            ));
+        }
+        // Tree shape check.
+        let n = bag_atoms.len();
+        let roots: Vec<usize> = (0..n).filter(|&i| parent[i].is_none()).collect();
+        if roots.len() != 1 {
+            return Err(QueryError::InvalidDecomposition(format!(
+                "expected exactly one root, found {}",
+                roots.len()
+            )));
+        }
+        let root = roots[0];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, par) in parent.iter().enumerate() {
+            if let Some(p) = *par {
+                if p >= n {
+                    return Err(QueryError::InvalidDecomposition(format!(
+                        "parent index {p} out of range"
+                    )));
+                }
+                children[p].push(i);
+            }
+        }
+        // Reachability (also rejects cycles in the parent array).
+        let mut visited = vec![false; n];
+        let mut stack = vec![root];
+        visited[root] = true;
+        let mut count = 1;
+        while let Some(b) = stack.pop() {
+            for &c in &children[b] {
+                if !visited[c] {
+                    visited[c] = true;
+                    count += 1;
+                    stack.push(c);
+                }
+            }
+        }
+        if count != n {
+            return Err(QueryError::InvalidDecomposition(
+                "parent array does not form a single tree".into(),
+            ));
+        }
+        // Bag schemas.
+        let bags: Vec<Bag> = bag_atoms
+            .into_iter()
+            .map(|atoms| {
+                let mut schema = Schema::empty();
+                for &a in &atoms {
+                    schema = schema.union(&cq.atoms()[a].schema);
+                }
+                Bag { atoms, schema }
+            })
+            .collect();
+        let tree = DecompositionTree { bags, parent, children, root };
+        tree.check_running_intersection()?;
+        Ok(tree)
+    }
+
+    /// Join tree with one bag per atom (`parent` indexes atoms directly).
+    pub fn singleton(
+        cq: &ConjunctiveQuery,
+        parent: Vec<Option<usize>>,
+    ) -> Result<Self, QueryError> {
+        let bag_atoms = (0..cq.atom_count()).map(|i| vec![i]).collect();
+        Self::new(cq, bag_atoms, parent)
+    }
+
+    fn check_running_intersection(&self) -> Result<(), QueryError> {
+        let mut attrs: BTreeSet<tsens_data::AttrId> = BTreeSet::new();
+        for bag in &self.bags {
+            attrs.extend(bag.schema.attrs().iter().copied());
+        }
+        for attr in attrs {
+            let holders: Vec<usize> = (0..self.bags.len())
+                .filter(|&i| self.bags[i].schema.contains(attr))
+                .collect();
+            if holders.len() <= 1 {
+                continue;
+            }
+            // BFS within holders.
+            let holder_set: BTreeSet<usize> = holders.iter().copied().collect();
+            let mut visited = BTreeSet::new();
+            let mut stack = vec![holders[0]];
+            visited.insert(holders[0]);
+            while let Some(b) = stack.pop() {
+                let mut neighbors = self.children[b].clone();
+                if let Some(p) = self.parent[b] {
+                    neighbors.push(p);
+                }
+                for nb in neighbors {
+                    if holder_set.contains(&nb) && visited.insert(nb) {
+                        stack.push(nb);
+                    }
+                }
+            }
+            if visited.len() != holders.len() {
+                return Err(QueryError::InvalidDecomposition(format!(
+                    "attribute {attr:?} violates the running intersection property"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Bags in index order.
+    pub fn bags(&self) -> &[Bag] {
+        &self.bags
+    }
+
+    /// Number of bags.
+    pub fn bag_count(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// The root bag index.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Parent of bag `i` (`None` for the root).
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        self.parent[i]
+    }
+
+    /// Children of bag `i`.
+    pub fn children(&self, i: usize) -> &[usize] {
+        &self.children[i]
+    }
+
+    /// Siblings of bag `i` (the paper's `N(R_i)`), empty for the root.
+    pub fn neighbors(&self, i: usize) -> Vec<usize> {
+        match self.parent[i] {
+            None => Vec::new(),
+            Some(p) => self.children[p].iter().copied().filter(|&c| c != i).collect(),
+        }
+    }
+
+    /// Bags in post-order (children before parents; root last).
+    pub fn post_order(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.bags.len());
+        // Iterative post-order.
+        let mut stack = vec![(self.root, false)];
+        while let Some((b, expanded)) = stack.pop() {
+            if expanded {
+                order.push(b);
+            } else {
+                stack.push((b, true));
+                for &c in self.children[b].iter().rev() {
+                    stack.push((c, false));
+                }
+            }
+        }
+        order
+    }
+
+    /// Bags in pre-order (parents before children; root first).
+    pub fn pre_order(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.bags.len());
+        let mut stack = vec![self.root];
+        while let Some(b) = stack.pop() {
+            order.push(b);
+            for &c in self.children[b].iter().rev() {
+                stack.push(c);
+            }
+        }
+        order
+    }
+
+    /// Max degree `d` of the tree (children + 1 for the parent edge on
+    /// non-root nodes), as used in the complexity bound of Theorem 5.1.
+    pub fn max_degree(&self) -> usize {
+        (0..self.bags.len())
+            .map(|i| self.children[i].len() + usize::from(self.parent[i].is_some()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Max number of atoms in a single bag (the `p` of §5.4's
+    /// `O(m p d n^{pd} log n)` bound). 1 for plain join trees.
+    pub fn max_bag_size(&self) -> usize {
+        self.bags.iter().map(|b| b.atoms.len()).max().unwrap_or(0)
+    }
+
+    /// True if every bag holds exactly one atom (a plain join tree).
+    pub fn is_join_tree(&self) -> bool {
+        self.bags.iter().all(|b| b.atoms.len() == 1)
+    }
+
+    /// The schema shared between bag `i` and its parent (`A_i ∩ A_{p(i)}`);
+    /// the empty schema for the root.
+    pub fn up_schema(&self, i: usize) -> Schema {
+        match self.parent[i] {
+            None => Schema::empty(),
+            Some(p) => self.bags[i].schema.intersect(&self.bags[p].schema),
+        }
+    }
+}
+
+/// Heuristically build a decomposition for `cq`:
+///
+/// 1. start with singleton bags;
+/// 2. if the bag hypergraph is GYO-acyclic, return the resulting tree;
+/// 3. otherwise merge the two bags sharing the most attributes and retry.
+///
+/// For acyclic queries this returns the GYO join tree. For the cyclic
+/// queries evaluated in the paper the heuristic finds small-width GHDs,
+/// but callers with a known-good decomposition (e.g. Fig. 5) should pass
+/// it explicitly via [`DecompositionTree::new`].
+pub fn auto_decompose(cq: &ConjunctiveQuery) -> Result<DecompositionTree, QueryError> {
+    if cq.atom_count() == 0 {
+        return Err(QueryError::EmptyQuery);
+    }
+    let mut bags: Vec<Vec<usize>> = (0..cq.atom_count()).map(|i| vec![i]).collect();
+    loop {
+        // Build the bag hypergraph.
+        let bag_schema = |atoms: &[usize]| -> Schema {
+            let mut s = Schema::empty();
+            for &a in atoms {
+                s = s.union(&cq.atoms()[a].schema);
+            }
+            s
+        };
+        let edges: Vec<(usize, BTreeSet<tsens_data::AttrId>)> = bags
+            .iter()
+            .enumerate()
+            .map(|(i, atoms)| (i, bag_schema(atoms).attrs().iter().copied().collect()))
+            .collect();
+        let hg = Hypergraph::new(edges);
+        if let Some(parents) = hg.gyo_parents() {
+            return DecompositionTree::new(cq, bags, parents);
+        }
+        // Merge the pair of bags sharing the most attributes.
+        let mut best: Option<(usize, usize, usize)> = None;
+        #[allow(clippy::needless_range_loop)] // pairwise index scan is clearest
+        for i in 0..bags.len() {
+            let si = bag_schema(&bags[i]);
+            for j in (i + 1)..bags.len() {
+                let shared = si.intersect(&bag_schema(&bags[j])).arity();
+                if shared > 0 && best.is_none_or(|(_, _, s)| shared > s) {
+                    best = Some((i, j, shared));
+                }
+            }
+        }
+        let Some((i, j, _)) = best else {
+            return Err(QueryError::InvalidDecomposition(
+                "query hypergraph is disconnected; decompose components separately".into(),
+            ));
+        };
+        let merged = bags.remove(j);
+        bags[i].extend(merged);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsens_data::{Database, Relation};
+
+    fn db_with(relations: &[(&str, &[&str])]) -> Database {
+        let mut db = Database::new();
+        for (name, attrs) in relations {
+            let schema = Schema::new(attrs.iter().map(|a| db.attr(a)).collect());
+            db.add_relation(name, Relation::new(schema)).unwrap();
+        }
+        db
+    }
+
+    fn path4() -> (Database, ConjunctiveQuery) {
+        let db = db_with(&[
+            ("R1", &["A", "B"]),
+            ("R2", &["B", "C"]),
+            ("R3", &["C", "D"]),
+            ("R4", &["D", "E"]),
+        ]);
+        let q = ConjunctiveQuery::over(&db, "path4", &["R1", "R2", "R3", "R4"]).unwrap();
+        (db, q)
+    }
+
+    #[test]
+    fn singleton_tree_valid() {
+        let (_, q) = path4();
+        // Chain rooted at R1: R2→R1, R3→R2, R4→R3.
+        let t = DecompositionTree::singleton(&q, vec![None, Some(0), Some(1), Some(2)]).unwrap();
+        assert_eq!(t.root(), 0);
+        assert!(t.is_join_tree());
+        assert_eq!(t.max_degree(), 2);
+        assert_eq!(t.max_bag_size(), 1);
+        assert_eq!(t.children(0), &[1]);
+        assert_eq!(t.neighbors(1), Vec::<usize>::new());
+        assert_eq!(t.post_order(), vec![3, 2, 1, 0]);
+        assert_eq!(t.pre_order(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn running_intersection_violation_detected() {
+        // Tree R1 — R3 — R2 puts B-sharing R1,R2 at distance 2 through R3
+        // which lacks B: invalid.
+        let (_, q) = path4();
+        let err =
+            DecompositionTree::singleton(&q, vec![None, Some(2), Some(0), Some(2)]).unwrap_err();
+        assert!(matches!(err, QueryError::InvalidDecomposition(_)));
+    }
+
+    #[test]
+    fn atom_partition_enforced() {
+        let (_, q) = path4();
+        // Atom 3 missing.
+        let err = DecompositionTree::new(
+            &q,
+            vec![vec![0], vec![1], vec![2]],
+            vec![None, Some(0), Some(1)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, QueryError::InvalidDecomposition(_)));
+        // Atom 0 duplicated.
+        let err = DecompositionTree::new(
+            &q,
+            vec![vec![0], vec![0, 1], vec![2], vec![3]],
+            vec![None, Some(0), Some(1), Some(2)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, QueryError::InvalidDecomposition(_)));
+    }
+
+    #[test]
+    fn tree_shape_enforced() {
+        let (_, q) = path4();
+        // Two roots.
+        assert!(DecompositionTree::singleton(&q, vec![None, None, Some(1), Some(2)]).is_err());
+        // Parent cycle (no root).
+        assert!(
+            DecompositionTree::singleton(&q, vec![Some(1), Some(0), Some(1), Some(2)]).is_err()
+        );
+    }
+
+    #[test]
+    fn auto_decompose_path_gives_join_tree() {
+        let (_, q) = path4();
+        let t = auto_decompose(&q).unwrap();
+        assert!(t.is_join_tree());
+        assert_eq!(t.bag_count(), 4);
+    }
+
+    #[test]
+    fn auto_decompose_triangle_merges() {
+        let db = db_with(&[("R1", &["A", "B"]), ("R2", &["B", "C"]), ("R3", &["C", "A"])]);
+        let q = ConjunctiveQuery::over(&db, "tri", &["R1", "R2", "R3"]).unwrap();
+        let t = auto_decompose(&q).unwrap();
+        assert!(!t.is_join_tree());
+        assert_eq!(t.bag_count(), 2);
+        assert_eq!(t.max_bag_size(), 2);
+    }
+
+    #[test]
+    fn ghd_for_triangle_validates() {
+        let db = db_with(&[("R1", &["A", "B"]), ("R2", &["B", "C"]), ("R3", &["C", "A"])]);
+        let q = ConjunctiveQuery::over(&db, "tri", &["R1", "R2", "R3"]).unwrap();
+        // Paper Fig 5b: bag {R1,R2} (A,B,C) with child {R3} (C,A).
+        let t = DecompositionTree::new(&q, vec![vec![0, 1], vec![2]], vec![None, Some(0)]).unwrap();
+        assert_eq!(t.bags()[0].schema.arity(), 3);
+        assert_eq!(t.up_schema(1).arity(), 2); // C, A
+        assert_eq!(t.max_bag_size(), 2);
+    }
+
+    #[test]
+    fn up_schema_of_root_is_empty() {
+        let (_, q) = path4();
+        let t = DecompositionTree::singleton(&q, vec![None, Some(0), Some(1), Some(2)]).unwrap();
+        assert!(t.up_schema(0).is_empty());
+        assert_eq!(t.up_schema(1).arity(), 1); // B
+    }
+}

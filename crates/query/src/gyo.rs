@@ -1,0 +1,117 @@
+//! GYO decomposition of conjunctive queries into join trees (§2.2).
+
+use crate::cq::ConjunctiveQuery;
+use crate::decomposition::DecompositionTree;
+use crate::error::QueryError;
+use crate::hypergraph::Hypergraph;
+use std::collections::BTreeSet;
+
+/// Result of attempting a GYO decomposition.
+#[derive(Clone, Debug)]
+pub enum GyoOutcome {
+    /// The query is acyclic; here is a join tree (singleton bags).
+    Acyclic(DecompositionTree),
+    /// The GYO reduction got stuck: the query is cyclic. Use a GHD
+    /// ([`crate::decomposition::auto_decompose`] or a hand-written one).
+    Cyclic,
+}
+
+impl GyoOutcome {
+    /// Unwrap the join tree, panicking for cyclic queries.
+    pub fn expect_acyclic(self, msg: &str) -> DecompositionTree {
+        match self {
+            GyoOutcome::Acyclic(t) => t,
+            GyoOutcome::Cyclic => panic!("{msg}"),
+        }
+    }
+
+    /// True if the query was found acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        matches!(self, GyoOutcome::Acyclic(_))
+    }
+}
+
+/// Run the GYO reduction on the query hypergraph of `cq`. For acyclic
+/// (connected) queries this returns the join tree built by linking each
+/// eliminated ear to its witness, exactly as in §2.2 / Figure 2.
+///
+/// # Errors
+/// Returns an error if `cq` is empty or its hypergraph is disconnected
+/// (decompose each connected component separately, per §5.4).
+pub fn gyo_decompose(cq: &ConjunctiveQuery) -> Result<GyoOutcome, QueryError> {
+    if cq.atom_count() == 0 {
+        return Err(QueryError::EmptyQuery);
+    }
+    if !cq.is_connected() {
+        return Err(QueryError::InvalidDecomposition(
+            "query hypergraph is disconnected; decompose components separately".into(),
+        ));
+    }
+    let edges: Vec<(usize, BTreeSet<tsens_data::AttrId>)> = cq
+        .atoms()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (i, a.schema.attrs().iter().copied().collect()))
+        .collect();
+    let hg = Hypergraph::new(edges);
+    match hg.gyo_parents() {
+        None => Ok(GyoOutcome::Cyclic),
+        Some(parents) => Ok(GyoOutcome::Acyclic(DecompositionTree::singleton(cq, parents)?)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsens_data::{Database, Relation, Schema};
+
+    fn db_with(relations: &[(&str, &[&str])]) -> Database {
+        let mut db = Database::new();
+        for (name, attrs) in relations {
+            let schema = Schema::new(attrs.iter().map(|a| db.attr(a)).collect());
+            db.add_relation(name, Relation::new(schema)).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn figure1_query_decomposes_with_r1_as_root() {
+        // Figure 2: R2(ABD), R3(AE), R4(BF) are all ears of R1(ABC).
+        let db = db_with(&[
+            ("R1", &["A", "B", "C"]),
+            ("R2", &["A", "B", "D"]),
+            ("R3", &["A", "E"]),
+            ("R4", &["B", "F"]),
+        ]);
+        let q = ConjunctiveQuery::over(&db, "fig1", &["R1", "R2", "R3", "R4"]).unwrap();
+        let tree = gyo_decompose(&q).unwrap().expect_acyclic("fig1 is acyclic");
+        assert!(tree.is_join_tree());
+        assert_eq!(tree.bag_count(), 4);
+        // R1 and R2 both contain {A,B}; whichever is root, the other three
+        // nodes hang under the tree consistently (running intersection holds,
+        // which DecompositionTree::new verified).
+        assert!(tree.max_degree() >= 2);
+    }
+
+    #[test]
+    fn cyclic_query_reported() {
+        let db = db_with(&[("R1", &["A", "B"]), ("R2", &["B", "C"]), ("R3", &["C", "A"])]);
+        let q = ConjunctiveQuery::over(&db, "tri", &["R1", "R2", "R3"]).unwrap();
+        assert!(matches!(gyo_decompose(&q).unwrap(), GyoOutcome::Cyclic));
+    }
+
+    #[test]
+    fn disconnected_query_rejected() {
+        let db = db_with(&[("R1", &["A"]), ("R2", &["B"])]);
+        let q = ConjunctiveQuery::over(&db, "dis", &["R1", "R2"]).unwrap();
+        assert!(gyo_decompose(&q).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn expect_acyclic_panics_on_cyclic() {
+        let db = db_with(&[("R1", &["A", "B"]), ("R2", &["B", "C"]), ("R3", &["C", "A"])]);
+        let q = ConjunctiveQuery::over(&db, "tri", &["R1", "R2", "R3"]).unwrap();
+        let _ = gyo_decompose(&q).unwrap().expect_acyclic("boom");
+    }
+}

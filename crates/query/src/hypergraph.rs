@@ -1,0 +1,208 @@
+//! Query hypergraphs and the GYO ear-removal reduction (§2.2).
+
+use tsens_data::AttrId;
+use std::collections::BTreeSet;
+
+/// A labelled hypergraph: vertices are attributes, edges are attribute
+/// sets labelled by an opaque `usize` (atom or bag index).
+///
+/// Used both for the query hypergraph itself and for the auxiliary
+/// hypergraphs of the doubly-acyclic test (§5.3).
+#[derive(Clone, Debug)]
+pub struct Hypergraph {
+    edges: Vec<(usize, BTreeSet<AttrId>)>,
+}
+
+impl Hypergraph {
+    /// Build from `(label, vertex-set)` pairs.
+    pub fn new(edges: Vec<(usize, BTreeSet<AttrId>)>) -> Self {
+        Hypergraph { edges }
+    }
+
+    /// Build from plain attribute slices, labelling edges `0..n`.
+    pub fn from_attr_sets(sets: &[&[AttrId]]) -> Self {
+        Hypergraph {
+            edges: sets
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i, s.iter().copied().collect()))
+                .collect(),
+        }
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &[(usize, BTreeSet<AttrId>)] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// GYO ear removal. Returns, when the hypergraph is **acyclic**, a
+    /// parent assignment: `parents[i]` is the position (into `edges`) of
+    /// the witness edge that edge `i` was attached to when eliminated as an
+    /// ear, or `None` for the root (the last surviving edge). Returns
+    /// `None` when the hypergraph is cyclic (the reduction gets stuck).
+    ///
+    /// An edge `h` is an *ear* if there is another live edge `h'` such that
+    /// every vertex of `h` is either exclusive to `h` (appears in no other
+    /// live edge) or contained in `h'`; eliminating `h` links it to `h'` in
+    /// the join tree, exactly as described in §2.2.
+    pub fn gyo_parents(&self) -> Option<Vec<Option<usize>>> {
+        let n = self.edges.len();
+        if n == 0 {
+            return Some(Vec::new());
+        }
+        let mut live: Vec<bool> = vec![true; n];
+        let mut parents: Vec<Option<usize>> = vec![None; n];
+        let mut remaining = n;
+
+        while remaining > 1 {
+            let mut progressed = false;
+            'search: for i in 0..n {
+                if !live[i] {
+                    continue;
+                }
+                // Vertices of i that appear in some other live edge.
+                let shared: BTreeSet<AttrId> = self.edges[i]
+                    .1
+                    .iter()
+                    .copied()
+                    .filter(|v| {
+                        (0..n).any(|j| j != i && live[j] && self.edges[j].1.contains(v))
+                    })
+                    .collect();
+                for j in 0..n {
+                    if j == i || !live[j] {
+                        continue;
+                    }
+                    if shared.iter().all(|v| self.edges[j].1.contains(v)) {
+                        // i is an ear with witness j.
+                        parents[i] = Some(j);
+                        live[i] = false;
+                        remaining -= 1;
+                        progressed = true;
+                        break 'search;
+                    }
+                }
+            }
+            if !progressed {
+                return None; // stuck: cyclic
+            }
+        }
+        Some(parents)
+    }
+
+    /// True if the GYO reduction empties the hypergraph.
+    pub fn is_acyclic(&self) -> bool {
+        self.gyo_parents().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> AttrId {
+        AttrId(i)
+    }
+
+    #[test]
+    fn single_edge_is_acyclic() {
+        let h = Hypergraph::from_attr_sets(&[&[a(0), a(1)]]);
+        assert_eq!(h.gyo_parents().unwrap(), vec![None]);
+    }
+
+    #[test]
+    fn path_is_acyclic() {
+        // R1(A,B), R2(B,C), R3(C,D)
+        let h = Hypergraph::from_attr_sets(&[&[a(0), a(1)], &[a(1), a(2)], &[a(2), a(3)]]);
+        let parents = h.gyo_parents().unwrap();
+        assert_eq!(parents.iter().filter(|p| p.is_none()).count(), 1);
+        // Every non-root parent is a live (valid) index.
+        for (i, p) in parents.iter().enumerate() {
+            if let Some(j) = p {
+                assert_ne!(i, *j);
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        let h = Hypergraph::from_attr_sets(&[&[a(0), a(1)], &[a(1), a(2)], &[a(2), a(0)]]);
+        assert!(h.gyo_parents().is_none());
+        assert!(!h.is_acyclic());
+    }
+
+    #[test]
+    fn four_cycle_is_cyclic() {
+        let h = Hypergraph::from_attr_sets(&[
+            &[a(0), a(1)],
+            &[a(1), a(2)],
+            &[a(2), a(3)],
+            &[a(3), a(0)],
+        ]);
+        assert!(!h.is_acyclic());
+    }
+
+    #[test]
+    fn figure2_example_is_acyclic() {
+        // Figure 1/2 of the paper: R1(A,B,C), R2(A,B,D), R3(A,E), R4(B,F).
+        // R2, R3, R4 are all ears of R1.
+        let h = Hypergraph::from_attr_sets(&[
+            &[a(0), a(1), a(2)],
+            &[a(0), a(1), a(3)],
+            &[a(0), a(4)],
+            &[a(1), a(5)],
+        ]);
+        let parents = h.gyo_parents().unwrap();
+        // The root must be an edge that all others hang off (directly or not).
+        assert_eq!(parents.iter().filter(|p| p.is_none()).count(), 1);
+    }
+
+    #[test]
+    fn covered_triangle_is_acyclic() {
+        // Adding R0(A,B,C) over a triangle makes it acyclic (alpha-acyclicity
+        // is not hereditary): every triangle edge is an ear of R0.
+        let h = Hypergraph::from_attr_sets(&[
+            &[a(0), a(1), a(2)],
+            &[a(0), a(1)],
+            &[a(1), a(2)],
+            &[a(2), a(0)],
+        ]);
+        let parents = h.gyo_parents().unwrap();
+        assert_eq!(parents.iter().filter(|p| p.is_none()).count(), 1);
+        // The small edges are eliminated before the covering edge can be,
+        // and each of them can only witness against R0 (which contains them).
+        assert_eq!(parents[1], Some(0));
+        assert_eq!(parents[2], Some(0));
+    }
+
+    #[test]
+    fn duplicate_edges_are_ears_of_each_other() {
+        let h = Hypergraph::from_attr_sets(&[&[a(0), a(1)], &[a(0), a(1)]]);
+        let parents = h.gyo_parents().unwrap();
+        assert_eq!(parents.iter().filter(|p| p.is_none()).count(), 1);
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let h = Hypergraph::from_attr_sets(&[]);
+        assert!(h.is_acyclic());
+        assert_eq!(h.edge_count(), 0);
+    }
+
+    #[test]
+    fn star_with_center_is_acyclic() {
+        // Center(A,B,C) with leaves (A,B), (B,C), (C,A) — the paper's q* shape.
+        let h = Hypergraph::from_attr_sets(&[
+            &[a(0), a(1), a(2)],
+            &[a(0), a(1)],
+            &[a(1), a(2)],
+            &[a(2), a(0)],
+        ]);
+        assert!(h.is_acyclic());
+    }
+}

@@ -1,0 +1,36 @@
+//! # tsens-query
+//!
+//! Query-structure layer of the `tsens` workspace: conjunctive queries,
+//! query hypergraphs, GYO decomposition, join trees, generalized hypertree
+//! decompositions (GHDs) and structural classification.
+//!
+//! The paper's query class (§2) is **full conjunctive queries without
+//! self-joins**: the natural join `Q = R1 ⋈ … ⋈ Rm`, counted under bag
+//! semantics. The structural facts that drive the algorithms are:
+//!
+//! * whether the query hypergraph is **acyclic** — decided with the GYO
+//!   reduction (§2.2), which also yields a **join tree** ([`gyo`]);
+//! * for cyclic queries, a **GHD** whose bags group relations so that the
+//!   bag tree is a join tree over bag schemas (§5.4, Fig. 5);
+//! * refinements: **path queries** (§4) and **doubly acyclic** queries
+//!   (§5.3), detected by [`analysis`].
+//!
+//! The sensitivity algorithms in `tsens-core` all run over one unified
+//! [`decomposition::DecompositionTree`]; an acyclic query's join tree is
+//! simply the decomposition with singleton bags.
+
+pub mod analysis;
+pub mod cq;
+pub mod decomposition;
+pub mod error;
+pub mod gyo;
+pub mod hypergraph;
+pub mod predicate;
+
+pub use analysis::{classify, QueryClass};
+pub use cq::{Atom, ConjunctiveQuery};
+pub use decomposition::{auto_decompose, Bag, DecompositionTree};
+pub use error::QueryError;
+pub use gyo::{gyo_decompose, GyoOutcome};
+pub use hypergraph::Hypergraph;
+pub use predicate::Predicate;

@@ -1,0 +1,194 @@
+//! Per-tuple selection predicates (§5.4 "Selections").
+//!
+//! The paper's extension handles arbitrary selection conditions "that can
+//! be applied to each tuple individually in any relation" by assigning 0
+//! sensitivity to failing tuples. We model predicates as a small AST over
+//! one relation's attributes so they are `Clone + Debug` and can be
+//! evaluated both on full rows and on partial rows (needed when scoring
+//! candidate *insertions* whose extrapolated attributes are unknown).
+
+use tsens_data::{AttrId, Schema, Value};
+
+/// A boolean predicate over a single relation's tuple.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Predicate {
+    /// Always true (no selection).
+    True,
+    /// `attr = value`
+    Eq(AttrId, Value),
+    /// `attr ≠ value`
+    Ne(AttrId, Value),
+    /// `attr < value`
+    Lt(AttrId, Value),
+    /// `attr ≤ value`
+    Le(AttrId, Value),
+    /// `attr > value`
+    Gt(AttrId, Value),
+    /// `attr ≥ value`
+    Ge(AttrId, Value),
+    /// `attr ∈ set`
+    InSet(AttrId, Vec<Value>),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `attr = value`
+    pub fn eq(attr: AttrId, value: Value) -> Self {
+        Predicate::Eq(attr, value)
+    }
+    /// `attr ≥ value`
+    pub fn ge(attr: AttrId, value: Value) -> Self {
+        Predicate::Ge(attr, value)
+    }
+    /// `attr ≤ value`
+    pub fn le(attr: AttrId, value: Value) -> Self {
+        Predicate::Le(attr, value)
+    }
+    /// Conjunction helper.
+    pub fn and(self, other: Predicate) -> Self {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+    /// Disjunction helper.
+    pub fn or(self, other: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+    /// Negation helper.
+    pub fn negate(self) -> Self {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// True if this is the trivial predicate.
+    pub fn is_trivial(&self) -> bool {
+        matches!(self, Predicate::True)
+    }
+
+    /// Evaluate on a full row laid out by `schema`.
+    ///
+    /// # Panics
+    /// Panics if the predicate references an attribute outside `schema`.
+    pub fn eval(&self, schema: &Schema, row: &[Value]) -> bool {
+        self.eval_partial(&|attr| {
+            let pos = schema
+                .position(attr)
+                .unwrap_or_else(|| panic!("predicate attribute {attr:?} not in schema"));
+            Some(row[pos].clone())
+        })
+        .unwrap_or_else(|| unreachable!("full rows always decide predicates"))
+    }
+
+    /// Three-valued evaluation against a partial assignment: `lookup`
+    /// returns `None` for unknown attributes. Returns `None` when the
+    /// predicate cannot be decided yet (used for candidate insertions with
+    /// extrapolated attributes — an undecided predicate is treated as
+    /// satisfiable, keeping the sensitivity an upper bound).
+    pub fn eval_partial(&self, lookup: &impl Fn(AttrId) -> Option<Value>) -> Option<bool> {
+        let cmp = |attr: &AttrId, f: &dyn Fn(std::cmp::Ordering) -> bool, v: &Value| {
+            lookup(*attr).map(|got| f(got.cmp(v)))
+        };
+        match self {
+            Predicate::True => Some(true),
+            Predicate::Eq(a, v) => lookup(*a).map(|got| got == *v),
+            Predicate::Ne(a, v) => lookup(*a).map(|got| got != *v),
+            Predicate::Lt(a, v) => cmp(a, &|o| o.is_lt(), v),
+            Predicate::Le(a, v) => cmp(a, &|o| o.is_le(), v),
+            Predicate::Gt(a, v) => cmp(a, &|o| o.is_gt(), v),
+            Predicate::Ge(a, v) => cmp(a, &|o| o.is_ge(), v),
+            Predicate::InSet(a, set) => lookup(*a).map(|got| set.contains(&got)),
+            Predicate::And(l, r) => {
+                match (l.eval_partial(lookup), r.eval_partial(lookup)) {
+                    (Some(false), _) | (_, Some(false)) => Some(false),
+                    (Some(true), Some(true)) => Some(true),
+                    _ => None,
+                }
+            }
+            Predicate::Or(l, r) => {
+                match (l.eval_partial(lookup), r.eval_partial(lookup)) {
+                    (Some(true), _) | (_, Some(true)) => Some(true),
+                    (Some(false), Some(false)) => Some(false),
+                    _ => None,
+                }
+            }
+            Predicate::Not(inner) => inner.eval_partial(lookup).map(|b| !b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![AttrId(0), AttrId(1)])
+    }
+
+    fn row(a: i64, b: i64) -> Vec<Value> {
+        vec![Value::Int(a), Value::Int(b)]
+    }
+
+    #[test]
+    fn comparisons() {
+        let s = schema();
+        assert!(Predicate::eq(AttrId(0), 5.into()).eval(&s, &row(5, 0)));
+        assert!(!Predicate::eq(AttrId(0), 5.into()).eval(&s, &row(6, 0)));
+        assert!(Predicate::Ne(AttrId(0), 5.into()).eval(&s, &row(6, 0)));
+        assert!(Predicate::Lt(AttrId(0), 5.into()).eval(&s, &row(4, 0)));
+        assert!(Predicate::le(AttrId(0), 5.into()).eval(&s, &row(5, 0)));
+        assert!(Predicate::Gt(AttrId(0), 5.into()).eval(&s, &row(6, 0)));
+        assert!(Predicate::ge(AttrId(0), 5.into()).eval(&s, &row(5, 0)));
+    }
+
+    #[test]
+    fn in_set() {
+        let s = schema();
+        let p = Predicate::InSet(AttrId(1), vec![1.into(), 3.into()]);
+        assert!(p.eval(&s, &row(0, 3)));
+        assert!(!p.eval(&s, &row(0, 2)));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let s = schema();
+        let p = Predicate::ge(AttrId(0), 1.into())
+            .and(Predicate::le(AttrId(0), 3.into()))
+            .or(Predicate::eq(AttrId(1), 9.into()));
+        assert!(p.eval(&s, &row(2, 0)));
+        assert!(p.eval(&s, &row(7, 9)));
+        assert!(!p.eval(&s, &row(7, 0)));
+        assert!(p.clone().negate().eval(&s, &row(7, 0)));
+    }
+
+    #[test]
+    fn partial_evaluation_three_valued() {
+        let _s = schema();
+        // Only attribute 0 known.
+        let lookup = |a: AttrId| if a == AttrId(0) { Some(Value::Int(2)) } else { None };
+        assert_eq!(
+            Predicate::eq(AttrId(0), 2.into()).eval_partial(&lookup),
+            Some(true)
+        );
+        assert_eq!(
+            Predicate::eq(AttrId(1), 2.into()).eval_partial(&lookup),
+            None
+        );
+        // AND short-circuits on a known false.
+        let p = Predicate::eq(AttrId(0), 9.into()).and(Predicate::eq(AttrId(1), 1.into()));
+        assert_eq!(p.eval_partial(&lookup), Some(false));
+        // OR short-circuits on a known true.
+        let p = Predicate::eq(AttrId(0), 2.into()).or(Predicate::eq(AttrId(1), 1.into()));
+        assert_eq!(p.eval_partial(&lookup), Some(true));
+        // Undecidable conjunct stays unknown.
+        let p = Predicate::eq(AttrId(0), 2.into()).and(Predicate::eq(AttrId(1), 1.into()));
+        assert_eq!(p.eval_partial(&lookup), None);
+    }
+
+    #[test]
+    fn trivial_predicate() {
+        assert!(Predicate::True.is_trivial());
+        assert!(Predicate::True.eval(&schema(), &row(0, 0)));
+    }
+}

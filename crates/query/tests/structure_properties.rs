@@ -1,0 +1,80 @@
+//! Structural properties of GYO / decompositions on randomly generated
+//! tree-shaped and cyclic queries.
+
+use proptest::prelude::*;
+use tsens_data::{Database, Relation, Schema};
+use tsens_query::{auto_decompose, gyo_decompose, ConjunctiveQuery, GyoOutcome};
+
+/// Build a query whose hypergraph is a random tree over `m` binary atoms:
+/// atom i > 0 shares one fresh attribute with a random earlier atom —
+/// always acyclic by construction.
+fn tree_query(parents: &[usize]) -> (Database, ConjunctiveQuery) {
+    let m = parents.len() + 1;
+    let mut db = Database::new();
+    // Atom i gets attributes (link_i, own_i); link_0 = own-less root pair.
+    let own: Vec<_> = (0..m).map(|i| db.attr(&format!("own{i}"))).collect();
+    let mut link = vec![own[0]];
+    for (i, &p) in parents.iter().enumerate() {
+        let shared = own[p]; // share the parent's "own" attribute
+        link.push(shared);
+        let _ = i;
+    }
+    for i in 0..m {
+        let schema = if i == 0 {
+            Schema::new(vec![own[0], db.attr("root_extra")])
+        } else {
+            Schema::new(vec![link[i], own[i]])
+        };
+        db.add_relation(&format!("R{i}"), Relation::new(schema)).unwrap();
+    }
+    let names: Vec<String> = (0..m).map(|i| format!("R{i}")).collect();
+    let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    let q = ConjunctiveQuery::over(&db, "tree", &refs).unwrap();
+    (db, q)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random tree-shaped queries are accepted by GYO, and the resulting
+    /// join tree covers all atoms with a validated structure.
+    #[test]
+    fn tree_shaped_queries_are_acyclic(raw in prop::collection::vec(0..100usize, 1..7)) {
+        // parents[i] must reference an earlier atom index.
+        let parents: Vec<usize> = raw.iter().enumerate().map(|(i, &r)| r % (i + 1)).collect();
+        let (_, q) = tree_query(&parents);
+        match gyo_decompose(&q).unwrap() {
+            GyoOutcome::Acyclic(tree) => {
+                prop_assert_eq!(tree.bag_count(), q.atom_count());
+                prop_assert!(tree.is_join_tree());
+                // Orders visit every bag exactly once.
+                let mut post = tree.post_order();
+                post.sort_unstable();
+                prop_assert_eq!(post, (0..tree.bag_count()).collect::<Vec<_>>());
+            }
+            GyoOutcome::Cyclic => prop_assert!(false, "tree-shaped query reported cyclic"),
+        }
+        // auto_decompose agrees (singleton bags).
+        let d = auto_decompose(&q).unwrap();
+        prop_assert!(d.is_join_tree());
+    }
+
+    /// Chordless cycles of length ≥ 3 are rejected by GYO and decomposed
+    /// by the heuristic into a valid GHD with smaller bag count.
+    #[test]
+    fn cycles_are_cyclic_and_ghd_decomposable(len in 3usize..7) {
+        let mut db = Database::new();
+        let attrs: Vec<_> = (0..len).map(|i| db.attr(&format!("A{i}"))).collect();
+        for i in 0..len {
+            let schema = Schema::new(vec![attrs[i], attrs[(i + 1) % len]]);
+            db.add_relation(&format!("R{i}"), Relation::new(schema)).unwrap();
+        }
+        let names: Vec<String> = (0..len).map(|i| format!("R{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let q = ConjunctiveQuery::over(&db, "cycle", &refs).unwrap();
+        prop_assert!(matches!(gyo_decompose(&q).unwrap(), GyoOutcome::Cyclic));
+        let ghd = auto_decompose(&q).unwrap();
+        prop_assert!(ghd.bag_count() < len, "GHD must merge at least one pair");
+        prop_assert!(ghd.max_bag_size() >= 2);
+    }
+}

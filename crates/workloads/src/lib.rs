@@ -1,0 +1,24 @@
+//! # tsens-workloads
+//!
+//! The paper's experimental workloads, built from scratch:
+//!
+//! * [`tpch`] — a TPC-H-like synthetic generator (`dbgen`-lite) with the
+//!   eight relations and key structure of §7.1, plus the queries **q1**
+//!   (path), **q2** (acyclic) and **q3** (cyclic, Fig. 5a GHD);
+//! * [`facebook`] — an ego-network-style social-circle generator standing
+//!   in for SNAP ego-net 348 (see DESIGN.md §3 for why the substitution
+//!   preserves the experiments), plus **q4 = q△** (triangle), **qw**
+//!   (4-path), **q∘** (4-cycle) and **q\*** (star over the triangle
+//!   table), with the Fig. 5b decompositions;
+//! * [`sat`] — the Theorem 3.2 reduction from 3SAT to the local
+//!   sensitivity problem, used to validate the NP-hardness construction.
+//!
+//! All generators are deterministic under a caller-supplied seed.
+
+pub mod facebook;
+pub mod sat;
+pub mod tpch;
+
+pub use facebook::{facebook_database, FacebookParams};
+pub use sat::{brute_force_satisfiable, random_3sat, reduction_instance, Sat3Instance};
+pub use tpch::{tpch_database, TpchScale};

@@ -1,0 +1,220 @@
+//! The Theorem 3.2 reduction: 3SAT ≤p the local sensitivity problem.
+//!
+//! For a formula `φ = C_1 ∧ … ∧ C_s` over variables `v_1..v_ℓ`:
+//!
+//! * each clause `C_i` over variables `v_{i1}, v_{i2}, v_{i3}` becomes a
+//!   relation `R_i(A_{i1}, A_{i2}, A_{i3})` holding the **seven**
+//!   satisfying Boolean triples;
+//! * an **empty** relation `R_0(A_1, …, A_ℓ)` over all variables is
+//!   added.
+//!
+//! The query is the natural join of everything. `Q(D) = ∅` because `R_0`
+//! is empty; `LS(Q, D) > 0` iff some insertion into `R_0` joins with all
+//! clause relations — i.e. iff φ is satisfiable. The query is *acyclic*
+//! (every clause relation is an ear of `R_0`), which is how the paper
+//! shows NP-hardness even for acyclic queries.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tsens_data::{Database, Relation, Schema, Value};
+use tsens_query::{ConjunctiveQuery, QueryError};
+
+/// A 3SAT instance. Literals are non-zero integers: `+v` asserts variable
+/// `v` (1-based), `−v` its negation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sat3Instance {
+    /// Number of variables `ℓ`.
+    pub num_vars: usize,
+    /// Clauses as literal triples.
+    pub clauses: Vec<[i32; 3]>,
+}
+
+impl Sat3Instance {
+    /// Validate literal ranges.
+    ///
+    /// # Panics
+    /// Panics if a literal is 0 or references a variable out of range.
+    pub fn validate(&self) {
+        for clause in &self.clauses {
+            for &lit in clause {
+                assert!(lit != 0, "literal 0 is invalid");
+                assert!(
+                    lit.unsigned_abs() as usize <= self.num_vars,
+                    "literal {lit} out of range"
+                );
+            }
+        }
+    }
+
+    /// Evaluate under an assignment (`assignment[v-1]` = value of `v`).
+    pub fn satisfied_by(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause.iter().any(|&lit| {
+                let val = assignment[(lit.unsigned_abs() as usize) - 1];
+                if lit > 0 {
+                    val
+                } else {
+                    !val
+                }
+            })
+        })
+    }
+}
+
+/// Exhaustive satisfiability check (for ≤ ~20 variables).
+pub fn brute_force_satisfiable(inst: &Sat3Instance) -> bool {
+    inst.validate();
+    let n = inst.num_vars;
+    assert!(n <= 24, "brute force limited to 24 variables");
+    (0..(1u32 << n)).any(|mask| {
+        let assignment: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+        inst.satisfied_by(&assignment)
+    })
+}
+
+/// Build the reduction instance `(D, Q)` of Theorem 3.2. Relation `R0` is
+/// the first atom.
+///
+/// # Errors
+/// Propagates catalog/query construction failures (e.g. duplicate clause
+/// relations are deduplicated by naming, so this should not fail on valid
+/// input).
+pub fn reduction_instance(inst: &Sat3Instance) -> Result<(Database, ConjunctiveQuery), QueryError> {
+    inst.validate();
+    let mut db = Database::new();
+    let vars: Vec<_> = (1..=inst.num_vars)
+        .map(|v| db.attr(&format!("V{v}")))
+        .collect();
+
+    // R0 over all variables, empty.
+    db.add_relation("R0", Relation::new(Schema::new(vars.clone())))
+        .expect("R0 is the first relation");
+
+    let mut names: Vec<String> = vec!["R0".to_owned()];
+    for (ci, clause) in inst.clauses.iter().enumerate() {
+        let clause_vars: Vec<usize> = clause.iter().map(|&l| l.unsigned_abs() as usize).collect();
+        let schema_attrs: Vec<_> = clause_vars.iter().map(|&v| vars[v - 1]).collect();
+        // Dedup repeated variables within a clause (e.g. (v ∨ v ∨ w)):
+        // project the satisfying assignments onto the distinct variables.
+        let mut distinct: Vec<usize> = Vec::new();
+        for &v in &clause_vars {
+            if !distinct.contains(&v) {
+                distinct.push(v);
+            }
+        }
+        let schema: Vec<_> = distinct.iter().map(|&v| vars[v - 1]).collect();
+        let mut rel = Relation::new(Schema::new(schema));
+        // Enumerate assignments of the distinct variables; keep those
+        // satisfying the clause.
+        let k = distinct.len();
+        for mask in 0..(1u32 << k) {
+            let value_of = |v: usize| -> bool {
+                let idx = distinct.iter().position(|&d| d == v).expect("distinct");
+                mask & (1 << idx) != 0
+            };
+            let sat = clause.iter().any(|&lit| {
+                let val = value_of(lit.unsigned_abs() as usize);
+                if lit > 0 {
+                    val
+                } else {
+                    !val
+                }
+            });
+            if sat {
+                rel.push((0..k).map(|i| Value::Int(i64::from(mask >> i & 1))).collect());
+            }
+        }
+        let name = format!("C{ci}");
+        db.add_relation(&name, rel).expect("clause names are unique");
+        names.push(name);
+        let _ = schema_attrs;
+    }
+    let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    let q = ConjunctiveQuery::over(&db, "sat3", &refs)?;
+    Ok((db, q))
+}
+
+/// Sample a random 3SAT instance with distinct variables per clause.
+pub fn random_3sat(seed: u64, num_vars: usize, num_clauses: usize) -> Sat3Instance {
+    assert!(num_vars >= 3, "need at least 3 variables");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut clauses = Vec::with_capacity(num_clauses);
+    for _ in 0..num_clauses {
+        let mut vars: Vec<i32> = Vec::new();
+        while vars.len() < 3 {
+            let v = rng.random_range(1..=num_vars as i32);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        let clause = [
+            if rng.random::<bool>() { vars[0] } else { -vars[0] },
+            if rng.random::<bool>() { vars[1] } else { -vars[1] },
+            if rng.random::<bool>() { vars[2] } else { -vars[2] },
+        ];
+        clauses.push(clause);
+    }
+    Sat3Instance { num_vars, clauses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clause_relations_have_seven_rows() {
+        let inst = Sat3Instance { num_vars: 3, clauses: vec![[1, -2, 3]] };
+        let (db, q) = reduction_instance(&inst).unwrap();
+        assert_eq!(db.relation_by_name("C0").unwrap().len(), 7);
+        assert_eq!(q.atom_count(), 2);
+        assert!(db.relation_by_name("R0").unwrap().is_empty());
+    }
+
+    #[test]
+    fn satisfied_by_checks_clauses() {
+        let inst = Sat3Instance { num_vars: 3, clauses: vec![[1, 2, 3], [-1, -2, -3]] };
+        assert!(inst.satisfied_by(&[true, false, false]));
+        assert!(!inst.satisfied_by(&[true, true, true]));
+        assert!(brute_force_satisfiable(&inst));
+    }
+
+    #[test]
+    fn unsatisfiable_instance_detected() {
+        // (v1)(¬v1) in 3-CNF form via duplicated literals.
+        let inst = Sat3Instance {
+            num_vars: 3,
+            clauses: vec![
+                [1, 1, 1],
+                [-1, -1, -1],
+            ],
+        };
+        assert!(!brute_force_satisfiable(&inst));
+    }
+
+    #[test]
+    fn duplicated_literals_are_projected() {
+        let inst = Sat3Instance { num_vars: 2, clauses: vec![[1, 1, 2]] };
+        let (db, _) = reduction_instance(&inst).unwrap();
+        // Two distinct variables → 4 assignments, 3 satisfy (v1 ∨ v2).
+        assert_eq!(db.relation_by_name("C0").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn random_instances_are_valid_and_deterministic() {
+        let a = random_3sat(7, 6, 10);
+        let b = random_3sat(7, 6, 10);
+        assert_eq!(a, b);
+        a.validate();
+        for clause in &a.clauses {
+            let vars: std::collections::HashSet<u32> =
+                clause.iter().map(|l| l.unsigned_abs()).collect();
+            assert_eq!(vars.len(), 3, "variables must be distinct in {clause:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "literal 0")]
+    fn zero_literal_rejected() {
+        Sat3Instance { num_vars: 1, clauses: vec![[0, 1, 1]] }.validate();
+    }
+}

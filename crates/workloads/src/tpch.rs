@@ -1,0 +1,360 @@
+//! TPC-H-like synthetic data (`dbgen`-lite) and the paper's q1/q2/q3.
+//!
+//! The paper evaluates on TPC-H data restricted to the key columns:
+//!
+//! ```text
+//! Region(RK)        Nation(RK,NK)      Customer(NK,CK)   Orders(CK,OK)
+//! Supplier(NK,SK)   Part(PK)           Partsupp(SK,PK)   Lineitem(OK,SK,PK)
+//! ```
+//!
+//! Cardinalities follow TPC-H per scale factor `s`: `|S| = 10⁴·s`,
+//! `|C| = 1.5·10⁵·s`, `|P| = 2·10⁵·s`, `|PS| = 8·10⁵·s`,
+//! `|O| = 1.5·10⁶·s`, `|L| = 6·10⁶·s` (Region 5, Nation 25 fixed), and
+//! the generator reproduces dbgen's foreign-key fan-outs: 4 suppliers per
+//! part, 1–7 lineitems per order, uniform nation/customer assignment.
+//! Absolute values differ from the authors' dbgen files, but the join
+//! multiplicity *distributions* — the only thing the sensitivity
+//! experiments observe — have the same shape.
+//!
+//! Besides the eight base relations, [`tpch_database`] materialises the
+//! projected views the queries join on: `S_sk = π_SK(Supplier)`,
+//! `L_ok = π_OK(Lineitem)`, `L_skpk = π_{SK,PK}(Lineitem)` (bag
+//! semantics, so multiplicities survive projection).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tsens_data::{AttrId, Database, Relation, Schema, Value};
+use tsens_query::{ConjunctiveQuery, DecompositionTree, QueryError};
+
+/// Scale-factor wrapper with the derived table cardinalities.
+#[derive(Clone, Copy, Debug)]
+pub struct TpchScale(pub f64);
+
+impl TpchScale {
+    fn scaled(self, base: f64) -> usize {
+        ((base * self.0).round() as usize).max(1)
+    }
+    /// `|Supplier|` (at least 4, so Partsupp's 4-distinct-suppliers-per-
+    /// part invariant — which gives Lineitem its FK-PK unit sensitivity —
+    /// survives even degenerate micro scales).
+    pub fn suppliers(self) -> usize {
+        self.scaled(10_000.0).max(4)
+    }
+    /// `|Customer|`
+    pub fn customers(self) -> usize {
+        self.scaled(150_000.0)
+    }
+    /// `|Part|`
+    pub fn parts(self) -> usize {
+        self.scaled(200_000.0)
+    }
+    /// `|Partsupp|` (4 suppliers per part)
+    pub fn partsupps(self) -> usize {
+        self.parts() * 4
+    }
+    /// `|Orders|`
+    pub fn orders(self) -> usize {
+        self.scaled(1_500_000.0)
+    }
+    /// `|Lineitem|` target (orders × avg 4 lineitems)
+    pub fn lineitems(self) -> usize {
+        self.orders() * 4
+    }
+}
+
+/// The attribute ids of a generated TPC-H database.
+#[derive(Clone, Copy, Debug)]
+pub struct TpchAttrs {
+    /// regionkey
+    pub rk: AttrId,
+    /// nationkey
+    pub nk: AttrId,
+    /// custkey
+    pub ck: AttrId,
+    /// orderkey
+    pub ok: AttrId,
+    /// suppkey
+    pub sk: AttrId,
+    /// partkey
+    pub pk: AttrId,
+}
+
+/// Generate the TPC-H-like database at `scale`, deterministically under
+/// `seed`. Returns the database and its attribute handles.
+pub fn tpch_database(scale: f64, seed: u64) -> (Database, TpchAttrs) {
+    assert!(scale > 0.0, "scale factor must be positive");
+    let s = TpchScale(scale);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    let [rk, nk, ck, ok, sk, pk] = db.attrs(["RK", "NK", "CK", "OK", "SK", "PK"]);
+    let attrs = TpchAttrs { rk, nk, ck, ok, sk, pk };
+    let int = |v: usize| Value::Int(v as i64);
+
+    // Region(RK): 5 rows.
+    let region = Relation::from_rows(
+        Schema::new(vec![rk]),
+        (0..5).map(|r| vec![int(r)]).collect(),
+    );
+
+    // Nation(RK,NK): 25 nations, 5 per region.
+    let nation = Relation::from_rows(
+        Schema::new(vec![rk, nk]),
+        (0..25).map(|n| vec![int(n % 5), int(n)]).collect(),
+    );
+
+    // Supplier(NK,SK): uniform nation.
+    let n_s = s.suppliers();
+    let supplier = Relation::from_rows(
+        Schema::new(vec![nk, sk]),
+        (0..n_s)
+            .map(|i| vec![int(rng.random_range(0..25)), int(i)])
+            .collect(),
+    );
+
+    // Customer(NK,CK): uniform nation.
+    let n_c = s.customers();
+    let customer = Relation::from_rows(
+        Schema::new(vec![nk, ck]),
+        (0..n_c)
+            .map(|i| vec![int(rng.random_range(0..25)), int(i)])
+            .collect(),
+    );
+
+    // Part(PK).
+    let n_p = s.parts();
+    let part = Relation::from_rows(
+        Schema::new(vec![pk]),
+        (0..n_p).map(|i| vec![int(i)]).collect(),
+    );
+
+    // Partsupp(SK,PK): 4 distinct suppliers per part (dbgen pattern:
+    // deterministic stride keeps suppliers distinct even when n_s < 4).
+    let mut ps_rows = Vec::with_capacity(s.partsupps());
+    for p in 0..n_p {
+        let base = rng.random_range(0..n_s);
+        for j in 0..4usize {
+            let sup = (base + j * (n_s / 4).max(1)) % n_s;
+            ps_rows.push(vec![int(sup), int(p)]);
+        }
+    }
+    let partsupp = Relation::from_rows(Schema::new(vec![sk, pk]), ps_rows);
+
+    // Orders(CK,OK): uniform customer (dbgen leaves 1/3 of customers
+    // orderless; uniform assignment reproduces the same fan-out shape).
+    let n_o = s.orders();
+    let order_cust: Vec<usize> = (0..n_o).map(|_| rng.random_range(0..n_c)).collect();
+    let orders = Relation::from_rows(
+        Schema::new(vec![ck, ok]),
+        order_cust.iter().enumerate().map(|(o, &c)| vec![int(c), int(o)]).collect(),
+    );
+
+    // Lineitem(OK,SK,PK): 1..=7 per order, each referencing a random
+    // Partsupp pair (keeps the L→PS foreign key valid, as dbgen does).
+    let n_ps = s.partsupps();
+    let mut l_rows = Vec::with_capacity(s.lineitems());
+    for o in 0..n_o {
+        let k = rng.random_range(1..=7usize);
+        for _ in 0..k {
+            let psi = rng.random_range(0..n_ps);
+            let p = psi / 4;
+            // Reconstruct the supplier of partsupp row psi is not possible
+            // without storing it; draw the pair from the built relation.
+            let row = &partsupp.rows()[psi];
+            l_rows.push(vec![int(o), row[0].clone(), row[1].clone()]);
+            let _ = p;
+        }
+    }
+    let lineitem = Relation::from_rows(Schema::new(vec![ok, sk, pk]), l_rows);
+
+    // Projected views used by q1 / q2.
+    let s_sk = supplier.project(&Schema::new(vec![sk]));
+    let l_ok = lineitem.project(&Schema::new(vec![ok]));
+    let l_skpk = lineitem.project(&Schema::new(vec![sk, pk]));
+
+    db.add_relation("Region", region).unwrap();
+    db.add_relation("Nation", nation).unwrap();
+    db.add_relation("Customer", customer).unwrap();
+    db.add_relation("Orders", orders).unwrap();
+    db.add_relation("Supplier", supplier).unwrap();
+    db.add_relation("Part", part).unwrap();
+    db.add_relation("Partsupp", partsupp).unwrap();
+    db.add_relation("Lineitem", lineitem).unwrap();
+    db.add_relation("S_sk", s_sk).unwrap();
+    db.add_relation("L_ok", l_ok).unwrap();
+    db.add_relation("L_skpk", l_skpk).unwrap();
+    (db, attrs)
+}
+
+/// q1 (Fig. 5a, path):
+/// `Region(RK) ⋈ Nation(RK,NK) ⋈ Customer(NK,CK) ⋈ Orders(CK,OK) ⋈ π_OK(Lineitem)`.
+///
+/// Returns the query and its GYO join tree.
+pub fn q1(db: &Database) -> Result<(ConjunctiveQuery, DecompositionTree), QueryError> {
+    let q = ConjunctiveQuery::over(db, "q1", &["Region", "Nation", "Customer", "Orders", "L_ok"])?;
+    let tree = match tsens_query::gyo_decompose(&q)? {
+        tsens_query::GyoOutcome::Acyclic(t) => t,
+        tsens_query::GyoOutcome::Cyclic => unreachable!("q1 is a path query"),
+    };
+    Ok((q, tree))
+}
+
+/// q2 (Fig. 5a, acyclic star):
+/// `Partsupp(SK,PK) ⋈ π_SK(Supplier) ⋈ Part(PK) ⋈ π_{SK,PK}(Lineitem)`.
+pub fn q2(db: &Database) -> Result<(ConjunctiveQuery, DecompositionTree), QueryError> {
+    let q = ConjunctiveQuery::over(db, "q2", &["Partsupp", "S_sk", "Part", "L_skpk"])?;
+    let tree = match tsens_query::gyo_decompose(&q)? {
+        tsens_query::GyoOutcome::Cyclic => unreachable!("q2 is acyclic"),
+        tsens_query::GyoOutcome::Acyclic(t) => t,
+    };
+    Ok((q, tree))
+}
+
+/// q3 (Fig. 5a, cyclic): the universal join with customer and supplier
+/// constrained to the same nation —
+/// `R ⋈ N ⋈ C ⋈ O ⋈ S ⋈ PS ⋈ P ⋈ L` over the shared key attributes.
+///
+/// Returns the query, the paper's generalized hypertree decomposition
+/// (root `{R,N,L}`, children `{O,C}`, `{S,P}`, `{PS}`), and the atom
+/// indices to **skip** in sensitivity computation (Lineitem: its tuple
+/// sensitivity is at most 1 due to FK-PK joins, and its multiplicity
+/// table dominates the runtime — §7.2).
+pub fn q3(
+    db: &Database,
+) -> Result<(ConjunctiveQuery, DecompositionTree, Vec<usize>), QueryError> {
+    // Atom order: 0 Region, 1 Nation, 2 Customer, 3 Orders, 4 Supplier,
+    //             5 Part, 6 Partsupp, 7 Lineitem.
+    let q = ConjunctiveQuery::over(
+        db,
+        "q3",
+        &[
+            "Region", "Nation", "Customer", "Orders", "Supplier", "Part", "Partsupp", "Lineitem",
+        ],
+    )?;
+    // Fig. 5a GHD: {R,N,L} root; {O,C}, {S,P}, {PS} children.
+    let bags = vec![
+        vec![0, 1, 7], // R, N, L
+        vec![3, 2],    // O, C
+        vec![4, 5],    // S, P
+        vec![6],       // PS
+    ];
+    let parent = vec![None, Some(0), Some(0), Some(0)];
+    let tree = DecompositionTree::new(&q, bags, parent)?;
+    Ok((q, tree, vec![7]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsens_query::{classify, QueryClass};
+
+    #[test]
+    fn cardinalities_track_scale() {
+        let (db, _) = tpch_database(0.001, 1);
+        assert_eq!(db.relation_by_name("Region").unwrap().len(), 5);
+        assert_eq!(db.relation_by_name("Nation").unwrap().len(), 25);
+        assert_eq!(db.relation_by_name("Supplier").unwrap().len(), 10);
+        assert_eq!(db.relation_by_name("Customer").unwrap().len(), 150);
+        assert_eq!(db.relation_by_name("Part").unwrap().len(), 200);
+        assert_eq!(db.relation_by_name("Partsupp").unwrap().len(), 800);
+        assert_eq!(db.relation_by_name("Orders").unwrap().len(), 1500);
+        let l = db.relation_by_name("Lineitem").unwrap().len();
+        assert!((1500..=10_500).contains(&l), "lineitems {l}");
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let (a, _) = tpch_database(0.0005, 42);
+        let (b, _) = tpch_database(0.0005, 42);
+        assert_eq!(
+            a.relation_by_name("Lineitem").unwrap().rows(),
+            b.relation_by_name("Lineitem").unwrap().rows()
+        );
+        let (c, _) = tpch_database(0.0005, 43);
+        assert_ne!(
+            a.relation_by_name("Lineitem").unwrap().rows(),
+            c.relation_by_name("Lineitem").unwrap().rows()
+        );
+    }
+
+    #[test]
+    fn partsupp_has_four_distinct_suppliers_per_part() {
+        let (db, _) = tpch_database(0.001, 7);
+        let ps = db.relation_by_name("Partsupp").unwrap();
+        let mut per_part: std::collections::HashMap<i64, std::collections::HashSet<i64>> =
+            std::collections::HashMap::new();
+        for row in ps.rows() {
+            per_part
+                .entry(row[1].as_int().unwrap())
+                .or_default()
+                .insert(row[0].as_int().unwrap());
+        }
+        for (part, sups) in per_part {
+            assert_eq!(sups.len(), 4, "part {part}");
+        }
+    }
+
+    #[test]
+    fn foreign_keys_are_valid() {
+        let (db, _) = tpch_database(0.0005, 3);
+        let n_c = db.relation_by_name("Customer").unwrap().len() as i64;
+        for row in db.relation_by_name("Orders").unwrap().rows() {
+            assert!(row[0].as_int().unwrap() < n_c);
+        }
+        // Lineitem (SK,PK) pairs exist in Partsupp.
+        let ps: std::collections::HashSet<(i64, i64)> = db
+            .relation_by_name("Partsupp")
+            .unwrap()
+            .rows()
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        for row in db.relation_by_name("Lineitem").unwrap().rows() {
+            let pair = (row[1].as_int().unwrap(), row[2].as_int().unwrap());
+            assert!(ps.contains(&pair), "dangling lineitem {pair:?}");
+        }
+    }
+
+    #[test]
+    fn q1_is_a_path_query() {
+        let (db, _) = tpch_database(0.0002, 1);
+        let (q, tree) = q1(&db).unwrap();
+        let (class, _) = classify(&q).unwrap();
+        assert_eq!(class, QueryClass::Path);
+        assert_eq!(tree.bag_count(), 5);
+    }
+
+    #[test]
+    fn q2_is_acyclic() {
+        let (db, _) = tpch_database(0.0002, 1);
+        let (q, tree) = q2(&db).unwrap();
+        let (class, _) = classify(&q).unwrap();
+        // q2's join tree is a star around Partsupp/L_skpk; it is acyclic
+        // (whether it is *doubly* acyclic depends on the GYO rooting).
+        assert!(matches!(class, QueryClass::Acyclic | QueryClass::DoublyAcyclic));
+        assert_eq!(tree.bag_count(), 4);
+    }
+
+    #[test]
+    fn q3_is_cyclic_with_valid_ghd() {
+        let (db, _) = tpch_database(0.0002, 1);
+        let (q, tree, skips) = q3(&db).unwrap();
+        let (class, _) = classify(&q).unwrap();
+        assert_eq!(class, QueryClass::Cyclic);
+        assert_eq!(tree.bag_count(), 4);
+        assert_eq!(tree.max_bag_size(), 3);
+        assert_eq!(skips, vec![7]);
+    }
+
+    #[test]
+    fn projected_views_preserve_multiplicity() {
+        let (db, _) = tpch_database(0.0005, 9);
+        assert_eq!(
+            db.relation_by_name("L_ok").unwrap().len(),
+            db.relation_by_name("Lineitem").unwrap().len()
+        );
+        assert_eq!(
+            db.relation_by_name("L_skpk").unwrap().len(),
+            db.relation_by_name("Lineitem").unwrap().len()
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Differentially private query answering with TSensDP (§6).
+//!
+//! Answers the TPC-H q1 counting query ("how many lineitems flow through
+//! each region/nation/customer/order chain?") under ε-DP with Customer as
+//! the primary private relation, and compares against the PrivSQL-style
+//! baseline: same privacy budget, very different error profiles.
+//!
+//! Run with: `cargo run --release --example private_query`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsens::core::multiplicity_table_for;
+use tsens::dp::truncation::TruncationProfile;
+use tsens::dp::tsensdp::tsensdp_answer_from_profile;
+use tsens::dp::{privsql_answer, CascadeRule, PrivSqlPolicy};
+use tsens::workloads::tpch;
+
+fn main() {
+    let scale = 0.005;
+    let epsilon = 2.0;
+    let runs = 10;
+    let (db, attrs) = tpch::tpch_database(scale, 7);
+    let (q1, tree) = tpch::q1(&db).unwrap();
+    // q1 atoms: 0 Region, 1 Nation, 2 Customer, 3 Orders, 4 L_ok.
+    let private_atom = 2;
+
+    // TSensDP setup: per-tuple sensitivities of Customer.
+    let table = multiplicity_table_for(&db, &q1, &tree, private_atom);
+    let profile = TruncationProfile::build(&db, &q1, private_atom, &table);
+    let true_count = profile.full_count();
+    let ell = (profile.max_delta() * 3 / 2).max(10);
+    println!("|q1(D)| = {true_count}; max tuple sensitivity of Customer = {}", profile.max_delta());
+    println!("privacy budget ε = {epsilon}, ℓ = {ell}, {runs} runs\n");
+
+    // PrivSQL policy: Customer → Orders → Lineitem cascades.
+    let policy = PrivSqlPolicy {
+        primary_atom: private_atom,
+        cascades: vec![
+            CascadeRule { atom: 3, parent: 2, key: vec![attrs.ck] },
+            CascadeRule { atom: 4, parent: 3, key: vec![attrs.ok] },
+        ],
+        max_threshold: 512,
+    };
+
+    println!(
+        "{:>4} {:>14} {:>8} {:>8} | {:>14} {:>8} {:>14}",
+        "run", "TSensDP ans", "err%", "τ", "PrivSQL ans", "err%", "GS"
+    );
+    for run in 0..runs {
+        let mut rng = StdRng::seed_from_u64(1000 + run);
+        let ts = tsensdp_answer_from_profile(&profile, ell, epsilon, &mut rng);
+        let mut rng = StdRng::seed_from_u64(9000 + run);
+        let ps = privsql_answer(&db, &q1, &tree, &policy, epsilon, &mut rng);
+        println!(
+            "{:>4} {:>14.1} {:>7.2}% {:>8} | {:>14.1} {:>7.2}% {:>14}",
+            run,
+            ts.noisy_answer,
+            ts.relative_error() * 100.0,
+            ts.threshold,
+            ps.noisy_answer,
+            ps.relative_error() * 100.0,
+            ps.global_sensitivity
+        );
+    }
+
+    println!(
+        "\nBoth mechanisms satisfy ε-DP; TSensDP's noise is calibrated to the\n\
+         learned tuple-sensitivity threshold τ, PrivSQL's to a static\n\
+         max-frequency bound — on join-heavy queries the latter can be orders\n\
+         of magnitude larger (see `repro table2` for the full comparison)."
+    );
+}

@@ -1,0 +1,44 @@
+//! # tsens
+//!
+//! A from-scratch Rust implementation of **"Computing Local Sensitivities
+//! of Counting Queries with Joins"** (Tao, He, Machanavajjhala, Roy —
+//! SIGMOD 2020).
+//!
+//! Given a full conjunctive query `Q` (a natural join of `m` relations,
+//! counted under bag semantics) and a database instance `D`, this
+//! workspace computes the **tuple sensitivity** of every tuple in the
+//! representative domain and the **local sensitivity**
+//! `LS(Q,D) = max_t δ(t,Q,D)` together with a most sensitive tuple —
+//! and builds differentially private query answering (TSensDP) on top.
+//!
+//! This facade crate re-exports the member crates under stable paths:
+//!
+//! * [`data`] — values, schemas, bag relations, databases;
+//! * [`query`] — conjunctive queries, GYO, join trees, GHDs;
+//! * [`engine`] — multiplicity-aware operators and Yannakakis evaluation;
+//! * [`core`] — the TSens algorithms plus naive and elastic baselines;
+//! * [`dp`] — Laplace, SVT, truncation, TSensDP, the PrivSQL-style baseline;
+//! * [`workloads`] — TPC-H-like / ego-network-like generators and the
+//!   paper's seven queries.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`, which reproduces the paper's running
+//! example (Figure 1, Example 2.1): local sensitivity 4, achieved by
+//! inserting `(a2, b2, c1)` into `R1`.
+
+pub use tsens_core as core;
+pub use tsens_data as data;
+pub use tsens_dp as dp;
+pub use tsens_engine as engine;
+pub use tsens_query as query;
+pub use tsens_workloads as workloads;
+
+/// Convenience prelude: the types most programs need.
+pub mod prelude {
+    pub use tsens_core::{
+        local_sensitivity, LocalSensitivity, SensitivityReport, TupleRef,
+    };
+    pub use tsens_data::{AttrId, Count, Database, Relation, Row, Schema, Value};
+    pub use tsens_query::{classify, ConjunctiveQuery, DecompositionTree, QueryClass};
+}

@@ -1,0 +1,144 @@
+//! DP-layer integration: truncation caps global sensitivity, the
+//! mechanisms are deterministic under seeds, and the TSensDP-vs-PrivSQL
+//! ordering of Table 2 holds on join-skewed data.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tsens::core::multiplicity_table_for;
+use tsens::dp::truncation::{truncate_database, TruncationProfile};
+use tsens::dp::tsensdp::tsensdp_answer_from_profile;
+use tsens::dp::{privsql_answer, PrivSqlPolicy};
+use tsens::engine::naive_eval::naive_count;
+use tsens::prelude::*;
+use tsens::query::gyo_decompose;
+use tsens::workloads::facebook::{facebook_database, qs, small_params};
+
+/// Invariant 7: for any τ, adding or removing ANY tuple changes
+/// `|Q(T_TSens(Q, ·, τ))|` by at most τ.
+#[test]
+fn truncated_query_has_global_sensitivity_tau() {
+    let mut db = Database::new();
+    let [a, b] = db.attrs(["A", "B"]);
+    // R(A) private; S(A,B) with skewed fan-out 1..6 per key.
+    let mut r = Relation::new(Schema::new(vec![a]));
+    let mut s = Relation::new(Schema::new(vec![a, b]));
+    for key in 0..6i64 {
+        r.push(vec![Value::Int(key)]);
+        for j in 0..=key {
+            s.push(vec![Value::Int(key), Value::Int(j)]);
+        }
+    }
+    db.add_relation("R", r).unwrap();
+    db.add_relation("S", s).unwrap();
+    let q = ConjunctiveQuery::over(&db, "rs", &["R", "S"]).unwrap();
+    let tree = gyo_decompose(&q).unwrap().expect_acyclic("acyclic");
+
+    for tau in 1..=7u128 {
+        let table = multiplicity_table_for(&db, &q, &tree, 0);
+        let truncated = truncate_database(&db, &q, 0, &table, tau);
+        let base = naive_count(&truncated, &q);
+        // Try every candidate insertion into the private relation R.
+        for key in 0..8i64 {
+            let mut db2 = db.clone();
+            db2.insert_row(0, vec![Value::Int(key)]);
+            let table2 = multiplicity_table_for(&db2, &q, &tree, 0);
+            let truncated2 = truncate_database(&db2, &q, 0, &table2, tau);
+            let count2 = naive_count(&truncated2, &q);
+            let delta = count2.abs_diff(base);
+            assert!(delta <= tau, "tau {tau}, key {key}: |Δ| = {delta}");
+        }
+        // And every deletion of an existing row.
+        for key in 0..6i64 {
+            let mut db2 = db.clone();
+            assert!(db2.remove_row(0, &[Value::Int(key)]));
+            let table2 = multiplicity_table_for(&db2, &q, &tree, 0);
+            let truncated2 = truncate_database(&db2, &q, 0, &table2, tau);
+            let count2 = naive_count(&truncated2, &q);
+            let delta = count2.abs_diff(base);
+            assert!(delta <= tau, "tau {tau}, remove {key}: |Δ| = {delta}");
+        }
+    }
+}
+
+/// The profile-based count equals evaluating the query on the truncated
+/// instance (the linearity trick of `tsens-dp::truncation`).
+#[test]
+fn profile_counts_match_materialised_truncation_on_facebook() {
+    let db = facebook_database(small_params(), 5);
+    let (q, tree) = qs(&db).unwrap();
+    let private_atom = 2; // R2
+    let table = multiplicity_table_for(&db, &q, &tree, private_atom);
+    let profile = TruncationProfile::build(&db, &q, private_atom, &table);
+    for tau in [0u128, 1, 5, 50, 1_000_000] {
+        let truncated = truncate_database(&db, &q, private_atom, &table, tau);
+        assert_eq!(
+            profile.truncated_count(tau),
+            naive_count(&truncated, &q),
+            "tau {tau}"
+        );
+    }
+    assert_eq!(profile.full_count(), naive_count(&db, &q));
+}
+
+/// Table 2's headline on the star query: TSensDP's learned threshold is
+/// far below PrivSQL's static global sensitivity, and its median error is
+/// lower.
+#[test]
+fn tsensdp_beats_privsql_on_star_query() {
+    let db = facebook_database(small_params(), 348);
+    let (q, tree) = qs(&db).unwrap();
+    let private_atom = 2;
+    let table = multiplicity_table_for(&db, &q, &tree, private_atom);
+    let profile = TruncationProfile::build(&db, &q, private_atom, &table);
+    let ell = (profile.max_delta() * 3 / 2).max(10);
+    let policy = PrivSqlPolicy { primary_atom: private_atom, cascades: vec![], max_threshold: 64 };
+
+    let runs = 15;
+    let mut ts_errors = Vec::new();
+    let mut ps_errors = Vec::new();
+    for run in 0..runs {
+        let mut rng = StdRng::seed_from_u64(run);
+        let ts = tsensdp_answer_from_profile(&profile, ell, 2.0, &mut rng);
+        let mut rng = StdRng::seed_from_u64(1000 + run);
+        let ps = privsql_answer(&db, &q, &tree, &policy, 2.0, &mut rng);
+        assert!(
+            ts.threshold < ps.global_sensitivity,
+            "threshold {} should be far below static GS {}",
+            ts.threshold,
+            ps.global_sensitivity
+        );
+        ts_errors.push(ts.relative_error());
+        ps_errors.push(ps.relative_error());
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    let ts_med = median(&mut ts_errors);
+    let ps_med = median(&mut ps_errors);
+    assert!(
+        ts_med < ps_med,
+        "TSensDP median error {ts_med:.3} should beat PrivSQL {ps_med:.3}"
+    );
+}
+
+/// Both mechanisms are bitwise deterministic under a fixed seed.
+#[test]
+fn mechanisms_are_seed_deterministic() {
+    let db = facebook_database(small_params(), 2);
+    let (q, tree) = qs(&db).unwrap();
+    let table = multiplicity_table_for(&db, &q, &tree, 2);
+    let profile = TruncationProfile::build(&db, &q, 2, &table);
+    let run_ts = |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        tsensdp_answer_from_profile(&profile, 100, 1.0, &mut rng).noisy_answer
+    };
+    assert_eq!(run_ts(4), run_ts(4));
+    assert_ne!(run_ts(4), run_ts(5));
+    let policy = PrivSqlPolicy { primary_atom: 2, cascades: vec![], max_threshold: 32 };
+    let run_ps = |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        privsql_answer(&db, &q, &tree, &policy, 1.0, &mut rng).noisy_answer
+    };
+    assert_eq!(run_ps(4), run_ps(4));
+}

@@ -1,0 +1,117 @@
+//! Smoke tests for the experiment harness: every table/figure function
+//! runs end-to-end at miniature sizes and its output has the paper's
+//! qualitative shape.
+
+use tsens_bench::experiments::{fig6a, fig6b, fig7, param_l, table1, table2};
+use tsens_workloads::facebook::small_params;
+
+const SCALES: &[f64] = &[0.0002, 0.0005];
+
+#[test]
+fn fig6a_tsens_below_elastic() {
+    let r = fig6a(SCALES, 1.0, 348);
+    assert_eq!(r.points.len(), SCALES.len() * 3);
+    for p in &r.points {
+        assert!(
+            p.tsens <= p.elastic,
+            "{} @ {}: TSens {} > Elastic {}",
+            p.query,
+            p.scale,
+            p.tsens,
+            p.elastic
+        );
+    }
+    // q3 (cyclic) should show the largest gap at the larger scale.
+    let gap = |q: &str, s: f64| {
+        let p = r.points.iter().find(|p| p.query == q && p.scale == s).unwrap();
+        p.elastic as f64 / p.tsens.max(1) as f64
+    };
+    assert!(gap("q3", 0.0005) > gap("q1", 0.0005));
+    // Display renders every point.
+    let text = r.to_string();
+    assert!(text.contains("q3"));
+}
+
+#[test]
+fn fig6b_rows_are_ordered_and_lineitem_is_skipped() {
+    let r = fig6b(0.0005, 348);
+    assert_eq!(r.rows.len(), 8);
+    for w in r.rows.windows(2) {
+        // Descending tuple sensitivity, except the trailing Lineitem row.
+        if w[1].relation != "Lineitem" {
+            assert!(w[0].tuple_sensitivity >= w[1].tuple_sensitivity);
+        }
+    }
+    let last = r.rows.last().unwrap();
+    assert_eq!(last.relation, "Lineitem");
+    assert_eq!(last.tuple_sensitivity, 1);
+    for row in &r.rows {
+        assert!(
+            row.elastic_sensitivity >= row.tuple_sensitivity,
+            "{}: elastic below TSens",
+            row.relation
+        );
+    }
+}
+
+#[test]
+fn fig7_runtimes_positive() {
+    let r = fig7(&[0.0002], 1.0, 348);
+    assert_eq!(r.points.len(), 3);
+    for p in &r.points {
+        assert!(p.tsens_secs > 0.0 && p.elastic_secs > 0.0 && p.eval_secs > 0.0);
+    }
+    assert!(r.to_string().contains("TSens/eval"));
+}
+
+#[test]
+fn table1_shapes() {
+    let r = table1(small_params(), 348);
+    assert_eq!(r.rows.len(), 4);
+    for row in &r.rows {
+        assert!(row.tsens <= row.elastic, "{}", row.query);
+        assert!(row.tsens > 0, "{}", row.query);
+    }
+    // q* should have the widest elastic/TSens gap (Table 1's 80 000×).
+    let ratio = |q: &str| {
+        let row = r.rows.iter().find(|r| r.query == q).unwrap();
+        row.elastic as f64 / row.tsens as f64
+    };
+    assert!(ratio("q*") > ratio("qw"), "star gap should dominate the path's");
+}
+
+#[test]
+fn table2_headline_orderings() {
+    // Miniature config: tiny TPC-H, small graph, few runs.
+    let r = table2(0.001, small_params(), 2.0, 6, 348);
+    assert_eq!(r.rows.len(), 7);
+    for row in &r.rows {
+        assert!(row.tsensdp.global_sensitivity > 0);
+        assert!(row.privsql.global_sensitivity > 0);
+        assert!(row.true_count > 0, "{}", row.query);
+    }
+    // The q3 headline: PrivSQL's static GS dwarfs TSensDP's threshold.
+    let q3 = r.rows.iter().find(|r| r.query == "q3").unwrap();
+    assert!(
+        q3.privsql.global_sensitivity > 100 * q3.tsensdp.global_sensitivity,
+        "q3: PrivSQL GS {} vs TSensDP {}",
+        q3.privsql.global_sensitivity,
+        q3.tsensdp.global_sensitivity
+    );
+    assert!(q3.tsensdp.error < q3.privsql.error, "q3 error ordering");
+    let text = r.to_string();
+    assert!(text.contains("TSensDP") && text.contains("PrivSQL"));
+}
+
+#[test]
+fn param_l_sweep_runs_and_reports() {
+    let r = param_l(small_params(), &[1, 10, 100, 1000], 2.0, 6, 348);
+    assert_eq!(r.rows.len(), 4);
+    assert!(r.true_ls > 0);
+    // ℓ = 1 forces maximal truncation: its bias must dominate the sweep's
+    // best bias.
+    let bias_at_1 = r.rows[0].bias;
+    let best_bias = r.rows.iter().map(|row| row.bias).fold(f64::INFINITY, f64::min);
+    assert!(bias_at_1 >= best_bias);
+    assert!(r.to_string().contains("threshold"));
+}

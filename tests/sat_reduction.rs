@@ -1,0 +1,94 @@
+//! Theorem 3.2 end-to-end: the 3SAT reduction instance has `LS(Q,D) > 0`
+//! iff the formula is satisfiable — checked against brute-force
+//! satisfiability on random instances, with TSens as the sensitivity
+//! solver (the query is acyclic, so Algorithm 2 applies; the hardness
+//! lives in the multiplicity-table join, which is exponential in the
+//! variable count — fine at test sizes).
+
+use tsens::core::{local_sensitivity, naive_local_sensitivity};
+use tsens::workloads::sat::{
+    brute_force_satisfiable, random_3sat, reduction_instance, Sat3Instance,
+};
+
+#[test]
+fn satisfiable_iff_positive_sensitivity_random() {
+    let mut sat_seen = 0;
+    let mut unsat_seen = 0;
+    for seed in 0..40u64 {
+        // 5 variables, ~22 clauses sits near the 3SAT phase transition
+        // (clause/variable ≈ 4.3), giving a mix of SAT and UNSAT draws.
+        let inst = random_3sat(seed, 5, 18 + (seed % 10) as usize);
+        let expected = brute_force_satisfiable(&inst);
+        let (db, q) = reduction_instance(&inst).unwrap();
+        let report = local_sensitivity(&db, &q).unwrap();
+        assert_eq!(
+            report.local_sensitivity > 0,
+            expected,
+            "seed {seed}: reduction disagrees with brute force"
+        );
+        if expected {
+            sat_seen += 1;
+            // The witness must be an insertion into R0 (the empty relation).
+            let w = report.witness.expect("positive LS has a witness");
+            assert_eq!(w.relation, 0, "only R0 insertions can create outputs");
+        } else {
+            unsat_seen += 1;
+        }
+    }
+    assert!(sat_seen > 3, "want a mix of outcomes, got {sat_seen} SAT");
+    assert!(unsat_seen > 3, "want a mix of outcomes, got {unsat_seen} UNSAT");
+}
+
+#[test]
+fn witness_encodes_a_satisfying_assignment() {
+    // (v1 ∨ v2 ∨ v3)(¬v1 ∨ v2 ∨ v3)(v1 ∨ ¬v2 ∨ v3)(v1 ∨ v2 ∨ ¬v3)
+    let inst = Sat3Instance {
+        num_vars: 3,
+        clauses: vec![[1, 2, 3], [-1, 2, 3], [1, -2, 3], [1, 2, -3]],
+    };
+    assert!(brute_force_satisfiable(&inst));
+    let (db, q) = reduction_instance(&inst).unwrap();
+    let report = local_sensitivity(&db, &q).unwrap();
+    assert!(report.local_sensitivity > 0);
+    let w = report.witness.unwrap();
+    // Decode the witness row into an assignment and check it satisfies φ.
+    let assignment: Vec<bool> = w
+        .values
+        .iter()
+        .map(|v| match v {
+            Some(val) => val.as_int().expect("boolean encoded as int") == 1,
+            // Wildcard variables are unconstrained — either value works;
+            // pick false.
+            None => false,
+        })
+        .collect();
+    assert!(inst.satisfied_by(&assignment), "witness must satisfy the formula");
+}
+
+#[test]
+fn unsatisfiable_core_has_zero_sensitivity() {
+    // Classic UNSAT core over 3 variables: all 8 sign patterns of
+    // (±v1 ∨ ±v2 ∨ ±v3) — no assignment satisfies all.
+    let mut clauses = Vec::new();
+    for mask in 0..8i32 {
+        let lit = |v: i32, bit: i32| if mask & (1 << bit) != 0 { v } else { -v };
+        clauses.push([lit(1, 0), lit(2, 1), lit(3, 2)]);
+    }
+    let inst = Sat3Instance { num_vars: 3, clauses };
+    assert!(!brute_force_satisfiable(&inst));
+    let (db, q) = reduction_instance(&inst).unwrap();
+    let report = local_sensitivity(&db, &q).unwrap();
+    assert_eq!(report.local_sensitivity, 0);
+    assert!(report.witness.is_none());
+}
+
+#[test]
+fn reduction_agrees_with_naive_on_tiny_instances() {
+    for seed in 0..6u64 {
+        let inst = random_3sat(seed, 4, 5);
+        let (db, q) = reduction_instance(&inst).unwrap();
+        let fast = local_sensitivity(&db, &q).unwrap();
+        let slow = naive_local_sensitivity(&db, &q);
+        assert_eq!(fast.local_sensitivity, slow.local_sensitivity, "seed {seed}");
+    }
+}
