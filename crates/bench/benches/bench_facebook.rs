@@ -14,7 +14,12 @@ fn bench_facebook(c: &mut Criterion) {
         let (qw, tw) = facebook::qw(&db).unwrap();
         let (qo, to) = facebook::qo(&db).unwrap();
         let (qs, ts) = facebook::qs(&db).unwrap();
-        vec![("q4", q4, t4), ("qw", qw, tw), ("qo", qo, to), ("qs", qs, ts)]
+        vec![
+            ("q4", q4, t4),
+            ("qw", qw, tw),
+            ("qo", qo, to),
+            ("qs", qs, ts),
+        ]
     };
     let mut group = c.benchmark_group("facebook");
     for (name, q, tree) in &cases {

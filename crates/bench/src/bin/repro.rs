@@ -58,10 +58,15 @@ fn parse_args() -> (String, Options) {
     let mut opts = Options::default();
     while let Some(flag) = args.next() {
         let mut value = |name: &str| -> String {
-            args.next().unwrap_or_else(|| usage(&format!("{name} needs a value")))
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{name} needs a value")))
         };
         match flag.as_str() {
-            "--seed" => opts.seed = value("--seed").parse().unwrap_or_else(|_| usage("bad --seed")),
+            "--seed" => {
+                opts.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --seed"))
+            }
             "--scales" => {
                 opts.scales = value("--scales")
                     .split(',')
@@ -69,19 +74,30 @@ fn parse_args() -> (String, Options) {
                     .collect();
             }
             "--q3-max-scale" => {
-                opts.q3_max_scale =
-                    value("--q3-max-scale").parse().unwrap_or_else(|_| usage("bad --q3-max-scale"));
+                opts.q3_max_scale = value("--q3-max-scale")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --q3-max-scale"));
             }
             "--fig6b-scale" => {
-                opts.fig6b_scale =
-                    value("--fig6b-scale").parse().unwrap_or_else(|_| usage("bad --fig6b-scale"));
+                opts.fig6b_scale = value("--fig6b-scale")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --fig6b-scale"));
             }
             "--table2-scale" => {
-                opts.table2_scale =
-                    value("--table2-scale").parse().unwrap_or_else(|_| usage("bad --table2-scale"));
+                opts.table2_scale = value("--table2-scale")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --table2-scale"));
             }
-            "--runs" => opts.runs = value("--runs").parse().unwrap_or_else(|_| usage("bad --runs")),
-            "--eps" => opts.eps = value("--eps").parse().unwrap_or_else(|_| usage("bad --eps")),
+            "--runs" => {
+                opts.runs = value("--runs")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --runs"))
+            }
+            "--eps" => {
+                opts.eps = value("--eps")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --eps"))
+            }
             "--fb-small" => opts.fb = small_params(),
             other => usage(&format!("unknown option {other}")),
         }
@@ -105,12 +121,22 @@ fn main() {
     let run_fig6b = || println!("{}", experiments::fig6b(o.fig6b_scale, o.seed));
     let run_fig7 = || println!("{}", experiments::fig7(&o.scales, o.q3_max_scale, o.seed));
     let run_table1 = || println!("{}", experiments::table1(o.fb, o.seed));
-    let run_table2 =
-        || println!("{}", experiments::table2(o.table2_scale, o.fb, o.eps, o.runs, o.seed));
+    let run_table2 = || {
+        println!(
+            "{}",
+            experiments::table2(o.table2_scale, o.fb, o.eps, o.runs, o.seed)
+        )
+    };
     let run_param_l = || {
         println!(
             "{}",
-            experiments::param_l(o.fb, &[1, 10, 100, 1000, 2000, 5000, 200_000], o.eps, o.runs, o.seed)
+            experiments::param_l(
+                o.fb,
+                &[1, 10, 100, 1000, 2000, 5000, 200_000],
+                o.eps,
+                o.runs,
+                o.seed
+            )
         )
     };
     match command.as_str() {

@@ -55,8 +55,16 @@ pub fn tpch_queries(db: &Database, attrs: tpch::TpchAttrs) -> Vec<PreparedQuery>
             policy: PrivSqlPolicy {
                 primary_atom: 2,
                 cascades: vec![
-                    CascadeRule { atom: 3, parent: 2, key: vec![attrs.ck] },
-                    CascadeRule { atom: 4, parent: 3, key: vec![attrs.ok] },
+                    CascadeRule {
+                        atom: 3,
+                        parent: 2,
+                        key: vec![attrs.ck],
+                    },
+                    CascadeRule {
+                        atom: 4,
+                        parent: 3,
+                        key: vec![attrs.ok],
+                    },
                 ],
                 max_threshold: 512,
             },
@@ -72,8 +80,16 @@ pub fn tpch_queries(db: &Database, attrs: tpch::TpchAttrs) -> Vec<PreparedQuery>
             policy: PrivSqlPolicy {
                 primary_atom: 1,
                 cascades: vec![
-                    CascadeRule { atom: 0, parent: 1, key: vec![attrs.sk] },
-                    CascadeRule { atom: 3, parent: 0, key: vec![attrs.sk, attrs.pk] },
+                    CascadeRule {
+                        atom: 0,
+                        parent: 1,
+                        key: vec![attrs.sk],
+                    },
+                    CascadeRule {
+                        atom: 3,
+                        parent: 0,
+                        key: vec![attrs.sk, attrs.pk],
+                    },
                 ],
                 max_threshold: 512,
             },
@@ -89,8 +105,16 @@ pub fn tpch_queries(db: &Database, attrs: tpch::TpchAttrs) -> Vec<PreparedQuery>
             policy: PrivSqlPolicy {
                 primary_atom: 2,
                 cascades: vec![
-                    CascadeRule { atom: 3, parent: 2, key: vec![attrs.ck] },
-                    CascadeRule { atom: 7, parent: 3, key: vec![attrs.ok] },
+                    CascadeRule {
+                        atom: 3,
+                        parent: 2,
+                        key: vec![attrs.ck],
+                    },
+                    CascadeRule {
+                        atom: 7,
+                        parent: 3,
+                        key: vec![attrs.ok],
+                    },
                 ],
                 max_threshold: 512,
             },
@@ -204,10 +228,21 @@ pub fn fig6a(scales: &[f64], q3_max_scale: f64, seed: u64) -> Fig6a {
 
 impl fmt::Display for Fig6a {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 6a — local sensitivity (TSens vs Elastic) vs TPC-H scale")?;
-        writeln!(f, "{:>10} {:>4} {:>20} {:>20} {:>10}", "scale", "q", "TSens", "Elastic", "ratio")?;
+        writeln!(
+            f,
+            "Figure 6a — local sensitivity (TSens vs Elastic) vs TPC-H scale"
+        )?;
+        writeln!(
+            f,
+            "{:>10} {:>4} {:>20} {:>20} {:>10}",
+            "scale", "q", "TSens", "Elastic", "ratio"
+        )?;
         for p in &self.points {
-            let ratio = if p.tsens == 0 { f64::NAN } else { p.elastic as f64 / p.tsens as f64 };
+            let ratio = if p.tsens == 0 {
+                f64::NAN
+            } else {
+                p.elastic as f64 / p.tsens as f64
+            };
             writeln!(
                 f,
                 "{:>10} {:>4} {:>20} {:>20} {:>10.1}",
@@ -250,7 +285,10 @@ pub struct Fig6b {
 /// Lineitem is reported as "skip" with sensitivity 1 (FK-PK cap, §7.2).
 pub fn fig6b(scale: f64, seed: u64) -> Fig6b {
     let (db, attrs) = tpch::tpch_database(scale, seed);
-    let pq = tpch_queries(&db, attrs).into_iter().nth(2).expect("q3 is third");
+    let pq = tpch_queries(&db, attrs)
+        .into_iter()
+        .nth(2)
+        .expect("q3 is third");
     let report = tsens_with_skips(&db, &pq.cq, &pq.tree, &pq.skips);
     let plan = plan_order_from_tree(&pq.tree);
     let elastic = elastic_sensitivity(&db, &pq.cq, &plan, 0);
@@ -344,8 +382,7 @@ pub fn fig7(scales: &[f64], q3_max_scale: f64, seed: u64) -> Fig7 {
             if pq.name == "q3" && scale > q3_max_scale {
                 continue;
             }
-            let (_, tsens_secs) =
-                time_it(|| tsens_with_skips(&db, &pq.cq, &pq.tree, &pq.skips));
+            let (_, tsens_secs) = time_it(|| tsens_with_skips(&db, &pq.cq, &pq.tree, &pq.skips));
             let plan = plan_order_from_tree(&pq.tree);
             let (_, elastic_secs) = time_it(|| elastic_sensitivity(&db, &pq.cq, &plan, 0));
             let (_, eval_secs) = time_it(|| count_query(&db, &pq.cq, &pq.tree));
@@ -417,8 +454,7 @@ pub fn table1(params: FacebookParams, seed: u64) -> Table1 {
     let db = facebook::facebook_database(params, seed);
     let mut rows = Vec::new();
     for pq in facebook_queries(&db) {
-        let (report, tsens_secs) =
-            time_it(|| tsens_with_skips(&db, &pq.cq, &pq.tree, &pq.skips));
+        let (report, tsens_secs) = time_it(|| tsens_with_skips(&db, &pq.cq, &pq.tree, &pq.skips));
         let plan = plan_order_from_tree(&pq.tree);
         let (elastic, elastic_secs) = time_it(|| elastic_sensitivity(&db, &pq.cq, &plan, 0));
         let (_, eval_secs) = time_it(|| count_query(&db, &pq.cq, &pq.tree));
@@ -436,7 +472,10 @@ pub fn table1(params: FacebookParams, seed: u64) -> Table1 {
 
 impl fmt::Display for Table1 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table 1 — Facebook queries: local sensitivity and runtime")?;
+        writeln!(
+            f,
+            "Table 1 — Facebook queries: local sensitivity and runtime"
+        )?;
         writeln!(
             f,
             "{:>4} {:>16} {:>16} | {:>10} {:>10} {:>12}",
@@ -591,7 +630,10 @@ pub fn table2(
 
 impl fmt::Display for Table2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table 2 — DP query answering: TSensDP vs PrivSQL (medians)")?;
+        writeln!(
+            f,
+            "Table 2 — DP query answering: TSensDP vs PrivSQL (medians)"
+        )?;
         writeln!(
             f,
             "{:>4} {:>12} {:<9} {:>10} {:>10} {:>16} {:>8}",
@@ -651,10 +693,15 @@ pub fn param_l(
     seed: u64,
 ) -> ParamL {
     let db = facebook::facebook_database(params, seed);
-    let pq = facebook_queries(&db).into_iter().nth(3).expect("q* is fourth");
+    let pq = facebook_queries(&db)
+        .into_iter()
+        .nth(3)
+        .expect("q* is fourth");
     let table = multiplicity_table_for(&db, &pq.cq, &pq.tree, pq.private_atom);
     let profile = TruncationProfile::build(&db, &pq.cq, pq.private_atom, &table);
-    let true_ls = table.max_sensitivity(&pq.cq.atoms()[pq.private_atom].schema).sensitivity;
+    let true_ls = table
+        .max_sensitivity(&pq.cq.atoms()[pq.private_atom].schema)
+        .sensitivity;
     let mut rows = Vec::new();
     for &ell in ells {
         let mut thresholds = Vec::new();
@@ -684,7 +731,11 @@ impl fmt::Display for ParamL {
             "§7.3 parameter study — ℓ sweep on q* (true local sensitivity of R2: {})",
             fmt_count(self.true_ls)
         )?;
-        writeln!(f, "{:>8} {:>12} {:>10} {:>10}", "ℓ", "threshold", "bias", "error")?;
+        writeln!(
+            f,
+            "{:>8} {:>12} {:>10} {:>10}",
+            "ℓ", "threshold", "bias", "error"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,

@@ -58,9 +58,7 @@ fn schema_components<'a>(inputs: &[&'a CountedRelation]) -> Vec<Vec<&'a CountedR
         let mut frontier = vec![start];
         while let Some(i) = frontier.pop() {
             for j in 0..n {
-                if !assigned[j]
-                    && !inputs[i].schema().is_disjoint_from(inputs[j].schema())
-                {
+                if !assigned[j] && !inputs[i].schema().is_disjoint_from(inputs[j].schema()) {
                     assigned[j] = true;
                     comp.push(j);
                     frontier.push(j);
@@ -105,8 +103,7 @@ pub(crate) fn assemble_table(
     let pred = atom.predicate.clone();
     let covered_ref = covered.clone();
     table.retain(|row| {
-        pred.eval_partial(&|a| covered_ref.position(a).map(|pos| row[pos].clone()))
-            != Some(false)
+        pred.eval_partial(&|a| covered_ref.position(a).map(|pos| row[pos].clone())) != Some(false)
     });
     MultiplicityTable::new(atom.relation, covered, table)
 }
@@ -150,7 +147,9 @@ pub fn multiplicity_tables(
             out[ai] = Some(table_for_atom(cq, tree, &passes, v, ai));
         }
     }
-    out.into_iter().map(|t| t.expect("every atom is in a bag")).collect()
+    out.into_iter()
+        .map(|t| t.expect("every atom is in a bag"))
+        .collect()
 }
 
 /// Compute the multiplicity table of a single atom — what TSensDP needs
@@ -499,7 +498,9 @@ mod tests {
             .unwrap();
         }
         let q = ConjunctiveQuery::over(&db, "p3", &["R0", "R1", "R2"]).unwrap();
-        let tree = tsens_query::gyo_decompose(&q).unwrap().expect_acyclic("path");
+        let tree = tsens_query::gyo_decompose(&q)
+            .unwrap()
+            .expect_acyclic("path");
         let tables = multiplicity_tables(&db, &q, &tree);
         // The middle relation R1 is constrained from both sides on
         // disjoint keys {B} and {C}: exactly two factors, never joined.

@@ -34,7 +34,9 @@ pub fn cap_top_k(rel: &CountedRelation, k: usize) -> CountedRelation {
     let kth = counts[k - 1];
     CountedRelation::from_pairs(
         rel.schema().clone(),
-        rel.iter().map(|(row, c)| (row.clone(), (*c).max(kth))).collect(),
+        rel.iter()
+            .map(|(row, c)| (row.clone(), (*c).max(kth)))
+            .collect(),
     )
 }
 
@@ -186,7 +188,10 @@ mod tests {
             }
             // Unbounded k reproduces the exact value.
             let full = tsens_topk(&db, &q, &tree, 1_000_000);
-            assert_eq!(full.local_sensitivity, exact.local_sensitivity, "seed {seed}");
+            assert_eq!(
+                full.local_sensitivity, exact.local_sensitivity,
+                "seed {seed}"
+            );
         }
     }
 }

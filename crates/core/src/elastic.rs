@@ -22,9 +22,9 @@
 //! (its static analysis "will output the same value as for a query without
 //! the selection operators") — that is part of why TSens beats it.
 
+use std::collections::BTreeSet;
 use tsens_data::{sat_mul, AttrId, Count, Database, FastMap, Row, Schema};
 use tsens_query::{ConjunctiveQuery, DecompositionTree};
-use std::collections::BTreeSet;
 
 /// Elastic sensitivity bounds for a query: one bound per atom treated as
 /// the (only) private relation, plus the overall maximum.
@@ -67,7 +67,13 @@ struct MfOracle<'a> {
 }
 
 impl<'a> MfOracle<'a> {
-    fn new(db: &'a Database, cq: &ConjunctiveQuery, plan: &[usize], private: usize, k: Count) -> Self {
+    fn new(
+        db: &'a Database,
+        cq: &ConjunctiveQuery,
+        plan: &[usize],
+        private: usize,
+        k: Count,
+    ) -> Self {
         let plan_atoms: Vec<(usize, Schema)> = plan
             .iter()
             .map(|&ai| {
@@ -163,8 +169,16 @@ impl<'a> MfOracle<'a> {
         }
         let join = self.join_key(j);
         let leaf_attrs: AttrSet = self.plan_atoms[j].1.attrs().iter().copied().collect();
-        let x1: AttrSet = x.iter().copied().filter(|a| self.node_attrs[j - 1].contains(a)).collect();
-        let x2: AttrSet = x.iter().copied().filter(|a| leaf_attrs.contains(a)).collect();
+        let x1: AttrSet = x
+            .iter()
+            .copied()
+            .filter(|a| self.node_attrs[j - 1].contains(a))
+            .collect();
+        let x2: AttrSet = x
+            .iter()
+            .copied()
+            .filter(|a| leaf_attrs.contains(a))
+            .collect();
         // Anchor on the left subplan: each left row joins ≤ mf(J ∪ X2, leaf).
         let j_or_x2: AttrSet = join.union(&x2).copied().collect();
         let b1 = sat_mul(
@@ -228,7 +242,10 @@ pub fn elastic_sensitivity(
         overall = overall.max(s);
         per_relation.push((atom.relation, s));
     }
-    ElasticReport { per_relation, overall }
+    ElasticReport {
+        per_relation,
+        overall,
+    }
 }
 
 /// Flex's **β-smooth** elastic sensitivity:
@@ -285,7 +302,9 @@ mod tests {
         let mk = |rows: &[(i64, i64)], s1, s2| {
             Relation::from_rows(
                 Schema::new(vec![s1, s2]),
-                rows.iter().map(|&(x, y)| vec![Value::Int(x), Value::Int(y)]).collect(),
+                rows.iter()
+                    .map(|&(x, y)| vec![Value::Int(x), Value::Int(y)])
+                    .collect(),
             )
         };
         db.add_relation("R", mk(r_rows, a, b)).unwrap();
@@ -338,7 +357,11 @@ mod tests {
             "R",
             Relation::from_rows(
                 Schema::new(vec![a]),
-                vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(3)]],
+                vec![
+                    vec![Value::Int(1)],
+                    vec![Value::Int(2)],
+                    vec![Value::Int(3)],
+                ],
             ),
         )
         .unwrap();
@@ -379,7 +402,9 @@ mod tests {
         let mut db = Database::new();
         let [a, b, c, d] = db.attrs(["A", "B", "C", "D"]);
         let rows = |v: &[(i64, i64)]| -> Vec<Vec<Value>> {
-            v.iter().map(|&(x, y)| vec![Value::Int(x), Value::Int(y)]).collect()
+            v.iter()
+                .map(|&(x, y)| vec![Value::Int(x), Value::Int(y)])
+                .collect()
         };
         db.add_relation(
             "R1",

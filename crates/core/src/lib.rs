@@ -31,7 +31,9 @@ pub mod naive;
 pub mod path;
 pub mod report;
 
-pub use acyclic::{multiplicity_table_for, multiplicity_tables, tsens, tsens_parallel, tsens_with_skips};
+pub use acyclic::{
+    multiplicity_table_for, multiplicity_tables, tsens, tsens_parallel, tsens_with_skips,
+};
 pub use approx::tsens_topk;
 pub use elastic::{elastic_sensitivity, plan_order_from_tree, smooth_elastic_bound, ElasticReport};
 pub use naive::naive_local_sensitivity;

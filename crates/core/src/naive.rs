@@ -91,7 +91,11 @@ mod tests {
             "R",
             Relation::from_rows(
                 Schema::new(vec![a]),
-                vec![vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]],
+                vec![
+                    vec![Value::Int(1)],
+                    vec![Value::Int(1)],
+                    vec![Value::Int(2)],
+                ],
             ),
         )
         .unwrap();
@@ -123,7 +127,8 @@ mod tests {
             Relation::from_rows(Schema::new(vec![a]), vec![vec![Value::Int(1)]]),
         )
         .unwrap();
-        db.add_relation("S", Relation::new(Schema::new(vec![a]))).unwrap();
+        db.add_relation("S", Relation::new(Schema::new(vec![a])))
+            .unwrap();
         let q = ConjunctiveQuery::over(&db, "rs", &["R", "S"]).unwrap();
         let report = naive_local_sensitivity(&db, &q);
         assert_eq!(report.local_sensitivity, 1);

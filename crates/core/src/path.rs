@@ -42,7 +42,10 @@ pub fn tsens_path(db: &Database, cq: &ConjunctiveQuery) -> Option<SensitivityRep
         let rs = RelationSensitivity {
             relation: rel,
             sensitivity: 1,
-            witness: Some(TupleRef { relation: rel, values: vec![None; arity] }),
+            witness: Some(TupleRef {
+                relation: rel,
+                values: vec![None; arity],
+            }),
         };
         return Some(SensitivityReport::from_per_relation(vec![rs]));
     }
@@ -81,15 +84,27 @@ pub fn tsens_path(db: &Database, cq: &ConjunctiveQuery) -> Option<SensitivityRep
     for i in 0..m {
         let rel = cq.atoms()[order[i]].relation;
         let schema = atom_schema(i);
-        let top_entry = if i == 0 { None } else { Some(tops[i - 1].max_entry()) };
-        let bot_entry = if i == m - 1 { None } else { Some(bots[i].max_entry()) };
+        let top_entry = if i == 0 {
+            None
+        } else {
+            Some(tops[i - 1].max_entry())
+        };
+        let bot_entry = if i == m - 1 {
+            None
+        } else {
+            Some(bots[i].max_entry())
+        };
 
         // An interior relation whose incoming or outgoing side is empty
         // cannot contribute any output tuple: sensitivity 0.
         let (top_vals, top_cnt) = match top_entry {
             None => (None, 1),
             Some(None) => {
-                per_relation.push(RelationSensitivity { relation: rel, sensitivity: 0, witness: None });
+                per_relation.push(RelationSensitivity {
+                    relation: rel,
+                    sensitivity: 0,
+                    witness: None,
+                });
                 continue;
             }
             Some(Some((row, c))) => (Some((&tops[i - 1], row)), c),
@@ -97,7 +112,11 @@ pub fn tsens_path(db: &Database, cq: &ConjunctiveQuery) -> Option<SensitivityRep
         let (bot_vals, bot_cnt) = match bot_entry {
             None => (None, 1),
             Some(None) => {
-                per_relation.push(RelationSensitivity { relation: rel, sensitivity: 0, witness: None });
+                per_relation.push(RelationSensitivity {
+                    relation: rel,
+                    sensitivity: 0,
+                    witness: None,
+                });
                 continue;
             }
             Some(Some((row, c))) => (Some((&bots[i], row)), c),
@@ -117,7 +136,10 @@ pub fn tsens_path(db: &Database, cq: &ConjunctiveQuery) -> Option<SensitivityRep
         per_relation.push(RelationSensitivity {
             relation: rel,
             sensitivity: sat_mul(top_cnt, bot_cnt),
-            witness: Some(TupleRef { relation: rel, values }),
+            witness: Some(TupleRef {
+                relation: rel,
+                values,
+            }),
         });
     }
     per_relation.sort_by_key(|rs| rs.relation);
@@ -207,7 +229,8 @@ mod tests {
         let mut db = Database::new();
         let [a, b, c, d] = db.attrs(["A", "B", "C", "D"]);
         for (n, s1, s2) in [("R1", a, b), ("R2", b, c), ("R3", b, d)] {
-            db.add_relation(n, Relation::new(Schema::new(vec![s1, s2]))).unwrap();
+            db.add_relation(n, Relation::new(Schema::new(vec![s1, s2])))
+                .unwrap();
         }
         let q = ConjunctiveQuery::over(&db, "y", &["R1", "R2", "R3"]).unwrap();
         assert!(tsens_path(&db, &q).is_none());
@@ -245,7 +268,10 @@ mod tests {
         let [a, b] = db.attrs(["A", "B"]);
         db.add_relation(
             "R",
-            Relation::from_rows(Schema::new(vec![a, b]), vec![vec![Value::Int(1), Value::Int(2)]]),
+            Relation::from_rows(
+                Schema::new(vec![a, b]),
+                vec![vec![Value::Int(1), Value::Int(2)]],
+            ),
         )
         .unwrap();
         let q = ConjunctiveQuery::over(&db, "one", &["R"]).unwrap();

@@ -1,9 +1,9 @@
 //! Result types: tuple references, sensitivity reports, and per-relation
 //! multiplicity tables.
 
+use std::fmt;
 use tsens_data::fast::fast_map_with_capacity;
 use tsens_data::{sat_mul, Count, CountedRelation, Database, FastMap, Row, Schema, Value};
-use std::fmt;
 
 /// A (possibly partial) tuple of one relation: one entry per schema
 /// column, `None` meaning "any value" — the paper's extrapolated
@@ -81,7 +81,11 @@ impl SensitivityReport {
             Some(rs) => (rs.sensitivity, rs.witness.clone()),
             None => (0, None),
         };
-        SensitivityReport { local_sensitivity: ls, witness, per_relation }
+        SensitivityReport {
+            local_sensitivity: ls,
+            witness,
+            per_relation,
+        }
     }
 }
 
@@ -105,7 +109,11 @@ impl Factor {
             index.insert(row.clone(), *c);
         }
         let max = rel.max_entry().map(|(r, c)| (r.clone(), c));
-        Factor { schema: rel.schema().clone(), index, max }
+        Factor {
+            schema: rel.schema().clone(),
+            index,
+            max,
+        }
     }
 }
 
@@ -211,7 +219,10 @@ impl MultiplicityTable {
         RelationSensitivity {
             relation: self.relation,
             sensitivity,
-            witness: Some(TupleRef { relation: self.relation, values }),
+            witness: Some(TupleRef {
+                relation: self.relation,
+                values,
+            }),
         }
     }
 
@@ -289,7 +300,10 @@ mod tests {
         let mk = |rel: usize, s: Count| RelationSensitivity {
             relation: rel,
             sensitivity: s,
-            witness: Some(TupleRef { relation: rel, values: vec![] }),
+            witness: Some(TupleRef {
+                relation: rel,
+                values: vec![],
+            }),
         };
         let report = SensitivityReport::from_per_relation(vec![mk(0, 3), mk(1, 7), mk(2, 7)]);
         assert_eq!(report.local_sensitivity, 7);
@@ -347,8 +361,7 @@ mod tests {
     #[test]
     fn materialise_matches_factored_lookups() {
         let f0 = CountedRelation::from_pairs(schema(&[0]), vec![(row(&[1]), 3), (row(&[2]), 5)]);
-        let f1 =
-            CountedRelation::from_pairs(schema(&[2]), vec![(row(&[9]), 7), (row(&[8]), 2)]);
+        let f1 = CountedRelation::from_pairs(schema(&[2]), vec![(row(&[9]), 7), (row(&[8]), 2)]);
         let mt = MultiplicityTable::from_factors(0, vec![f0, f1]);
         let mat = mt.materialise();
         assert_eq!(mat.len(), 4);

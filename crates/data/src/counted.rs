@@ -4,11 +4,11 @@
 //! a [`Count`], and the engine's operators (`r⋈`, `γ`) multiply and sum
 //! those counts instead of materialising duplicate rows.
 
+use crate::fast::{fast_map_with_capacity, FastMap};
 use crate::relation::{Relation, Row};
 use crate::schema::Schema;
 use crate::value::Value;
 use crate::{sat_add, Count};
-use crate::fast::{fast_map_with_capacity, FastMap};
 use std::fmt;
 
 /// A relation whose rows carry multiplicities.
@@ -25,7 +25,10 @@ pub struct CountedRelation {
 impl CountedRelation {
     /// An empty counted relation over `schema`.
     pub fn new(schema: Schema) -> Self {
-        CountedRelation { schema, rows: Vec::new() }
+        CountedRelation {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Build from `(row, count)` pairs.
@@ -34,7 +37,11 @@ impl CountedRelation {
     /// Panics if any row's arity differs from the schema's.
     pub fn from_pairs(schema: Schema, rows: Vec<(Row, Count)>) -> Self {
         for (row, _) in &rows {
-            assert_eq!(row.len(), schema.arity(), "row arity must match schema arity");
+            assert_eq!(
+                row.len(),
+                schema.arity(),
+                "row arity must match schema arity"
+            );
         }
         CountedRelation { schema, rows }
     }
@@ -49,7 +56,10 @@ impl CountedRelation {
         let mut rows: Vec<(Row, Count)> = groups.into_iter().collect();
         // Deterministic order: downstream algorithms use "first max" tie-breaks.
         rows.sort_unstable();
-        CountedRelation { schema: rel.schema().clone(), rows }
+        CountedRelation {
+            schema: rel.schema().clone(),
+            rows,
+        }
     }
 
     /// The single row of the "unit" relation: empty schema, one row, count 1.
@@ -91,7 +101,11 @@ impl CountedRelation {
     /// # Panics
     /// Panics if the row arity differs from the schema arity.
     pub fn push(&mut self, row: Row, count: Count) {
-        assert_eq!(row.len(), self.schema.arity(), "row arity must match schema arity");
+        assert_eq!(
+            row.len(),
+            self.schema.arity(),
+            "row arity must match schema arity"
+        );
         self.rows.push((row, count));
     }
 
@@ -114,7 +128,10 @@ impl CountedRelation {
         }
         let mut rows: Vec<(Row, Count)> = groups.into_iter().collect();
         rows.sort_unstable();
-        CountedRelation { schema: target.clone(), rows }
+        CountedRelation {
+            schema: target.clone(),
+            rows,
+        }
     }
 
     /// The entry with the largest count, ties broken by smallest row

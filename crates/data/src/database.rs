@@ -126,7 +126,12 @@ impl Database {
 
 impl fmt::Debug for Database {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Database [{} relations, {} tuples]", self.relation_count(), self.total_tuples())?;
+        writeln!(
+            f,
+            "Database [{} relations, {} tuples]",
+            self.relation_count(),
+            self.total_tuples()
+        )?;
         for (i, name, rel) in self.iter() {
             writeln!(f, "  #{i} {name}{:?}: {} rows", rel.schema(), rel.len())?;
         }

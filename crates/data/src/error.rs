@@ -27,7 +27,10 @@ impl fmt::Display for DataError {
             DataError::UnknownRelation(n) => write!(f, "unknown relation {n:?}"),
             DataError::UnknownAttribute(n) => write!(f, "unknown attribute {n:?}"),
             DataError::ArityMismatch { expected, actual } => {
-                write!(f, "row arity {actual} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "row arity {actual} does not match schema arity {expected}"
+                )
             }
         }
     }
@@ -46,10 +49,18 @@ mod tests {
             "relation \"R\" already exists"
         );
         assert_eq!(
-            DataError::ArityMismatch { expected: 2, actual: 3 }.to_string(),
+            DataError::ArityMismatch {
+                expected: 2,
+                actual: 3
+            }
+            .to_string(),
             "row arity 3 does not match schema arity 2"
         );
-        assert!(DataError::UnknownRelation("X".into()).to_string().contains("X"));
-        assert!(DataError::UnknownAttribute("A".into()).to_string().contains("A"));
+        assert!(DataError::UnknownRelation("X".into())
+            .to_string()
+            .contains("X"));
+        assert!(DataError::UnknownAttribute("A".into())
+            .to_string()
+            .contains("A"));
     }
 }

@@ -36,20 +36,31 @@ pub fn relation_from_csv_reader(
     let mut lines = reader.lines();
     let header = match lines.next() {
         Some(Ok(h)) => h,
-        _ => return Err(DataError::ArityMismatch { expected: 1, actual: 0 }),
+        _ => {
+            return Err(DataError::ArityMismatch {
+                expected: 1,
+                actual: 0,
+            })
+        }
     };
     let attrs: Vec<_> = header.split(',').map(|name| db.attr(name.trim())).collect();
     let schema = Schema::new(attrs);
     let arity = schema.arity();
     let mut rel = Relation::new(schema);
     for line in lines {
-        let line = line.map_err(|_| DataError::ArityMismatch { expected: arity, actual: 0 })?;
+        let line = line.map_err(|_| DataError::ArityMismatch {
+            expected: arity,
+            actual: 0,
+        })?;
         if line.trim().is_empty() {
             continue;
         }
         let row: Vec<Value> = line.split(',').map(parse_field).collect();
         if row.len() != arity {
-            return Err(DataError::ArityMismatch { expected: arity, actual: row.len() });
+            return Err(DataError::ArityMismatch {
+                expected: arity,
+                actual: row.len(),
+            });
         }
         rel.push(row);
     }
@@ -124,7 +135,13 @@ mod tests {
         let csv = "a,b\n1,2\n3\n";
         let mut db = Database::new();
         let err = relation_from_csv_reader(&mut db, Cursor::new(csv)).unwrap_err();
-        assert!(matches!(err, DataError::ArityMismatch { expected: 2, actual: 1 }));
+        assert!(matches!(
+            err,
+            DataError::ArityMismatch {
+                expected: 2,
+                actual: 1
+            }
+        ));
     }
 
     #[test]

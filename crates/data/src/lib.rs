@@ -33,11 +33,11 @@ pub mod schema;
 pub mod value;
 
 pub use attr::{AttrId, AttrRegistry};
-pub use fast::{FastMap, FastSet};
 pub use counted::CountedRelation;
 pub use database::Database;
 pub use domain::{active_domain, active_domain_multi};
 pub use error::DataError;
+pub use fast::{FastMap, FastSet};
 pub use relation::{Relation, Row};
 pub use schema::Schema;
 pub use value::Value;

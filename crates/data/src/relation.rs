@@ -21,7 +21,10 @@ pub struct Relation {
 impl Relation {
     /// An empty relation over `schema`.
     pub fn new(schema: Schema) -> Self {
-        Relation { schema, rows: Vec::new() }
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Build a relation from rows.
@@ -30,7 +33,11 @@ impl Relation {
     /// Panics if any row's arity differs from the schema's.
     pub fn from_rows(schema: Schema, rows: Vec<Row>) -> Self {
         for row in &rows {
-            assert_eq!(row.len(), schema.arity(), "row arity must match schema arity");
+            assert_eq!(
+                row.len(),
+                schema.arity(),
+                "row arity must match schema arity"
+            );
         }
         Relation { schema, rows }
     }
@@ -64,7 +71,11 @@ impl Relation {
     /// # Panics
     /// Panics if the row arity differs from the schema arity.
     pub fn push(&mut self, row: Row) {
-        assert_eq!(row.len(), self.schema.arity(), "row arity must match schema arity");
+        assert_eq!(
+            row.len(),
+            self.schema.arity(),
+            "row arity must match schema arity"
+        );
         self.rows.push(row);
     }
 
@@ -105,7 +116,10 @@ impl Relation {
             .iter()
             .map(|r| idx.iter().map(|&i| r[i].clone()).collect())
             .collect();
-        Relation { schema: target.clone(), rows }
+        Relation {
+            schema: target.clone(),
+            rows,
+        }
     }
 
     /// Keep only rows satisfying `pred`.

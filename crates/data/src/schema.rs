@@ -25,7 +25,11 @@ impl Schema {
         let mut seen = attrs.clone();
         seen.sort_unstable();
         seen.dedup();
-        assert_eq!(seen.len(), attrs.len(), "schema contains duplicate attributes");
+        assert_eq!(
+            seen.len(),
+            attrs.len(),
+            "schema contains duplicate attributes"
+        );
         Schema { attrs }
     }
 

@@ -138,11 +138,21 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_ints_sort_first() {
-        let mut vs = vec![Value::str("b"), Value::Int(10), Value::str("a"), Value::Int(-3)];
+        let mut vs = vec![
+            Value::str("b"),
+            Value::Int(10),
+            Value::str("a"),
+            Value::Int(-3),
+        ];
         vs.sort();
         assert_eq!(
             vs,
-            vec![Value::Int(-3), Value::Int(10), Value::str("a"), Value::str("b")]
+            vec![
+                Value::Int(-3),
+                Value::Int(10),
+                Value::str("a"),
+                Value::str("b")
+            ]
         );
     }
 

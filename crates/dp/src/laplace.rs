@@ -7,7 +7,10 @@ use rand::{Rng, RngExt};
 /// # Panics
 /// Panics if `scale` is not finite and positive.
 pub fn laplace_noise<R: Rng>(rng: &mut R, scale: f64) -> f64 {
-    assert!(scale.is_finite() && scale > 0.0, "Laplace scale must be positive");
+    assert!(
+        scale.is_finite() && scale > 0.0,
+        "Laplace scale must be positive"
+    );
     // u uniform in (-0.5, 0.5]; the open lower end avoids ln(0).
     let u: f64 = 0.5 - rng.random::<f64>();
     -scale * u.signum() * (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln()
@@ -18,13 +21,11 @@ pub fn laplace_noise<R: Rng>(rng: &mut R, scale: f64) -> f64 {
 ///
 /// # Panics
 /// Panics if `epsilon` or `sensitivity` is not finite and positive.
-pub fn laplace_mechanism<R: Rng>(
-    rng: &mut R,
-    value: f64,
-    sensitivity: f64,
-    epsilon: f64,
-) -> f64 {
-    assert!(epsilon.is_finite() && epsilon > 0.0, "epsilon must be positive");
+pub fn laplace_mechanism<R: Rng>(rng: &mut R, value: f64, sensitivity: f64, epsilon: f64) -> f64 {
+    assert!(
+        epsilon.is_finite() && epsilon > 0.0,
+        "epsilon must be positive"
+    );
     assert!(
         sensitivity.is_finite() && sensitivity > 0.0,
         "sensitivity must be positive"

@@ -93,12 +93,21 @@ impl PrivSqlResult {
 }
 
 /// Histogram of join-key frequencies for one relation.
-fn key_frequencies(db: &Database, cq: &ConjunctiveQuery, atom: usize, key: &[AttrId]) -> Vec<Count> {
+fn key_frequencies(
+    db: &Database,
+    cq: &ConjunctiveQuery,
+    atom: usize,
+    key: &[AttrId],
+) -> Vec<Count> {
     let a = &cq.atoms()[atom];
     let rel = db.relation(a.relation);
     let positions: Vec<usize> = key
         .iter()
-        .map(|&k| a.schema.position(k).expect("cascade key must be in the atom schema"))
+        .map(|&k| {
+            a.schema
+                .position(k)
+                .expect("cascade key must be in the atom schema")
+        })
         .collect();
     let mut freq: FastMap<Row, Count> = FastMap::default();
     for row in rel.rows() {
@@ -122,7 +131,10 @@ pub fn privsql_answer<R: Rng>(
     rng: &mut R,
 ) -> PrivSqlResult {
     assert!(epsilon > 0.0, "epsilon must be positive");
-    assert!(policy.primary_atom < cq.atom_count(), "primary atom out of range");
+    assert!(
+        policy.primary_atom < cq.atom_count(),
+        "primary atom out of range"
+    );
 
     let eps_learn = epsilon / 2.0;
     let eps_answer = epsilon / 2.0;
@@ -148,8 +160,8 @@ pub fn privsql_answer<R: Rng>(
         let freqs = key_frequencies(&work, cq, rule.atom, &rule.key);
         // SVT stream: q_i = −(#keys with frequency > i); the first i whose
         // noisy value reaches 0 means "(almost) nothing left to truncate".
-        let queries = (1..policy.max_threshold)
-            .map(|i| -(freqs.iter().filter(|&&f| f > i).count() as f64));
+        let queries =
+            (1..policy.max_threshold).map(|i| -(freqs.iter().filter(|&&f| f > i).count() as f64));
         let cap = match svt_first_above(rng, per_cascade_eps, delta, 0.0, queries) {
             Some(idx) => idx as Count + 1,
             None => policy.max_threshold,
@@ -235,8 +247,10 @@ mod tests {
             orders.push(vec![Value::Int(99), Value::Int(next_ok)]); // heavy
             next_ok += 1;
         }
-        db.add_relation("C", Relation::from_rows(Schema::new(vec![ck]), cust)).unwrap();
-        db.add_relation("O", Relation::from_rows(Schema::new(vec![ck, ok]), orders)).unwrap();
+        db.add_relation("C", Relation::from_rows(Schema::new(vec![ck]), cust))
+            .unwrap();
+        db.add_relation("O", Relation::from_rows(Schema::new(vec![ck, ok]), orders))
+            .unwrap();
         let q = ConjunctiveQuery::over(&db, "co", &["C", "O"]).unwrap();
         (db, q, vec![ck])
     }
@@ -247,7 +261,11 @@ mod tests {
         let tree = gyo_decompose(&q).unwrap().expect_acyclic("acyclic");
         let policy = PrivSqlPolicy {
             primary_atom: 0,
-            cascades: vec![CascadeRule { atom: 1, parent: 0, key }],
+            cascades: vec![CascadeRule {
+                atom: 1,
+                parent: 0,
+                key,
+            }],
             max_threshold: 64,
         };
         let mut rng = StdRng::seed_from_u64(1);
@@ -267,7 +285,11 @@ mod tests {
         // bias 0, error entirely from the (large) static GS.
         let (db, q, _) = fk_pair();
         let tree = gyo_decompose(&q).unwrap().expect_acyclic("acyclic");
-        let policy = PrivSqlPolicy { primary_atom: 0, cascades: vec![], max_threshold: 64 };
+        let policy = PrivSqlPolicy {
+            primary_atom: 0,
+            cascades: vec![],
+            max_threshold: 64,
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let r = privsql_answer(&db, &q, &tree, &policy, 2.0, &mut rng);
         assert_eq!(r.truncated_count, r.true_count);
@@ -282,7 +304,11 @@ mod tests {
         let tree = gyo_decompose(&q).unwrap().expect_acyclic("acyclic");
         let policy = PrivSqlPolicy {
             primary_atom: 0,
-            cascades: vec![CascadeRule { atom: 1, parent: 0, key }],
+            cascades: vec![CascadeRule {
+                atom: 1,
+                parent: 0,
+                key,
+            }],
             max_threshold: 64,
         };
         let run = |seed| {
@@ -297,7 +323,11 @@ mod tests {
     fn rejects_bad_epsilon() {
         let (db, q, _) = fk_pair();
         let tree = gyo_decompose(&q).unwrap().expect_acyclic("acyclic");
-        let policy = PrivSqlPolicy { primary_atom: 0, cascades: vec![], max_threshold: 8 };
+        let policy = PrivSqlPolicy {
+            primary_atom: 0,
+            cascades: vec![],
+            max_threshold: 8,
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let _ = privsql_answer(&db, &q, &tree, &policy, 0.0, &mut rng);
     }

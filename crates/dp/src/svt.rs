@@ -23,7 +23,10 @@ pub fn svt_first_above<R: Rng>(
     threshold: f64,
     queries: impl IntoIterator<Item = f64>,
 ) -> Option<usize> {
-    assert!(epsilon.is_finite() && epsilon > 0.0, "epsilon must be positive");
+    assert!(
+        epsilon.is_finite() && epsilon > 0.0,
+        "epsilon must be positive"
+    );
     assert!(
         sensitivity.is_finite() && sensitivity > 0.0,
         "sensitivity must be positive"

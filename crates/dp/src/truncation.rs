@@ -72,7 +72,11 @@ impl TruncationProfile {
                 }
             }
         }
-        TruncationProfile { deltas, prefix, row_deltas }
+        TruncationProfile {
+            deltas,
+            prefix,
+            row_deltas,
+        }
     }
 
     /// `|Q(T_TSens(Q, D, τ))|` — the bag count after truncating at `τ`.
@@ -154,7 +158,9 @@ mod tests {
         let mut db = Database::new();
         let [a, b, c] = db.attrs(["A", "B", "C"]);
         let rows = |v: &[(i64, i64)]| -> Vec<Vec<Value>> {
-            v.iter().map(|&(x, y)| vec![Value::Int(x), Value::Int(y)]).collect()
+            v.iter()
+                .map(|&(x, y)| vec![Value::Int(x), Value::Int(y)])
+                .collect()
         };
         db.add_relation(
             "R",
@@ -227,7 +233,8 @@ mod tests {
     fn empty_private_relation() {
         let mut db = Database::new();
         let a = db.attr("A");
-        db.add_relation("R", Relation::new(Schema::new(vec![a]))).unwrap();
+        db.add_relation("R", Relation::new(Schema::new(vec![a])))
+            .unwrap();
         db.add_relation(
             "S",
             Relation::from_rows(Schema::new(vec![a]), vec![vec![Value::Int(1)]]),

@@ -159,8 +159,10 @@ mod tests {
         for j in 0..50 {
             s_rows.push(vec![Value::Int(1000), Value::Int(j)]); // hot fan-out
         }
-        db.add_relation("R", Relation::from_rows(Schema::new(vec![a, b]), r_rows)).unwrap();
-        db.add_relation("S", Relation::from_rows(Schema::new(vec![b, c]), s_rows)).unwrap();
+        db.add_relation("R", Relation::from_rows(Schema::new(vec![a, b]), r_rows))
+            .unwrap();
+        db.add_relation("S", Relation::from_rows(Schema::new(vec![b, c]), s_rows))
+            .unwrap();
         let q = ConjunctiveQuery::over(&db, "skew", &["R", "S"]).unwrap();
         (db, q)
     }

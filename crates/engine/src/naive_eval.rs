@@ -133,7 +133,10 @@ mod tests {
         let [x, y] = db.attrs(["X", "Y"]);
         db.add_relation(
             "R",
-            Relation::from_rows(Schema::new(vec![x]), vec![vec![Value::Int(1)], vec![Value::Int(2)]]),
+            Relation::from_rows(
+                Schema::new(vec![x]),
+                vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+            ),
         )
         .unwrap();
         db.add_relation(

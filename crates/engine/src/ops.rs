@@ -316,7 +316,10 @@ mod tests {
 
     #[test]
     fn sort_merge_join_matches_hash_join() {
-        let r = counted(&[0, 1], &[(&[1, 10], 2), (&[2, 10], 3), (&[3, 99], 1), (&[1, 10], 1)]);
+        let r = counted(
+            &[0, 1],
+            &[(&[1, 10], 2), (&[2, 10], 3), (&[3, 99], 1), (&[1, 10], 1)],
+        );
         let s = counted(&[1, 2], &[(&[10, 7], 5), (&[10, 8], 1), (&[50, 1], 4)]);
         let a = hash_join(&r, &s).group(&schema(&[0, 1, 2]));
         let b = sort_merge_join(&r, &s).group(&schema(&[0, 1, 2]));

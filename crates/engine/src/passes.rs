@@ -73,10 +73,7 @@ pub fn bag_relations_from(
 /// entry's count is the bag-semantics output size `|Q(D)|` (this is where
 /// our implementation folds the paper's separate root case of Algorithm 2
 /// step I into the same formula).
-pub fn botjoin_pass(
-    tree: &DecompositionTree,
-    bags: &[CountedRelation],
-) -> Vec<CountedRelation> {
+pub fn botjoin_pass(tree: &DecompositionTree, bags: &[CountedRelation]) -> Vec<CountedRelation> {
     let mut bots: Vec<Option<CountedRelation>> = vec![None; tree.bag_count()];
     for v in tree.post_order() {
         let mut acc = bags[v].clone();

@@ -28,7 +28,12 @@ mod tests {
     use tsens_data::{Relation, Schema, Value};
     use tsens_query::{auto_decompose, gyo_decompose};
 
-    fn random_path_db(seed: u64, m: usize, rows: usize, domain: i64) -> (Database, ConjunctiveQuery) {
+    fn random_path_db(
+        seed: u64,
+        m: usize,
+        rows: usize,
+        domain: i64,
+    ) -> (Database, ConjunctiveQuery) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut db = Database::new();
         let attrs: Vec<_> = (0..=m).map(|i| db.attr(&format!("A{i}"))).collect();
@@ -56,7 +61,11 @@ mod tests {
         for seed in 0..10 {
             let (db, q) = random_path_db(seed, 4, 12, 4);
             let tree = gyo_decompose(&q).unwrap().expect_acyclic("path");
-            assert_eq!(count_query(&db, &q, &tree), naive_count(&db, &q), "seed {seed}");
+            assert_eq!(
+                count_query(&db, &q, &tree),
+                naive_count(&db, &q),
+                "seed {seed}"
+            );
         }
     }
 
@@ -91,7 +100,8 @@ mod tests {
             Relation::from_rows(Schema::new(vec![a]), vec![vec![Value::Int(1)]]),
         )
         .unwrap();
-        db.add_relation("S", Relation::new(Schema::new(vec![a, b]))).unwrap();
+        db.add_relation("S", Relation::new(Schema::new(vec![a, b])))
+            .unwrap();
         let q = ConjunctiveQuery::over(&db, "qe", &["R", "S"]).unwrap();
         let tree = gyo_decompose(&q).unwrap().expect_acyclic("acyclic");
         assert_eq!(count_query(&db, &q, &tree), 0);
@@ -105,7 +115,11 @@ mod tests {
             "R",
             Relation::from_rows(
                 Schema::new(vec![a]),
-                vec![vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]],
+                vec![
+                    vec![Value::Int(1)],
+                    vec![Value::Int(1)],
+                    vec![Value::Int(2)],
+                ],
             ),
         )
         .unwrap();

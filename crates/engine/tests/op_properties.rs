@@ -20,10 +20,7 @@ fn counted(sch: &[u32], entries: Vec<(Vec<i64>, Count)>) -> CountedRelation {
 }
 
 fn entries2(max: usize, domain: i64) -> impl Strategy<Value = Vec<(Vec<i64>, Count)>> {
-    prop::collection::vec(
-        (prop::collection::vec(0..domain, 2..=2), 1..5u128),
-        0..max,
-    )
+    prop::collection::vec((prop::collection::vec(0..domain, 2..=2), 1..5u128), 0..max)
 }
 
 proptest! {

@@ -120,7 +120,9 @@ pub fn is_doubly_acyclic_tree(tree: &DecompositionTree) -> bool {
 ///
 /// # Errors
 /// Propagates construction errors (empty or disconnected queries).
-pub fn classify(cq: &ConjunctiveQuery) -> Result<(QueryClass, Option<DecompositionTree>), QueryError> {
+pub fn classify(
+    cq: &ConjunctiveQuery,
+) -> Result<(QueryClass, Option<DecompositionTree>), QueryError> {
     if path_order(cq).is_some() {
         // Path queries are acyclic; still return the tree for callers.
         let tree = gyo_decompose(cq)?.expect_acyclic("path queries are acyclic");
@@ -212,7 +214,11 @@ mod tests {
 
     #[test]
     fn triangle_is_cyclic() {
-        let db = db_with(&[("R1", &["A", "B"]), ("R2", &["B", "C"]), ("R3", &["C", "A"])]);
+        let db = db_with(&[
+            ("R1", &["A", "B"]),
+            ("R2", &["B", "C"]),
+            ("R3", &["C", "A"]),
+        ]);
         let q = ConjunctiveQuery::over(&db, "tri", &["R1", "R2", "R3"]).unwrap();
         let (class, tree) = classify(&q).unwrap();
         assert_eq!(class, QueryClass::Cyclic);
@@ -221,7 +227,11 @@ mod tests {
 
     #[test]
     fn attr_in_three_atoms_breaks_path() {
-        let db = db_with(&[("R1", &["A", "B"]), ("R2", &["B", "C"]), ("R3", &["B", "D"])]);
+        let db = db_with(&[
+            ("R1", &["A", "B"]),
+            ("R2", &["B", "C"]),
+            ("R3", &["B", "D"]),
+        ]);
         let q = ConjunctiveQuery::over(&db, "y", &["R1", "R2", "R3"]).unwrap();
         assert!(path_order(&q).is_none());
     }

@@ -52,7 +52,10 @@ impl ConjunctiveQuery {
                 predicate: Predicate::True,
             });
         }
-        Ok(ConjunctiveQuery { name: name.to_owned(), atoms })
+        Ok(ConjunctiveQuery {
+            name: name.to_owned(),
+            atoms,
+        })
     }
 
     /// Attach a selection predicate to the atom over relation `rel_name`.

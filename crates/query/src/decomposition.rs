@@ -10,8 +10,8 @@
 use crate::cq::ConjunctiveQuery;
 use crate::error::QueryError;
 use crate::hypergraph::Hypergraph;
-use tsens_data::Schema;
 use std::collections::BTreeSet;
+use tsens_data::Schema;
 
 /// One node of a decomposition tree: the atoms assigned to it and the
 /// union of their schemas.
@@ -130,7 +130,12 @@ impl DecompositionTree {
                 Bag { atoms, schema }
             })
             .collect();
-        let tree = DecompositionTree { bags, parent, children, root };
+        let tree = DecompositionTree {
+            bags,
+            parent,
+            children,
+            root,
+        };
         tree.check_running_intersection()?;
         Ok(tree)
     }
@@ -210,7 +215,11 @@ impl DecompositionTree {
     pub fn neighbors(&self, i: usize) -> Vec<usize> {
         match self.parent[i] {
             None => Vec::new(),
-            Some(p) => self.children[p].iter().copied().filter(|&c| c != i).collect(),
+            Some(p) => self.children[p]
+                .iter()
+                .copied()
+                .filter(|&c| c != i)
+                .collect(),
         }
     }
 
@@ -422,7 +431,11 @@ mod tests {
 
     #[test]
     fn auto_decompose_triangle_merges() {
-        let db = db_with(&[("R1", &["A", "B"]), ("R2", &["B", "C"]), ("R3", &["C", "A"])]);
+        let db = db_with(&[
+            ("R1", &["A", "B"]),
+            ("R2", &["B", "C"]),
+            ("R3", &["C", "A"]),
+        ]);
         let q = ConjunctiveQuery::over(&db, "tri", &["R1", "R2", "R3"]).unwrap();
         let t = auto_decompose(&q).unwrap();
         assert!(!t.is_join_tree());
@@ -432,7 +445,11 @@ mod tests {
 
     #[test]
     fn ghd_for_triangle_validates() {
-        let db = db_with(&[("R1", &["A", "B"]), ("R2", &["B", "C"]), ("R3", &["C", "A"])]);
+        let db = db_with(&[
+            ("R1", &["A", "B"]),
+            ("R2", &["B", "C"]),
+            ("R3", &["C", "A"]),
+        ]);
         let q = ConjunctiveQuery::over(&db, "tri", &["R1", "R2", "R3"]).unwrap();
         // Paper Fig 5b: bag {R1,R2} (A,B,C) with child {R3} (C,A).
         let t = DecompositionTree::new(&q, vec![vec![0, 1], vec![2]], vec![None, Some(0)]).unwrap();

@@ -22,7 +22,10 @@ impl fmt::Display for QueryError {
         match self {
             QueryError::UnknownRelation(n) => write!(f, "unknown relation {n:?}"),
             QueryError::SelfJoin(n) => {
-                write!(f, "relation {n:?} appears twice; self-joins are unsupported")
+                write!(
+                    f,
+                    "relation {n:?} appears twice; self-joins are unsupported"
+                )
             }
             QueryError::EmptyQuery => write!(f, "query has no atoms"),
             QueryError::Cyclic => write!(f, "query hypergraph is cyclic (GYO reduction stuck)"),
@@ -41,10 +44,16 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(QueryError::UnknownRelation("R".into()).to_string().contains("R"));
-        assert!(QueryError::SelfJoin("R".into()).to_string().contains("self-join"));
+        assert!(QueryError::UnknownRelation("R".into())
+            .to_string()
+            .contains("R"));
+        assert!(QueryError::SelfJoin("R".into())
+            .to_string()
+            .contains("self-join"));
         assert!(QueryError::Cyclic.to_string().contains("cyclic"));
         assert!(QueryError::EmptyQuery.to_string().contains("no atoms"));
-        assert!(QueryError::InvalidDecomposition("x".into()).to_string().contains("x"));
+        assert!(QueryError::InvalidDecomposition("x".into())
+            .to_string()
+            .contains("x"));
     }
 }

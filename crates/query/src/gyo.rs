@@ -56,7 +56,9 @@ pub fn gyo_decompose(cq: &ConjunctiveQuery) -> Result<GyoOutcome, QueryError> {
     let hg = Hypergraph::new(edges);
     match hg.gyo_parents() {
         None => Ok(GyoOutcome::Cyclic),
-        Some(parents) => Ok(GyoOutcome::Acyclic(DecompositionTree::singleton(cq, parents)?)),
+        Some(parents) => Ok(GyoOutcome::Acyclic(DecompositionTree::singleton(
+            cq, parents,
+        )?)),
     }
 }
 
@@ -95,7 +97,11 @@ mod tests {
 
     #[test]
     fn cyclic_query_reported() {
-        let db = db_with(&[("R1", &["A", "B"]), ("R2", &["B", "C"]), ("R3", &["C", "A"])]);
+        let db = db_with(&[
+            ("R1", &["A", "B"]),
+            ("R2", &["B", "C"]),
+            ("R3", &["C", "A"]),
+        ]);
         let q = ConjunctiveQuery::over(&db, "tri", &["R1", "R2", "R3"]).unwrap();
         assert!(matches!(gyo_decompose(&q).unwrap(), GyoOutcome::Cyclic));
     }
@@ -110,7 +116,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "boom")]
     fn expect_acyclic_panics_on_cyclic() {
-        let db = db_with(&[("R1", &["A", "B"]), ("R2", &["B", "C"]), ("R3", &["C", "A"])]);
+        let db = db_with(&[
+            ("R1", &["A", "B"]),
+            ("R2", &["B", "C"]),
+            ("R3", &["C", "A"]),
+        ]);
         let q = ConjunctiveQuery::over(&db, "tri", &["R1", "R2", "R3"]).unwrap();
         let _ = gyo_decompose(&q).unwrap().expect_acyclic("boom");
     }

@@ -1,7 +1,7 @@
 //! Query hypergraphs and the GYO ear-removal reduction (§2.2).
 
-use tsens_data::AttrId;
 use std::collections::BTreeSet;
+use tsens_data::AttrId;
 
 /// A labelled hypergraph: vertices are attributes, edges are attribute
 /// sets labelled by an opaque `usize` (atom or bag index).
@@ -70,9 +70,7 @@ impl Hypergraph {
                     .1
                     .iter()
                     .copied()
-                    .filter(|v| {
-                        (0..n).any(|j| j != i && live[j] && self.edges[j].1.contains(v))
-                    })
+                    .filter(|v| (0..n).any(|j| j != i && live[j] && self.edges[j].1.contains(v)))
                     .collect();
                 for j in 0..n {
                     if j == i || !live[j] {

@@ -99,20 +99,16 @@ impl Predicate {
             Predicate::Gt(a, v) => cmp(a, &|o| o.is_gt(), v),
             Predicate::Ge(a, v) => cmp(a, &|o| o.is_ge(), v),
             Predicate::InSet(a, set) => lookup(*a).map(|got| set.contains(&got)),
-            Predicate::And(l, r) => {
-                match (l.eval_partial(lookup), r.eval_partial(lookup)) {
-                    (Some(false), _) | (_, Some(false)) => Some(false),
-                    (Some(true), Some(true)) => Some(true),
-                    _ => None,
-                }
-            }
-            Predicate::Or(l, r) => {
-                match (l.eval_partial(lookup), r.eval_partial(lookup)) {
-                    (Some(true), _) | (_, Some(true)) => Some(true),
-                    (Some(false), Some(false)) => Some(false),
-                    _ => None,
-                }
-            }
+            Predicate::And(l, r) => match (l.eval_partial(lookup), r.eval_partial(lookup)) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            },
+            Predicate::Or(l, r) => match (l.eval_partial(lookup), r.eval_partial(lookup)) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            },
             Predicate::Not(inner) => inner.eval_partial(lookup).map(|b| !b),
         }
     }
@@ -166,7 +162,13 @@ mod tests {
     fn partial_evaluation_three_valued() {
         let _s = schema();
         // Only attribute 0 known.
-        let lookup = |a: AttrId| if a == AttrId(0) { Some(Value::Int(2)) } else { None };
+        let lookup = |a: AttrId| {
+            if a == AttrId(0) {
+                Some(Value::Int(2))
+            } else {
+                None
+            }
+        };
         assert_eq!(
             Predicate::eq(AttrId(0), 2.into()).eval_partial(&lookup),
             Some(true)

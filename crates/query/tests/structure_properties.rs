@@ -25,7 +25,8 @@ fn tree_query(parents: &[usize]) -> (Database, ConjunctiveQuery) {
         } else {
             Schema::new(vec![link[i], own[i]])
         };
-        db.add_relation(&format!("R{i}"), Relation::new(schema)).unwrap();
+        db.add_relation(&format!("R{i}"), Relation::new(schema))
+            .unwrap();
     }
     let names: Vec<String> = (0..m).map(|i| format!("R{i}")).collect();
     let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();

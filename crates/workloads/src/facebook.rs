@@ -25,9 +25,9 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use tsens_data::CountedRelation;
 use tsens_data::{Count, Database, FastMap, Relation, Schema, Value};
 use tsens_engine::ops::{hash_join, multiway_join};
-use tsens_data::CountedRelation;
 use tsens_query::{ConjunctiveQuery, DecompositionTree, QueryError};
 
 /// Generator parameters; the default matches ego-net 348's shape.
@@ -78,8 +78,14 @@ pub fn facebook_database(params: FacebookParams, seed: u64) -> Database {
     // 1. Clustered undirected graph with one high-degree leader per
     //    community (nodes 0..communities are the leaders of their own
     //    community).
-    let mut membership: Vec<usize> = (0..n).map(|_| rng.random_range(0..params.communities)).collect();
-    for (c, slot) in membership.iter_mut().enumerate().take(params.communities.min(n)) {
+    let mut membership: Vec<usize> = (0..n)
+        .map(|_| rng.random_range(0..params.communities))
+        .collect();
+    for (c, slot) in membership
+        .iter_mut()
+        .enumerate()
+        .take(params.communities.min(n))
+    {
         *slot = c; // node c leads community c
     }
     let leader_of = |v: usize| membership[v]; // leaders are nodes 0..communities
@@ -209,7 +215,10 @@ fn triangle_rows(edges: &[(i64, i64)]) -> Vec<(i64, i64, i64)> {
     let rel = |s1, s2| {
         CountedRelation::from_relation(&Relation::from_rows(
             Schema::new(vec![s1, s2]),
-            edges.iter().map(|&(u, v)| vec![Value::Int(u), Value::Int(v)]).collect(),
+            edges
+                .iter()
+                .map(|&(u, v)| vec![Value::Int(u), Value::Int(v)])
+                .collect(),
         ))
     };
     let exy = rel(x, y);

@@ -121,11 +121,16 @@ pub fn reduction_instance(inst: &Sat3Instance) -> Result<(Database, ConjunctiveQ
                 }
             });
             if sat {
-                rel.push((0..k).map(|i| Value::Int(i64::from(mask >> i & 1))).collect());
+                rel.push(
+                    (0..k)
+                        .map(|i| Value::Int(i64::from(mask >> i & 1)))
+                        .collect(),
+                );
             }
         }
         let name = format!("C{ci}");
-        db.add_relation(&name, rel).expect("clause names are unique");
+        db.add_relation(&name, rel)
+            .expect("clause names are unique");
         names.push(name);
         let _ = schema_attrs;
     }
@@ -148,9 +153,21 @@ pub fn random_3sat(seed: u64, num_vars: usize, num_clauses: usize) -> Sat3Instan
             }
         }
         let clause = [
-            if rng.random::<bool>() { vars[0] } else { -vars[0] },
-            if rng.random::<bool>() { vars[1] } else { -vars[1] },
-            if rng.random::<bool>() { vars[2] } else { -vars[2] },
+            if rng.random::<bool>() {
+                vars[0]
+            } else {
+                -vars[0]
+            },
+            if rng.random::<bool>() {
+                vars[1]
+            } else {
+                -vars[1]
+            },
+            if rng.random::<bool>() {
+                vars[2]
+            } else {
+                -vars[2]
+            },
         ];
         clauses.push(clause);
     }
@@ -163,7 +180,10 @@ mod tests {
 
     #[test]
     fn clause_relations_have_seven_rows() {
-        let inst = Sat3Instance { num_vars: 3, clauses: vec![[1, -2, 3]] };
+        let inst = Sat3Instance {
+            num_vars: 3,
+            clauses: vec![[1, -2, 3]],
+        };
         let (db, q) = reduction_instance(&inst).unwrap();
         assert_eq!(db.relation_by_name("C0").unwrap().len(), 7);
         assert_eq!(q.atom_count(), 2);
@@ -172,7 +192,10 @@ mod tests {
 
     #[test]
     fn satisfied_by_checks_clauses() {
-        let inst = Sat3Instance { num_vars: 3, clauses: vec![[1, 2, 3], [-1, -2, -3]] };
+        let inst = Sat3Instance {
+            num_vars: 3,
+            clauses: vec![[1, 2, 3], [-1, -2, -3]],
+        };
         assert!(inst.satisfied_by(&[true, false, false]));
         assert!(!inst.satisfied_by(&[true, true, true]));
         assert!(brute_force_satisfiable(&inst));
@@ -183,17 +206,17 @@ mod tests {
         // (v1)(¬v1) in 3-CNF form via duplicated literals.
         let inst = Sat3Instance {
             num_vars: 3,
-            clauses: vec![
-                [1, 1, 1],
-                [-1, -1, -1],
-            ],
+            clauses: vec![[1, 1, 1], [-1, -1, -1]],
         };
         assert!(!brute_force_satisfiable(&inst));
     }
 
     #[test]
     fn duplicated_literals_are_projected() {
-        let inst = Sat3Instance { num_vars: 2, clauses: vec![[1, 1, 2]] };
+        let inst = Sat3Instance {
+            num_vars: 2,
+            clauses: vec![[1, 1, 2]],
+        };
         let (db, _) = reduction_instance(&inst).unwrap();
         // Two distinct variables → 4 assignments, 3 satisfy (v1 ∨ v2).
         assert_eq!(db.relation_by_name("C0").unwrap().len(), 3);
@@ -215,6 +238,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "literal 0")]
     fn zero_literal_rejected() {
-        Sat3Instance { num_vars: 1, clauses: vec![[0, 1, 1]] }.validate();
+        Sat3Instance {
+            num_vars: 1,
+            clauses: vec![[0, 1, 1]],
+        }
+        .validate();
     }
 }

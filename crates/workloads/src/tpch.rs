@@ -87,7 +87,14 @@ pub fn tpch_database(scale: f64, seed: u64) -> (Database, TpchAttrs) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut db = Database::new();
     let [rk, nk, ck, ok, sk, pk] = db.attrs(["RK", "NK", "CK", "OK", "SK", "PK"]);
-    let attrs = TpchAttrs { rk, nk, ck, ok, sk, pk };
+    let attrs = TpchAttrs {
+        rk,
+        nk,
+        ck,
+        ok,
+        sk,
+        pk,
+    };
     let int = |v: usize| Value::Int(v as i64);
 
     // Region(RK): 5 rows.
@@ -145,7 +152,11 @@ pub fn tpch_database(scale: f64, seed: u64) -> (Database, TpchAttrs) {
     let order_cust: Vec<usize> = (0..n_o).map(|_| rng.random_range(0..n_c)).collect();
     let orders = Relation::from_rows(
         Schema::new(vec![ck, ok]),
-        order_cust.iter().enumerate().map(|(o, &c)| vec![int(c), int(o)]).collect(),
+        order_cust
+            .iter()
+            .enumerate()
+            .map(|(o, &c)| vec![int(c), int(o)])
+            .collect(),
     );
 
     // Lineitem(OK,SK,PK): 1..=7 per order, each referencing a random
@@ -190,7 +201,11 @@ pub fn tpch_database(scale: f64, seed: u64) -> (Database, TpchAttrs) {
 ///
 /// Returns the query and its GYO join tree.
 pub fn q1(db: &Database) -> Result<(ConjunctiveQuery, DecompositionTree), QueryError> {
-    let q = ConjunctiveQuery::over(db, "q1", &["Region", "Nation", "Customer", "Orders", "L_ok"])?;
+    let q = ConjunctiveQuery::over(
+        db,
+        "q1",
+        &["Region", "Nation", "Customer", "Orders", "L_ok"],
+    )?;
     let tree = match tsens_query::gyo_decompose(&q)? {
         tsens_query::GyoOutcome::Acyclic(t) => t,
         tsens_query::GyoOutcome::Cyclic => unreachable!("q1 is a path query"),
@@ -218,9 +233,7 @@ pub fn q2(db: &Database) -> Result<(ConjunctiveQuery, DecompositionTree), QueryE
 /// indices to **skip** in sensitivity computation (Lineitem: its tuple
 /// sensitivity is at most 1 due to FK-PK joins, and its multiplicity
 /// table dominates the runtime — §7.2).
-pub fn q3(
-    db: &Database,
-) -> Result<(ConjunctiveQuery, DecompositionTree, Vec<usize>), QueryError> {
+pub fn q3(db: &Database) -> Result<(ConjunctiveQuery, DecompositionTree, Vec<usize>), QueryError> {
     // Atom order: 0 Region, 1 Nation, 2 Customer, 3 Orders, 4 Supplier,
     //             5 Part, 6 Partsupp, 7 Lineitem.
     let q = ConjunctiveQuery::over(
@@ -330,7 +343,10 @@ mod tests {
         let (class, _) = classify(&q).unwrap();
         // q2's join tree is a star around Partsupp/L_skpk; it is acyclic
         // (whether it is *doubly* acyclic depends on the GYO rooting).
-        assert!(matches!(class, QueryClass::Acyclic | QueryClass::DoublyAcyclic));
+        assert!(matches!(
+            class,
+            QueryClass::Acyclic | QueryClass::DoublyAcyclic
+        ));
         assert_eq!(tree.bag_count(), 4);
     }
 

@@ -10,11 +10,11 @@
 //!
 //! Run with: `cargo run --example flight_search`
 
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use tsens::core::tsens_path;
 use tsens::engine::naive_eval::naive_count;
 use tsens::prelude::*;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Airports are numbered; a few are big hubs that many flights touch.
 const AIRPORTS: i64 = 40;
@@ -46,9 +46,21 @@ fn main() {
     let mut db = Database::new();
     // Trip legs share the layover airports: origin –L1→ x –L2→ y –L3→ dest.
     let [origin, stop1, stop2, dest] = db.attrs(["origin", "stop1", "stop2", "dest"]);
-    db.add_relation("Leg1", random_leg(&mut rng, 400, Schema::new(vec![origin, stop1]))).unwrap();
-    db.add_relation("Leg2", random_leg(&mut rng, 400, Schema::new(vec![stop1, stop2]))).unwrap();
-    db.add_relation("Leg3", random_leg(&mut rng, 400, Schema::new(vec![stop2, dest]))).unwrap();
+    db.add_relation(
+        "Leg1",
+        random_leg(&mut rng, 400, Schema::new(vec![origin, stop1])),
+    )
+    .unwrap();
+    db.add_relation(
+        "Leg2",
+        random_leg(&mut rng, 400, Schema::new(vec![stop1, stop2])),
+    )
+    .unwrap();
+    db.add_relation(
+        "Leg3",
+        random_leg(&mut rng, 400, Schema::new(vec![stop2, dest])),
+    )
+    .unwrap();
 
     let q = ConjunctiveQuery::over(&db, "itineraries", &["Leg1", "Leg2", "Leg3"]).unwrap();
     let (class, _) = classify(&q).unwrap();
@@ -68,7 +80,10 @@ fn main() {
                 w.display(&db),
                 rs.sensitivity
             ),
-            None => println!("  {:<5} cannot create any itinerary", db.relation_name(rs.relation)),
+            None => println!(
+                "  {:<5} cannot create any itinerary",
+                db.relation_name(rs.relation)
+            ),
         }
     }
     let best = report.witness.as_ref().expect("positive sensitivity");

@@ -29,15 +29,26 @@ fn main() {
     let profile = TruncationProfile::build(&db, &q1, private_atom, &table);
     let true_count = profile.full_count();
     let ell = (profile.max_delta() * 3 / 2).max(10);
-    println!("|q1(D)| = {true_count}; max tuple sensitivity of Customer = {}", profile.max_delta());
+    println!(
+        "|q1(D)| = {true_count}; max tuple sensitivity of Customer = {}",
+        profile.max_delta()
+    );
     println!("privacy budget ε = {epsilon}, ℓ = {ell}, {runs} runs\n");
 
     // PrivSQL policy: Customer → Orders → Lineitem cascades.
     let policy = PrivSqlPolicy {
         primary_atom: private_atom,
         cascades: vec![
-            CascadeRule { atom: 3, parent: 2, key: vec![attrs.ck] },
-            CascadeRule { atom: 4, parent: 3, key: vec![attrs.ok] },
+            CascadeRule {
+                atom: 3,
+                parent: 2,
+                key: vec![attrs.ck],
+            },
+            CascadeRule {
+                atom: 4,
+                parent: 3,
+                key: vec![attrs.ok],
+            },
         ],
         max_threshold: 512,
     };

@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use tsens::prelude::*;
 use tsens::engine::naive_eval::naive_count;
+use tsens::prelude::*;
 use tsens::query::gyo_decompose;
 
 fn main() {
@@ -74,7 +74,12 @@ fn main() {
             .as_ref()
             .map(|w| w.display(&db))
             .unwrap_or_else(|| "(none)".to_owned());
-        println!("  {:<3} δ = {:<3} via {}", db.relation_name(rs.relation), rs.sensitivity, shown);
+        println!(
+            "  {:<3} δ = {:<3} via {}",
+            db.relation_name(rs.relation),
+            rs.sensitivity,
+            shown
+        );
     }
 
     // ---- verify the witness by re-evaluation -------------------------
@@ -90,10 +95,18 @@ fn main() {
         after,
         after - before
     );
-    assert_eq!(after - before, report.local_sensitivity, "witness must achieve LS");
+    assert_eq!(
+        after - before,
+        report.local_sensitivity,
+        "witness must achieve LS"
+    );
     assert_eq!(report.local_sensitivity, 4, "Example 2.1: LS = 4");
 
     // The GYO join tree the algorithm ran on:
     let tree = gyo_decompose(&q).unwrap().expect_acyclic("fig1 is acyclic");
-    println!("\njoin tree: {} bags, max degree {}", tree.bag_count(), tree.max_degree());
+    println!(
+        "\njoin tree: {} bags, max degree {}",
+        tree.bag_count(),
+        tree.max_degree()
+    );
 }

@@ -62,6 +62,9 @@ fn main() {
         if let Some(w) = &report.witness {
             println!("{:<18} most sensitive tuple: {}", "", w.display(&db));
         }
-        assert!(elastic.overall >= report.local_sensitivity, "elastic is an upper bound");
+        assert!(
+            elastic.overall >= report.local_sensitivity,
+            "elastic is an upper bound"
+        );
     }
 }

@@ -60,8 +60,12 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
         match arg.as_str() {
             "--join" => {
-                args.join =
-                    Some(value("--join")?.split(',').map(|s| s.trim().to_owned()).collect())
+                args.join = Some(
+                    value("--join")?
+                        .split(',')
+                        .map(|s| s.trim().to_owned())
+                        .collect(),
+                )
             }
             "--private" => args.private = Some(value("--private")?),
             "--epsilon" => {
@@ -101,7 +105,9 @@ fn run(args: Args) -> Result<(), String> {
     // Build the query.
     let names: Vec<String> = match &args.join {
         Some(list) => list.clone(),
-        None => (0..db.relation_count()).map(|i| db.relation_name(i).to_owned()).collect(),
+        None => (0..db.relation_count())
+            .map(|i| db.relation_name(i).to_owned())
+            .collect(),
     };
     let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
     let q = ConjunctiveQuery::over(&db, "cli", &refs).map_err(|e| e.to_string())?;
@@ -125,7 +131,10 @@ fn run(args: Args) -> Result<(), String> {
     let count = count_query(&db, &q, &tree);
     println!("|Q(D)| = {count}");
     let report = tsens(&db, &q, &tree);
-    println!("\nlocal sensitivity LS(Q, D) = {}", report.local_sensitivity);
+    println!(
+        "\nlocal sensitivity LS(Q, D) = {}",
+        report.local_sensitivity
+    );
     match &report.witness {
         Some(w) => println!("most sensitive tuple:       {}", w.display(&db)),
         None => println!("no tuple can change the output"),
@@ -137,7 +146,12 @@ fn run(args: Args) -> Result<(), String> {
             .as_ref()
             .map(|w| w.display(&db))
             .unwrap_or_else(|| "(none)".into());
-        println!("  {:<20} δ = {:<12} via {}", db.relation_name(rs.relation), rs.sensitivity, shown);
+        println!(
+            "  {:<20} δ = {:<12} via {}",
+            db.relation_name(rs.relation),
+            rs.sensitivity,
+            shown
+        );
     }
     let plan = plan_order_from_tree(&tree);
     let elastic = elastic_sensitivity(&db, &q, &plan, 0);
@@ -162,10 +176,19 @@ fn run(args: Args) -> Result<(), String> {
         let ell = args.ell.unwrap_or(((profile.max_delta() * 3) / 2).max(10));
         let mut rng = StdRng::seed_from_u64(args.seed);
         let r = tsensdp_answer_from_profile(&profile, ell, args.epsilon, &mut rng);
-        println!("\nTSensDP (private = {private}, ε = {}, ℓ = {ell}):", args.epsilon);
+        println!(
+            "\nTSensDP (private = {private}, ε = {}, ℓ = {ell}):",
+            args.epsilon
+        );
         println!("  released answer:   {:.1}", r.noisy_answer);
-        println!("  learned threshold: {} (= global sensitivity of the release)", r.threshold);
-        println!("  [diagnostics, not released: bias {:.1}, error {:.1}]", r.bias, r.error);
+        println!(
+            "  learned threshold: {} (= global sensitivity of the release)",
+            r.threshold
+        );
+        println!(
+            "  [diagnostics, not released: bias {:.1}, error {:.1}]",
+            r.bias, r.error
+        );
     }
     Ok(())
 }

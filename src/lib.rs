@@ -36,9 +36,7 @@ pub use tsens_workloads as workloads;
 
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
-    pub use tsens_core::{
-        local_sensitivity, LocalSensitivity, SensitivityReport, TupleRef,
-    };
+    pub use tsens_core::{local_sensitivity, LocalSensitivity, SensitivityReport, TupleRef};
     pub use tsens_data::{AttrId, Count, Database, Relation, Row, Schema, Value};
     pub use tsens_query::{classify, ConjunctiveQuery, DecompositionTree, QueryClass};
 }

@@ -91,7 +91,11 @@ fn tsensdp_beats_privsql_on_star_query() {
     let table = multiplicity_table_for(&db, &q, &tree, private_atom);
     let profile = TruncationProfile::build(&db, &q, private_atom, &table);
     let ell = (profile.max_delta() * 3 / 2).max(10);
-    let policy = PrivSqlPolicy { primary_atom: private_atom, cascades: vec![], max_threshold: 64 };
+    let policy = PrivSqlPolicy {
+        primary_atom: private_atom,
+        cascades: vec![],
+        max_threshold: 64,
+    };
 
     let runs = 15;
     let mut ts_errors = Vec::new();
@@ -135,7 +139,11 @@ fn mechanisms_are_seed_deterministic() {
     };
     assert_eq!(run_ts(4), run_ts(4));
     assert_ne!(run_ts(4), run_ts(5));
-    let policy = PrivSqlPolicy { primary_atom: 2, cascades: vec![], max_threshold: 32 };
+    let policy = PrivSqlPolicy {
+        primary_atom: 2,
+        cascades: vec![],
+        max_threshold: 32,
+    };
     let run_ps = |seed| {
         let mut rng = StdRng::seed_from_u64(seed);
         privsql_answer(&db, &q, &tree, &policy, 1.0, &mut rng).noisy_answer

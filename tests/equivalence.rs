@@ -39,7 +39,11 @@ fn db_from_rows(shape: &[Vec<u32>], rows: Vec<Vec<(i64, i64)>>) -> (Database, Co
     (db, q)
 }
 
-fn rows_strategy(m: usize, max_rows: usize, domain: i64) -> impl Strategy<Value = Vec<Vec<(i64, i64)>>> {
+fn rows_strategy(
+    m: usize,
+    max_rows: usize,
+    domain: i64,
+) -> impl Strategy<Value = Vec<Vec<(i64, i64)>>> {
     prop::collection::vec(
         prop::collection::vec((0..domain, 0..domain), 0..max_rows),
         m..=m,

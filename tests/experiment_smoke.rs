@@ -23,7 +23,11 @@ fn fig6a_tsens_below_elastic() {
     }
     // q3 (cyclic) should show the largest gap at the larger scale.
     let gap = |q: &str, s: f64| {
-        let p = r.points.iter().find(|p| p.query == q && p.scale == s).unwrap();
+        let p = r
+            .points
+            .iter()
+            .find(|p| p.query == q && p.scale == s)
+            .unwrap();
         p.elastic as f64 / p.tsens.max(1) as f64
     };
     assert!(gap("q3", 0.0005) > gap("q1", 0.0005));
@@ -77,7 +81,10 @@ fn table1_shapes() {
         let row = r.rows.iter().find(|r| r.query == q).unwrap();
         row.elastic as f64 / row.tsens as f64
     };
-    assert!(ratio("q*") > ratio("qw"), "star gap should dominate the path's");
+    assert!(
+        ratio("q*") > ratio("qw"),
+        "star gap should dominate the path's"
+    );
 }
 
 #[test]
@@ -111,7 +118,11 @@ fn param_l_sweep_runs_and_reports() {
     // ℓ = 1 forces maximal truncation: its bias must dominate the sweep's
     // best bias.
     let bias_at_1 = r.rows[0].bias;
-    let best_bias = r.rows.iter().map(|row| row.bias).fold(f64::INFINITY, f64::min);
+    let best_bias = r
+        .rows
+        .iter()
+        .map(|row| row.bias)
+        .fold(f64::INFINITY, f64::min);
     assert!(bias_at_1 >= best_bias);
     assert!(r.to_string().contains("threshold"));
 }

@@ -36,7 +36,10 @@ fn satisfiable_iff_positive_sensitivity_random() {
         }
     }
     assert!(sat_seen > 3, "want a mix of outcomes, got {sat_seen} SAT");
-    assert!(unsat_seen > 3, "want a mix of outcomes, got {unsat_seen} UNSAT");
+    assert!(
+        unsat_seen > 3,
+        "want a mix of outcomes, got {unsat_seen} UNSAT"
+    );
 }
 
 #[test]
@@ -62,7 +65,10 @@ fn witness_encodes_a_satisfying_assignment() {
             None => false,
         })
         .collect();
-    assert!(inst.satisfied_by(&assignment), "witness must satisfy the formula");
+    assert!(
+        inst.satisfied_by(&assignment),
+        "witness must satisfy the formula"
+    );
 }
 
 #[test]
@@ -74,7 +80,10 @@ fn unsatisfiable_core_has_zero_sensitivity() {
         let lit = |v: i32, bit: i32| if mask & (1 << bit) != 0 { v } else { -v };
         clauses.push([lit(1, 0), lit(2, 1), lit(3, 2)]);
     }
-    let inst = Sat3Instance { num_vars: 3, clauses };
+    let inst = Sat3Instance {
+        num_vars: 3,
+        clauses,
+    };
     assert!(!brute_force_satisfiable(&inst));
     let (db, q) = reduction_instance(&inst).unwrap();
     let report = local_sensitivity(&db, &q).unwrap();
@@ -89,6 +98,9 @@ fn reduction_agrees_with_naive_on_tiny_instances() {
         let (db, q) = reduction_instance(&inst).unwrap();
         let fast = local_sensitivity(&db, &q).unwrap();
         let slow = naive_local_sensitivity(&db, &q);
-        assert_eq!(fast.local_sensitivity, slow.local_sensitivity, "seed {seed}");
+        assert_eq!(
+            fast.local_sensitivity, slow.local_sensitivity,
+            "seed {seed}"
+        );
     }
 }

@@ -89,7 +89,12 @@ fn tpch_elastic_upper_bounds_tsens_everywhere() {
                 .find(|&&(r, _)| r == rs.relation)
                 .map(|&(_, s)| s)
                 .unwrap();
-            assert!(e >= rs.sensitivity, "{}: relation {}", q.name(), rs.relation);
+            assert!(
+                e >= rs.sensitivity,
+                "{}: relation {}",
+                q.name(),
+                rs.relation
+            );
         }
     }
 }

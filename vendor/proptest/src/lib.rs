@@ -1,0 +1,302 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the subset of proptest this workspace uses:
+//!
+//! * [`Strategy`] with integer-range, tuple and
+//!   [`collection::vec`] strategies;
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]` support);
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * a [`prelude`] that re-exports the above plus the crate itself as
+//!   `prop`.
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! per-test seed (derived from the test name) so failures are perfectly
+//! reproducible, and there is **no shrinking** — a failing case reports
+//! its case number on stderr and then panics via the standard assert
+//! machinery.
+
+use rand::rngs::StdRng;
+use rand::{SampleRange, SeedableRng};
+
+/// Per-test configuration. Only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produce one value. Implementations must be deterministic in `rng`.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                self.clone().sample(rng)
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                self.clone().sample(rng)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i32, i64, u32, u64, u128, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// A strategy producing a fixed value by cloning.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Size specification for [`collection::vec`]: an inclusive range of
+/// lengths.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_inclusive: n,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max_inclusive: *r.end(),
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a
+    /// [`SizeRange`]. Built by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` strategy: each case draws a length in `size`, then that
+    /// many elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.random_range(self.size.min..=self.size.max_inclusive);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Derive a stable 64-bit seed from a test's name so each property gets
+/// its own reproducible stream (FNV-1a).
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `cases` deterministic random cases of a property. Used by the
+/// [`proptest!`] macro; not part of the public proptest API.
+pub fn run_cases(test_name: &str, cases: u32, mut case: impl FnMut(&mut StdRng, u32)) {
+    let mut rng = StdRng::seed_from_u64(seed_for(test_name));
+    for i in 0..cases {
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng, i)));
+        if let Err(payload) = attempt {
+            eprintln!("proptest: {test_name} failed at case {i} of {cases} (deterministic seed — rerun reproduces it)");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Assert inside a property; panics (no shrinking) with the case's
+/// message on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests. Supports the subset of real proptest syntax the
+/// workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0..10i64, v in prop::collection::vec(0..3u32, 0..5)) {
+///         prop_assert!(x >= 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with ($cfg) $($rest)*);
+    };
+    (@with ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(concat!(module_path!(), "::", stringify!($name)), config.cases, |rng, _case| {
+                $(let $arg = $crate::Strategy::new_value(&($strategy), rng);)+
+                $body
+            });
+        }
+        $crate::proptest!(@with ($cfg) $($rest)*);
+    };
+    (@with ($cfg:expr)) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+pub mod prelude {
+    //! The names property tests import with `use proptest::prelude::*`.
+
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3..10i64, y in 5..=5usize) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert_eq!(y, 5);
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec((0..4i32, 1..5u128), 2..=6)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 6);
+            for (a, b) in v {
+                prop_assert!((0..4).contains(&a));
+                prop_assert!((1..5).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(super::seed_for("a"), super::seed_for("a"));
+        assert_ne!(super::seed_for("a"), super::seed_for("b"));
+    }
+}
