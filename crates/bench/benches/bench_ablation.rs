@@ -3,21 +3,36 @@
 //! * Algorithm 1 (paper-faithful path specialisation) vs the general
 //!   Algorithm 2 on the same path query — measures what the factored
 //!   multiplicity tables recover;
+//! * legacy `Value`-row operators vs the dictionary-encoded flat-row
+//!   fast path on the same join (the engine's hot-path ablation);
 //! * §5.4 top-k capping at several k (accuracy traded in `repro param-l`;
 //!   here we measure its runtime overhead/benefit);
 //! * the naive Theorem 3.1 baseline on a micro instance, to show the
 //!   gap the paper motivates (§7.2: "this approach will take ×10k+ time").
+//!
+//! Set `TSENS_BENCH_QUICK=1` to shrink inputs and sample counts — the CI
+//! smoke mode (results still land in `BENCH_results.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use tsens_core::{naive_local_sensitivity, tsens, tsens_path, tsens_topk};
+use tsens_data::{AttrId, Count, CountedRelation, Dict, Row, Schema, Value};
+use tsens_engine::ops::{hash_join, hash_join_enc, lookup_join, lookup_join_enc};
 use tsens_query::gyo_decompose;
 use tsens_workloads::facebook::{self, small_params};
 use tsens_workloads::tpch;
+
+/// CI smoke mode: tiny inputs, few samples.
+fn quick() -> bool {
+    std::env::var_os("TSENS_BENCH_QUICK").is_some()
+}
 
 fn bench_path_vs_general(c: &mut Criterion) {
     let db = facebook::facebook_database(small_params(), 348);
     let (qw, tree) = facebook::qw(&db).unwrap();
     let mut group = c.benchmark_group("ablation_path_algorithm");
+    group.sample_size(if quick() { 3 } else { 20 });
     group.bench_function("alg1_path", |b| {
         b.iter(|| tsens_path(&db, &qw).expect("qw is a path"))
     });
@@ -25,10 +40,64 @@ fn bench_path_vs_general(c: &mut Criterion) {
     group.finish();
 }
 
+/// Legacy `Value` rows vs dictionary-encoded flat rows on one natural
+/// join R(A,B) ⋈ S(B,C) and one keyed lookup join — the operators the
+/// ⊥/⊤ passes are built from.
+fn bench_hash_join_encoding(c: &mut Criterion) {
+    let rows = if quick() { 2_000 } else { 20_000 };
+    let domain = (rows / 10) as i64;
+    let mut rng = StdRng::seed_from_u64(348);
+    let mut pairs = |n: usize| -> Vec<(Row, Count)> {
+        (0..n)
+            .map(|_| {
+                (
+                    vec![
+                        Value::Int(rng.random_range(0..domain)),
+                        Value::Int(rng.random_range(0..domain)),
+                    ],
+                    1,
+                )
+            })
+            .collect()
+    };
+    let schema = |ids: [u32; 2]| Schema::new(ids.iter().map(|&i| AttrId(i)).collect());
+    let r = CountedRelation::from_pairs(schema([0, 1]), pairs(rows));
+    let s = CountedRelation::from_pairs(schema([1, 2]), pairs(rows));
+    let keyed = s.group(&Schema::new(vec![AttrId(1)]));
+    let dict = Dict::from_values(
+        r.iter()
+            .chain(s.iter())
+            .flat_map(|(row, _)| row.iter().cloned())
+            .collect::<Vec<_>>(),
+    );
+    let r_enc = dict.encode_counted(&r);
+    let s_enc = dict.encode_counted(&s);
+    let keyed_enc = dict.encode_counted(&keyed);
+
+    let mut group = c.benchmark_group("ablation_hash_join");
+    group.sample_size(if quick() { 3 } else { 20 });
+    group.bench_function("hash_join_legacy", |b| b.iter(|| hash_join(&r, &s)));
+    group.bench_function("hash_join_encoded", |b| {
+        b.iter(|| hash_join_enc(&r_enc, &s_enc))
+    });
+    group.bench_function("lookup_join_legacy", |b| b.iter(|| lookup_join(&r, &keyed)));
+    group.bench_function("lookup_join_encoded", |b| {
+        b.iter(|| lookup_join_enc(&r_enc, &keyed_enc))
+    });
+    group.bench_function("group_legacy", |b| {
+        b.iter(|| r.group(&Schema::new(vec![AttrId(1)])))
+    });
+    group.bench_function("group_encoded", |b| {
+        b.iter(|| r_enc.group(&Schema::new(vec![AttrId(1)])))
+    });
+    group.finish();
+}
+
 fn bench_topk(c: &mut Criterion) {
     let db = facebook::facebook_database(small_params(), 348);
     let (qw, tree) = facebook::qw(&db).unwrap();
     let mut group = c.benchmark_group("ablation_topk");
+    group.sample_size(if quick() { 3 } else { 20 });
     for k in [1usize, 16, 1024, 1_000_000] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             b.iter(|| tsens_topk(&db, &qw, &tree, k))
@@ -38,10 +107,10 @@ fn bench_topk(c: &mut Criterion) {
 }
 
 fn bench_vs_naive(c: &mut Criterion) {
-    let (db, _) = tpch::tpch_database(0.00004, 348);
+    let (db, _) = tpch::tpch_database(if quick() { 0.00002 } else { 0.00004 }, 348);
     let (q1, tree) = tpch::q1(&db).unwrap();
     let mut group = c.benchmark_group("ablation_vs_naive");
-    group.sample_size(10);
+    group.sample_size(if quick() { 3 } else { 10 });
     group.bench_function("tsens_q1_micro", |b| b.iter(|| tsens(&db, &q1, &tree)));
     group.bench_function("naive_q1_micro", |b| {
         b.iter(|| naive_local_sensitivity(&db, &q1))
@@ -50,5 +119,11 @@ fn bench_vs_naive(c: &mut Criterion) {
     let _ = gyo_decompose(&q1);
 }
 
-criterion_group!(benches, bench_path_vs_general, bench_topk, bench_vs_naive);
+criterion_group!(
+    benches,
+    bench_path_vs_general,
+    bench_hash_join_encoding,
+    bench_topk,
+    bench_vs_naive
+);
 criterion_main!(benches);

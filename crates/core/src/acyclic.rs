@@ -23,30 +23,42 @@
 //! acyclic (doubly acyclic queries, §5.3).
 
 use crate::report::{MultiplicityTable, SensitivityReport};
-use tsens_data::{CountedRelation, Database};
-use tsens_engine::ops::multiway_join;
-use tsens_engine::passes::{bag_relations_from, botjoin_pass, lift_atoms, topjoin_pass};
+use tsens_data::{CountedRelation, Database, Dict, EncodedRelation, Schema};
+use tsens_engine::ops::{multiway_join, multiway_join_enc};
+use tsens_engine::passes::{
+    bag_relations_from_enc, botjoin_pass_enc, lift_atoms_enc, query_dict, topjoin_pass_enc,
+};
 use tsens_query::{ConjunctiveQuery, DecompositionTree};
 
-/// Node-indexed context shared by the table computations.
+/// Node-indexed context shared by the table computations. The passes run
+/// on the dictionary-encoded fast path; `dict` decodes their outputs at
+/// the report boundary.
 struct Passes {
-    lifted: Vec<CountedRelation>,
-    bots: Vec<CountedRelation>,
-    tops: Vec<CountedRelation>,
+    dict: std::sync::Arc<Dict>,
+    lifted: Vec<EncodedRelation>,
+    bots: Vec<EncodedRelation>,
+    tops: Vec<EncodedRelation>,
 }
 
 fn run_passes(db: &Database, cq: &ConjunctiveQuery, tree: &DecompositionTree) -> Passes {
-    let lifted = lift_atoms(db, cq);
-    let bags = bag_relations_from(&lifted, tree);
-    let bots = botjoin_pass(tree, &bags);
-    let tops = topjoin_pass(tree, &bags, &bots);
-    Passes { lifted, bots, tops }
+    let dict = std::sync::Arc::new(query_dict(db, cq));
+    let lifted = lift_atoms_enc(db, cq, &dict);
+    let bags = bag_relations_from_enc(&lifted, tree);
+    let bots = botjoin_pass_enc(tree, &bags);
+    let tops = topjoin_pass_enc(tree, &bags, &bots);
+    Passes {
+        dict,
+        lifted,
+        bots,
+        tops,
+    }
 }
 
-/// Group `inputs` into connected components of their schema-overlap graph
-/// (inputs in different components share no attributes).
-fn schema_components<'a>(inputs: &[&'a CountedRelation]) -> Vec<Vec<&'a CountedRelation>> {
-    let n = inputs.len();
+/// Group schemas into connected components of their overlap graph
+/// (schemas in different components share no attributes). Returns groups
+/// of input indices.
+fn schema_components(schemas: &[&Schema]) -> Vec<Vec<usize>> {
+    let n = schemas.len();
     let mut assigned = vec![false; n];
     let mut components = Vec::new();
     for start in 0..n {
@@ -58,14 +70,14 @@ fn schema_components<'a>(inputs: &[&'a CountedRelation]) -> Vec<Vec<&'a CountedR
         let mut frontier = vec![start];
         while let Some(i) = frontier.pop() {
             for j in 0..n {
-                if !assigned[j] && !inputs[i].schema().is_disjoint_from(inputs[j].schema()) {
+                if !assigned[j] && !schemas[i].is_disjoint_from(schemas[j]) {
                     assigned[j] = true;
                     comp.push(j);
                     frontier.push(j);
                 }
             }
         }
-        components.push(comp.into_iter().map(|i| inputs[i]).collect());
+        components.push(comp);
     }
     components
 }
@@ -76,20 +88,54 @@ fn schema_components<'a>(inputs: &[&'a CountedRelation]) -> Vec<Vec<&'a CountedR
 /// across components is never materialised, which is what keeps path and
 /// doubly acyclic queries near-linear (§4 / §5.3).
 ///
-/// Shared with [`crate::approx::tsens_topk`].
+/// Legacy `Value`-row flavour, shared with [`crate::approx::tsens_topk`]
+/// (whose capped summaries live in `Value` space).
 pub(crate) fn assemble_table(
     atom: &tsens_query::Atom,
     inputs: &[&CountedRelation],
 ) -> MultiplicityTable {
+    let schemas: Vec<&Schema> = inputs.iter().map(|r| r.schema()).collect();
     let mut factors: Vec<CountedRelation> = Vec::new();
-    for comp in schema_components(inputs) {
-        let joined = multiway_join(&comp);
+    for comp in schema_components(&schemas) {
+        let members: Vec<&CountedRelation> = comp.iter().map(|&i| inputs[i]).collect();
+        let joined = multiway_join(&members);
         let covered = atom.schema.intersect(joined.schema());
         factors.push(joined.group(&covered));
     }
+    finish_table(
+        atom,
+        MultiplicityTable::from_factors(atom.relation, factors),
+    )
+}
 
+/// [`assemble_table`] over encoded inputs: the component joins and the
+/// final `γ` run on flat `u32` rows, and the grouped factors are handed
+/// to the report-level [`MultiplicityTable`] still encoded — witnesses
+/// alone are decoded.
+fn assemble_table_enc(
+    atom: &tsens_query::Atom,
+    inputs: &[&EncodedRelation],
+    dict: &std::sync::Arc<Dict>,
+) -> MultiplicityTable {
+    let schemas: Vec<&Schema> = inputs.iter().map(|r| r.schema()).collect();
+    let mut factors: Vec<EncodedRelation> = Vec::new();
+    for comp in schema_components(&schemas) {
+        let members: Vec<&EncodedRelation> = comp.iter().map(|&i| inputs[i]).collect();
+        let joined = multiway_join_enc(&members);
+        let covered = atom.schema.intersect(joined.schema());
+        factors.push(joined.group(&covered));
+    }
+    finish_table(
+        atom,
+        MultiplicityTable::from_encoded_factors(atom.relation, factors, dict),
+    )
+}
+
+/// Shared tail of the `assemble_table*` flavours: apply the atom's own
+/// selection predicate when present (§5.4).
+fn finish_table(atom: &tsens_query::Atom, unfiltered: MultiplicityTable) -> MultiplicityTable {
     if atom.predicate.is_trivial() {
-        return MultiplicityTable::from_factors(atom.relation, factors);
+        return unfiltered;
     }
 
     // §5.4 Selections: a candidate tuple must satisfy the atom's own
@@ -97,7 +143,6 @@ pub(crate) fn assemble_table(
     // the explicit table, keeping entries whose predicate is not
     // definitely false (unknown stays — an undecided predicate can be
     // satisfied by some wildcard completion).
-    let unfiltered = MultiplicityTable::from_factors(atom.relation, factors);
     let covered = unfiltered.covered.clone();
     let mut table = unfiltered.materialise();
     let pred = atom.predicate.clone();
@@ -118,7 +163,7 @@ fn table_for_atom(
 ) -> MultiplicityTable {
     let atom = &cq.atoms()[ai];
     // Gather the "everything else" inputs.
-    let mut inputs: Vec<&CountedRelation> = Vec::new();
+    let mut inputs: Vec<&EncodedRelation> = Vec::new();
     if tree.parent(v).is_some() {
         inputs.push(&passes.tops[v]);
     }
@@ -130,7 +175,7 @@ fn table_for_atom(
             inputs.push(&passes.lifted[other]);
         }
     }
-    assemble_table(atom, &inputs)
+    assemble_table_enc(atom, &inputs, &passes.dict)
 }
 
 /// Compute the multiplicity table of every atom (Algorithm 2 steps I–III),

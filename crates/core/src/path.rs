@@ -18,9 +18,9 @@
 //! supported by treating the shared attribute *set* as the composite key.
 
 use crate::report::{RelationSensitivity, SensitivityReport, TupleRef};
-use tsens_data::{sat_mul, CountedRelation, Database, Schema, Value};
-use tsens_engine::ops::lookup_join;
-use tsens_engine::passes::lift_atoms;
+use tsens_data::{sat_mul, Database, EncodedRelation, Schema, Value};
+use tsens_engine::ops::lookup_join_enc;
+use tsens_engine::passes::lift_atoms_enc;
 use tsens_query::analysis::path_order;
 use tsens_query::ConjunctiveQuery;
 
@@ -55,28 +55,31 @@ pub fn tsens_path(db: &Database, cq: &ConjunctiveQuery) -> Option<SensitivityRep
         .map(|i| atom_schema(i).intersect(atom_schema(i + 1)))
         .collect();
 
-    let lifted_all = lift_atoms(db, cq);
-    let lifted: Vec<&CountedRelation> = order.iter().map(|&ai| &lifted_all[ai]).collect();
+    // The passes run dictionary-encoded (flat u32 rows); witnesses are
+    // decoded back to values at the report boundary below.
+    let dict = tsens_engine::passes::query_dict(db, cq);
+    let lifted_all = lift_atoms_enc(db, cq, &dict);
+    let lifted: Vec<&EncodedRelation> = order.iter().map(|&ai| &lifted_all[ai]).collect();
 
     // I) topjoins: tops[i] = J(R_{i+1}) keyed on keys[i], counting partial
     //    paths R_1..R_{i+1}; tops[0] = γ_{A_1}(R_1).
-    let mut tops: Vec<CountedRelation> = Vec::with_capacity(m - 1);
+    let mut tops: Vec<EncodedRelation> = Vec::with_capacity(m - 1);
     tops.push(lifted[0].group(&keys[0]));
     for i in 1..m - 1 {
-        let joined = lookup_join(lifted[i], &tops[i - 1]);
+        let joined = lookup_join_enc(lifted[i], &tops[i - 1]);
         tops.push(joined.group(&keys[i]));
     }
 
     // II) botjoins: bots[i] = K(R_{i+1}) keyed on keys[i], counting partial
     //     paths R_{i+2}..R_m read backwards; bots[m-2] = γ_{A_{m-1}}(R_m).
-    let mut bots: Vec<Option<CountedRelation>> = vec![None; m - 1];
+    let mut bots: Vec<Option<EncodedRelation>> = vec![None; m - 1];
     bots[m - 2] = Some(lifted[m - 1].group(&keys[m - 2]));
     for i in (0..m - 2).rev() {
         let next = bots[i + 1].as_ref().expect("filled by previous iteration");
-        let joined = lookup_join(lifted[i + 1], next);
+        let joined = lookup_join_enc(lifted[i + 1], next);
         bots[i] = Some(joined.group(&keys[i]));
     }
-    let bots: Vec<CountedRelation> = bots.into_iter().map(|b| b.expect("filled")).collect();
+    let bots: Vec<EncodedRelation> = bots.into_iter().map(|b| b.expect("filled")).collect();
 
     // III) most sensitive tuple per relation: pair the max-count incoming
     //      entry with the max-count outgoing entry.
@@ -123,11 +126,11 @@ pub fn tsens_path(db: &Database, cq: &ConjunctiveQuery) -> Option<SensitivityRep
         };
 
         let mut values: Vec<Option<Value>> = vec![None; schema.arity()];
-        let mut place = |src: Option<(&CountedRelation, &Vec<Value>)>| {
+        let mut place = |src: Option<(&EncodedRelation, &[u32])>| {
             if let Some((keyed, row)) = src {
                 for (k, &attr) in keyed.schema().attrs().iter().enumerate() {
                     let pos = schema.position(attr).expect("key attrs belong to the atom");
-                    values[pos] = Some(row[k].clone());
+                    values[pos] = Some(dict.decode(row[k]));
                 }
             }
         };

@@ -2,8 +2,10 @@
 //! multiplicity tables.
 
 use std::fmt;
-use tsens_data::fast::fast_map_with_capacity;
-use tsens_data::{sat_mul, Count, CountedRelation, Database, FastMap, Row, Schema, Value};
+use std::sync::Arc;
+use tsens_data::{
+    sat_mul, Count, CountedRelation, Database, Dict, EncodedRelation, Row, Schema, Value,
+};
 
 /// A (possibly partial) tuple of one relation: one entry per schema
 /// column, `None` meaning "any value" — the paper's extrapolated
@@ -94,25 +96,61 @@ pub type LocalSensitivity = SensitivityReport;
 
 /// One multiplicative factor of a multiplicity table: counts keyed on a
 /// subset of the relation's schema.
+///
+/// The table is kept **dictionary-encoded** (sorted flat `u32` rows —
+/// the passes hand their summaries over without decoding); lookups
+/// encode the probe values and binary-search the sorted rows. A probe
+/// value absent from the dictionary cannot be in the table: count 0.
 #[derive(Clone)]
 struct Factor {
     schema: Schema,
-    index: FastMap<Row, Count>,
-    /// Largest entry (row, count), ties broken by smallest row.
+    /// Grouped (distinct rows, sorted) encoded table.
+    table: EncodedRelation,
+    dict: Arc<Dict>,
+    /// Largest entry (row, count) decoded, ties broken by smallest row.
     max: Option<(Row, Count)>,
 }
 
 impl Factor {
-    fn from_counted(rel: &CountedRelation) -> Factor {
-        let mut index = fast_map_with_capacity(rel.len());
-        for (row, c) in rel.iter() {
-            index.insert(row.clone(), *c);
-        }
-        let max = rel.max_entry().map(|(r, c)| (r.clone(), c));
+    fn from_encoded(table: EncodedRelation, dict: Arc<Dict>) -> Factor {
+        let max = table
+            .max_entry()
+            .map(|(r, c)| (r.iter().map(|&code| dict.decode(code)).collect(), c));
         Factor {
-            schema: rel.schema().clone(),
-            index,
+            schema: table.schema().clone(),
+            table,
+            dict,
             max,
+        }
+    }
+
+    fn from_counted(rel: &CountedRelation) -> Factor {
+        let dict = Arc::new(Dict::from_values(
+            rel.iter()
+                .flat_map(|(row, _)| row.iter().cloned())
+                .collect::<Vec<_>>(),
+        ));
+        let mut table = dict.encode_counted(rel);
+        table.sort();
+        Factor::from_encoded(table, dict)
+    }
+
+    /// Count of the encoded `key`, or 0 — binary search over the sorted
+    /// rows.
+    fn lookup_codes(&self, key: &[u32]) -> Count {
+        let (mut lo, mut hi) = (0usize, self.table.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.table.row(mid) < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < self.table.len() && self.table.row(lo) == key {
+            self.table.count(lo)
+        } else {
+            0
         }
     }
 }
@@ -178,18 +216,55 @@ impl MultiplicityTable {
         }
     }
 
+    /// [`MultiplicityTable::from_factors`] over already-encoded grouped
+    /// factors sharing one dictionary — the engine's fast path hands its
+    /// pass outputs straight in, with no decode and no re-hashing.
+    ///
+    /// # Panics
+    /// Panics if two factors share an attribute.
+    pub fn from_encoded_factors(
+        relation: usize,
+        factors: Vec<EncodedRelation>,
+        dict: &Arc<Dict>,
+    ) -> Self {
+        let mut covered = Schema::empty();
+        for f in &factors {
+            assert!(
+                covered.is_disjoint_from(f.schema()),
+                "multiplicity-table factors must be schema-disjoint"
+            );
+            covered = covered.union(f.schema());
+        }
+        MultiplicityTable {
+            relation,
+            covered,
+            factors: factors
+                .into_iter()
+                .map(|t| Factor::from_encoded(t, Arc::clone(dict)))
+                .collect(),
+        }
+    }
+
     /// Tuple sensitivity of a full row of the relation (laid out by
     /// `rel_schema`): the product of the factor lookups of the row's
     /// projections; any missing combination gives 0.
     pub fn sensitivity_of(&self, rel_schema: &Schema, row: &[Value]) -> Count {
         let mut out: Count = 1;
+        let mut key: Vec<u32> = Vec::new();
         for f in &self.factors {
             let idx = rel_schema.projection_indices(&f.schema);
-            let key: Row = idx.iter().map(|&i| row[i].clone()).collect();
-            match f.index.get(&key) {
-                Some(&c) => out = sat_mul(out, c),
-                None => return 0,
+            key.clear();
+            for &i in &idx {
+                match f.dict.encode(&row[i]) {
+                    Some(code) => key.push(code),
+                    None => return 0,
+                }
             }
+            let c = f.lookup_codes(&key);
+            if c == 0 {
+                return 0;
+            }
+            out = sat_mul(out, c);
         }
         out
     }
@@ -232,10 +307,7 @@ impl MultiplicityTable {
     pub fn materialise(&self) -> CountedRelation {
         let mut out = CountedRelation::unit();
         for f in &self.factors {
-            let as_rel = CountedRelation::from_pairs(
-                f.schema.clone(),
-                f.index.iter().map(|(r, c)| (r.clone(), *c)).collect(),
-            );
+            let as_rel = f.table.decode(&f.dict);
             out = tsens_engine::ops::hash_join(&out, &as_rel);
         }
         let mut grouped = out.group(&self.covered);
@@ -246,12 +318,12 @@ impl MultiplicityTable {
     /// Number of stored entries across factors (memory proxy; the
     /// represented table has the *product* of the factor sizes).
     pub fn len(&self) -> usize {
-        self.factors.iter().map(|f| f.index.len()).sum()
+        self.factors.iter().map(|f| f.table.len()).sum()
     }
 
     /// True if no tuple of the relation can have nonzero sensitivity.
     pub fn is_empty(&self) -> bool {
-        self.factors.iter().any(|f| f.index.is_empty())
+        self.factors.iter().any(|f| f.table.is_empty())
     }
 
     /// Number of factors (1 for plain tables, 0 for "unconstrained").

@@ -51,7 +51,12 @@ impl CountedRelation {
     pub fn from_relation(rel: &Relation) -> Self {
         let mut groups: FastMap<Row, Count> = fast_map_with_capacity(rel.len());
         for row in rel.rows() {
-            *groups.entry(row.clone()).or_insert(0) += 1;
+            // Probe by slice first so repeated rows never clone.
+            if let Some(slot) = groups.get_mut(row.as_slice()) {
+                *slot += 1;
+            } else {
+                groups.insert(row.clone(), 1);
+            }
         }
         let mut rows: Vec<(Row, Count)> = groups.into_iter().collect();
         // Deterministic order: downstream algorithms use "first max" tie-breaks.
@@ -121,10 +126,19 @@ impl CountedRelation {
     pub fn group(&self, target: &Schema) -> CountedRelation {
         let idx = self.schema.projection_indices(target);
         let mut groups: FastMap<Row, Count> = fast_map_with_capacity(self.rows.len());
+        // Reuse one projected-key buffer: existing groups are found by a
+        // borrowed-slice probe, and a fresh `Row` is allocated only the
+        // first time a key is seen.
+        let mut key: Row = Vec::with_capacity(idx.len());
         for (row, c) in &self.rows {
-            let key: Row = idx.iter().map(|&i| row[i].clone()).collect();
-            let slot = groups.entry(key).or_insert(0);
-            *slot = sat_add(*slot, *c);
+            key.clear();
+            key.extend(idx.iter().map(|&i| row[i].clone()));
+            if let Some(slot) = groups.get_mut(key.as_slice()) {
+                *slot = sat_add(*slot, *c);
+            } else {
+                groups.insert(std::mem::take(&mut key), *c);
+                key.reserve(idx.len());
+            }
         }
         let mut rows: Vec<(Row, Count)> = groups.into_iter().collect();
         rows.sort_unstable();

@@ -1,0 +1,600 @@
+//! Dictionary-encoded flat-buffer relations: the engine's hot-path
+//! representation.
+//!
+//! The `Value`-based [`CountedRelation`] allocates one `Vec<Value>` per row
+//! and clones enum-tagged values per column; join-heavy workloads spend
+//! most of their time in those constant factors. Since the paper's
+//! workloads are almost entirely integer-keyed, the engine instead runs
+//! over:
+//!
+//! * [`Dict`] — an order-preserving interner mapping `Value ⇄ u32` code.
+//!   The dictionary is built **sorted over the whole database**, so code
+//!   order is isomorphic to [`Value`] order. Lexicographic comparisons of
+//!   encoded rows therefore agree with comparisons of the original rows,
+//!   which preserves the deterministic "smallest row" tie-breaks that
+//!   [`CountedRelation::group`] / [`CountedRelation::max_entry`] rely on.
+//! * [`EncodedRelation`] — rows stored as one contiguous `Vec<u32>` with
+//!   stride = arity, plus a parallel `Vec<Count>`. Appending a row copies
+//!   codes into the flat buffer: no per-row heap allocation anywhere.
+//!
+//! Encoded relations are produced once per query run (after selection
+//! predicates are applied) and decoded back to `Value` rows only at
+//! report/API boundaries.
+
+use crate::counted::CountedRelation;
+use crate::fast::{fast_map_with_capacity, FastMap};
+use crate::relation::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::{sat_add, Count};
+use std::fmt;
+
+/// An order-preserving `Value ⇄ u32` dictionary.
+///
+/// Codes are assigned by sorting the distinct values of the database, so
+/// `a < b ⇔ code(a) < code(b)` for any two values in the dictionary.
+#[derive(Clone, Default)]
+pub struct Dict {
+    /// Sorted distinct integer values; `ints[i]` has code `i`.
+    ints: Vec<i64>,
+    /// Sorted distinct string values; `strs[j]` has code `ints.len() + j`
+    /// (all integers order before all strings, matching [`Value`]'s
+    /// total order).
+    strs: Vec<Value>,
+    /// Reverse index for integer values — hashing a raw `i64` skips the
+    /// enum discriminant and beats binary search on encode-heavy lifts.
+    int_codes: FastMap<i64, u32>,
+    /// Reverse index for string values.
+    str_codes: FastMap<Value, u32>,
+}
+
+impl Dict {
+    /// Build a dictionary from an arbitrary iterator of values
+    /// (duplicates allowed; they are deduplicated here).
+    pub fn from_values(values: impl IntoIterator<Item = Value>) -> Self {
+        let mut ints: Vec<i64> = Vec::new();
+        let mut strs: Vec<Value> = Vec::new();
+        for v in values {
+            match v {
+                Value::Int(x) => ints.push(x),
+                Value::Str(_) => strs.push(v),
+            }
+        }
+        Dict::from_parts(ints, strs)
+    }
+
+    /// Build from raw integer and string pools (duplicates allowed).
+    ///
+    /// The reverse index doubles as the deduplicator: one hash pass over
+    /// the pool, then only the (usually much smaller) distinct set is
+    /// sorted to assign order-isomorphic codes.
+    pub fn from_parts(ints: Vec<i64>, strs: Vec<Value>) -> Self {
+        let mut int_codes: FastMap<i64, u32> = fast_map_with_capacity(ints.len());
+        for x in ints {
+            int_codes.insert(x, 0);
+        }
+        let mut ints: Vec<i64> = int_codes.keys().copied().collect();
+        ints.sort_unstable();
+
+        let mut str_codes: FastMap<Value, u32> = FastMap::default();
+        for v in strs {
+            str_codes.insert(v, 0);
+        }
+        let mut strs: Vec<Value> = str_codes.keys().cloned().collect();
+        strs.sort_unstable();
+
+        assert!(
+            u32::try_from(ints.len() + strs.len()).is_ok(),
+            "dictionary overflow: more than u32::MAX distinct values"
+        );
+        for (i, &x) in ints.iter().enumerate() {
+            *int_codes.get_mut(&x).expect("just inserted") = i as u32;
+        }
+        for (j, v) in strs.iter().enumerate() {
+            *str_codes.get_mut(v).expect("just inserted") = (ints.len() + j) as u32;
+        }
+        Dict {
+            ints,
+            strs,
+            int_codes,
+            str_codes,
+        }
+    }
+
+    /// Build the dictionary of every value appearing in `db`.
+    pub fn from_database(db: &crate::Database) -> Self {
+        let mut ints: Vec<i64> = Vec::with_capacity(db.total_tuples());
+        let mut strs: Vec<Value> = Vec::new();
+        for (_, _, rel) in db.iter() {
+            for row in rel.rows() {
+                for v in row {
+                    match v {
+                        Value::Int(x) => ints.push(*x),
+                        Value::Str(_) => strs.push(v.clone()),
+                    }
+                }
+            }
+        }
+        Dict::from_parts(ints, strs)
+    }
+
+    /// Number of distinct values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ints.len() + self.strs.len()
+    }
+
+    /// True if the dictionary is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ints.is_empty() && self.strs.is_empty()
+    }
+
+    /// The code of `v`, if it is in the dictionary.
+    #[inline]
+    pub fn encode(&self, v: &Value) -> Option<u32> {
+        match v {
+            Value::Int(x) => self.int_codes.get(x).copied(),
+            Value::Str(_) => self.str_codes.get(v).copied(),
+        }
+    }
+
+    /// The code of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is not in the dictionary.
+    #[inline]
+    pub fn code(&self, v: &Value) -> u32 {
+        self.encode(v)
+            .unwrap_or_else(|| panic!("value {v:?} not in dictionary"))
+    }
+
+    /// The value behind `code`.
+    ///
+    /// # Panics
+    /// Panics if `code` is out of range.
+    #[inline]
+    pub fn decode(&self, code: u32) -> Value {
+        let i = code as usize;
+        if i < self.ints.len() {
+            Value::Int(self.ints[i])
+        } else {
+            self.strs[i - self.ints.len()].clone()
+        }
+    }
+
+    /// Encode a `(row, count)` relation. Rows must already be encodable
+    /// (every value present in the dictionary).
+    ///
+    /// # Panics
+    /// Panics if a value is missing from the dictionary.
+    pub fn encode_counted(&self, rel: &CountedRelation) -> EncodedRelation {
+        let mut out = EncodedRelation::with_capacity(rel.schema().clone(), rel.len());
+        let mut scratch: Vec<u32> = Vec::with_capacity(rel.schema().arity());
+        for (row, c) in rel.iter() {
+            scratch.clear();
+            scratch.extend(row.iter().map(|v| self.code(v)));
+            out.push(&scratch, *c);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Dict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dict[{} values]", self.len())
+    }
+}
+
+/// A counted relation over dictionary codes, stored flat.
+///
+/// `codes` holds the rows back to back (stride = `schema.arity()`), and
+/// `counts[i]` is the multiplicity of row `i`. Like [`CountedRelation`],
+/// rows are not required to be distinct; [`EncodedRelation::group`]
+/// canonicalises (distinct, sorted by code order = value order).
+#[derive(Clone, PartialEq, Eq)]
+pub struct EncodedRelation {
+    schema: Schema,
+    codes: Vec<u32>,
+    counts: Vec<Count>,
+}
+
+impl EncodedRelation {
+    /// An empty encoded relation over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        EncodedRelation {
+            schema,
+            codes: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// An empty encoded relation with room for `rows` rows.
+    pub fn with_capacity(schema: Schema, rows: usize) -> Self {
+        let arity = schema.arity();
+        EncodedRelation {
+            schema,
+            codes: Vec::with_capacity(rows * arity),
+            counts: Vec::with_capacity(rows),
+        }
+    }
+
+    /// The "unit" relation: empty schema, one row, count 1 — the identity
+    /// for the multiplicity-join, used for `⊤(root)`.
+    pub fn unit() -> Self {
+        EncodedRelation {
+            schema: Schema::empty(),
+            codes: Vec::new(),
+            counts: vec![1],
+        }
+    }
+
+    /// The relation's schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// Number of entries (distinct rows if grouped).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True if there are no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Row `i` as a code slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        let a = self.schema.arity();
+        &self.codes[i * a..(i + 1) * a]
+    }
+
+    /// Count of row `i`.
+    #[inline]
+    pub fn count(&self, i: usize) -> Count {
+        self.counts[i]
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if `row.len()` differs from the schema arity.
+    #[inline]
+    pub fn push(&mut self, row: &[u32], count: Count) {
+        debug_assert_eq!(row.len(), self.schema.arity());
+        self.codes.extend_from_slice(row);
+        self.counts.push(count);
+    }
+
+    /// Append one row produced by an iterator (e.g. encoding a `Value`
+    /// row), writing codes straight into the flat buffer.
+    ///
+    /// # Panics
+    /// Panics (debug) if the iterator length differs from the arity.
+    #[inline]
+    pub fn push_mapped(&mut self, row: impl IntoIterator<Item = u32>, count: Count) {
+        self.codes.extend(row);
+        debug_assert_eq!(
+            self.codes.len(),
+            (self.counts.len() + 1) * self.schema.arity()
+        );
+        self.counts.push(count);
+    }
+
+    /// Append the concatenation `left ++ right` as one row — the join
+    /// output fast path (left row plus right-side extra columns) with no
+    /// intermediate buffer.
+    #[inline]
+    pub fn push_concat(&mut self, left: &[u32], right: &[u32], count: Count) {
+        debug_assert_eq!(left.len() + right.len(), self.schema.arity());
+        self.codes.extend_from_slice(left);
+        self.codes.extend_from_slice(right);
+        self.counts.push(count);
+    }
+
+    /// Reserve room for `additional` more rows.
+    pub fn reserve(&mut self, additional: usize) {
+        self.codes.reserve(additional * self.schema.arity());
+        self.counts.reserve(additional);
+    }
+
+    /// Iterate `(row, count)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u32], Count)> + '_ {
+        let a = self.schema.arity();
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (&self.codes[i * a..(i + 1) * a], c))
+    }
+
+    /// Sum of all counts (`|Q(D)|` for a counted join result).
+    pub fn total_count(&self) -> Count {
+        self.counts.iter().fold(0, |acc, &c| sat_add(acc, c))
+    }
+
+    /// Multiply every count by `factor` (saturating) — the degenerate
+    /// empty-key lookup join.
+    pub fn scale_counts(&mut self, factor: Count) {
+        for c in &mut self.counts {
+            *c = c.saturating_mul(factor);
+        }
+    }
+
+    /// The paper's `γ_A` over codes: project onto `target` and sum counts
+    /// per group. Output rows are distinct and sorted by code order —
+    /// which equals value order, so this matches
+    /// [`CountedRelation::group`] exactly.
+    pub fn group(&self, target: &Schema) -> EncodedRelation {
+        let idx = self.schema.projection_indices(target);
+        match idx.as_slice() {
+            [] => {
+                // γ onto the empty schema: a single total-count row
+                // (unless the input is empty).
+                let mut out = EncodedRelation::new(target.clone());
+                if !self.is_empty() {
+                    out.counts.push(self.total_count());
+                }
+                out
+            }
+            // Single-column fast path: raw u32 keys, no per-row buffers.
+            [i0] => {
+                let i0 = *i0;
+                let mut groups: FastMap<u32, Count> = fast_map_with_capacity(self.len());
+                for (row, c) in self.iter() {
+                    let slot = groups.entry(row[i0]).or_insert(0);
+                    *slot = sat_add(*slot, c);
+                }
+                let mut pairs: Vec<(u32, Count)> = groups.into_iter().collect();
+                pairs.sort_unstable_by_key(|&(k, _)| k);
+                let mut out = EncodedRelation::with_capacity(target.clone(), pairs.len());
+                for (k, c) in pairs {
+                    out.codes.push(k);
+                    out.counts.push(c);
+                }
+                out
+            }
+            // Two-column fast path: pack the pair into one u64 whose
+            // numeric order equals the pair's lexicographic order, so the
+            // sort runs on primitives with no pointer chasing.
+            [i0, i1] => {
+                let (i0, i1) = (*i0, *i1);
+                let mut groups: FastMap<u64, Count> = fast_map_with_capacity(self.len());
+                for (row, c) in self.iter() {
+                    let key = (u64::from(row[i0]) << 32) | u64::from(row[i1]);
+                    let slot = groups.entry(key).or_insert(0);
+                    *slot = sat_add(*slot, c);
+                }
+                let mut pairs: Vec<(u64, Count)> = groups.into_iter().collect();
+                pairs.sort_unstable_by_key(|&(k, _)| k);
+                let mut out = EncodedRelation::with_capacity(target.clone(), pairs.len());
+                for (k, c) in pairs {
+                    out.codes.push((k >> 32) as u32);
+                    out.codes.push(k as u32);
+                    out.counts.push(c);
+                }
+                out
+            }
+            _ => {
+                // General path: probe with a reused scratch key (slice
+                // lookups hash fixed-width `&[u32]`); allocate an owned
+                // key only once per distinct group.
+                let mut groups: FastMap<Box<[u32]>, Count> = fast_map_with_capacity(self.len());
+                let mut key: Vec<u32> = Vec::with_capacity(idx.len());
+                for (row, c) in self.iter() {
+                    key.clear();
+                    key.extend(idx.iter().map(|&i| row[i]));
+                    if let Some(slot) = groups.get_mut(key.as_slice()) {
+                        *slot = sat_add(*slot, c);
+                    } else {
+                        groups.insert(key.as_slice().into(), c);
+                    }
+                }
+                let mut pairs: Vec<(Box<[u32]>, Count)> = groups.into_iter().collect();
+                pairs.sort_unstable();
+                let mut out = EncodedRelation::with_capacity(target.clone(), pairs.len());
+                for (k, c) in pairs {
+                    out.codes.extend_from_slice(&k);
+                    out.counts.push(c);
+                }
+                out
+            }
+        }
+    }
+
+    /// The entry with the largest count, ties broken by smallest row.
+    /// Because codes are order-isomorphic with values, this agrees with
+    /// [`CountedRelation::max_entry`] on the decoded relation.
+    pub fn max_entry(&self) -> Option<(&[u32], Count)> {
+        (0..self.len())
+            .map(|i| (self.row(i), self.counts[i]))
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(a.0)))
+    }
+
+    /// Sort entries by (row, count) — the canonical order of
+    /// [`CountedRelation::sort`] carried over to codes.
+    pub fn sort(&mut self) {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_unstable_by(|&a, &b| {
+            self.row(a)
+                .cmp(self.row(b))
+                .then_with(|| self.counts[a].cmp(&self.counts[b]))
+        });
+        let arity = self.schema.arity();
+        let mut codes = Vec::with_capacity(self.codes.len());
+        let mut counts = Vec::with_capacity(self.counts.len());
+        for &i in &order {
+            codes.extend_from_slice(&self.codes[i * arity..(i + 1) * arity]);
+            counts.push(self.counts[i]);
+        }
+        self.codes = codes;
+        self.counts = counts;
+    }
+
+    /// Decode back to a `Value`-based [`CountedRelation`] — the
+    /// report/API boundary.
+    ///
+    /// # Panics
+    /// Panics if a code is out of the dictionary's range.
+    pub fn decode(&self, dict: &Dict) -> CountedRelation {
+        let pairs: Vec<(Row, Count)> = self
+            .iter()
+            .map(|(row, c)| (row.iter().map(|&code| dict.decode(code)).collect(), c))
+            .collect();
+        CountedRelation::from_pairs(self.schema.clone(), pairs)
+    }
+}
+
+impl fmt::Debug for EncodedRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Encoded{:?} [{} entries]", self.schema, self.len())?;
+        for (row, c) in self.iter().take(20) {
+            writeln!(f, "  {row:?} ×{c}")?;
+        }
+        if self.len() > 20 {
+            writeln!(f, "  … ({} more)", self.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrId;
+    use crate::{Database, Relation};
+
+    fn schema(ids: &[u32]) -> Schema {
+        Schema::new(ids.iter().map(|&i| AttrId(i)).collect())
+    }
+
+    fn row(vals: &[i64]) -> Row {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn dict_codes_are_order_isomorphic() {
+        let d = Dict::from_values(vec![
+            Value::str("b"),
+            Value::Int(10),
+            Value::str("a"),
+            Value::Int(-3),
+            Value::Int(10),
+        ]);
+        assert_eq!(d.len(), 4);
+        // Ints before strings, each group sorted.
+        assert_eq!(d.code(&Value::Int(-3)), 0);
+        assert_eq!(d.code(&Value::Int(10)), 1);
+        assert_eq!(d.code(&Value::str("a")), 2);
+        assert_eq!(d.code(&Value::str("b")), 3);
+        assert_eq!(d.decode(2), Value::str("a"));
+        assert_eq!(d.encode(&Value::Int(99)), None);
+    }
+
+    #[test]
+    fn dict_from_database_covers_all_values() {
+        let mut db = Database::new();
+        let [a, b] = db.attrs(["A", "B"]);
+        db.add_relation(
+            "R",
+            Relation::from_rows(Schema::new(vec![a, b]), vec![row(&[1, 2]), row(&[3, 1])]),
+        )
+        .unwrap();
+        let d = Dict::from_database(&db);
+        assert_eq!(d.len(), 3);
+        for v in [1, 2, 3] {
+            assert!(d.encode(&Value::Int(v)).is_some());
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let c = CountedRelation::from_pairs(
+            schema(&[0, 1]),
+            vec![(row(&[5, 7]), 2), (row(&[1, 5]), 3)],
+        );
+        let d = Dict::from_values(vec![Value::Int(1), Value::Int(5), Value::Int(7)]);
+        let e = d.encode_counted(&c);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.total_count(), 5);
+        assert_eq!(e.decode(&d), c);
+    }
+
+    #[test]
+    fn group_matches_counted_group() {
+        let pairs = vec![
+            (row(&[1, 10]), 2),
+            (row(&[1, 20]), 3),
+            (row(&[2, 10]), 5),
+            (row(&[1, 10]), 1),
+        ];
+        let c = CountedRelation::from_pairs(schema(&[0, 1]), pairs);
+        let d = Dict::from_values(
+            c.iter()
+                .flat_map(|(r, _)| r.iter().cloned())
+                .collect::<Vec<_>>(),
+        );
+        let e = d.encode_counted(&c);
+        for target in [schema(&[0]), schema(&[1]), schema(&[1, 0]), Schema::empty()] {
+            let enc = e.group(&target).decode(&d);
+            let leg = c.group(&target);
+            assert_eq!(enc, leg, "target {target:?}");
+        }
+    }
+
+    #[test]
+    fn group_of_empty_is_empty() {
+        let e = EncodedRelation::new(schema(&[0, 1]));
+        assert!(e.group(&Schema::empty()).is_empty());
+        assert!(e.group(&schema(&[0])).is_empty());
+    }
+
+    #[test]
+    fn max_entry_ties_break_on_smallest_row() {
+        let mut e = EncodedRelation::new(schema(&[0]));
+        e.push(&[2], 4);
+        e.push(&[1], 4);
+        e.push(&[3], 1);
+        let (r, c) = e.max_entry().unwrap();
+        assert_eq!((r, c), (&[1u32][..], 4));
+        assert!(EncodedRelation::new(schema(&[0])).max_entry().is_none());
+    }
+
+    #[test]
+    fn unit_shape() {
+        let u = EncodedRelation::unit();
+        assert_eq!(u.len(), 1);
+        assert!(u.schema().is_empty());
+        assert_eq!(u.total_count(), 1);
+        assert_eq!(u.row(0), &[] as &[u32]);
+    }
+
+    #[test]
+    fn push_concat_concatenates() {
+        let mut e = EncodedRelation::new(schema(&[0, 1, 2]));
+        e.push_concat(&[7, 8], &[9], 2);
+        assert_eq!(e.row(0), &[7, 8, 9]);
+        assert_eq!(e.count(0), 2);
+    }
+
+    #[test]
+    fn sort_is_canonical() {
+        let mut e = EncodedRelation::new(schema(&[0]));
+        e.push(&[3], 1);
+        e.push(&[1], 2);
+        e.push(&[2], 1);
+        e.sort();
+        let rows: Vec<u32> = e.iter().map(|(r, _)| r[0]).collect();
+        assert_eq!(rows, vec![1, 2, 3]);
+    }
+}

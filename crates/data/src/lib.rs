@@ -25,6 +25,7 @@ pub mod attr;
 pub mod counted;
 pub mod database;
 pub mod domain;
+pub mod encoded;
 pub mod error;
 pub mod fast;
 pub mod io;
@@ -36,6 +37,7 @@ pub use attr::{AttrId, AttrRegistry};
 pub use counted::CountedRelation;
 pub use database::Database;
 pub use domain::{active_domain, active_domain_multi};
+pub use encoded::{Dict, EncodedRelation};
 pub use error::DataError;
 pub use fast::{FastMap, FastSet};
 pub use relation::{Relation, Row};

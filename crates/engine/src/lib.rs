@@ -22,6 +22,12 @@ pub mod passes;
 pub mod yannakakis;
 
 pub use naive_eval::{full_join, naive_count};
-pub use ops::{hash_join, lookup_join, multiway_join, semijoin, sort_merge_join};
-pub use passes::{bag_relations, bag_relations_from, botjoin_pass, lift_atoms, topjoin_pass};
-pub use yannakakis::count_query;
+pub use ops::{
+    hash_join, hash_join_enc, lookup_join, lookup_join_enc, multiway_join, multiway_join_enc,
+    semijoin, semijoin_enc, sort_merge_join, sort_merge_join_enc,
+};
+pub use passes::{
+    bag_relations, bag_relations_from, bag_relations_from_enc, botjoin_pass, botjoin_pass_enc,
+    lift_atoms, lift_atoms_enc, query_dict, topjoin_pass, topjoin_pass_enc,
+};
+pub use yannakakis::{count_query, count_query_legacy};

@@ -1,7 +1,17 @@
 //! Multiplicity-propagating relational operators.
+//!
+//! Every operator comes in two flavours: a legacy `Value`-row flavour
+//! ([`hash_join`], [`lookup_join`], …) kept for tests, ground-truth
+//! cross-checks and API compatibility, and a dictionary-encoded flavour
+//! ([`hash_join_enc`], [`lookup_join_enc`], …) over
+//! [`tsens_data::EncodedRelation`] flat `u32` rows — the engine's hot
+//! path. The encoded flavour performs **no per-output-row heap
+//! allocation**: keys are hashed as raw `u32`s (single-column fast path)
+//! or fixed-width `&[u32]` slices gathered into one reused scratch
+//! buffer, and output rows are appended straight into the flat buffer.
 
 use tsens_data::fast::fast_map_with_capacity;
-use tsens_data::{sat_mul, Count, CountedRelation, FastMap, Row, Value};
+use tsens_data::{sat_mul, Count, CountedRelation, EncodedRelation, FastMap, Row, Value};
 
 /// Project `row` (laid out by `schema`) onto the positions `idx`.
 #[inline]
@@ -15,8 +25,9 @@ fn project_row(row: &[Value], idx: &[usize]) -> Row {
 /// attributes this degenerates to the counted cross product, which is what
 /// the paper's GHD bags need (e.g. `N ⋈ L` inside q3's root bag).
 ///
-/// The right side is hashed on the shared key; runtime is
-/// `O(|left| + |right| + |out|)`.
+/// The **smaller** input is hashed on the shared key (build-side
+/// selection); runtime is `O(|left| + |right| + |out|)` either way, but
+/// the hash table stays proportional to the smaller side.
 pub fn hash_join(left: &CountedRelation, right: &CountedRelation) -> CountedRelation {
     let shared = left.schema().intersect(right.schema());
     let out_schema = left.schema().union(right.schema());
@@ -25,24 +36,46 @@ pub fn hash_join(left: &CountedRelation, right: &CountedRelation) -> CountedRela
     let r_key = right.schema().projection_indices(&shared);
     let r_extra = right.schema().projection_indices(&right_extra);
 
-    // Hash the right side: key → entries.
-    let mut index: FastMap<Row, Vec<(Row, Count)>> = fast_map_with_capacity(right.len());
-    for (row, c) in right.iter() {
-        let key = project_row(row, &r_key);
-        index
-            .entry(key)
-            .or_default()
-            .push((project_row(row, &r_extra), *c));
-    }
-
     let mut out = CountedRelation::new(out_schema);
-    for (lrow, lc) in left.iter() {
-        let key = project_row(lrow, &l_key);
-        if let Some(matches) = index.get(&key) {
-            for (extra, rc) in matches {
-                let mut row = lrow.clone();
-                row.extend(extra.iter().cloned());
-                out.push(row, sat_mul(*lc, *rc));
+    if right.len() <= left.len() {
+        // Hash the right side: key → (extra columns, count).
+        let mut index: FastMap<Row, Vec<(Row, Count)>> = fast_map_with_capacity(right.len());
+        for (row, c) in right.iter() {
+            let key = project_row(row, &r_key);
+            index
+                .entry(key)
+                .or_default()
+                .push((project_row(row, &r_extra), *c));
+        }
+        for (lrow, lc) in left.iter() {
+            let key = project_row(lrow, &l_key);
+            if let Some(matches) = index.get(&key) {
+                for (extra, rc) in matches {
+                    let mut row = lrow.clone();
+                    row.extend(extra.iter().cloned());
+                    out.push(row, sat_mul(*lc, *rc));
+                }
+            }
+        }
+    } else {
+        // Hash the left side: key → (full left row, count). Output rows
+        // still lay out left's columns first.
+        let mut index: FastMap<Row, Vec<(&Row, Count)>> = fast_map_with_capacity(left.len());
+        for (row, c) in left.iter() {
+            index
+                .entry(project_row(row, &l_key))
+                .or_default()
+                .push((row, *c));
+        }
+        for (rrow, rc) in right.iter() {
+            let key = project_row(rrow, &r_key);
+            if let Some(matches) = index.get(&key) {
+                let extra = project_row(rrow, &r_extra);
+                for (lrow, lc) in matches {
+                    let mut row = (*lrow).clone();
+                    row.extend(extra.iter().cloned());
+                    out.push(row, sat_mul(*lc, *rc));
+                }
             }
         }
     }
@@ -111,10 +144,36 @@ pub fn semijoin(base: &CountedRelation, filter: &CountedRelation) -> CountedRela
     out
 }
 
-/// Join several counted relations, choosing at each step the input sharing
-/// the most attributes with the accumulated schema (falling back to a
-/// cross product only when nothing connects — unavoidable for GHD bags
-/// whose members are disconnected, like q3's `{R, N, L}`).
+/// Number of distinct projections of `rel`'s entries onto `idx`.
+fn distinct_keys(rel: &CountedRelation, idx: &[usize]) -> usize {
+    let mut keys: tsens_data::FastSet<Row> = tsens_data::FastSet::default();
+    for (row, _) in rel.iter() {
+        keys.insert(project_row(row, idx));
+    }
+    keys.len()
+}
+
+/// Textbook equijoin size estimate under uniformity:
+/// `|A ⋈ B| ≈ |A|·|B| / max(d_A, d_B)` where `d` counts distinct join
+/// keys; a plain product for cross products. Used to order multiway
+/// joins — a shared low-cardinality key (q3's `nationkey`, 25 values) can
+/// blow an overlap-greedy order up by orders of magnitude.
+fn estimate_join(acc: &CountedRelation, rel: &CountedRelation) -> u128 {
+    let shared = acc.schema().intersect(rel.schema());
+    let product = acc.len() as u128 * rel.len() as u128;
+    if shared.is_empty() {
+        return product;
+    }
+    let da = distinct_keys(acc, &acc.schema().projection_indices(&shared));
+    let dr = distinct_keys(rel, &rel.schema().projection_indices(&shared));
+    product / (da.max(dr).max(1) as u128)
+}
+
+/// Join several counted relations, choosing at each step the unused input
+/// with the smallest [`estimate_join`] against the accumulated result
+/// (cross products are costed as plain products, so they are taken only
+/// when genuinely cheapest — unavoidable for GHD bags whose members are
+/// disconnected, like q3's `{R, N, L}`).
 ///
 /// # Panics
 /// Panics if `inputs` is empty.
@@ -124,15 +183,16 @@ pub fn multiway_join(inputs: &[&CountedRelation]) -> CountedRelation {
     let mut acc = inputs[0].clone();
     used[0] = true;
     for _ in 1..inputs.len() {
-        // Pick the unused input with the largest schema overlap.
-        let mut best: Option<(usize, usize)> = None;
+        // Pick the unused input with the smallest estimated join size
+        // (ties broken by lowest index — deterministic).
+        let mut best: Option<(usize, u128)> = None;
         for (i, rel) in inputs.iter().enumerate() {
             if used[i] {
                 continue;
             }
-            let overlap = acc.schema().intersect(rel.schema()).arity();
-            if best.is_none_or(|(_, o)| overlap > o) {
-                best = Some((i, overlap));
+            let est = estimate_join(&acc, rel);
+            if best.is_none_or(|(_, e)| est < e) {
+                best = Some((i, est));
             }
         }
         let (i, _) = best.expect("an unused input must remain");
@@ -194,6 +254,328 @@ pub fn sort_merge_join(left: &CountedRelation, right: &CountedRelation) -> Count
                     i_cur += 1;
                 }
                 i = i_cur;
+                j = j_end;
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Dictionary-encoded operators (the hot path).
+// ---------------------------------------------------------------------------
+
+/// Hash index over an encoded relation's projected key: key → row indices.
+///
+/// Single-column keys are hashed as raw `u32`; wider keys as fixed-width
+/// `&[u32]` slices (owned boxes are allocated once per **distinct** key,
+/// never per row).
+enum CodeIndex {
+    One(FastMap<u32, Vec<u32>>),
+    Many(FastMap<Box<[u32]>, Vec<u32>>),
+}
+
+impl CodeIndex {
+    fn build(rel: &EncodedRelation, key_idx: &[usize]) -> CodeIndex {
+        if let [i0] = key_idx {
+            let mut map: FastMap<u32, Vec<u32>> = fast_map_with_capacity(rel.len());
+            for i in 0..rel.len() {
+                map.entry(rel.row(i)[*i0]).or_default().push(i as u32);
+            }
+            CodeIndex::One(map)
+        } else {
+            let mut map: FastMap<Box<[u32]>, Vec<u32>> = fast_map_with_capacity(rel.len());
+            let mut key: Vec<u32> = Vec::with_capacity(key_idx.len());
+            for i in 0..rel.len() {
+                let row = rel.row(i);
+                key.clear();
+                key.extend(key_idx.iter().map(|&k| row[k]));
+                if let Some(bucket) = map.get_mut(key.as_slice()) {
+                    bucket.push(i as u32);
+                } else {
+                    map.insert(key.as_slice().into(), vec![i as u32]);
+                }
+            }
+            CodeIndex::Many(map)
+        }
+    }
+
+    #[inline]
+    fn get(&self, key: &[u32]) -> &[u32] {
+        let bucket = match self {
+            CodeIndex::One(map) => map.get(&key[0]),
+            CodeIndex::Many(map) => map.get(key),
+        };
+        bucket.map_or(&[], Vec::as_slice)
+    }
+}
+
+/// Gather `row`'s positions `idx` into `buf` (cleared first).
+#[inline]
+fn gather(buf: &mut Vec<u32>, row: &[u32], idx: &[usize]) {
+    buf.clear();
+    buf.extend(idx.iter().map(|&i| row[i]));
+}
+
+/// [`hash_join`] over encoded relations: natural join on all shared
+/// attributes, counts multiplied, result schema `left ∪ right` (left's
+/// columns first). Hashes the smaller input; output rows are appended
+/// straight into the flat buffer — no per-output-row allocation.
+pub fn hash_join_enc(left: &EncodedRelation, right: &EncodedRelation) -> EncodedRelation {
+    let shared = left.schema().intersect(right.schema());
+    let out_schema = left.schema().union(right.schema());
+    let right_extra = right.schema().difference(left.schema());
+    let l_key = left.schema().projection_indices(&shared);
+    let r_key = right.schema().projection_indices(&shared);
+    let r_extra = right.schema().projection_indices(&right_extra);
+
+    let mut out = EncodedRelation::with_capacity(out_schema, left.len().max(right.len()));
+    let mut key: Vec<u32> = Vec::with_capacity(l_key.len());
+    let mut extra: Vec<u32> = Vec::with_capacity(r_extra.len());
+    if right.len() <= left.len() {
+        let index = CodeIndex::build(right, &r_key);
+        for (lrow, lc) in left.iter() {
+            gather(&mut key, lrow, &l_key);
+            for &ri in index.get(&key) {
+                let ri = ri as usize;
+                gather(&mut extra, right.row(ri), &r_extra);
+                out.push_concat(lrow, &extra, sat_mul(lc, right.count(ri)));
+            }
+        }
+    } else {
+        let index = CodeIndex::build(left, &l_key);
+        for (rrow, rc) in right.iter() {
+            gather(&mut key, rrow, &r_key);
+            let matches = index.get(&key);
+            if !matches.is_empty() {
+                gather(&mut extra, rrow, &r_extra);
+                for &li in matches {
+                    let li = li as usize;
+                    out.push_concat(left.row(li), &extra, sat_mul(left.count(li), rc));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// [`lookup_join`] over encoded relations — the workhorse of the ⊤/⊥
+/// passes. `keyed.schema()` must be a subset of `base.schema()`; matched
+/// base rows keep their schema with counts multiplied.
+///
+/// Single-column keys probe a raw-`u32` map; wider keys borrow `keyed`'s
+/// contiguous rows as map keys and probe with a reused scratch slice, so
+/// the inner loop allocates nothing at all.
+///
+/// # Panics
+/// Panics if `keyed.schema() ⊄ base.schema()`.
+pub fn lookup_join_enc(base: &EncodedRelation, keyed: &EncodedRelation) -> EncodedRelation {
+    assert!(
+        keyed.schema().is_subset_of(base.schema()),
+        "lookup_join_enc: keyed schema {:?} must be a subset of base schema {:?}",
+        keyed.schema(),
+        base.schema()
+    );
+    let key_idx = base.schema().projection_indices(keyed.schema());
+    if keyed.schema().is_empty() {
+        // Empty key (e.g. ⊤(root) = unit): every base row matches the
+        // single aggregate count — scale counts over a flat-buffer copy
+        // instead of re-pushing row by row.
+        if keyed.is_empty() {
+            return EncodedRelation::new(base.schema().clone());
+        }
+        let kc = keyed.total_count();
+        let mut out = base.clone();
+        if kc != 1 {
+            out.scale_counts(kc);
+        }
+        return out;
+    }
+    let mut out = EncodedRelation::with_capacity(base.schema().clone(), base.len());
+    if let [i0] = key_idx.as_slice() {
+        let i0 = *i0;
+        let mut index: FastMap<u32, Count> = fast_map_with_capacity(keyed.len());
+        for (row, c) in keyed.iter() {
+            // Defensive: sum if the caller passed a non-grouped relation.
+            let slot = index.entry(row[0]).or_insert(0);
+            *slot = slot.saturating_add(c);
+        }
+        for (row, c) in base.iter() {
+            if let Some(&kc) = index.get(&row[i0]) {
+                out.push(row, sat_mul(c, kc));
+            }
+        }
+    } else {
+        let mut index: FastMap<&[u32], Count> = fast_map_with_capacity(keyed.len());
+        for (row, c) in keyed.iter() {
+            let slot = index.entry(row).or_insert(0);
+            *slot = slot.saturating_add(c);
+        }
+        let mut key: Vec<u32> = Vec::with_capacity(key_idx.len());
+        for (row, c) in base.iter() {
+            gather(&mut key, row, &key_idx);
+            if let Some(&kc) = index.get(key.as_slice()) {
+                out.push(row, sat_mul(c, kc));
+            }
+        }
+    }
+    out
+}
+
+/// [`semijoin`] over encoded relations: keep base entries whose key
+/// projection appears in `filter`; counts unchanged.
+///
+/// # Panics
+/// Panics if `filter.schema() ⊄ base.schema()`.
+pub fn semijoin_enc(base: &EncodedRelation, filter: &EncodedRelation) -> EncodedRelation {
+    assert!(
+        filter.schema().is_subset_of(base.schema()),
+        "semijoin_enc: filter schema must be a subset of base schema"
+    );
+    let key_idx = base.schema().projection_indices(filter.schema());
+    let mut keys: tsens_data::FastSet<&[u32]> = tsens_data::FastSet::default();
+    for (row, _) in filter.iter() {
+        keys.insert(row);
+    }
+    let mut out = EncodedRelation::with_capacity(base.schema().clone(), base.len());
+    let mut key: Vec<u32> = Vec::with_capacity(key_idx.len());
+    for (row, c) in base.iter() {
+        gather(&mut key, row, &key_idx);
+        if keys.contains(key.as_slice()) {
+            out.push(row, c);
+        }
+    }
+    out
+}
+
+/// Number of distinct projections of `rel`'s rows onto `idx` — pairs are
+/// packed into `u64`s, wider keys gathered into a scratch slice.
+fn distinct_keys_enc(rel: &EncodedRelation, idx: &[usize]) -> usize {
+    match idx {
+        [] => usize::from(!rel.is_empty()),
+        [i0] => {
+            let mut keys: tsens_data::FastSet<u32> = tsens_data::FastSet::default();
+            for (row, _) in rel.iter() {
+                keys.insert(row[*i0]);
+            }
+            keys.len()
+        }
+        [i0, i1] => {
+            let mut keys: tsens_data::FastSet<u64> = tsens_data::FastSet::default();
+            for (row, _) in rel.iter() {
+                keys.insert((u64::from(row[*i0]) << 32) | u64::from(row[*i1]));
+            }
+            keys.len()
+        }
+        _ => {
+            let mut keys: tsens_data::FastSet<Box<[u32]>> = tsens_data::FastSet::default();
+            let mut key: Vec<u32> = Vec::with_capacity(idx.len());
+            for (row, _) in rel.iter() {
+                gather(&mut key, row, idx);
+                if !keys.contains(key.as_slice()) {
+                    keys.insert(key.as_slice().into());
+                }
+            }
+            keys.len()
+        }
+    }
+}
+
+/// [`estimate_join`] over encoded relations.
+fn estimate_join_enc(acc: &EncodedRelation, rel: &EncodedRelation) -> u128 {
+    let shared = acc.schema().intersect(rel.schema());
+    let product = acc.len() as u128 * rel.len() as u128;
+    if shared.is_empty() {
+        return product;
+    }
+    let da = distinct_keys_enc(acc, &acc.schema().projection_indices(&shared));
+    let dr = distinct_keys_enc(rel, &rel.schema().projection_indices(&shared));
+    product / (da.max(dr).max(1) as u128)
+}
+
+/// [`multiway_join`] over encoded relations: join several inputs ordered
+/// by the smallest [`estimate_join_enc`] against the accumulated result.
+///
+/// # Panics
+/// Panics if `inputs` is empty.
+pub fn multiway_join_enc(inputs: &[&EncodedRelation]) -> EncodedRelation {
+    assert!(
+        !inputs.is_empty(),
+        "multiway_join_enc needs at least one input"
+    );
+    let mut used = vec![false; inputs.len()];
+    let mut acc = inputs[0].clone();
+    used[0] = true;
+    for _ in 1..inputs.len() {
+        // Smallest estimated join size first (ties → lowest index).
+        let mut best: Option<(usize, u128)> = None;
+        for (i, rel) in inputs.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let est = estimate_join_enc(&acc, rel);
+            if best.is_none_or(|(_, e)| est < e) {
+                best = Some((i, est));
+            }
+        }
+        let (i, _) = best.expect("an unused input must remain");
+        used[i] = true;
+        acc = hash_join_enc(&acc, inputs[i]);
+    }
+    acc
+}
+
+/// [`sort_merge_join`] over encoded relations: sort row indices of both
+/// sides by the projected join key (compared column-by-column straight
+/// out of the flat buffers), then emit run × run blocks.
+pub fn sort_merge_join_enc(left: &EncodedRelation, right: &EncodedRelation) -> EncodedRelation {
+    let shared = left.schema().intersect(right.schema());
+    let out_schema = left.schema().union(right.schema());
+    let right_extra = right.schema().difference(left.schema());
+    let l_key = left.schema().projection_indices(&shared);
+    let r_key = right.schema().projection_indices(&shared);
+    let r_extra = right.schema().projection_indices(&right_extra);
+
+    let cmp_rows = |rel: &EncodedRelation, idx: &[usize], a: u32, b: u32| {
+        idx.iter()
+            .map(|&k| rel.row(a as usize)[k])
+            .cmp(idx.iter().map(|&k| rel.row(b as usize)[k]))
+    };
+    let cmp_key = |rel: &EncodedRelation, idx: &[usize], i: u32, key: &[u32]| {
+        idx.iter()
+            .map(|&k| rel.row(i as usize)[k])
+            .cmp(key.iter().copied())
+    };
+    let mut l_order: Vec<u32> = (0..left.len() as u32).collect();
+    let mut r_order: Vec<u32> = (0..right.len() as u32).collect();
+    l_order.sort_unstable_by(|&a, &b| cmp_rows(left, &l_key, a, b));
+    r_order.sort_unstable_by(|&a, &b| cmp_rows(right, &r_key, a, b));
+
+    let mut out = EncodedRelation::with_capacity(out_schema, left.len().max(right.len()));
+    let mut extra: Vec<u32> = Vec::with_capacity(r_extra.len());
+    let mut key: Vec<u32> = Vec::with_capacity(l_key.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < l_order.len() && j < r_order.len() {
+        gather(&mut key, left.row(l_order[i] as usize), &l_key);
+        match cmp_key(right, &r_key, r_order[j], &key).reverse() {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let mut j_end = j;
+                while j_end < r_order.len() && cmp_key(right, &r_key, r_order[j_end], &key).is_eq()
+                {
+                    j_end += 1;
+                }
+                while i < l_order.len() && cmp_key(left, &l_key, l_order[i], &key).is_eq() {
+                    let li = l_order[i] as usize;
+                    let (lrow, lc) = (left.row(li), left.count(li));
+                    for &rj in &r_order[j..j_end] {
+                        let rj = rj as usize;
+                        gather(&mut extra, right.row(rj), &r_extra);
+                        out.push_concat(lrow, &extra, sat_mul(lc, right.count(rj)));
+                    }
+                    i += 1;
+                }
                 j = j_end;
             }
         }

@@ -14,8 +14,8 @@
 //! ([`crate::ops::lookup_join`]) — the source of the near-linear running
 //! time of §4/§5.3.
 
-use crate::ops::{lookup_join, multiway_join};
-use tsens_data::{CountedRelation, Database};
+use crate::ops::{lookup_join, lookup_join_enc, multiway_join, multiway_join_enc};
+use tsens_data::{CountedRelation, Database, Dict, EncodedRelation};
 use tsens_query::{ConjunctiveQuery, DecompositionTree};
 
 /// Lift every atom of the query to a counted relation: duplicate rows are
@@ -108,6 +108,136 @@ pub fn topjoin_pass(
         for s in tree.neighbors(v) {
             acc = lookup_join(&acc, &bots[s]);
         }
+        tops[v] = Some(acc.group(&tree.up_schema(v)));
+    }
+    tops.into_iter()
+        .map(|t| t.expect("all bags visited"))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Dictionary-encoded passes (the hot path).
+// ---------------------------------------------------------------------------
+
+/// Build the dictionary for one query run: the sorted distinct values of
+/// the relations the query's atoms reference (other catalog relations
+/// cannot appear in any pass output, so interning them would only slow
+/// the sort down).
+pub fn query_dict(db: &Database, cq: &ConjunctiveQuery) -> Dict {
+    let mut rels: Vec<usize> = cq.atoms().iter().map(|a| a.relation).collect();
+    rels.sort_unstable();
+    rels.dedup();
+    let mut ints: Vec<i64> = Vec::new();
+    let mut strs: Vec<tsens_data::Value> = Vec::new();
+    for ri in rels {
+        for row in db.relation(ri).rows() {
+            for v in row {
+                match v.as_int() {
+                    Some(x) => ints.push(x),
+                    None => strs.push(v.clone()),
+                }
+            }
+        }
+    }
+    Dict::from_parts(ints, strs)
+}
+
+/// [`lift_atoms`] into the encoded representation: selection predicates
+/// are applied on the original `Value` rows, surviving rows are encoded
+/// through `dict` into one flat buffer, and duplicates are grouped
+/// (projections like q2's `π_{SK,PK}(Lineitem)` shrink several-fold
+/// here, which every later pass step then benefits from).
+///
+/// # Panics
+/// Panics if a database value is missing from `dict` (always build the
+/// dictionary with [`query_dict`] on the same database and query).
+pub fn lift_atoms_enc(db: &Database, cq: &ConjunctiveQuery, dict: &Dict) -> Vec<EncodedRelation> {
+    cq.atoms()
+        .iter()
+        .map(|atom| {
+            let rel = db.relation(atom.relation);
+            let mut raw = EncodedRelation::with_capacity(rel.schema().clone(), rel.len());
+            for row in rel.rows() {
+                if atom.predicate.is_trivial() || atom.predicate.eval(&atom.schema, row) {
+                    raw.push_mapped(row.iter().map(|v| dict.code(v)), 1);
+                }
+            }
+            // Grouping onto the full schema merges duplicate rows into
+            // counts and sorts deterministically.
+            raw.group(rel.schema())
+        })
+        .collect()
+}
+
+/// [`bag_relations_from`] over encoded lifted atoms.
+pub fn bag_relations_from_enc(
+    lifted: &[EncodedRelation],
+    tree: &DecompositionTree,
+) -> Vec<EncodedRelation> {
+    tree.bags()
+        .iter()
+        .map(|bag| {
+            let refs: Vec<&EncodedRelation> = bag.atoms.iter().map(|&ai| &lifted[ai]).collect();
+            multiway_join_enc(&refs)
+        })
+        .collect()
+}
+
+/// [`botjoin_pass`] over encoded bag relations (Eqn 7). The first child
+/// join reads `bags[v]` in place, so leaf-heavy trees never copy a bag.
+pub fn botjoin_pass_enc(
+    tree: &DecompositionTree,
+    bags: &[EncodedRelation],
+) -> Vec<EncodedRelation> {
+    let mut bots: Vec<Option<EncodedRelation>> = vec![None; tree.bag_count()];
+    for v in tree.post_order() {
+        let mut acc: Option<EncodedRelation> = None;
+        for &c in tree.children(v) {
+            let child_bot = bots[c].as_ref().expect("post-order visits children first");
+            let joined = lookup_join_enc(acc.as_ref().unwrap_or(&bags[v]), child_bot);
+            acc = Some(joined);
+        }
+        let grouped = match acc {
+            Some(a) => a.group(&tree.up_schema(v)),
+            None => bags[v].group(&tree.up_schema(v)),
+        };
+        bots[v] = Some(grouped);
+    }
+    bots.into_iter()
+        .map(|b| b.expect("all bags visited"))
+        .collect()
+}
+
+/// [`topjoin_pass`] over encoded bag relations (Eqn 8).
+///
+/// The `bag(p) r⋈ ⊤(p)` prefix of Eqn 8 is identical for every child of
+/// `p`, so it is computed **once per parent** and shared — with many
+/// children (star GHDs, q3's root) this saves `k − 1` full scans of the
+/// parent's bag.
+pub fn topjoin_pass_enc(
+    tree: &DecompositionTree,
+    bags: &[EncodedRelation],
+    bots: &[EncodedRelation],
+) -> Vec<EncodedRelation> {
+    let mut tops: Vec<Option<EncodedRelation>> = vec![None; tree.bag_count()];
+    // base[p] = bags[p] r⋈ ⊤(p), filled lazily on first use.
+    let mut base: Vec<Option<EncodedRelation>> = vec![None; tree.bag_count()];
+    for v in tree.pre_order() {
+        let Some(p) = tree.parent(v) else {
+            tops[v] = Some(EncodedRelation::unit());
+            continue;
+        };
+        if base[p].is_none() {
+            let parent_top = tops[p].as_ref().expect("pre-order visits parents first");
+            base[p] = Some(lookup_join_enc(&bags[p], parent_top));
+        }
+        let shared = base[p].as_ref().expect("just filled");
+        let mut acc: Option<EncodedRelation> = None;
+        for s in tree.neighbors(v) {
+            let joined = lookup_join_enc(acc.as_ref().unwrap_or(shared), &bots[s]);
+            acc = Some(joined);
+        }
+        let acc = acc.unwrap_or_else(|| shared.clone());
         tops[v] = Some(acc.group(&tree.up_schema(v)));
     }
     tops.into_iter()

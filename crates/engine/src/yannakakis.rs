@@ -7,13 +7,26 @@
 //! §7.2 procedure: "we first compute the join for each node in the
 //! generalized hypertree, and then apply Yannakakis algorithm").
 
-use crate::passes::{bag_relations, botjoin_pass};
+use crate::passes::{bag_relations, bag_relations_from_enc, botjoin_pass, botjoin_pass_enc};
 use tsens_data::{Count, Database};
 use tsens_query::{ConjunctiveQuery, DecompositionTree};
 
 /// Bag-semantics output size `|Q(D)|` via the bottom-up count pass over
 /// `tree`. Works for join trees (acyclic queries) and GHDs alike.
+///
+/// Runs on the dictionary-encoded fast path; the legacy `Value`-row pass
+/// is kept as [`count_query_legacy`] for cross-checks.
 pub fn count_query(db: &Database, cq: &ConjunctiveQuery, tree: &DecompositionTree) -> Count {
+    let dict = crate::passes::query_dict(db, cq);
+    let lifted = crate::passes::lift_atoms_enc(db, cq, &dict);
+    let bags = bag_relations_from_enc(&lifted, tree);
+    let bots = botjoin_pass_enc(tree, &bags);
+    bots[tree.root()].total_count()
+}
+
+/// [`count_query`] over the legacy `Value`-row operators — ground truth
+/// for the encoded fast path in tests.
+pub fn count_query_legacy(db: &Database, cq: &ConjunctiveQuery, tree: &DecompositionTree) -> Count {
     let bags = bag_relations(db, cq, tree);
     let bots = botjoin_pass(tree, &bags);
     bots[tree.root()].total_count()

@@ -4,11 +4,17 @@
 //! crate provides the subset of the criterion API the workspace's benches
 //! use, backed by a plain wall-clock harness: each benchmark runs a short
 //! calibration pass, then `sample_size` timed samples, and prints the
-//! median per-iteration time. No statistics beyond the median, no plots,
-//! no saved baselines — the benches stay runnable and comparable, and
-//! `cargo bench --no-run` keeps them compiling in CI.
+//! median per-iteration time. No statistics beyond the median, no plots —
+//! but medians **are persisted**: when a run finishes, every
+//! `group/benchmark` median (in nanoseconds) is merged into a flat
+//! `BENCH_results.json` at the workspace root (the nearest ancestor
+//! directory containing `Cargo.lock`, overridable with the
+//! `BENCH_RESULTS_PATH` environment variable), so successive runs can be
+//! diffed to catch perf regressions.
 
+use std::collections::BTreeMap;
 use std::fmt::Display;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Re-export of [`std::hint::black_box`], criterion-style.
@@ -19,7 +25,8 @@ pub fn black_box<T>(x: T) -> T {
 /// Top-level benchmark driver handed to every `criterion_group!` target.
 #[derive(Debug, Default)]
 pub struct Criterion {
-    _private: (),
+    /// `group/benchmark` → median nanoseconds, gathered across groups.
+    results: BTreeMap<String, u128>,
 }
 
 impl Criterion {
@@ -34,14 +41,82 @@ impl Criterion {
         let name = name.into();
         eprintln!("\n== group {name} ==");
         BenchmarkGroup {
-            _criterion: self,
+            criterion: self,
             name,
             sample_size: 20,
         }
     }
 
-    /// Run all registered groups' cleanup. The stand-in prints nothing.
-    pub fn final_summary(&mut self) {}
+    /// Merge this run's medians into `BENCH_results.json`.
+    pub fn final_summary(&mut self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let path = results_path();
+        let mut merged = read_results(&path);
+        merged.extend(std::mem::take(&mut self.results));
+        if let Err(e) = std::fs::write(&path, render_results(&merged)) {
+            eprintln!("criterion stand-in: cannot write {}: {e}", path.display());
+        } else {
+            eprintln!("\nmedians merged into {}", path.display());
+        }
+    }
+}
+
+/// Where bench medians are persisted: `$BENCH_RESULTS_PATH` if set, else
+/// `BENCH_results.json` in the nearest ancestor directory holding a
+/// `Cargo.lock` (cargo runs bench binaries from the package root, so this
+/// finds the workspace root), else the current directory.
+fn results_path() -> PathBuf {
+    if let Ok(p) = std::env::var("BENCH_RESULTS_PATH") {
+        return PathBuf::from(p);
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return dir.join("BENCH_results.json");
+        }
+        match dir.parent() {
+            Some(p) => dir = p,
+            None => return cwd.join("BENCH_results.json"),
+        }
+    }
+}
+
+/// Parse the flat `{"name": nanos, …}` object this crate writes. Tolerant
+/// of missing/garbled files (starts fresh) — we only ever read back our
+/// own output.
+fn read_results(path: &PathBuf) -> BTreeMap<String, u128> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return BTreeMap::new();
+    };
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((name, value)) = rest.split_once("\":") else {
+            continue;
+        };
+        if let Ok(nanos) = value.trim().parse::<u128>() {
+            out.insert(name.to_owned(), nanos);
+        }
+    }
+    out
+}
+
+fn render_results(results: &BTreeMap<String, u128>) -> String {
+    let mut s = String::from("{\n");
+    for (i, (name, nanos)) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "  \"{name}\": {nanos}{}\n",
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("}\n");
+    s
 }
 
 /// Identifier for one benchmark within a group.
@@ -80,7 +155,7 @@ impl From<String> for BenchmarkId {
 
 /// A named group of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'a> {
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
 }
@@ -91,6 +166,14 @@ impl BenchmarkGroup<'_> {
         assert!(n > 0, "sample size must be positive");
         self.sample_size = n;
         self
+    }
+
+    fn record(&mut self, id: &str, median: Option<Duration>) {
+        if let Some(median) = median {
+            self.criterion
+                .results
+                .insert(format!("{}/{}", self.name, id), median.as_nanos());
+        }
     }
 
     /// Benchmark a closure.
@@ -104,7 +187,8 @@ impl BenchmarkGroup<'_> {
             sample_size: self.sample_size,
         };
         f(&mut bencher);
-        bencher.report(&self.name, &id.id);
+        let median = bencher.report(&self.name, &id.id);
+        self.record(&id.id, median);
         self
     }
 
@@ -123,7 +207,8 @@ impl BenchmarkGroup<'_> {
             sample_size: self.sample_size,
         };
         f(&mut bencher, input);
-        bencher.report(&self.name, &id.id);
+        let median = bencher.report(&self.name, &id.id);
+        self.record(&id.id, median);
         self
     }
 
@@ -159,10 +244,10 @@ impl Bencher {
             .collect();
     }
 
-    fn report(&self, group: &str, id: &str) {
+    fn report(&self, group: &str, id: &str) -> Option<Duration> {
         if self.samples.is_empty() {
             eprintln!("{group}/{id:<40} (no samples)");
-            return;
+            return None;
         }
         let mut sorted = self.samples.clone();
         sorted.sort_unstable();
@@ -171,6 +256,7 @@ impl Bencher {
             "{group}/{id:<40} median {median:>12?}  ({} samples)",
             sorted.len()
         );
+        Some(median)
     }
 }
 
@@ -212,6 +298,27 @@ mod tests {
         });
         group.finish();
         assert!(runs > 0, "closure must actually run");
+        // Both benchmarks' medians were recorded for persistence.
+        assert!(c.results.contains_key("self_test/noop"));
+        assert!(c.results.contains_key("self_test/param/7"));
+    }
+
+    #[test]
+    fn results_render_and_parse_roundtrip() {
+        let mut results = BTreeMap::new();
+        results.insert("group/bench/1".to_owned(), 12_345u128);
+        results.insert("other/bench".to_owned(), 9u128);
+        let rendered = render_results(&results);
+        let path = std::env::temp_dir().join(format!(
+            "criterion_standin_roundtrip_{}.json",
+            std::process::id()
+        ));
+        std::fs::write(&path, &rendered).unwrap();
+        let parsed = read_results(&path);
+        std::fs::remove_file(&path).ok();
+        assert_eq!(parsed, results);
+        // Missing files parse as empty (fresh start).
+        assert!(read_results(&std::env::temp_dir().join("definitely_missing.json")).is_empty());
     }
 
     #[test]
