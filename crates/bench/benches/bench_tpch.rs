@@ -1,5 +1,12 @@
 //! Criterion benches behind Figures 6a/7: TSens vs Elastic vs query
 //! evaluation on the TPC-H queries, across scales.
+//!
+//! These keys deliberately measure the **one-shot** path: since the
+//! session refactor, `tsens_with_skips`/`count_query` wrap a fresh
+//! `EngineSession` per call, so each iteration pays the database-resident
+//! encoding plus the query — the cost a cold curator pays for its very
+//! first query. Warm serving latency is covered by `bench_facebook`'s
+//! `facebook_warm` group and `bench_ablation`'s `session` group.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tsens_core::elastic::{elastic_sensitivity, plan_order_from_tree};

@@ -1,0 +1,116 @@
+//! `perf_gate` — CI perf-regression gate over persisted bench medians.
+//!
+//! ```text
+//! cargo run -p tsens-bench --bin perf_gate -- \
+//!     --baseline BENCH_quick_baseline.json --current bench_fresh.json \
+//!     [--threshold 0.30]
+//! ```
+//!
+//! Reads two `BENCH_results.json`-format files (flat `"group/bench":
+//! nanos` objects written by the vendored criterion stand-in), compares
+//! every **shared** key and exits non-zero when any shared key's median
+//! regressed by more than the threshold — or when the two files share no
+//! keys at all (a mis-wired gate must not pass silently). Keys present
+//! on only one side are listed informationally.
+
+use std::path::PathBuf;
+use tsens_bench::gate::{compare, read_results};
+
+struct Args {
+    baseline: PathBuf,
+    current: PathBuf,
+    threshold: f64,
+}
+
+fn parse_args() -> Args {
+    let mut baseline = None;
+    let mut current = None;
+    let mut threshold = 0.30;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline"))),
+            "--current" => current = Some(PathBuf::from(value("--current"))),
+            "--threshold" => {
+                threshold = value("--threshold")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --threshold"));
+                if threshold.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                    usage("--threshold must be positive");
+                }
+            }
+            other => usage(&format!("unknown option {other}")),
+        }
+    }
+    Args {
+        baseline: baseline.unwrap_or_else(|| usage("--baseline is required")),
+        current: current.unwrap_or_else(|| usage("--current is required")),
+        threshold,
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: perf_gate --baseline <json> --current <json> [--threshold 0.30]");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args = parse_args();
+    let baseline = read_results(&args.baseline).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {}: {e}", args.baseline.display());
+        std::process::exit(2)
+    });
+    let current = read_results(&args.current).unwrap_or_else(|e| {
+        eprintln!("cannot read current {}: {e}", args.current.display());
+        std::process::exit(2)
+    });
+    let report = compare(&baseline, &current, args.threshold);
+
+    println!(
+        "perf gate: {} shared keys, threshold +{:.0}%",
+        report.deltas.len(),
+        args.threshold * 100.0
+    );
+    for d in &report.deltas {
+        let marker = if d.regressed(args.threshold) {
+            "REGRESSED"
+        } else if d.ratio < 1.0 {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<45} {:>12} ns → {:>12} ns  ×{:<6.2} {marker}",
+            d.key, d.baseline_ns, d.current_ns, d.ratio
+        );
+    }
+    for k in &report.baseline_only {
+        println!("  {k:<45} (baseline only — not compared)");
+    }
+    for k in &report.current_only {
+        println!("  {k:<45} (new in current — not compared)");
+    }
+
+    if report.deltas.is_empty() {
+        eprintln!("perf gate: FAIL — no shared keys between baseline and current");
+        std::process::exit(1);
+    }
+    let regressions = report.regressions();
+    if !regressions.is_empty() {
+        eprintln!(
+            "perf gate: FAIL — {} key(s) regressed beyond +{:.0}%:",
+            regressions.len(),
+            args.threshold * 100.0
+        );
+        for d in &regressions {
+            eprintln!("  {}: ×{:.2}", d.key, d.ratio);
+        }
+        std::process::exit(1);
+    }
+    println!("perf gate: PASS");
+}

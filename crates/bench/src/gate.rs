@@ -1,0 +1,205 @@
+//! The CI perf-regression gate: diff a fresh `BENCH_results.json`
+//! against a committed baseline and fail on large median regressions.
+//!
+//! The vendored criterion stand-in persists every `group/benchmark`
+//! median (nanoseconds) into a flat JSON object. [`read_results`] parses
+//! that format back and [`compare`] evaluates each **shared** key:
+//! a key regresses when `current > baseline × (1 + threshold)`. Keys
+//! present on only one side are reported but never fail the gate (new
+//! benchmarks appear, old ones get renamed).
+//!
+//! Medians from quick-scale CI runs are noisy — the default 30%
+//! threshold is deliberately loose, catching order-of-magnitude
+//! accidents (an O(n²) sneaking into a pass, a cache that stopped
+//! hitting) rather than micro-drift. The `perf_gate` binary wires this
+//! into the `bench-smoke` job.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One shared key's comparison outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KeyDelta {
+    /// The `group/benchmark` key.
+    pub key: String,
+    /// Baseline median, nanoseconds.
+    pub baseline_ns: u128,
+    /// Fresh median, nanoseconds.
+    pub current_ns: u128,
+    /// `current / baseline` (∞-safe: a zero baseline compares as 1.0
+    /// when current is also zero, `f64::INFINITY` otherwise).
+    pub ratio: f64,
+}
+
+impl KeyDelta {
+    /// True if this key slowed down by more than `threshold`
+    /// (e.g. `0.30` = 30%).
+    pub fn regressed(&self, threshold: f64) -> bool {
+        self.ratio > 1.0 + threshold
+    }
+}
+
+/// Outcome of one gate evaluation.
+#[derive(Clone, Debug)]
+pub struct GateReport {
+    /// Every shared key's delta, sorted by descending ratio (worst
+    /// first).
+    pub deltas: Vec<KeyDelta>,
+    /// Keys only in the baseline (renamed/removed benchmarks).
+    pub baseline_only: Vec<String>,
+    /// Keys only in the fresh run (new benchmarks).
+    pub current_only: Vec<String>,
+    /// The threshold the report was evaluated at.
+    pub threshold: f64,
+}
+
+impl GateReport {
+    /// Shared keys that regressed beyond the threshold, worst first.
+    pub fn regressions(&self) -> Vec<&KeyDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.regressed(self.threshold))
+            .collect()
+    }
+
+    /// True if the gate passes: at least one shared key, none regressed.
+    pub fn passes(&self) -> bool {
+        !self.deltas.is_empty() && self.regressions().is_empty()
+    }
+}
+
+/// Parse the flat `{"group/bench": nanos, …}` object written by the
+/// vendored criterion stand-in.
+///
+/// # Errors
+/// Returns an error when the file cannot be read; unparseable lines are
+/// skipped (the writer controls the format, so anything else is stray).
+pub fn read_results(path: &Path) -> std::io::Result<BTreeMap<String, u128>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((name, value)) = rest.split_once("\":") else {
+            continue;
+        };
+        if let Ok(nanos) = value.trim().parse::<u128>() {
+            out.insert(name.to_owned(), nanos);
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluate `current` against `baseline` at `threshold`.
+pub fn compare(
+    baseline: &BTreeMap<String, u128>,
+    current: &BTreeMap<String, u128>,
+    threshold: f64,
+) -> GateReport {
+    let mut deltas = Vec::new();
+    let mut baseline_only = Vec::new();
+    for (key, &base_ns) in baseline {
+        match current.get(key) {
+            Some(&cur_ns) => {
+                let ratio = if base_ns == 0 {
+                    if cur_ns == 0 {
+                        1.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    cur_ns as f64 / base_ns as f64
+                };
+                deltas.push(KeyDelta {
+                    key: key.clone(),
+                    baseline_ns: base_ns,
+                    current_ns: cur_ns,
+                    ratio,
+                });
+            }
+            None => baseline_only.push(key.clone()),
+        }
+    }
+    let current_only: Vec<String> = current
+        .keys()
+        .filter(|k| !baseline.contains_key(*k))
+        .cloned()
+        .collect();
+    deltas.sort_by(|a, b| b.ratio.partial_cmp(&a.ratio).expect("ratios are not NaN"));
+    GateReport {
+        deltas,
+        baseline_only,
+        current_only,
+        threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(entries: &[(&str, u128)]) -> BTreeMap<String, u128> {
+        entries.iter().map(|&(k, v)| (k.to_owned(), v)).collect()
+    }
+
+    #[test]
+    fn passes_when_within_threshold() {
+        let base = map(&[("g/a", 1000), ("g/b", 2000)]);
+        let cur = map(&[("g/a", 1250), ("g/b", 1500)]);
+        let report = compare(&base, &cur, 0.30);
+        assert!(report.passes(), "25% slower is within a 30% gate");
+        assert!(report.regressions().is_empty());
+    }
+
+    #[test]
+    fn fails_on_regression_beyond_threshold() {
+        let base = map(&[("g/a", 1000), ("g/b", 2000)]);
+        let cur = map(&[("g/a", 1301), ("g/b", 100)]);
+        let report = compare(&base, &cur, 0.30);
+        assert!(!report.passes());
+        let regs = report.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "g/a");
+        assert!(regs[0].ratio > 1.30);
+    }
+
+    #[test]
+    fn unshared_keys_never_fail_the_gate() {
+        let base = map(&[("g/kept", 1000), ("g/renamed", 10)]);
+        let cur = map(&[("g/kept", 1000), ("g/new", 999_999)]);
+        let report = compare(&base, &cur, 0.30);
+        assert!(report.passes());
+        assert_eq!(report.baseline_only, vec!["g/renamed"]);
+        assert_eq!(report.current_only, vec!["g/new"]);
+    }
+
+    #[test]
+    fn empty_intersection_does_not_pass() {
+        // Zero shared keys means the gate compared nothing — that is a
+        // configuration error, not a green light.
+        let report = compare(&map(&[("a", 1)]), &map(&[("b", 1)]), 0.30);
+        assert!(!report.passes());
+    }
+
+    #[test]
+    fn worst_ratio_sorts_first_and_zero_baselines_are_safe() {
+        let base = map(&[("g/zero", 0), ("g/slow", 100), ("g/fast", 100)]);
+        let cur = map(&[("g/zero", 5), ("g/slow", 500), ("g/fast", 50)]);
+        let report = compare(&base, &cur, 0.30);
+        assert_eq!(report.deltas[0].key, "g/zero"); // ∞ ratio first
+        assert_eq!(report.deltas[1].key, "g/slow");
+        assert!(!report.passes());
+    }
+
+    #[test]
+    fn read_results_roundtrips_the_standin_format() {
+        let path = std::env::temp_dir().join(format!("gate_parse_{}.json", std::process::id()));
+        std::fs::write(&path, "{\n  \"g/a\": 123,\n  \"g/b\": 456\n}\n").unwrap();
+        let parsed = read_results(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(parsed, map(&[("g/a", 123), ("g/b", 456)]));
+        assert!(read_results(Path::new("/definitely/missing.json")).is_err());
+    }
+}

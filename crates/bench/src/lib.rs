@@ -15,7 +15,9 @@
 //! | §7.3 parameter study (ℓ sweep on q*)          | `repro param-l` |
 
 pub mod experiments;
+pub mod gate;
 pub mod harness;
 
 pub use experiments::{fig6a, fig6b, fig7, param_l, table1, table2};
+pub use gate::{compare, read_results, GateReport, KeyDelta};
 pub use harness::{median_f64, median_u128, time_it};

@@ -23,36 +23,10 @@
 //! acyclic (doubly acyclic queries, §5.3).
 
 use crate::report::{MultiplicityTable, SensitivityReport};
-use tsens_data::{CountedRelation, Database, Dict, EncodedRelation, Schema};
-use tsens_engine::ops::{multiway_join, multiway_join_enc};
-use tsens_engine::passes::{
-    bag_relations_from_enc, botjoin_pass_enc, lift_atoms_enc, query_dict, topjoin_pass_enc,
-};
+use tsens_data::{Database, EncodedRelation, Schema};
+use tsens_engine::ops::multiway_join_enc;
+use tsens_engine::session::{EngineSession, QueryPasses};
 use tsens_query::{ConjunctiveQuery, DecompositionTree};
-
-/// Node-indexed context shared by the table computations. The passes run
-/// on the dictionary-encoded fast path; `dict` decodes their outputs at
-/// the report boundary.
-struct Passes {
-    dict: std::sync::Arc<Dict>,
-    lifted: Vec<EncodedRelation>,
-    bots: Vec<EncodedRelation>,
-    tops: Vec<EncodedRelation>,
-}
-
-fn run_passes(db: &Database, cq: &ConjunctiveQuery, tree: &DecompositionTree) -> Passes {
-    let dict = std::sync::Arc::new(query_dict(db, cq));
-    let lifted = lift_atoms_enc(db, cq, &dict);
-    let bags = bag_relations_from_enc(&lifted, tree);
-    let bots = botjoin_pass_enc(tree, &bags);
-    let tops = topjoin_pass_enc(tree, &bags, &bots);
-    Passes {
-        dict,
-        lifted,
-        bots,
-        tops,
-    }
-}
 
 /// Group schemas into connected components of their overlap graph
 /// (schemas in different components share no attributes). Returns groups
@@ -86,36 +60,15 @@ fn schema_components(schemas: &[&Schema]) -> Vec<Vec<usize>> {
 /// atom: join each connected component of inputs, group onto the covered
 /// attributes, and keep the components as **factors** — the cross product
 /// across components is never materialised, which is what keeps path and
-/// doubly acyclic queries near-linear (§4 / §5.3).
-///
-/// Legacy `Value`-row flavour, shared with [`crate::approx::tsens_topk`]
-/// (whose capped summaries live in `Value` space).
-pub(crate) fn assemble_table(
-    atom: &tsens_query::Atom,
-    inputs: &[&CountedRelation],
-) -> MultiplicityTable {
-    let schemas: Vec<&Schema> = inputs.iter().map(|r| r.schema()).collect();
-    let mut factors: Vec<CountedRelation> = Vec::new();
-    for comp in schema_components(&schemas) {
-        let members: Vec<&CountedRelation> = comp.iter().map(|&i| inputs[i]).collect();
-        let joined = multiway_join(&members);
-        let covered = atom.schema.intersect(joined.schema());
-        factors.push(joined.group(&covered));
-    }
-    finish_table(
-        atom,
-        MultiplicityTable::from_factors(atom.relation, factors),
-    )
-}
-
-/// [`assemble_table`] over encoded inputs: the component joins and the
-/// final `γ` run on flat `u32` rows, and the grouped factors are handed
-/// to the report-level [`MultiplicityTable`] still encoded — witnesses
-/// alone are decoded.
-fn assemble_table_enc(
+/// doubly acyclic queries near-linear (§4 / §5.3). The component joins
+/// and the final `γ` run on flat `u32` rows, and the grouped factors are
+/// handed to the report-level [`MultiplicityTable`] still encoded —
+/// witnesses alone are decoded. Shared with [`crate::approx`]'s capped
+/// variant.
+pub(crate) fn assemble_table_enc(
     atom: &tsens_query::Atom,
     inputs: &[&EncodedRelation],
-    dict: &std::sync::Arc<Dict>,
+    dict: &std::sync::Arc<tsens_data::Dict>,
 ) -> MultiplicityTable {
     let schemas: Vec<&Schema> = inputs.iter().map(|r| r.schema()).collect();
     let mut factors: Vec<EncodedRelation> = Vec::new();
@@ -153,11 +106,13 @@ fn finish_table(atom: &tsens_query::Atom, unfiltered: MultiplicityTable) -> Mult
     MultiplicityTable::new(atom.relation, covered, table)
 }
 
-/// Compute `T^i` for atom `ai`, which lives in tree node `v`.
+/// Compute `T^i` for atom `ai`, which lives in tree node `v`, from a
+/// session pass state (with the ⊤ pass already forced).
 fn table_for_atom(
     cq: &ConjunctiveQuery,
     tree: &DecompositionTree,
-    passes: &Passes,
+    passes: &QueryPasses,
+    tops: &[EncodedRelation],
     v: usize,
     ai: usize,
 ) -> MultiplicityTable {
@@ -165,7 +120,7 @@ fn table_for_atom(
     // Gather the "everything else" inputs.
     let mut inputs: Vec<&EncodedRelation> = Vec::new();
     if tree.parent(v).is_some() {
-        inputs.push(&passes.tops[v]);
+        inputs.push(&tops[v]);
     }
     for &c in tree.children(v) {
         inputs.push(&passes.bots[c]);
@@ -179,17 +134,18 @@ fn table_for_atom(
 }
 
 /// Compute the multiplicity table of every atom (Algorithm 2 steps I–III),
-/// in atom order.
-pub fn multiplicity_tables(
-    db: &Database,
+/// in atom order, over a warm session.
+pub fn multiplicity_tables_session(
+    session: &EngineSession<'_>,
     cq: &ConjunctiveQuery,
     tree: &DecompositionTree,
 ) -> Vec<MultiplicityTable> {
-    let passes = run_passes(db, cq, tree);
+    let passes = session.passes(cq, tree);
+    let tops = passes.tops(tree);
     let mut out: Vec<Option<MultiplicityTable>> = (0..cq.atom_count()).map(|_| None).collect();
     for v in 0..tree.bag_count() {
         for &ai in &tree.bags()[v].atoms {
-            out[ai] = Some(table_for_atom(cq, tree, &passes, v, ai));
+            out[ai] = Some(table_for_atom(cq, tree, &passes, tops, v, ai));
         }
     }
     out.into_iter()
@@ -197,70 +153,129 @@ pub fn multiplicity_tables(
         .collect()
 }
 
+/// [`multiplicity_tables_session`] as a one-shot call (fresh session).
+pub fn multiplicity_tables(
+    db: &Database,
+    cq: &ConjunctiveQuery,
+    tree: &DecompositionTree,
+) -> Vec<MultiplicityTable> {
+    multiplicity_tables_session(&EngineSession::new(db), cq, tree)
+}
+
 /// Compute the multiplicity table of a single atom — what TSensDP needs
 /// for its primary private relation (Def 6.4), avoiding the other tables'
-/// joins.
+/// joins. The table is memoized in the session's result cache, so
+/// repeated DP runs over the same query reuse it.
+pub fn multiplicity_table_for_session(
+    session: &EngineSession<'_>,
+    cq: &ConjunctiveQuery,
+    tree: &DecompositionTree,
+    atom: usize,
+) -> MultiplicityTable {
+    let cached = session.cached_query_result("mtable", cq, Some(tree), &[atom as u128], || {
+        let passes = session.passes(cq, tree);
+        let tops = passes.tops(tree);
+        let v = (0..tree.bag_count())
+            .find(|&v| tree.bags()[v].atoms.contains(&atom))
+            .expect("atom must be assigned to a bag");
+        table_for_atom(cq, tree, &passes, tops, v, atom)
+    });
+    (*cached).clone()
+}
+
+/// [`multiplicity_table_for_session`] as a one-shot call (fresh session).
 pub fn multiplicity_table_for(
     db: &Database,
     cq: &ConjunctiveQuery,
     tree: &DecompositionTree,
     atom: usize,
 ) -> MultiplicityTable {
-    let passes = run_passes(db, cq, tree);
-    let v = (0..tree.bag_count())
-        .find(|&v| tree.bags()[v].atoms.contains(&atom))
-        .expect("atom must be assigned to a bag");
-    table_for_atom(cq, tree, &passes, v, atom)
+    multiplicity_table_for_session(&EngineSession::new(db), cq, tree, atom)
+}
+
+/// `TSens` (Algorithm 2) over a warm session: local sensitivity, most
+/// sensitive tuple, and the per-relation breakdown, skipping no relation.
+pub fn tsens_session(
+    session: &EngineSession<'_>,
+    cq: &ConjunctiveQuery,
+    tree: &DecompositionTree,
+) -> SensitivityReport {
+    tsens_with_skips_session(session, cq, tree, &[])
 }
 
 /// `TSens` (Algorithm 2): local sensitivity, most sensitive tuple, and the
 /// per-relation breakdown, skipping no relation.
+///
+/// One-shot wrapper — equivalent to `tsens_session(&EngineSession::new(db), …)`.
 pub fn tsens(db: &Database, cq: &ConjunctiveQuery, tree: &DecompositionTree) -> SensitivityReport {
     tsens_with_skips(db, cq, tree, &[])
 }
 
-/// [`tsens`] that skips the multiplicity tables of the given atoms — used
-/// when a relation's tuple sensitivity is known to be bounded elsewhere
-/// (the paper skips `Lineitem` in q3: FK-PK joins cap it at 1, and its
-/// table would dominate the runtime; see §7.2).
+/// [`tsens_session`] that skips the multiplicity tables of the given
+/// atoms — used when a relation's tuple sensitivity is known to be
+/// bounded elsewhere (the paper skips `Lineitem` in q3: FK-PK joins cap
+/// it at 1, and its table would dominate the runtime; see §7.2).
+///
+/// The finished report is memoized per `(query, tree, skips)`, so a
+/// repeated query is a cache lookup.
+pub fn tsens_with_skips_session(
+    session: &EngineSession<'_>,
+    cq: &ConjunctiveQuery,
+    tree: &DecompositionTree,
+    skip_atoms: &[usize],
+) -> SensitivityReport {
+    let mut salt: Vec<u128> = skip_atoms.iter().map(|&a| a as u128).collect();
+    salt.sort_unstable();
+    salt.dedup();
+    let cached = session.cached_query_result("tsens", cq, Some(tree), &salt, || {
+        let passes = session.passes(cq, tree);
+        let tops = passes.tops(tree);
+        let mut per_relation = Vec::with_capacity(cq.atom_count());
+        for v in 0..tree.bag_count() {
+            for &ai in &tree.bags()[v].atoms {
+                if skip_atoms.contains(&ai) {
+                    continue;
+                }
+                let table = table_for_atom(cq, tree, &passes, tops, v, ai);
+                per_relation.push(table.max_sensitivity(&cq.atoms()[ai].schema));
+            }
+        }
+        per_relation.sort_by_key(|rs| rs.relation);
+        SensitivityReport::from_per_relation(per_relation)
+    });
+    (*cached).clone()
+}
+
+/// [`tsens_with_skips_session`] as a one-shot call (fresh session).
 pub fn tsens_with_skips(
     db: &Database,
     cq: &ConjunctiveQuery,
     tree: &DecompositionTree,
     skip_atoms: &[usize],
 ) -> SensitivityReport {
-    let passes = run_passes(db, cq, tree);
-    let mut per_relation = Vec::with_capacity(cq.atom_count());
-    for v in 0..tree.bag_count() {
-        for &ai in &tree.bags()[v].atoms {
-            if skip_atoms.contains(&ai) {
-                continue;
-            }
-            let table = table_for_atom(cq, tree, &passes, v, ai);
-            per_relation.push(table.max_sensitivity(&cq.atoms()[ai].schema));
-        }
-    }
-    per_relation.sort_by_key(|rs| rs.relation);
-    SensitivityReport::from_per_relation(per_relation)
+    tsens_with_skips_session(&EngineSession::new(db), cq, tree, skip_atoms)
 }
 
-/// [`tsens_with_skips`] with the per-relation multiplicity tables
-/// computed on `threads` OS threads. The tables are independent given the
-/// shared ⊤/⊥ passes, so this parallelises the only super-linear step of
-/// Algorithm 2 (Theorem 5.1's `O(m d n^d log n)` term). Results are
-/// bit-identical to the sequential version.
+/// [`tsens_with_skips_session`] with the per-relation multiplicity tables
+/// computed on `threads` OS threads over one shared session pass state.
+/// The tables are independent given the shared ⊤/⊥ passes, so this
+/// parallelises the only super-linear step of Algorithm 2 (Theorem 5.1's
+/// `O(m d n^d log n)` term). Results are bit-identical to the sequential
+/// version. Always computes (no report-cache read): callers ask for it
+/// explicitly to exercise the parallel path.
 ///
 /// # Panics
 /// Panics if `threads == 0`.
-pub fn tsens_parallel(
-    db: &Database,
+pub fn tsens_parallel_session(
+    session: &EngineSession<'_>,
     cq: &ConjunctiveQuery,
     tree: &DecompositionTree,
     skip_atoms: &[usize],
     threads: usize,
 ) -> SensitivityReport {
     assert!(threads > 0, "need at least one thread");
-    let passes = run_passes(db, cq, tree);
+    let passes = session.passes(cq, tree);
+    let tops = passes.tops(tree);
     // Work items: (node, atom), bucketed round-robin.
     let mut items: Vec<(usize, usize)> = Vec::with_capacity(cq.atom_count());
     for v in 0..tree.bag_count() {
@@ -273,7 +288,7 @@ pub fn tsens_parallel(
     let buckets: Vec<Vec<(usize, usize)>> = (0..threads)
         .map(|t| items.iter().copied().skip(t).step_by(threads).collect())
         .collect();
-    let passes_ref = &passes;
+    let passes_ref = &*passes;
     let mut per_relation: Vec<crate::report::RelationSensitivity> = std::thread::scope(|scope| {
         let handles: Vec<_> = buckets
             .into_iter()
@@ -282,7 +297,7 @@ pub fn tsens_parallel(
                     bucket
                         .into_iter()
                         .map(|(v, ai)| {
-                            let table = table_for_atom(cq, tree, passes_ref, v, ai);
+                            let table = table_for_atom(cq, tree, passes_ref, tops, v, ai);
                             table.max_sensitivity(&cq.atoms()[ai].schema)
                         })
                         .collect::<Vec<_>>()
@@ -296,6 +311,17 @@ pub fn tsens_parallel(
     });
     per_relation.sort_by_key(|rs| rs.relation);
     SensitivityReport::from_per_relation(per_relation)
+}
+
+/// [`tsens_parallel_session`] as a one-shot call (fresh session).
+pub fn tsens_parallel(
+    db: &Database,
+    cq: &ConjunctiveQuery,
+    tree: &DecompositionTree,
+    skip_atoms: &[usize],
+    threads: usize,
+) -> SensitivityReport {
+    tsens_parallel_session(&EngineSession::new(db), cq, tree, skip_atoms, threads)
 }
 
 #[cfg(test)]

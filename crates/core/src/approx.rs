@@ -13,9 +13,10 @@
 //! `bench_ablation` benchmark.
 
 use crate::report::SensitivityReport;
-use tsens_data::{Count, CountedRelation, Database};
-use tsens_engine::ops::lookup_join;
-use tsens_engine::passes::{bag_relations_from, lift_atoms};
+use tsens_data::{Count, CountedRelation, Database, EncodedRelation};
+use tsens_engine::ops::lookup_join_enc;
+use tsens_engine::passes::bag_relations_from_arcs;
+use tsens_engine::session::EngineSession;
 use tsens_query::{ConjunctiveQuery, DecompositionTree};
 
 /// Round every count below the k-th largest up to the k-th largest
@@ -40,7 +41,29 @@ pub fn cap_top_k(rel: &CountedRelation, k: usize) -> CountedRelation {
     )
 }
 
-/// `TSens` with top-k capped summaries: returns an **upper bound** report
+/// [`cap_top_k`] over an encoded summary: counts below the k-th largest
+/// are rounded up to it; rows (already distinct and sorted) are
+/// unchanged, so the capped relation stays canonical.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn cap_top_k_enc(rel: &EncodedRelation, k: usize) -> EncodedRelation {
+    assert!(k > 0, "top-k capping needs k ≥ 1");
+    if rel.len() <= k {
+        return rel.clone();
+    }
+    let mut counts: Vec<Count> = rel.iter().map(|(_, c)| c).collect();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let kth = counts[k - 1];
+    let mut out = EncodedRelation::with_capacity(rel.schema().clone(), rel.len());
+    for (row, c) in rel.iter() {
+        out.push(row, c.max(kth));
+    }
+    out
+}
+
+/// `TSens` with top-k capped summaries, as a one-shot call (fresh
+/// session): returns an **upper bound** report
 /// (`report.local_sensitivity ≥` the exact value; equality when every
 /// summary has at most `k` distinct keys).
 pub fn tsens_topk(
@@ -49,34 +72,65 @@ pub fn tsens_topk(
     tree: &DecompositionTree,
     k: usize,
 ) -> SensitivityReport {
-    let lifted = lift_atoms(db, cq);
-    let bags = bag_relations_from(&lifted, tree);
+    tsens_topk_session(&EngineSession::new(db), cq, tree, k)
+}
+
+/// [`tsens_topk`] over a warm session. The lifted atoms come from the
+/// session's cross-query atom cache; the capped passes themselves are
+/// k-dependent and recomputed, but the finished report is memoized per
+/// `(query, tree, k)`.
+pub fn tsens_topk_session(
+    session: &EngineSession<'_>,
+    cq: &ConjunctiveQuery,
+    tree: &DecompositionTree,
+    k: usize,
+) -> SensitivityReport {
+    assert!(k > 0, "top-k capping needs k ≥ 1");
+    let cached = session.cached_query_result("tsens_topk", cq, Some(tree), &[k as u128], || {
+        tsens_topk_uncached(session, cq, tree, k)
+    });
+    (*cached).clone()
+}
+
+fn tsens_topk_uncached(
+    session: &EngineSession<'_>,
+    cq: &ConjunctiveQuery,
+    tree: &DecompositionTree,
+    k: usize,
+) -> SensitivityReport {
+    let lifted = session.lift_query(cq);
+    let bags = bag_relations_from_arcs(&lifted, tree);
 
     // Capped ⊥ pass.
-    let mut bots: Vec<Option<CountedRelation>> = vec![None; tree.bag_count()];
+    let mut bots: Vec<Option<EncodedRelation>> = vec![None; tree.bag_count()];
     for v in tree.post_order() {
-        let mut acc = bags[v].clone();
+        let mut acc: Option<EncodedRelation> = None;
         for &c in tree.children(v) {
-            acc = lookup_join(&acc, bots[c].as_ref().expect("post-order"));
+            let child_bot = bots[c].as_ref().expect("post-order");
+            acc = Some(lookup_join_enc(acc.as_ref().unwrap_or(&bags[v]), child_bot));
         }
-        bots[v] = Some(cap_top_k(&acc.group(&tree.up_schema(v)), k));
+        let grouped = match acc {
+            Some(a) => a.group(&tree.up_schema(v)),
+            None => bags[v].group(&tree.up_schema(v)),
+        };
+        bots[v] = Some(cap_top_k_enc(&grouped, k));
     }
-    let bots: Vec<CountedRelation> = bots.into_iter().map(|b| b.expect("visited")).collect();
+    let bots: Vec<EncodedRelation> = bots.into_iter().map(|b| b.expect("visited")).collect();
 
     // Capped ⊤ pass.
-    let mut tops: Vec<Option<CountedRelation>> = vec![None; tree.bag_count()];
+    let mut tops: Vec<Option<EncodedRelation>> = vec![None; tree.bag_count()];
     for v in tree.pre_order() {
         let Some(p) = tree.parent(v) else {
-            tops[v] = Some(CountedRelation::unit());
+            tops[v] = Some(EncodedRelation::unit());
             continue;
         };
-        let mut acc = lookup_join(&bags[p], tops[p].as_ref().expect("pre-order"));
+        let mut acc = lookup_join_enc(&bags[p], tops[p].as_ref().expect("pre-order"));
         for s in tree.neighbors(v) {
-            acc = lookup_join(&acc, &bots[s]);
+            acc = lookup_join_enc(&acc, &bots[s]);
         }
-        tops[v] = Some(cap_top_k(&acc.group(&tree.up_schema(v)), k));
+        tops[v] = Some(cap_top_k_enc(&acc.group(&tree.up_schema(v)), k));
     }
-    let tops: Vec<CountedRelation> = tops.into_iter().map(|t| t.expect("visited")).collect();
+    let tops: Vec<EncodedRelation> = tops.into_iter().map(|t| t.expect("visited")).collect();
 
     // Multiplicity tables from the capped summaries.
     let mut per_relation = Vec::with_capacity(cq.atom_count());
@@ -84,7 +138,7 @@ pub fn tsens_topk(
     for v in 0..tree.bag_count() {
         for &ai in &tree.bags()[v].atoms {
             let atom = &cq.atoms()[ai];
-            let mut inputs: Vec<&CountedRelation> = Vec::new();
+            let mut inputs: Vec<&EncodedRelation> = Vec::new();
             if tree.parent(v).is_some() {
                 inputs.push(&tops[v]);
             }
@@ -96,7 +150,7 @@ pub fn tsens_topk(
                     inputs.push(&lifted[other]);
                 }
             }
-            let table = crate::acyclic::assemble_table(atom, &inputs);
+            let table = crate::acyclic::assemble_table_enc(atom, &inputs, session.dict());
             per_relation.push(table.max_sensitivity(&atom.schema));
         }
     }

@@ -24,6 +24,7 @@
 
 use std::collections::BTreeSet;
 use tsens_data::{sat_mul, AttrId, Count, Database, FastMap, Row, Schema};
+use tsens_engine::session::EngineSession;
 use tsens_query::{ConjunctiveQuery, DecompositionTree};
 
 /// Elastic sensitivity bounds for a query: one bound per atom treated as
@@ -51,8 +52,16 @@ type AttrSet = BTreeSet<AttrId>;
 
 /// Max-frequency oracle over the base relations, with memoised
 /// plan-expression lookups layered on top.
+///
+/// Base-relation statistics come from one of two sources: a session's
+/// shared cross-query `mf` cache (the serving path), or a local memo plus
+/// direct scans of `db` (the standalone one-shot path). Both compute the
+/// same numbers; the session additionally amortizes them across atoms,
+/// plans, distances and *queries*.
 struct MfOracle<'a> {
     db: &'a Database,
+    /// Shared cross-query statistics cache, when running in a session.
+    session: Option<&'a EngineSession<'a>>,
     /// Atom order in the plan; `plan[j]`'s relation backs leaf `j`.
     plan_atoms: Vec<(usize, Schema)>, // (relation idx, schema)
     /// Cumulative schema of expression node `j` (join of leaves `0..=j`).
@@ -69,6 +78,7 @@ struct MfOracle<'a> {
 impl<'a> MfOracle<'a> {
     fn new(
         db: &'a Database,
+        session: Option<&'a EngineSession<'a>>,
         cq: &ConjunctiveQuery,
         plan: &[usize],
         private: usize,
@@ -89,6 +99,7 @@ impl<'a> MfOracle<'a> {
         }
         MfOracle {
             db,
+            session,
             plan_atoms,
             node_attrs,
             memo: FastMap::default(),
@@ -102,6 +113,11 @@ impl<'a> MfOracle<'a> {
     /// the max multiplicity of an `x`-projection value; `|rel|` for `∅`.
     fn base_mf(&mut self, rel: usize, x: &AttrSet) -> Count {
         let key = (rel, x.iter().copied().collect::<Vec<_>>());
+        if let Some(s) = self.session {
+            // The session computes from the resident encoding and shares
+            // the statistic across atoms, plans and queries.
+            return self.bump_private(rel, s.max_frequency(rel, &key.1));
+        }
         if let Some(&c) = self.base_memo.get(&key) {
             return self.bump_private(rel, c);
         }
@@ -227,6 +243,38 @@ pub fn elastic_sensitivity(
     plan: &[usize],
     k: Count,
 ) -> ElasticReport {
+    elastic_report(db, None, cq, plan, k)
+}
+
+/// [`elastic_sensitivity`] over a warm session: base max-frequency
+/// statistics come from the session's cross-query `mf` cache (so they
+/// are computed once per `(relation, attr set)` across all atoms, plans,
+/// distances and queries), and the finished report is memoized per
+/// `(query, plan, k)`.
+///
+/// # Panics
+/// Panics if `plan` is not a permutation of the query's atom indices.
+pub fn elastic_sensitivity_session(
+    session: &EngineSession<'_>,
+    cq: &ConjunctiveQuery,
+    plan: &[usize],
+    k: Count,
+) -> ElasticReport {
+    let mut salt: Vec<u128> = plan.iter().map(|&p| p as u128).collect();
+    salt.push(k);
+    let cached = session.cached_query_result("elastic", cq, None, &salt, || {
+        elastic_report(session.database(), Some(session), cq, plan, k)
+    });
+    (*cached).clone()
+}
+
+fn elastic_report(
+    db: &Database,
+    session: Option<&EngineSession<'_>>,
+    cq: &ConjunctiveQuery,
+    plan: &[usize],
+    k: Count,
+) -> ElasticReport {
     let mut sorted = plan.to_vec();
     sorted.sort_unstable();
     assert_eq!(
@@ -237,7 +285,7 @@ pub fn elastic_sensitivity(
     let mut per_relation = Vec::with_capacity(cq.atom_count());
     let mut overall: Count = 0;
     for atom in cq.atoms() {
-        let mut oracle = MfOracle::new(db, cq, plan, atom.relation, k);
+        let mut oracle = MfOracle::new(db, session, cq, plan, atom.relation, k);
         let s = oracle.sensitivity();
         overall = overall.max(s);
         per_relation.push((atom.relation, s));

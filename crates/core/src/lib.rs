@@ -18,11 +18,17 @@
 //!   tightness for bounded intermediate frequencies;
 //! * [`report`] — result types: sensitivity reports, witnesses with
 //!   wildcard ("any value") components, and per-relation multiplicity
-//!   tables (consumed by `tsens-dp`'s truncation operator).
+//!   tables (consumed by `tsens-dp`'s truncation operator);
+//! * [`session`] — [`SessionExt`], which attaches every algorithm above
+//!   to a warm [`tsens_engine::EngineSession`] so a stream of queries
+//!   over one database shares the resident encoding and the
+//!   atom/pass/statistic/report caches.
 //!
 //! The one-stop entry point is [`local_sensitivity`], which classifies the
 //! query, picks a decomposition and runs the right algorithm — including
-//! the §5.4 handling of disconnected queries.
+//! the §5.4 handling of disconnected queries. All free functions are
+//! one-shot wrappers over a fresh session (`tsens(db, cq, tree)` ≡
+//! `EngineSession::new(db).tsens(cq, tree)`).
 
 pub mod acyclic;
 pub mod approx;
@@ -30,20 +36,28 @@ pub mod elastic;
 pub mod naive;
 pub mod path;
 pub mod report;
+pub mod session;
 
 pub use acyclic::{
-    multiplicity_table_for, multiplicity_tables, tsens, tsens_parallel, tsens_with_skips,
+    multiplicity_table_for, multiplicity_table_for_session, multiplicity_tables,
+    multiplicity_tables_session, tsens, tsens_parallel, tsens_parallel_session, tsens_session,
+    tsens_with_skips, tsens_with_skips_session,
 };
-pub use approx::tsens_topk;
-pub use elastic::{elastic_sensitivity, plan_order_from_tree, smooth_elastic_bound, ElasticReport};
+pub use approx::{tsens_topk, tsens_topk_session};
+pub use elastic::{
+    elastic_sensitivity, elastic_sensitivity_session, plan_order_from_tree, smooth_elastic_bound,
+    ElasticReport,
+};
 pub use naive::naive_local_sensitivity;
-pub use path::tsens_path;
+pub use path::{tsens_path, tsens_path_session};
 pub use report::{
     LocalSensitivity, MultiplicityTable, RelationSensitivity, SensitivityReport, TupleRef,
 };
+pub use session::SessionExt;
 
-use tsens_data::{sat_mul, Count, Database};
-use tsens_query::{auto_decompose, classify, ConjunctiveQuery, QueryError};
+use tsens_data::Database;
+use tsens_engine::EngineSession;
+use tsens_query::{ConjunctiveQuery, QueryError};
 
 /// Compute the local sensitivity of `cq` on `db`, choosing the best
 /// algorithm automatically:
@@ -63,44 +77,10 @@ pub fn local_sensitivity(
     db: &Database,
     cq: &ConjunctiveQuery,
 ) -> Result<SensitivityReport, QueryError> {
-    if cq.is_connected() {
-        let (_, tree) = classify(cq)?;
-        let tree = match tree {
-            Some(t) => t,
-            None => auto_decompose(cq)?,
-        };
-        return Ok(tsens(db, cq, &tree));
-    }
-
-    // §5.4 "Disconnected join trees": run per component, then scale each
-    // tuple sensitivity by the product of the other components' counts.
-    let components = cq.connected_components();
-    let mut per_relation: Vec<RelationSensitivity> = Vec::with_capacity(cq.atom_count());
-    let mut sub_reports: Vec<SensitivityReport> = Vec::with_capacity(components.len());
-    let mut sub_counts: Vec<Count> = Vec::with_capacity(components.len());
-    for comp in &components {
-        let sub = cq.restrict_to_atoms(db, comp)?;
-        let (_, tree) = classify(&sub)?;
-        let tree = match tree {
-            Some(t) => t,
-            None => auto_decompose(&sub)?,
-        };
-        sub_counts.push(tsens_engine::count_query(db, &sub, &tree));
-        sub_reports.push(tsens(db, &sub, &tree));
-    }
-    for (ci, report) in sub_reports.iter().enumerate() {
-        let other_product: Count = sub_counts
-            .iter()
-            .enumerate()
-            .filter(|&(cj, _)| cj != ci)
-            .fold(1, |acc, (_, &c)| sat_mul(acc, c));
-        for sub_rel in &report.per_relation {
-            let mut scaled = sub_rel.clone();
-            scaled.sensitivity = sat_mul(scaled.sensitivity, other_product);
-            per_relation.push(scaled);
-        }
-    }
-    Ok(SensitivityReport::from_per_relation(per_relation))
+    // One throwaway session serves the whole computation — for
+    // disconnected queries every component sub-query shares the resident
+    // encoding and the lifted-atom cache instead of rebuilding them.
+    EngineSession::new(db).local_sensitivity(cq)
 }
 
 #[cfg(test)]

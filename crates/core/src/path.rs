@@ -20,18 +20,41 @@
 use crate::report::{RelationSensitivity, SensitivityReport, TupleRef};
 use tsens_data::{sat_mul, Database, EncodedRelation, Schema, Value};
 use tsens_engine::ops::lookup_join_enc;
-use tsens_engine::passes::lift_atoms_enc;
+use tsens_engine::session::EngineSession;
 use tsens_query::analysis::path_order;
 use tsens_query::ConjunctiveQuery;
 
-/// Run Algorithm 1. Returns `None` when `cq` is not a path join query or
-/// carries non-trivial selection predicates (use [`crate::tsens`], which
-/// handles both, in that case).
+/// Run Algorithm 1 as a one-shot call (fresh session). Returns `None`
+/// when `cq` is not a path join query or carries non-trivial selection
+/// predicates (use [`crate::tsens`], which handles both, in that case).
 pub fn tsens_path(db: &Database, cq: &ConjunctiveQuery) -> Option<SensitivityReport> {
+    tsens_path_session(&EngineSession::new(db), cq)
+}
+
+/// Run Algorithm 1 over a warm session: lifted atoms come from the
+/// session's atom cache (shared with every other algorithm touching the
+/// same relations) and the finished report is memoized per query.
+pub fn tsens_path_session(
+    session: &EngineSession<'_>,
+    cq: &ConjunctiveQuery,
+) -> Option<SensitivityReport> {
     let order = path_order(cq)?;
     if cq.atoms().iter().any(|a| !a.predicate.is_trivial()) {
         return None;
     }
+    let cached = session.cached_query_result("tsens_path", cq, None, &[], || {
+        tsens_path_ordered(session, cq, &order)
+    });
+    Some((*cached).clone())
+}
+
+/// The body of Algorithm 1 for a query already known to be a path, with
+/// `order[i]` the atom index at path position `i`.
+fn tsens_path_ordered(
+    session: &EngineSession<'_>,
+    cq: &ConjunctiveQuery,
+    order: &[usize],
+) -> SensitivityReport {
     let m = order.len();
     let atom_schema = |i: usize| -> &Schema { &cq.atoms()[order[i]].schema };
 
@@ -47,7 +70,7 @@ pub fn tsens_path(db: &Database, cq: &ConjunctiveQuery) -> Option<SensitivityRep
                 values: vec![None; arity],
             }),
         };
-        return Some(SensitivityReport::from_per_relation(vec![rs]));
+        return SensitivityReport::from_per_relation(vec![rs]);
     }
 
     // keys[i] = A_i = attributes shared between path positions i and i+1.
@@ -55,11 +78,12 @@ pub fn tsens_path(db: &Database, cq: &ConjunctiveQuery) -> Option<SensitivityRep
         .map(|i| atom_schema(i).intersect(atom_schema(i + 1)))
         .collect();
 
-    // The passes run dictionary-encoded (flat u32 rows); witnesses are
-    // decoded back to values at the report boundary below.
-    let dict = tsens_engine::passes::query_dict(db, cq);
-    let lifted_all = lift_atoms_enc(db, cq, &dict);
-    let lifted: Vec<&EncodedRelation> = order.iter().map(|&ai| &lifted_all[ai]).collect();
+    // The passes run dictionary-encoded (flat u32 rows) over the
+    // session's cached lifts; witnesses are decoded back to values at the
+    // report boundary below.
+    let dict = std::sync::Arc::clone(session.dict());
+    let lifted_all = session.lift_query(cq);
+    let lifted: Vec<&EncodedRelation> = order.iter().map(|&ai| &*lifted_all[ai]).collect();
 
     // I) topjoins: tops[i] = J(R_{i+1}) keyed on keys[i], counting partial
     //    paths R_1..R_{i+1}; tops[0] = γ_{A_1}(R_1).
@@ -146,7 +170,7 @@ pub fn tsens_path(db: &Database, cq: &ConjunctiveQuery) -> Option<SensitivityRep
         });
     }
     per_relation.sort_by_key(|rs| rs.relation);
-    Some(SensitivityReport::from_per_relation(per_relation))
+    SensitivityReport::from_per_relation(per_relation)
 }
 
 #[cfg(test)]

@@ -101,11 +101,15 @@ pub type LocalSensitivity = SensitivityReport;
 /// the passes hand their summaries over without decoding); lookups
 /// encode the probe values and binary-search the sorted rows. A probe
 /// value absent from the dictionary cannot be in the table: count 0.
+/// Both the table and the dictionary sit behind `Arc`s, so cloning a
+/// `MultiplicityTable` — e.g. handing one out of a session's result
+/// cache — shares the (potentially large) factor data instead of
+/// deep-copying it.
 #[derive(Clone)]
 struct Factor {
     schema: Schema,
     /// Grouped (distinct rows, sorted) encoded table.
-    table: EncodedRelation,
+    table: Arc<EncodedRelation>,
     dict: Arc<Dict>,
     /// Largest entry (row, count) decoded, ties broken by smallest row.
     max: Option<(Row, Count)>,
@@ -118,7 +122,7 @@ impl Factor {
             .map(|(r, c)| (r.iter().map(|&code| dict.decode(code)).collect(), c));
         Factor {
             schema: table.schema().clone(),
-            table,
+            table: Arc::new(table),
             dict,
             max,
         }

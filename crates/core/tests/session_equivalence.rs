@@ -1,0 +1,192 @@
+//! Property tests: a **warm `EngineSession` reused across queries** is
+//! observationally identical to the one-shot free functions, which are
+//! in turn cross-checked against the naive ground truth.
+//!
+//! For random path, star and triangle databases (mixed Int/Str columns)
+//! each case opens ONE session and interleaves `tsens`, `count_query`
+//! and `elastic_sensitivity` calls against it — including repeated and
+//! predicated variants — so the atom, pass, max-frequency and report
+//! caches are all exercised between queries. Every session answer must
+//! equal the corresponding one-shot answer, and every second round of
+//! the same calls (pure cache hits) must reproduce the first.
+
+use proptest::prelude::*;
+use tsens_core::{
+    elastic_sensitivity, naive_local_sensitivity, plan_order_from_tree, tsens, tsens_path,
+    SessionExt,
+};
+use tsens_data::{Database, Relation, Schema, Value};
+use tsens_engine::naive_eval::naive_count;
+use tsens_engine::EngineSession;
+use tsens_query::{auto_decompose, gyo_decompose, ConjunctiveQuery, DecompositionTree, Predicate};
+
+/// Mixed-type value: a third of the domain becomes strings so the
+/// session dictionary must keep ints and strings order-isomorphic.
+fn value(x: i64) -> Value {
+    if x % 3 == 0 {
+        Value::str(format!("s{x}"))
+    } else {
+        Value::Int(x)
+    }
+}
+
+fn relation(schema: Schema, rows: &[Vec<i64>]) -> Relation {
+    let mut rel = Relation::new(schema);
+    for row in rows {
+        rel.push(row.iter().map(|&x| value(x)).collect());
+    }
+    rel
+}
+
+fn database(edges: &[(&str, &str)], rows: &[Vec<Vec<i64>>]) -> (Database, ConjunctiveQuery) {
+    let mut db = Database::new();
+    let mut names = Vec::new();
+    for (i, ((a1, a2), rel_rows)) in edges.iter().zip(rows).enumerate() {
+        let s1 = db.attr(a1);
+        let s2 = db.attr(a2);
+        let name = format!("R{i}");
+        db.add_relation(&name, relation(Schema::new(vec![s1, s2]), rel_rows))
+            .unwrap();
+        names.push(name);
+    }
+    let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    let q = ConjunctiveQuery::over(&db, "q", &refs).unwrap();
+    (db, q)
+}
+
+/// Interleave the full call mix against one warm session, twice, and
+/// compare every answer against the one-shot path and (for sensitivity
+/// and counts) the naive ground truth.
+fn assert_session_equivalent(db: &Database, q: &ConjunctiveQuery, tree: &DecompositionTree) {
+    let session = EngineSession::new(db);
+    let plan = plan_order_from_tree(tree);
+    let naive_cnt = naive_count(db, q);
+    let naive_ls = naive_local_sensitivity(db, q);
+    let oneshot_report = tsens(db, q, tree);
+    let oneshot_elastic = elastic_sensitivity(db, q, &plan, 0);
+    let oneshot_path = tsens_path(db, q);
+
+    // A predicated variant of the same query shares the session but must
+    // key its own cache entries.
+    let pred_attr = q.atoms()[0].schema.attrs()[0];
+    let some_val = db
+        .relation(q.atoms()[0].relation)
+        .rows()
+        .first()
+        .map(|r| r[0].clone());
+    let q_pred = some_val.clone().map(|v| {
+        q.clone().with_predicate(
+            db,
+            db.relation_name(q.atoms()[0].relation),
+            Predicate::eq(pred_attr, v),
+        )
+    });
+
+    for round in 0..2 {
+        // count_query: session == one-shot == naive.
+        prop_assert_eq!(
+            session.count_query(q, tree),
+            naive_cnt,
+            "count round {}",
+            round
+        );
+
+        // tsens: session == one-shot, and == naive per relation.
+        let warm = session.tsens(q, tree);
+        prop_assert_eq!(
+            warm.local_sensitivity,
+            oneshot_report.local_sensitivity,
+            "tsens LS round {}",
+            round
+        );
+        prop_assert_eq!(&warm.witness, &oneshot_report.witness);
+        prop_assert_eq!(warm.local_sensitivity, naive_ls.local_sensitivity);
+        for (w, n) in warm.per_relation.iter().zip(naive_ls.per_relation.iter()) {
+            prop_assert_eq!(w.relation, n.relation);
+            prop_assert_eq!(w.sensitivity, n.sensitivity, "relation {}", w.relation);
+        }
+
+        // elastic: session == one-shot (and both bound the true LS).
+        let warm_e = session.elastic_sensitivity(q, &plan, 0);
+        prop_assert_eq!(warm_e.overall, oneshot_elastic.overall);
+        prop_assert_eq!(&warm_e.per_relation, &oneshot_elastic.per_relation);
+        prop_assert!(warm_e.overall >= naive_ls.local_sensitivity);
+
+        // tsens_path (None for non-path queries in both flavours).
+        let warm_p = session.tsens_path(q);
+        match (&warm_p, &oneshot_path) {
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.local_sensitivity, b.local_sensitivity);
+                prop_assert_eq!(&a.witness, &b.witness);
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "path applicability must not depend on the session"),
+        }
+
+        // Predicated variant interleaved through the same session.
+        if let Some(qp) = &q_pred {
+            let warm_pred = session.tsens(qp, tree);
+            let cold_pred = tsens(db, qp, tree);
+            prop_assert_eq!(warm_pred.local_sensitivity, cold_pred.local_sensitivity);
+            let naive_pred = naive_local_sensitivity(db, qp);
+            prop_assert_eq!(warm_pred.local_sensitivity, naive_pred.local_sensitivity);
+            prop_assert_eq!(
+                session.count_query(qp, tree),
+                naive_count(db, qp),
+                "predicated count round {}",
+                round
+            );
+        }
+    }
+    // The second round was answered from the caches.
+    let stats = session.stats();
+    prop_assert!(
+        stats.result_hits > 0,
+        "warm round must hit the report cache"
+    );
+    prop_assert!(stats.pass_hits > 0, "warm round must hit the pass cache");
+}
+
+fn rows_strategy(max_rows: usize, domain: i64) -> impl Strategy<Value = Vec<Vec<i64>>> {
+    prop::collection::vec(prop::collection::vec(0..domain, 2..=2), 0..max_rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Path query R0(A0,A1) ⋈ R1(A1,A2) ⋈ R2(A2,A3).
+    #[test]
+    fn session_matches_one_shot_on_paths(
+        r0 in rows_strategy(10, 4),
+        r1 in rows_strategy(10, 4),
+        r2 in rows_strategy(10, 4),
+    ) {
+        let (db, q) = database(&[("A0", "A1"), ("A1", "A2"), ("A2", "A3")], &[r0, r1, r2]);
+        let tree = gyo_decompose(&q).unwrap().expect_acyclic("path is acyclic");
+        assert_session_equivalent(&db, &q, &tree);
+    }
+
+    /// Star query R0(H,A) ⋈ R1(H,B) ⋈ R2(H,C) around a shared hub.
+    #[test]
+    fn session_matches_one_shot_on_stars(
+        r0 in rows_strategy(8, 3),
+        r1 in rows_strategy(8, 3),
+        r2 in rows_strategy(8, 3),
+    ) {
+        let (db, q) = database(&[("H", "A"), ("H", "B"), ("H", "C")], &[r0, r1, r2]);
+        let tree = gyo_decompose(&q).unwrap().expect_acyclic("star is acyclic");
+        assert_session_equivalent(&db, &q, &tree);
+    }
+
+    /// Triangle query R0(A,B) ⋈ R1(B,C) ⋈ R2(C,A) through a GHD.
+    #[test]
+    fn session_matches_one_shot_on_triangles(
+        r0 in rows_strategy(7, 3),
+        r1 in rows_strategy(7, 3),
+        r2 in rows_strategy(7, 3),
+    ) {
+        let (db, q) = database(&[("A", "B"), ("B", "C"), ("C", "A")], &[r0, r1, r2]);
+        let ghd = auto_decompose(&q).unwrap();
+        assert_session_equivalent(&db, &q, &ghd);
+    }
+}

@@ -31,6 +31,7 @@ pub mod fast;
 pub mod io;
 pub mod relation;
 pub mod schema;
+pub mod session;
 pub mod value;
 
 pub use attr::{AttrId, AttrRegistry};
@@ -42,6 +43,7 @@ pub use error::DataError;
 pub use fast::{FastMap, FastSet};
 pub use relation::{Relation, Row};
 pub use schema::Schema;
+pub use session::EncodedDatabase;
 pub use value::Value;
 
 /// Multiplicity / sensitivity count.

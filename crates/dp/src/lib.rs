@@ -27,7 +27,11 @@ pub mod truncation;
 pub mod tsensdp;
 
 pub use laplace::{laplace_mechanism, laplace_noise};
-pub use privsql::{privsql_answer, CascadeRule, PrivSqlPolicy, PrivSqlResult};
+pub use privsql::{
+    privsql_answer, privsql_answer_session, CascadeRule, PrivSqlPolicy, PrivSqlResult,
+};
 pub use svt::svt_first_above;
 pub use truncation::{truncate_database, truncated_count, TruncationProfile};
-pub use tsensdp::{tsensdp_answer, tsensdp_answer_from_profile, TSensDpResult};
+pub use tsensdp::{
+    tsensdp_answer, tsensdp_answer_from_profile, tsensdp_answer_session, TSensDpResult,
+};

@@ -25,6 +25,7 @@ use rand::Rng;
 use tsens_core::elastic::{elastic_sensitivity, plan_order_from_tree};
 use tsens_data::{sat_mul, AttrId, Count, Database, FastMap, Row};
 use tsens_engine::yannakakis::count_query;
+use tsens_engine::EngineSession;
 use tsens_query::{ConjunctiveQuery, DecompositionTree};
 
 /// One foreign-key cascade step of the privacy policy: rows of `atom`
@@ -118,7 +119,8 @@ fn key_frequencies(
 }
 
 /// Answer `cq` under the PrivSQL-style mechanism with privacy budget
-/// `epsilon` (half for threshold learning, half for the release).
+/// `epsilon` (half for threshold learning, half for the release), as a
+/// one-shot call (fresh session for the untruncated evaluation).
 ///
 /// # Panics
 /// Panics if the policy references out-of-range atoms or `epsilon ≤ 0`.
@@ -130,15 +132,34 @@ pub fn privsql_answer<R: Rng>(
     epsilon: f64,
     rng: &mut R,
 ) -> PrivSqlResult {
+    privsql_answer_session(&EngineSession::new(db), cq, tree, policy, epsilon, rng)
+}
+
+/// [`privsql_answer`] over a warm session. The untruncated `|Q(D)|` is
+/// served by the session's pass cache; the truncated instance is a
+/// *different* database (rows removed by the learned caps), so its count
+/// and its elastic bound are necessarily evaluated one-shot.
+///
+/// # Panics
+/// Panics if the policy references out-of-range atoms or `epsilon ≤ 0`.
+pub fn privsql_answer_session<R: Rng>(
+    session: &EngineSession<'_>,
+    cq: &ConjunctiveQuery,
+    tree: &DecompositionTree,
+    policy: &PrivSqlPolicy,
+    epsilon: f64,
+    rng: &mut R,
+) -> PrivSqlResult {
     assert!(epsilon > 0.0, "epsilon must be positive");
     assert!(
         policy.primary_atom < cq.atom_count(),
         "primary atom out of range"
     );
+    let db = session.database();
 
     let eps_learn = epsilon / 2.0;
     let eps_answer = epsilon / 2.0;
-    let true_count = count_query(db, cq, tree);
+    let true_count = session.count_query(cq, tree);
 
     // Phase 1: learn per-cascade frequency caps with SVT and truncate.
     let mut work = db.clone();

@@ -20,9 +20,10 @@
 //! once and serves every `|Q(T(D, i))|` by prefix sum — this is what lets
 //! TSensDP's SVT scan thresholds `1..ℓ` without re-evaluating the query.
 
-use tsens_core::MultiplicityTable;
+use tsens_core::{MultiplicityTable, SessionExt};
 use tsens_data::{sat_add, Count, Database};
-use tsens_query::ConjunctiveQuery;
+use tsens_engine::EngineSession;
+use tsens_query::{ConjunctiveQuery, DecompositionTree};
 
 /// Pre-computed per-row sensitivities of the primary private relation,
 /// with prefix sums over distinct sensitivity values.
@@ -77,6 +78,30 @@ impl TruncationProfile {
             prefix,
             row_deltas,
         }
+    }
+
+    /// [`TruncationProfile::build`] over a warm session: the private
+    /// atom's multiplicity table is served from the session's result
+    /// cache (computed at most once per `(query, tree, atom)`), and the
+    /// finished profile is memoized too — repeated-run experiments and
+    /// interleaved DP answers over one database only re-draw noise.
+    pub fn build_session(
+        session: &EngineSession<'_>,
+        cq: &ConjunctiveQuery,
+        tree: &DecompositionTree,
+        private_atom: usize,
+    ) -> Self {
+        let cached = session.cached_query_result(
+            "truncation_profile",
+            cq,
+            Some(tree),
+            &[private_atom as u128],
+            || {
+                let table = session.multiplicity_table_for(cq, tree, private_atom);
+                TruncationProfile::build(session.database(), cq, private_atom, &table)
+            },
+        );
+        (*cached).clone()
     }
 
     /// `|Q(T_TSens(Q, D, τ))|` — the bag count after truncating at `τ`.

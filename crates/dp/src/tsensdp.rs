@@ -19,8 +19,8 @@ use crate::laplace::laplace_mechanism;
 use crate::svt::svt_first_above;
 use crate::truncation::TruncationProfile;
 use rand::Rng;
-use tsens_core::multiplicity_table_for;
 use tsens_data::{Count, Database};
+use tsens_engine::EngineSession;
 use tsens_query::{ConjunctiveQuery, DecompositionTree};
 
 /// Outcome of one TSensDP run.
@@ -62,7 +62,8 @@ impl TSensDpResult {
 }
 
 /// Run TSensDP for `cq` with primary private atom `private_atom`, tuple
-/// sensitivity upper bound `ell`, and privacy budget `epsilon`.
+/// sensitivity upper bound `ell`, and privacy budget `epsilon`, as a
+/// one-shot call (fresh session).
 ///
 /// # Panics
 /// Panics if `ell == 0` or `epsilon ≤ 0`.
@@ -75,8 +76,34 @@ pub fn tsensdp_answer<R: Rng>(
     epsilon: f64,
     rng: &mut R,
 ) -> TSensDpResult {
-    let table = multiplicity_table_for(db, cq, tree, private_atom);
-    let profile = TruncationProfile::build(db, cq, private_atom, &table);
+    tsensdp_answer_session(
+        &EngineSession::new(db),
+        cq,
+        tree,
+        private_atom,
+        ell,
+        epsilon,
+        rng,
+    )
+}
+
+/// [`tsensdp_answer`] over a warm session: the multiplicity table and
+/// truncation profile are served from (and memoized in) the session's
+/// result caches, so a stream of DP answers over the same database — or
+/// repeated runs of the same query — only re-draws noise.
+///
+/// # Panics
+/// Panics if `ell == 0` or `epsilon ≤ 0`.
+pub fn tsensdp_answer_session<R: Rng>(
+    session: &EngineSession<'_>,
+    cq: &ConjunctiveQuery,
+    tree: &DecompositionTree,
+    private_atom: usize,
+    ell: Count,
+    epsilon: f64,
+    rng: &mut R,
+) -> TSensDpResult {
+    let profile = TruncationProfile::build_session(session, cq, tree, private_atom);
     tsensdp_answer_from_profile(&profile, ell, epsilon, rng)
 }
 

@@ -11,6 +11,11 @@
 //! * [`passes`] — the botjoin (`⊥`, post-order) and topjoin (`⊤`,
 //!   pre-order) passes over a decomposition tree (Eqns 4–8), shared by
 //!   Yannakakis evaluation and the TSens sensitivity algorithms;
+//! * [`session`] — [`EngineSession`], the cross-query serving layer: a
+//!   database-resident encoding plus memoized lifted atoms, pass states,
+//!   max-frequency statistics and higher-layer query results. The free
+//!   functions below are thin one-shot wrappers over a fresh session;
+//!   long-lived callers should hold a session and reuse it;
 //! * [`yannakakis`] — near-linear count evaluation of acyclic (and, via
 //!   GHDs, certain cyclic) counting queries: the paper's "query
 //!   evaluation" runtime baseline;
@@ -19,6 +24,7 @@
 pub mod naive_eval;
 pub mod ops;
 pub mod passes;
+pub mod session;
 pub mod yannakakis;
 
 pub use naive_eval::{full_join, naive_count};
@@ -28,6 +34,8 @@ pub use ops::{
 };
 pub use passes::{
     bag_relations, bag_relations_from, bag_relations_from_enc, botjoin_pass, botjoin_pass_enc,
-    lift_atoms, lift_atoms_enc, query_dict, topjoin_pass, topjoin_pass_enc,
+    botjoin_pass_enc_refs, lift_atoms, lift_atoms_enc, query_dict, topjoin_pass, topjoin_pass_enc,
+    topjoin_pass_enc_refs,
 };
+pub use session::{EngineSession, QueryKey, QueryPasses, SessionStats};
 pub use yannakakis::{count_query, count_query_legacy};

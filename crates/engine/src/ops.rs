@@ -696,6 +696,71 @@ mod tests {
         assert_eq!(j.count_of(&row(&[1])), Count::MAX);
     }
 
+    /// Encode a counted relation through a dictionary covering both
+    /// inputs (test helper for the encoded-operator checks below).
+    fn encode_pair(
+        r: &CountedRelation,
+        s: &CountedRelation,
+    ) -> (tsens_data::Dict, EncodedRelation, EncodedRelation) {
+        let dict = tsens_data::Dict::from_values(
+            r.iter()
+                .chain(s.iter())
+                .flat_map(|(row, _)| row.iter().cloned())
+                .collect::<Vec<_>>(),
+        );
+        let re = dict.encode_counted(r);
+        let se = dict.encode_counted(s);
+        (dict, re, se)
+    }
+
+    #[test]
+    fn hash_join_enc_build_side_selection_matches_legacy() {
+        // Asymmetric sizes in both directions: whichever side is hashed
+        // (the smaller one), the encoded join must equal the legacy join
+        // exactly — same bag, same left-then-right column order.
+        let big = counted(
+            &[0, 1],
+            &[
+                (&[1, 10], 2),
+                (&[2, 10], 3),
+                (&[3, 99], 1),
+                (&[4, 10], 1),
+                (&[5, 11], 7),
+                (&[6, 11], 2),
+            ],
+        );
+        let small = counted(&[1, 2], &[(&[10, 7], 5), (&[11, 8], 1)]);
+        for (l, r) in [(&big, &small), (&small, &big)] {
+            let legacy = hash_join(l, r);
+            let (dict, le, re) = encode_pair(l, r);
+            let encoded = hash_join_enc(&le, &re);
+            let target = legacy.schema().clone();
+            assert_eq!(encoded.schema(), legacy.schema());
+            assert_eq!(
+                encoded.group(&target).decode(&dict),
+                legacy.group(&target),
+                "encoded ≠ legacy for sizes {} ⋈ {}",
+                l.len(),
+                r.len()
+            );
+        }
+    }
+
+    #[test]
+    fn hash_join_enc_build_side_ties_behave_like_legacy() {
+        // Equal sizes take the right-hash branch in both flavours; the
+        // joined bag must still agree.
+        let r = counted(&[0, 1], &[(&[1, 10], 2), (&[2, 11], 3)]);
+        let s = counted(&[1, 2], &[(&[10, 7], 5), (&[11, 8], 1)]);
+        let legacy = hash_join(&r, &s);
+        let (dict, re, se) = encode_pair(&r, &s);
+        let target = legacy.schema().clone();
+        assert_eq!(
+            hash_join_enc(&re, &se).group(&target).decode(&dict),
+            legacy.group(&target)
+        );
+    }
+
     #[test]
     fn sort_merge_join_matches_hash_join() {
         let r = counted(

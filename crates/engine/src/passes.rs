@@ -119,10 +119,16 @@ pub fn topjoin_pass(
 // Dictionary-encoded passes (the hot path).
 // ---------------------------------------------------------------------------
 
-/// Build the dictionary for one query run: the sorted distinct values of
-/// the relations the query's atoms reference (other catalog relations
-/// cannot appear in any pass output, so interning them would only slow
-/// the sort down).
+/// Build a dictionary for one query run: the sorted distinct values of
+/// the relations the query's atoms reference.
+///
+/// **Legacy / standalone use only.** The serving path no longer calls
+/// this: [`crate::session::EngineSession`] builds one database-wide
+/// dictionary at construction (via [`tsens_data::EncodedDatabase`]) and
+/// amortizes it over every query, so the per-query rescan this function
+/// performs is gone from the `count_query`/`tsens*` hot paths. It is kept
+/// for tests and for callers that need a minimal dictionary over a single
+/// query's relations without a session.
 pub fn query_dict(db: &Database, cq: &ConjunctiveQuery) -> Dict {
     let mut rels: Vec<usize> = cq.atoms().iter().map(|a| a.relation).collect();
     rels.sort_unstable();
@@ -183,18 +189,51 @@ pub fn bag_relations_from_enc(
         .collect()
 }
 
+/// [`bag_relations_from_enc`] over `Arc`-shared lifted atoms — the
+/// session-layer flavour. A singleton bag *is* its lifted atom, so it is
+/// shared (one `Arc` clone) rather than copied; only multi-atom GHD bags
+/// materialise an in-bag join. Used by both the exact pass cache and the
+/// top-k capped passes so the two paths cannot diverge.
+pub fn bag_relations_from_arcs(
+    lifted: &[std::sync::Arc<EncodedRelation>],
+    tree: &DecompositionTree,
+) -> Vec<std::sync::Arc<EncodedRelation>> {
+    tree.bags()
+        .iter()
+        .map(|bag| match bag.atoms[..] {
+            [ai] => std::sync::Arc::clone(&lifted[ai]),
+            _ => {
+                let refs: Vec<&EncodedRelation> =
+                    bag.atoms.iter().map(|&ai| &*lifted[ai]).collect();
+                std::sync::Arc::new(multiway_join_enc(&refs))
+            }
+        })
+        .collect()
+}
+
 /// [`botjoin_pass`] over encoded bag relations (Eqn 7). The first child
 /// join reads `bags[v]` in place, so leaf-heavy trees never copy a bag.
 pub fn botjoin_pass_enc(
     tree: &DecompositionTree,
     bags: &[EncodedRelation],
 ) -> Vec<EncodedRelation> {
+    let refs: Vec<&EncodedRelation> = bags.iter().collect();
+    botjoin_pass_enc_refs(tree, &refs)
+}
+
+/// [`botjoin_pass_enc`] over borrowed bags — the session layer holds its
+/// bag relations behind shared `Arc`s and passes references here, so a
+/// cached bag is never copied just to run a pass.
+pub fn botjoin_pass_enc_refs(
+    tree: &DecompositionTree,
+    bags: &[&EncodedRelation],
+) -> Vec<EncodedRelation> {
     let mut bots: Vec<Option<EncodedRelation>> = vec![None; tree.bag_count()];
     for v in tree.post_order() {
         let mut acc: Option<EncodedRelation> = None;
         for &c in tree.children(v) {
             let child_bot = bots[c].as_ref().expect("post-order visits children first");
-            let joined = lookup_join_enc(acc.as_ref().unwrap_or(&bags[v]), child_bot);
+            let joined = lookup_join_enc(acc.as_ref().unwrap_or(bags[v]), child_bot);
             acc = Some(joined);
         }
         let grouped = match acc {
@@ -219,6 +258,17 @@ pub fn topjoin_pass_enc(
     bags: &[EncodedRelation],
     bots: &[EncodedRelation],
 ) -> Vec<EncodedRelation> {
+    let refs: Vec<&EncodedRelation> = bags.iter().collect();
+    topjoin_pass_enc_refs(tree, &refs, bots)
+}
+
+/// [`topjoin_pass_enc`] over borrowed bags (see
+/// [`botjoin_pass_enc_refs`]).
+pub fn topjoin_pass_enc_refs(
+    tree: &DecompositionTree,
+    bags: &[&EncodedRelation],
+    bots: &[EncodedRelation],
+) -> Vec<EncodedRelation> {
     let mut tops: Vec<Option<EncodedRelation>> = vec![None; tree.bag_count()];
     // base[p] = bags[p] r⋈ ⊤(p), filled lazily on first use.
     let mut base: Vec<Option<EncodedRelation>> = vec![None; tree.bag_count()];
@@ -229,7 +279,7 @@ pub fn topjoin_pass_enc(
         };
         if base[p].is_none() {
             let parent_top = tops[p].as_ref().expect("pre-order visits parents first");
-            base[p] = Some(lookup_join_enc(&bags[p], parent_top));
+            base[p] = Some(lookup_join_enc(bags[p], parent_top));
         }
         let shared = base[p].as_ref().expect("just filled");
         let mut acc: Option<EncodedRelation> = None;

@@ -1,0 +1,512 @@
+//! `EngineSession` — the cross-query serving layer.
+//!
+//! The paper's deployment model is a trusted curator answering a stream
+//! of analyst counting queries over one fixed database. A session owns
+//! the database-resident encoding ([`tsens_data::EncodedDatabase`]: one
+//! order-isomorphic dictionary plus eagerly encoded relations) and
+//! memoizes, across queries:
+//!
+//! * **lifted atoms** — selected + encoded + grouped atom relations,
+//!   keyed by `(relation, predicate)`. Atoms without predicates resolve
+//!   straight to the resident encoding; predicated atoms are filtered
+//!   once and shared by every query that repeats the predicate;
+//! * **passes** — bag relations and the ⊥ pass (and, on demand, the ⊤
+//!   pass), keyed by the query fingerprint and tree shape
+//!   ([`QueryKey`]); repeated queries and the near-identical subqueries
+//!   TSens issues across skips and top-k variants hit warm state;
+//! * **max-frequency statistics** — `mf(X, R)` per `(relation, attr
+//!   set)`, consumed by the elastic-sensitivity baseline;
+//! * **query results** — a type-erased result cache
+//!   ([`EngineSession::cached_query_result`]) that higher layers
+//!   (`tsens-core`'s sensitivity reports, `tsens-dp`'s profiles) use to
+//!   memoize their own per-query outputs without this crate knowing
+//!   their types.
+//!
+//! The session borrows the database for its whole lifetime, so the
+//! borrow checker enforces the snapshot semantics: the database cannot
+//! be mutated while a session (and its caches) is alive. Invalidation is
+//! wholesale — drop the session and build a new one.
+//!
+//! All caches sit behind `Mutex`es, making the session `Sync`: one warm
+//! session can serve many threads (`tsens_parallel` already fans its
+//! table computations out over a shared pass state).
+
+use crate::passes::{bag_relations_from_arcs, botjoin_pass_enc_refs, topjoin_pass_enc_refs};
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use tsens_data::{
+    AttrId, Count, Database, Dict, EncodedDatabase, EncodedRelation, FastMap, Schema,
+};
+use tsens_query::{Atom, ConjunctiveQuery, DecompositionTree, Predicate};
+
+/// Structural fingerprint of a query (atom relations, schemas,
+/// predicates) plus, when present, the decomposition tree shape (bag
+/// composition and parent array). Two queries with equal keys run the
+/// exact same pass computation, so cache hits are sound by construction —
+/// no hash-collision risk is taken on result identity.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    atoms: Vec<(usize, Vec<AttrId>, Predicate)>,
+    bags: Vec<Vec<usize>>,
+    parents: Vec<Option<usize>>,
+}
+
+impl QueryKey {
+    /// Fingerprint `cq` together with `tree`'s shape.
+    pub fn new(cq: &ConjunctiveQuery, tree: &DecompositionTree) -> Self {
+        let mut key = QueryKey::query_only(cq);
+        key.bags = tree.bags().iter().map(|b| b.atoms.clone()).collect();
+        key.parents = (0..tree.bag_count()).map(|v| tree.parent(v)).collect();
+        key
+    }
+
+    /// Fingerprint `cq` alone (for tree-free algorithms such as the
+    /// Algorithm 1 path specialisation).
+    pub fn query_only(cq: &ConjunctiveQuery) -> Self {
+        QueryKey {
+            atoms: cq
+                .atoms()
+                .iter()
+                .map(|a| (a.relation, a.schema.attrs().to_vec(), a.predicate.clone()))
+                .collect(),
+            bags: Vec::new(),
+            parents: Vec::new(),
+        }
+    }
+}
+
+/// The shared ⊥/⊤ pass state of one `(query, tree)` pair, living in the
+/// session's pass cache.
+///
+/// `lifted` and `bags` are `Arc`-shared: a singleton bag *is* its lifted
+/// atom, and lifted atoms are shared across every query touching the
+/// same `(relation, predicate)`. The ⊤ pass is computed lazily — plain
+/// count evaluation only needs ⊥.
+pub struct QueryPasses {
+    /// The session dictionary (decodes witnesses at report boundaries).
+    pub dict: Arc<Dict>,
+    /// Lifted atom relations, in query-atom order.
+    pub lifted: Vec<Arc<EncodedRelation>>,
+    /// Bag relations, in tree-bag order.
+    pub bags: Vec<Arc<EncodedRelation>>,
+    /// ⊥ pass results (Eqn 7), in tree-bag order.
+    pub bots: Vec<EncodedRelation>,
+    tops: OnceLock<Vec<EncodedRelation>>,
+}
+
+impl QueryPasses {
+    /// ⊤ pass results (Eqn 8), computed on first use and cached for the
+    /// life of the entry.
+    pub fn tops(&self, tree: &DecompositionTree) -> &[EncodedRelation] {
+        self.tops.get_or_init(|| {
+            let bag_refs: Vec<&EncodedRelation> = self.bags.iter().map(|b| &**b).collect();
+            topjoin_pass_enc_refs(tree, &bag_refs, &self.bots)
+        })
+    }
+}
+
+/// Cache observability counters (monotonic, cheap relaxed atomics) —
+/// used by tests to prove warm calls hit the caches and handy for
+/// logging in serving front-ends.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Lifted-atom cache hits (predicated atoms only; predicate-free
+    /// atoms always resolve to the resident encoding).
+    pub atom_hits: u64,
+    /// Lifted-atom cache misses (entries built).
+    pub atom_misses: u64,
+    /// Pass-cache hits.
+    pub pass_hits: u64,
+    /// Pass-cache misses (pass states computed).
+    pub pass_misses: u64,
+    /// Result-cache hits (reports, profiles, … cached by higher layers).
+    pub result_hits: u64,
+    /// Result-cache misses.
+    pub result_misses: u64,
+    /// Max-frequency cache hits.
+    pub mf_hits: u64,
+    /// Max-frequency cache misses.
+    pub mf_misses: u64,
+}
+
+#[derive(Default)]
+struct StatCounters {
+    atom_hits: AtomicU64,
+    atom_misses: AtomicU64,
+    pass_hits: AtomicU64,
+    pass_misses: AtomicU64,
+    result_hits: AtomicU64,
+    result_misses: AtomicU64,
+    mf_hits: AtomicU64,
+    mf_misses: AtomicU64,
+}
+
+type ResultKey = (&'static str, QueryKey, Vec<u128>);
+
+/// A long-lived query-serving session over one database snapshot. See
+/// the module docs for the cache inventory; construction performs the
+/// whole database-resident encoding eagerly.
+pub struct EngineSession<'a> {
+    db: &'a Database,
+    enc: EncodedDatabase,
+    /// Predicated lifted atoms: `(relation, predicate) → lift`.
+    atoms: Mutex<FastMap<(usize, Predicate), Arc<EncodedRelation>>>,
+    /// Pass state per `(query fingerprint, tree shape)`.
+    passes: Mutex<FastMap<QueryKey, Arc<QueryPasses>>>,
+    /// Higher-layer query results, type-erased (downcast on read).
+    results: Mutex<FastMap<ResultKey, Arc<dyn Any + Send + Sync>>>,
+    /// `mf(X, R)` statistics: `(relation, sorted attrs) → max frequency`.
+    mf: Mutex<FastMap<(usize, Vec<AttrId>), Count>>,
+    stats: StatCounters,
+}
+
+impl<'a> EngineSession<'a> {
+    /// Open a session: build the database-wide dictionary and encode
+    /// every relation (the once-per-database preprocessing cost).
+    pub fn new(db: &'a Database) -> Self {
+        EngineSession {
+            db,
+            enc: EncodedDatabase::new(db),
+            atoms: Mutex::new(FastMap::default()),
+            passes: Mutex::new(FastMap::default()),
+            results: Mutex::new(FastMap::default()),
+            mf: Mutex::new(FastMap::default()),
+            stats: StatCounters::default(),
+        }
+    }
+
+    /// The underlying database snapshot.
+    #[inline]
+    pub fn database(&self) -> &'a Database {
+        self.db
+    }
+
+    /// The session-wide order-isomorphic dictionary.
+    #[inline]
+    pub fn dict(&self) -> &Arc<Dict> {
+        self.enc.dict()
+    }
+
+    /// The resident encoding.
+    #[inline]
+    pub fn encoded(&self) -> &EncodedDatabase {
+        &self.enc
+    }
+
+    /// Current cache counters.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            atom_hits: self.stats.atom_hits.load(Ordering::Relaxed),
+            atom_misses: self.stats.atom_misses.load(Ordering::Relaxed),
+            pass_hits: self.stats.pass_hits.load(Ordering::Relaxed),
+            pass_misses: self.stats.pass_misses.load(Ordering::Relaxed),
+            result_hits: self.stats.result_hits.load(Ordering::Relaxed),
+            result_misses: self.stats.result_misses.load(Ordering::Relaxed),
+            mf_hits: self.stats.mf_hits.load(Ordering::Relaxed),
+            mf_misses: self.stats.mf_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The lifted (selected + encoded + grouped) relation of one atom.
+    ///
+    /// Predicate-free atoms share the resident encoding; predicated
+    /// atoms are filtered once per distinct `(relation, predicate)` and
+    /// cached. Selection predicates are evaluated over the encoded rows
+    /// through a decoding lookup, so the `Value` rows are never
+    /// re-scanned.
+    pub fn lifted_atom(&self, atom: &Atom) -> Arc<EncodedRelation> {
+        if atom.predicate.is_trivial() {
+            return Arc::clone(self.enc.lifted(atom.relation));
+        }
+        let key = (atom.relation, atom.predicate.clone());
+        if let Some(hit) = self.atoms.lock().expect("atom cache poisoned").get(&key) {
+            self.stats.atom_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.stats.atom_misses.fetch_add(1, Ordering::Relaxed);
+        let base = self.enc.lifted(atom.relation);
+        let dict = self.dict();
+        let schema = base.schema();
+        debug_assert_eq!(schema, &atom.schema, "atom schema must match its relation");
+        let mut out = EncodedRelation::with_capacity(schema.clone(), base.len());
+        for (row, c) in base.iter() {
+            let keep = atom
+                .predicate
+                .eval_partial(&|a| schema.position(a).map(|pos| dict.decode(row[pos])))
+                .expect("full rows decide predicates");
+            if keep {
+                out.push(row, c);
+            }
+        }
+        // Filtering a grouped relation preserves distinctness and order.
+        let lifted = Arc::new(out);
+        self.atoms
+            .lock()
+            .expect("atom cache poisoned")
+            .insert(key, Arc::clone(&lifted));
+        lifted
+    }
+
+    /// Lift every atom of `cq`, in atom order.
+    pub fn lift_query(&self, cq: &ConjunctiveQuery) -> Vec<Arc<EncodedRelation>> {
+        cq.atoms().iter().map(|a| self.lifted_atom(a)).collect()
+    }
+
+    /// The shared pass state of `(cq, tree)`: lifted atoms, bag
+    /// relations and the ⊥ pass, computed once and memoized (the ⊤ pass
+    /// is added lazily inside the entry).
+    pub fn passes(&self, cq: &ConjunctiveQuery, tree: &DecompositionTree) -> Arc<QueryPasses> {
+        let key = QueryKey::new(cq, tree);
+        if let Some(hit) = self.passes.lock().expect("pass cache poisoned").get(&key) {
+            self.stats.pass_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.stats.pass_misses.fetch_add(1, Ordering::Relaxed);
+        let lifted = self.lift_query(cq);
+        let bags = bag_relations_from_arcs(&lifted, tree);
+        let bag_refs: Vec<&EncodedRelation> = bags.iter().map(|b| &**b).collect();
+        let bots = botjoin_pass_enc_refs(tree, &bag_refs);
+        let entry = Arc::new(QueryPasses {
+            dict: Arc::clone(self.dict()),
+            lifted,
+            bags,
+            bots,
+            tops: OnceLock::new(),
+        });
+        // A racing thread may have inserted meanwhile; keep the first
+        // entry so concurrent callers converge on one shared state.
+        let mut guard = self.passes.lock().expect("pass cache poisoned");
+        Arc::clone(guard.entry(key).or_insert(entry))
+    }
+
+    /// Bag-semantics output size `|Q(D)|` — warm calls are a single
+    /// pass-cache lookup.
+    pub fn count_query(&self, cq: &ConjunctiveQuery, tree: &DecompositionTree) -> Count {
+        let passes = self.passes(cq, tree);
+        passes.bots[tree.root()].total_count()
+    }
+
+    /// Memoize an arbitrary per-query result computed by a higher layer
+    /// (a sensitivity report, a truncation profile, …).
+    ///
+    /// `kind` namespaces the algorithm, `salt` carries its scalar
+    /// parameters (skips, k, plan order, …), and the query/tree pair is
+    /// fingerprinted structurally. The value is computed at most once per
+    /// distinct key and shared behind an `Arc`. Keys are exact — equal
+    /// keys imply the same computation, so a hit can never alias a
+    /// different query's result.
+    pub fn cached_query_result<T: Any + Send + Sync>(
+        &self,
+        kind: &'static str,
+        cq: &ConjunctiveQuery,
+        tree: Option<&DecompositionTree>,
+        salt: &[u128],
+        compute: impl FnOnce() -> T,
+    ) -> Arc<T> {
+        let key = (
+            kind,
+            match tree {
+                Some(t) => QueryKey::new(cq, t),
+                None => QueryKey::query_only(cq),
+            },
+            salt.to_vec(),
+        );
+        if let Some(hit) = self
+            .results
+            .lock()
+            .expect("result cache poisoned")
+            .get(&key)
+        {
+            if let Ok(typed) = Arc::clone(hit).downcast::<T>() {
+                self.stats.result_hits.fetch_add(1, Ordering::Relaxed);
+                return typed;
+            }
+        }
+        self.stats.result_misses.fetch_add(1, Ordering::Relaxed);
+        // Compute outside the lock: the computation may re-enter the
+        // session (passes, lifts) and must not deadlock.
+        let value = Arc::new(compute());
+        self.results
+            .lock()
+            .expect("result cache poisoned")
+            .insert(key, Arc::clone(&value) as Arc<dyn Any + Send + Sync>);
+        value
+    }
+
+    /// Max frequency `mf(X, R)`: the largest number of rows of relation
+    /// `rel` sharing one value of the attribute set `attrs` (`|R|` for
+    /// the empty set). Computed from the resident encoding and cached per
+    /// `(relation, attr set)` — the statistic elastic sensitivity probes
+    /// repeatedly across atoms, plans and distances.
+    ///
+    /// # Panics
+    /// Panics if an attribute is not a column of the relation.
+    pub fn max_frequency(&self, rel: usize, attrs: &[AttrId]) -> Count {
+        let mut sorted: Vec<AttrId> = attrs.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let key = (rel, sorted);
+        if let Some(&hit) = self.mf.lock().expect("mf cache poisoned").get(&key) {
+            self.stats.mf_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.stats.mf_misses.fetch_add(1, Ordering::Relaxed);
+        let lifted = self.enc.lifted(rel);
+        let mf = if key.1.is_empty() {
+            // mf(∅, R) = |R| (row count under bag semantics).
+            lifted.total_count()
+        } else {
+            let target = Schema::new(key.1.clone());
+            lifted
+                .group(&target)
+                .iter()
+                .map(|(_, c)| c)
+                .max()
+                .unwrap_or(0)
+        };
+        self.mf.lock().expect("mf cache poisoned").insert(key, mf);
+        mf
+    }
+}
+
+impl std::fmt::Debug for EngineSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "EngineSession[{} relations, dict {} values, stats {:?}]",
+            self.enc.relation_count(),
+            self.dict().len(),
+            self.stats()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::yannakakis::count_query_legacy;
+    use tsens_data::{Relation, Row, Schema, Value};
+    use tsens_query::{gyo_decompose, Predicate};
+
+    fn path_db() -> (Database, ConjunctiveQuery, DecompositionTree) {
+        let mut db = Database::new();
+        let [a, b, c] = db.attrs(["A", "B", "C"]);
+        let row2 = |x: i64, y: i64| -> Row { vec![Value::Int(x), Value::Int(y)] };
+        db.add_relation(
+            "R",
+            Relation::from_rows(
+                Schema::new(vec![a, b]),
+                vec![row2(1, 10), row2(1, 10), row2(2, 11)],
+            ),
+        )
+        .unwrap();
+        db.add_relation(
+            "S",
+            Relation::from_rows(
+                Schema::new(vec![b, c]),
+                vec![row2(10, 20), row2(10, 21), row2(11, 20)],
+            ),
+        )
+        .unwrap();
+        let q = ConjunctiveQuery::over(&db, "rs", &["R", "S"]).unwrap();
+        let tree = gyo_decompose(&q).unwrap().expect_acyclic("path");
+        (db, q, tree)
+    }
+
+    #[test]
+    fn count_matches_legacy_and_hits_cache_when_warm() {
+        let (db, q, tree) = path_db();
+        let session = EngineSession::new(&db);
+        let expected = count_query_legacy(&db, &q, &tree);
+        assert_eq!(session.count_query(&q, &tree), expected);
+        assert_eq!(session.count_query(&q, &tree), expected);
+        let stats = session.stats();
+        assert_eq!(stats.pass_misses, 1);
+        assert_eq!(stats.pass_hits, 1);
+    }
+
+    #[test]
+    fn predicated_atoms_are_cached_per_predicate() {
+        let (db, q, tree) = path_db();
+        let a = db.attr_id("A").unwrap();
+        let q1 = q
+            .clone()
+            .with_predicate(&db, "R", Predicate::eq(a, Value::Int(1)));
+        let session = EngineSession::new(&db);
+        let l1 = session.lifted_atom(&q1.atoms()[0]);
+        let l2 = session.lifted_atom(&q1.atoms()[0]);
+        assert!(Arc::ptr_eq(&l1, &l2), "same predicate must share one lift");
+        // Only the A=1 rows survive (2 duplicates grouped to one entry).
+        assert_eq!(l1.total_count(), 2);
+        let stats = session.stats();
+        assert_eq!((stats.atom_misses, stats.atom_hits), (1, 1));
+        // Counting under the predicate matches the legacy path.
+        assert_eq!(
+            session.count_query(&q1, &tree),
+            count_query_legacy(&db, &q1, &tree)
+        );
+    }
+
+    #[test]
+    fn distinct_trees_get_distinct_pass_entries() {
+        let (db, q, _) = path_db();
+        // Same query, two rootings: different shapes, different entries.
+        let rooted_at_r = DecompositionTree::singleton(&q, vec![None, Some(0)]).expect("valid");
+        let rooted_at_s = DecompositionTree::singleton(&q, vec![Some(1), None]).expect("valid");
+        let session = EngineSession::new(&db);
+        let c1 = session.count_query(&q, &rooted_at_r);
+        let c2 = session.count_query(&q, &rooted_at_s);
+        assert_eq!(c1, c2, "count is root-invariant");
+        assert_eq!(session.stats().pass_misses, 2);
+    }
+
+    #[test]
+    fn result_cache_computes_once_per_key() {
+        let (db, q, tree) = path_db();
+        let session = EngineSession::new(&db);
+        let mut calls = 0usize;
+        let a = session.cached_query_result("demo", &q, Some(&tree), &[7], || {
+            calls += 1;
+            42u64
+        });
+        let b = session.cached_query_result("demo", &q, Some(&tree), &[7], || {
+            calls += 1;
+            43u64
+        });
+        assert_eq!((*a, *b, calls), (42, 42, 1));
+        // Different salt → different entry.
+        let c = session.cached_query_result("demo", &q, Some(&tree), &[8], || 44u64);
+        assert_eq!(*c, 44);
+    }
+
+    #[test]
+    fn max_frequency_matches_brute_force() {
+        let (db, _, _) = path_db();
+        let session = EngineSession::new(&db);
+        let b = db.attr_id("B").unwrap();
+        let a = db.attr_id("A").unwrap();
+        // R: B=10 appears twice, B=11 once.
+        assert_eq!(session.max_frequency(0, &[b]), 2);
+        assert_eq!(session.max_frequency(0, &[a, b]), 2);
+        assert_eq!(session.max_frequency(0, &[]), 3);
+        // S: B=10 twice.
+        assert_eq!(session.max_frequency(1, &[b]), 2);
+        // Warm probe hits the cache.
+        assert_eq!(session.max_frequency(0, &[b]), 2);
+        assert!(session.stats().mf_hits >= 1);
+    }
+
+    #[test]
+    fn session_is_sync_and_shareable_across_threads() {
+        let (db, q, tree) = path_db();
+        let session = EngineSession::new(&db);
+        let expected = session.count_query(&q, &tree);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| assert_eq!(session.count_query(&q, &tree), expected));
+            }
+        });
+        assert_eq!(session.stats().pass_misses, 1);
+    }
+}

@@ -7,21 +7,23 @@
 //! §7.2 procedure: "we first compute the join for each node in the
 //! generalized hypertree, and then apply Yannakakis algorithm").
 
-use crate::passes::{bag_relations, bag_relations_from_enc, botjoin_pass, botjoin_pass_enc};
+use crate::passes::{bag_relations, botjoin_pass};
 use tsens_data::{Count, Database};
 use tsens_query::{ConjunctiveQuery, DecompositionTree};
 
 /// Bag-semantics output size `|Q(D)|` via the bottom-up count pass over
 /// `tree`. Works for join trees (acyclic queries) and GHDs alike.
 ///
-/// Runs on the dictionary-encoded fast path; the legacy `Value`-row pass
-/// is kept as [`count_query_legacy`] for cross-checks.
+/// One-shot wrapper: equivalent to
+/// [`EngineSession::new(db).count_query(cq, tree)`](crate::session::EngineSession::count_query),
+/// paying the session's database-resident encoding for a single query.
+/// Callers answering more than one query over the same database should
+/// hold an [`crate::session::EngineSession`] instead — the encoding, the
+/// lifted atoms, and the ⊥ pass are then amortized across queries. The
+/// legacy `Value`-row pass is kept as [`count_query_legacy`] for
+/// cross-checks.
 pub fn count_query(db: &Database, cq: &ConjunctiveQuery, tree: &DecompositionTree) -> Count {
-    let dict = crate::passes::query_dict(db, cq);
-    let lifted = crate::passes::lift_atoms_enc(db, cq, &dict);
-    let bags = bag_relations_from_enc(&lifted, tree);
-    let bots = botjoin_pass_enc(tree, &bags);
-    bots[tree.root()].total_count()
+    crate::session::EngineSession::new(db).count_query(cq, tree)
 }
 
 /// [`count_query`] over the legacy `Value`-row operators — ground truth

@@ -10,7 +10,11 @@
 use tsens_data::{AttrId, Schema, Value};
 
 /// A boolean predicate over a single relation's tuple.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// `Hash`/`Eq` are structural — the session layer uses the predicate as
+/// part of its atom-cache key, so two atoms over the same relation with
+/// the same predicate AST share one cached lifted relation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Predicate {
     /// Always true (no selection).
     True,

@@ -28,12 +28,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use tsens::core::elastic::{elastic_sensitivity, plan_order_from_tree};
-use tsens::core::{multiplicity_table_for, tsens};
+use tsens::core::elastic::plan_order_from_tree;
+use tsens::core::SessionExt;
 use tsens::data::io::load_csv;
 use tsens::dp::truncation::TruncationProfile;
 use tsens::dp::tsensdp::tsensdp_answer_from_profile;
-use tsens::engine::yannakakis::count_query;
+use tsens::engine::EngineSession;
 use tsens::prelude::*;
 use tsens::query::auto_decompose;
 
@@ -127,10 +127,15 @@ fn run(args: Args) -> Result<(), String> {
         }
     };
 
+    // One session serves every analysis below: the database-resident
+    // encoding, the passes, and the max-frequency statistics are shared
+    // instead of being rebuilt per entry point.
+    let session = EngineSession::new(&db);
+
     // Count + sensitivity.
-    let count = count_query(&db, &q, &tree);
+    let count = session.count_query(&q, &tree);
     println!("|Q(D)| = {count}");
-    let report = tsens(&db, &q, &tree);
+    let report = session.tsens(&q, &tree);
     println!(
         "\nlocal sensitivity LS(Q, D) = {}",
         report.local_sensitivity
@@ -154,7 +159,7 @@ fn run(args: Args) -> Result<(), String> {
         );
     }
     let plan = plan_order_from_tree(&tree);
-    let elastic = elastic_sensitivity(&db, &q, &plan, 0);
+    let elastic = session.elastic_sensitivity(&q, &plan, 0);
     println!(
         "\nelastic (Flex) upper bound: {} ({:.1}× looser)",
         elastic.overall,
@@ -171,8 +176,7 @@ fn run(args: Args) -> Result<(), String> {
             .iter()
             .position(|a| a.relation == rel_idx)
             .ok_or(format!("{private} is not in the query"))?;
-        let table = multiplicity_table_for(&db, &q, &tree, atom);
-        let profile = TruncationProfile::build(&db, &q, atom, &table);
+        let profile = TruncationProfile::build_session(&session, &q, &tree, atom);
         let ell = args.ell.unwrap_or(((profile.max_delta() * 3) / 2).max(10));
         let mut rng = StdRng::seed_from_u64(args.seed);
         let r = tsensdp_answer_from_profile(&profile, ell, args.epsilon, &mut rng);

@@ -35,8 +35,17 @@ pub use tsens_query as query;
 pub use tsens_workloads as workloads;
 
 /// Convenience prelude: the types most programs need.
+///
+/// Includes the session layer: build one
+/// [`EngineSession`](tsens_engine::EngineSession) per database and call
+/// the [`SessionExt`](tsens_core::SessionExt) methods on it to amortize
+/// the database-resident encoding across a stream of queries; the free
+/// functions remain as one-shot wrappers.
 pub mod prelude {
-    pub use tsens_core::{local_sensitivity, LocalSensitivity, SensitivityReport, TupleRef};
+    pub use tsens_core::{
+        local_sensitivity, LocalSensitivity, SensitivityReport, SessionExt, TupleRef,
+    };
     pub use tsens_data::{AttrId, Count, Database, Relation, Row, Schema, Value};
+    pub use tsens_engine::EngineSession;
     pub use tsens_query::{classify, ConjunctiveQuery, DecompositionTree, QueryClass};
 }

@@ -12,12 +12,17 @@
 //!
 //! Differences from real proptest: cases are generated from a fixed
 //! per-test seed (derived from the test name) so failures are perfectly
-//! reproducible, and there is **no shrinking** — a failing case reports
-//! its case number on stderr and then panics via the standard assert
-//! machinery.
+//! reproducible, and shrinking is **minimal** rather than search-based:
+//! when a case fails, the same random stream is replayed through
+//! progressively *shrunken* strategies — `Vec` length bounds halved
+//! toward their minimum, integer ranges bisected toward their start —
+//! for a bounded number of rounds ([`MAX_SHRINK_ROUNDS`]), and the
+//! smallest still-failing variant is reported (inputs included) before
+//! the panic propagates.
 
 use rand::rngs::StdRng;
 use rand::{SampleRange, SeedableRng};
+use std::cell::RefCell;
 
 /// Per-test configuration. Only `cases` is honoured.
 #[derive(Clone, Debug)]
@@ -39,6 +44,11 @@ impl Default for ProptestConfig {
     }
 }
 
+/// How many shrink rounds [`run_cases`] attempts after a failure. Each
+/// round halves `Vec` length bounds and bisects integer ranges one more
+/// time, so round 6 shrinks spans by up to 64×.
+pub const MAX_SHRINK_ROUNDS: u32 = 6;
+
 /// A generator of random values of type `Self::Value`.
 pub trait Strategy {
     /// The type of value this strategy produces.
@@ -46,6 +56,16 @@ pub trait Strategy {
 
     /// Produce one value. Implementations must be deterministic in `rng`.
     fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Produce one value from the strategy shrunk `level` times: integer
+    /// ranges are bisected toward their start, `Vec` length bounds
+    /// halved toward their minimum. Level 0 must behave exactly like
+    /// [`Strategy::new_value`] (same draws from `rng`), so replaying a
+    /// recorded stream at level 0 reproduces the original case.
+    fn new_value_shrunk(&self, rng: &mut StdRng, level: u32) -> Self::Value {
+        let _ = level;
+        self.new_value(rng)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -54,15 +74,32 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn new_value(&self, rng: &mut StdRng) -> Self::Value {
         (**self).new_value(rng)
     }
+
+    fn new_value_shrunk(&self, rng: &mut StdRng, level: u32) -> Self::Value {
+        (**self).new_value_shrunk(rng, level)
+    }
 }
 
 macro_rules! impl_range_strategy {
-    ($($t:ty),* $(,)?) => {$(
+    ($($t:ty => $w:ty),* $(,)?) => {$(
         impl Strategy for core::ops::Range<$t> {
             type Value = $t;
 
             fn new_value(&self, rng: &mut StdRng) -> $t {
                 self.clone().sample(rng)
+            }
+
+            fn new_value_shrunk(&self, rng: &mut StdRng, level: u32) -> $t {
+                let start = self.start as $w;
+                // Non-empty range ⇒ span ≥ 1 fits the wide type (the one
+                // exception, the full u128 domain, wraps to 0 and falls
+                // back to the unshrunk range).
+                let span = (self.end as $w).wrapping_sub(start);
+                if span == 0 {
+                    return self.clone().sample(rng);
+                }
+                let shrunk = (span >> level.min(127)).max(1);
+                (self.start..((start + shrunk) as $t)).sample(rng)
             }
         }
 
@@ -72,11 +109,29 @@ macro_rules! impl_range_strategy {
             fn new_value(&self, rng: &mut StdRng) -> $t {
                 self.clone().sample(rng)
             }
+
+            fn new_value_shrunk(&self, rng: &mut StdRng, level: u32) -> $t {
+                let start = *self.start() as $w;
+                let span = (*self.end() as $w).wrapping_sub(start).wrapping_add(1);
+                if span == 0 {
+                    // Full-domain range: cannot widen further, don't shrink.
+                    return self.clone().sample(rng);
+                }
+                let shrunk = (span >> level.min(127)).max(1);
+                (*self.start()..=((start + shrunk - 1) as $t)).sample(rng)
+            }
         }
     )*};
 }
 
-impl_range_strategy!(i32, i64, u32, u64, u128, usize);
+impl_range_strategy!(
+    i32 => i128,
+    i64 => i128,
+    u32 => u128,
+    u64 => u128,
+    u128 => u128,
+    usize => u128,
+);
 
 macro_rules! impl_tuple_strategy {
     ($($name:ident),+) => {
@@ -87,6 +142,12 @@ macro_rules! impl_tuple_strategy {
             fn new_value(&self, rng: &mut StdRng) -> Self::Value {
                 let ($($name,)+) = self;
                 ($($name.new_value(rng),)+)
+            }
+
+            #[allow(non_snake_case)]
+            fn new_value_shrunk(&self, rng: &mut StdRng, level: u32) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value_shrunk(rng, level),)+)
             }
         }
     };
@@ -177,6 +238,17 @@ pub mod collection {
             let len = rng.random_range(self.size.min..=self.size.max_inclusive);
             (0..len).map(|_| self.element.new_value(rng)).collect()
         }
+
+        fn new_value_shrunk(&self, rng: &mut StdRng, level: u32) -> Self::Value {
+            // Halve the length headroom above the minimum `level` times,
+            // and shrink the elements too.
+            let headroom = self.size.max_inclusive - self.size.min;
+            let max = self.size.min + (headroom >> level.min(63));
+            let len = rng.random_range(self.size.min..=max);
+            (0..len)
+                .map(|_| self.element.new_value_shrunk(rng, level))
+                .collect()
+        }
     }
 }
 
@@ -191,15 +263,89 @@ pub fn seed_for(test_name: &str) -> u64 {
     h
 }
 
+thread_local! {
+    /// Debug rendering of the most recently generated case's inputs,
+    /// recorded by the [`proptest!`] macro via [`record_case`].
+    static LAST_CASE: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// Record the inputs of the case about to run (called by the
+/// [`proptest!`] macro before the property body). The recorded string is
+/// what failure reports print.
+pub fn record_case<T: std::fmt::Debug>(values: &T) {
+    LAST_CASE.with(|c| {
+        let mut c = c.borrow_mut();
+        c.clear();
+        use std::fmt::Write;
+        let _ = write!(c, "{values:?}");
+    });
+}
+
+/// The inputs recorded for the most recently generated case on this
+/// thread (exposed for the shrink reporter and its tests).
+pub fn last_recorded_case() -> String {
+    LAST_CASE.with(|c| c.borrow().clone())
+}
+
 /// Run `cases` deterministic random cases of a property. Used by the
 /// [`proptest!`] macro; not part of the public proptest API.
+///
+/// The closure receives the rng and a **shrink level** (0 for normal
+/// runs). On failure, the failing case's random stream is replayed at
+/// shrink levels `1..=MAX_SHRINK_ROUNDS` — each level halves `Vec`
+/// length bounds and bisects integer ranges once more — stopping at the
+/// first level that no longer fails. The deepest still-failing level is
+/// re-run last, so the recorded inputs and the propagated panic describe
+/// the *smallest* failing case found.
 pub fn run_cases(test_name: &str, cases: u32, mut case: impl FnMut(&mut StdRng, u32)) {
     let mut rng = StdRng::seed_from_u64(seed_for(test_name));
     for i in 0..cases {
-        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng, i)));
-        if let Err(payload) = attempt {
-            eprintln!("proptest: {test_name} failed at case {i} of {cases} (deterministic seed — rerun reproduces it)");
+        let snapshot = rng.clone();
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng, 0)));
+        let Err(payload) = attempt else {
+            continue;
+        };
+        eprintln!(
+            "proptest: {test_name} failed at case {i} of {cases} (deterministic seed — rerun reproduces it)"
+        );
+        eprintln!("proptest: original failing input: {}", last_recorded_case());
+
+        // Minimal shrinking: bounded retries over the same stream with
+        // progressively shrunken strategies; keep the deepest level that
+        // still fails.
+        let mut best_level = 0u32;
+        for level in 1..=MAX_SHRINK_ROUNDS {
+            let mut probe = snapshot.clone();
+            let failed =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut probe, level)))
+                    .is_err();
+            if failed {
+                best_level = level;
+            } else {
+                break;
+            }
+        }
+        if best_level == 0 {
+            eprintln!(
+                "proptest: no shrunken variant reproduced the failure; reporting the original case"
+            );
             std::panic::resume_unwind(payload);
+        }
+        // Replay the smallest failing case so both the recorded inputs
+        // and the assert message describe it.
+        let mut final_rng = snapshot.clone();
+        let replay = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            case(&mut final_rng, best_level)
+        }));
+        eprintln!(
+            "proptest: smallest failing case (shrink level {best_level}: vec lengths halved / integer ranges bisected {best_level}×): {}",
+            last_recorded_case()
+        );
+        match replay {
+            Err(shrunk_payload) => std::panic::resume_unwind(shrunk_payload),
+            // Deterministic replay cannot pass after failing above, but
+            // never swallow the original failure if it somehow does.
+            Ok(()) => std::panic::resume_unwind(payload),
         }
     }
 }
@@ -249,8 +395,12 @@ macro_rules! proptest {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
-            $crate::run_cases(concat!(module_path!(), "::", stringify!($name)), config.cases, |rng, _case| {
-                $(let $arg = $crate::Strategy::new_value(&($strategy), rng);)+
+            $crate::run_cases(concat!(module_path!(), "::", stringify!($name)), config.cases, |rng, shrink_level| {
+                // Draw all inputs first (as a tuple, so shrink reports
+                // can render them), then destructure into the patterns.
+                let __proptest_values = ( $( $crate::Strategy::new_value_shrunk(&($strategy), rng, shrink_level), )+ );
+                $crate::record_case(&__proptest_values);
+                let ( $($arg,)+ ) = __proptest_values;
                 $body
             });
         }
@@ -298,5 +448,81 @@ mod tests {
     fn seeds_are_stable_and_distinct() {
         assert_eq!(super::seed_for("a"), super::seed_for("a"));
         assert_ne!(super::seed_for("a"), super::seed_for("b"));
+    }
+
+    #[test]
+    fn shrink_level_zero_matches_new_value() {
+        // Level 0 must replay the exact original draws — shrinking
+        // replays depend on it.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let strategy = (prop::collection::vec(0..100i64, 0..20), 5..50u32);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(
+            strategy.new_value(&mut a),
+            strategy.new_value_shrunk(&mut b, 0)
+        );
+    }
+
+    #[test]
+    fn shrunk_ranges_bisect_toward_start() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            // span 1000, 6 bisections → values in [10, 10 + 15].
+            let x = (10..1010i64).new_value_shrunk(&mut rng, 6);
+            assert!((10..26).contains(&x), "{x}");
+            let y = (5..=8u32).new_value_shrunk(&mut rng, 50);
+            assert_eq!(y, 5, "deep shrink collapses to the start");
+            // Vec lengths halve toward the minimum: headroom 8 >> 2 = 2.
+            let v = prop::collection::vec(0..4i32, 2..=10).new_value_shrunk(&mut rng, 2);
+            assert!(v.len() >= 2 && v.len() <= 4, "{}", v.len());
+        }
+    }
+
+    #[test]
+    fn failing_cases_shrink_and_report_the_smallest() {
+        use rand::rngs::StdRng;
+        use std::cell::RefCell;
+        let strategy = crate::collection::vec(0..1000i64, 4..40);
+        // (level, len) per executed case, in execution order.
+        let seen: RefCell<Vec<(u32, usize)>> = RefCell::new(Vec::new());
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::run_cases("shrink_demo", 8, |rng: &mut StdRng, level| {
+                let v = crate::Strategy::new_value_shrunk(&strategy, rng, level);
+                crate::record_case(&v);
+                seen.borrow_mut().push((level, v.len()));
+                assert!(v.len() < 2, "too long: {}", v.len());
+            });
+        }));
+        assert!(outcome.is_err(), "the property can never pass (min len 4)");
+        let seen = seen.into_inner();
+        let (first_level, first_len) = seen[0];
+        let &(last_level, last_len) = seen.last().unwrap();
+        assert_eq!(first_level, 0);
+        assert!(last_level > 0, "shrinking must have run");
+        assert!(last_len <= first_len, "shrunk case may not be larger");
+        // The deepest level pins the length to the minimum bound.
+        assert_eq!(last_len, 4);
+        // The recorded case is the smallest failing one (4 elements).
+        let rendered = crate::last_recorded_case();
+        assert_eq!(rendered.matches(',').count(), 3, "{rendered}");
+    }
+
+    #[test]
+    fn shrinking_gives_up_gracefully_when_small_cases_pass() {
+        // A property that only fails on long vecs: every shrunk level
+        // passes, so the original failure is what propagates.
+        let strategy = crate::collection::vec(0..10i64, 0..64);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::run_cases("no_shrink_repro", 32, |rng, level| {
+                let v = crate::Strategy::new_value_shrunk(&strategy, rng, level);
+                crate::record_case(&v);
+                assert!(v.len() <= 32, "too long: {}", v.len());
+            });
+        }));
+        assert!(outcome.is_err());
     }
 }
