@@ -190,12 +190,103 @@ fn bench_session(c: &mut Criterion) {
     group.finish();
 }
 
+/// The mutable-session ablation: incremental updates with selective
+/// cache invalidation versus dropping and rebuilding the session.
+///
+/// Catalog shape mirrors a serving deployment: a small "hot" join
+/// (`HotR ⋈ HotS`) that the deltas touch, plus a large "cold" join
+/// (`ColdT ⋈ ColdU`) that stays warm in the cache. Keys:
+///
+/// * `single_tuple_update` — one insert + one delete applied to a warm
+///   session (no re-query): the pure maintenance + invalidation cost;
+/// * `warm_requery_delta_{1,10,100}` — apply a k-row delta to the hot
+///   relation, then re-run the whole two-query batch (hot recomputes
+///   its passes, cold hits the result cache), then undo the delta;
+/// * `rebuild_requery` — what the same re-query costs without
+///   incremental maintenance: a fresh session (full re-encode of all
+///   four relations) plus both queries from cold.
+fn bench_updates(c: &mut Criterion) {
+    let (small, large) = if quick() {
+        (500, 5_000)
+    } else {
+        (2_000, 40_000)
+    };
+    let mut db = tsens_data::Database::new();
+    let [a, b2, c2, d, e, f] = db.attrs(["UA", "UB", "UC", "UD", "UE", "UF"]);
+    let edge = |n: usize, k: i64| -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::Int(i as i64 % k),
+                    Value::Int((i as i64 * 13 + 1) % k),
+                ]
+            })
+            .collect()
+    };
+    let rel = |s1, s2, n, k| tsens_data::Relation::from_rows(Schema::new(vec![s1, s2]), edge(n, k));
+    db.add_relation("HotR", rel(a, b2, small, 211)).unwrap();
+    db.add_relation("HotS", rel(b2, c2, small, 211)).unwrap();
+    db.add_relation("ColdT", rel(d, e, large, 5_003)).unwrap();
+    db.add_relation("ColdU", rel(e, f, large, 5_003)).unwrap();
+    let hot = tsens_query::ConjunctiveQuery::over(&db, "hot", &["HotR", "HotS"]).unwrap();
+    let cold = tsens_query::ConjunctiveQuery::over(&db, "cold", &["ColdT", "ColdU"]).unwrap();
+    let t_hot = gyo_decompose(&hot).unwrap().expect_acyclic("path");
+    let t_cold = gyo_decompose(&cold).unwrap().expect_acyclic("path");
+
+    let mut group = c.benchmark_group("updates");
+    group.sample_size(if quick() { 15 } else { 20 });
+
+    let mut session = EngineSession::new(&db);
+    session.count_query(&hot, &t_hot);
+    session.count_query(&cold, &t_cold);
+
+    group.bench_function("single_tuple_update", |b| {
+        b.iter(|| {
+            let row = vec![Value::Int(3), Value::Int(4)];
+            session.insert(0, row.clone());
+            black_box(session.delete(0, row));
+        })
+    });
+
+    for delta in [1usize, 10, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("warm_requery_delta", delta),
+            &delta,
+            |b, &delta| {
+                b.iter(|| {
+                    let rows: Vec<Row> = (0..delta as i64)
+                        .map(|i| vec![Value::Int(i % 211), Value::Int((i + 7) % 211)])
+                        .collect();
+                    for row in &rows {
+                        session.insert(0, row.clone());
+                    }
+                    black_box(session.count_query(&hot, &t_hot));
+                    black_box(session.count_query(&cold, &t_cold));
+                    for row in rows {
+                        session.delete(0, row);
+                    }
+                })
+            },
+        );
+    }
+
+    group.bench_function("rebuild_requery", |b| {
+        b.iter(|| {
+            let fresh = EngineSession::new(&db);
+            black_box(fresh.count_query(&hot, &t_hot));
+            black_box(fresh.count_query(&cold, &t_cold));
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_path_vs_general,
     bench_hash_join_encoding,
     bench_topk,
     bench_vs_naive,
-    bench_session
+    bench_session,
+    bench_updates
 );
 criterion_main!(benches);

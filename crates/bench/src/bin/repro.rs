@@ -10,6 +10,7 @@
 //!   table1    Facebook queries: sensitivity + runtime
 //!   table2    DP answering: TSensDP vs PrivSQL, 7 queries
 //!   param-l   §7.3 ℓ sweep on q*
+//!   updates   interleaved update/query serving: warm session vs rebuild
 //!   all       everything above
 //!
 //! options:
@@ -18,6 +19,7 @@
 //!   --q3-max-scale X    largest scale for q3 (default 0.01)
 //!   --fig6b-scale X     scale for fig6b (default 0.01)
 //!   --table2-scale X    TPC-H scale for table2 (default 0.01)
+//!   --updates-scale X   TPC-H scale for updates (default 0.002)
 //!   --runs N            repetitions for DP experiments (default 20)
 //!   --eps X             privacy budget per run (default 2.0; unreported in the paper)
 //!   --fb-small          use the small Facebook workload (for smoke runs)
@@ -32,6 +34,7 @@ struct Options {
     q3_max_scale: f64,
     fig6b_scale: f64,
     table2_scale: f64,
+    updates_scale: f64,
     runs: usize,
     eps: f64,
     fb: FacebookParams,
@@ -45,6 +48,7 @@ impl Default for Options {
             q3_max_scale: 0.01,
             fig6b_scale: 0.01,
             table2_scale: 0.01,
+            updates_scale: 0.002,
             runs: 20,
             eps: 2.0,
             fb: FacebookParams::default(),
@@ -88,6 +92,11 @@ fn parse_args() -> (String, Options) {
                     .parse()
                     .unwrap_or_else(|_| usage("bad --table2-scale"));
             }
+            "--updates-scale" => {
+                opts.updates_scale = value("--updates-scale")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --updates-scale"));
+            }
             "--runs" => {
                 opts.runs = value("--runs")
                     .parse()
@@ -108,9 +117,9 @@ fn parse_args() -> (String, Options) {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro <fig6a|fig6b|fig7|table1|table2|param-l|all> \
+        "usage: repro <fig6a|fig6b|fig7|table1|table2|param-l|updates|all> \
          [--seed N] [--scales a,b,c] [--q3-max-scale X] [--fig6b-scale X] \
-         [--table2-scale X] [--runs N] [--eps X] [--fb-small]"
+         [--table2-scale X] [--updates-scale X] [--runs N] [--eps X] [--fb-small]"
     );
     std::process::exit(2)
 }
@@ -139,6 +148,7 @@ fn main() {
             )
         )
     };
+    let run_updates = || println!("{}", experiments::updates(o.updates_scale, o.seed));
     match command.as_str() {
         "fig6a" => run_fig6a(),
         "fig6b" => run_fig6b(),
@@ -146,6 +156,7 @@ fn main() {
         "table1" => run_table1(),
         "table2" => run_table2(),
         "param-l" => run_param_l(),
+        "updates" => run_updates(),
         "all" => {
             run_fig6a();
             run_fig6b();
@@ -153,6 +164,7 @@ fn main() {
             run_table1();
             run_table2();
             run_param_l();
+            run_updates();
         }
         other => usage(&format!("unknown command {other}")),
     }

@@ -769,6 +769,160 @@ impl fmt::Display for ParamL {
     }
 }
 
+// ---------------------------------------------------------------------
+// Interleaved updates — the mutable-session serving experiment.
+// ---------------------------------------------------------------------
+
+/// One delta size's measurements, all in microseconds.
+#[derive(Clone, Debug)]
+pub struct UpdatesRow {
+    /// Rows inserted into Orders (then deleted to restore the database).
+    pub delta: usize,
+    /// Applying the delta through the warm session.
+    pub apply_us: f64,
+    /// Re-answering the two-query batch afterwards (q1 recomputes its
+    /// passes, q2 — which shares no relation with Orders — hits caches).
+    pub requery_us: f64,
+    /// The non-incremental alternative: fresh session + both queries.
+    pub rebuild_us: f64,
+}
+
+impl UpdatesRow {
+    /// `rebuild / (apply + requery)` — the incremental-maintenance win.
+    pub fn speedup(&self) -> f64 {
+        self.rebuild_us / (self.apply_us + self.requery_us).max(1e-9)
+    }
+}
+
+/// Interleaved update/query experiment result.
+pub struct Updates {
+    /// TPC-H scale factor measured.
+    pub scale: f64,
+    /// Median single-tuple update latency (insert + delete pair / 2), µs.
+    pub single_update_us: f64,
+    /// One row per delta size.
+    pub rows: Vec<UpdatesRow>,
+    /// Result-cache hits observed for the untouched query across the
+    /// whole experiment (must be ≥ rows × reps).
+    pub untouched_hits: u64,
+}
+
+/// Run the interleaved update/query experiment: a warm session serves
+/// TPC-H q1 and q2 (which share no relations), single-tuple and batched
+/// deltas stream into Orders (a q1 relation), and each delta size is
+/// measured as apply + re-answer versus a full session rebuild. Deltas
+/// duplicate existing Orders rows and are rolled back after timing, so
+/// the database is identical before and after.
+pub fn updates(scale: f64, seed: u64) -> Updates {
+    let (db, attrs) = tpch::tpch_database(scale, seed);
+    let queries = tpch_queries(&db, attrs);
+    let (q1, q2) = (&queries[0], &queries[1]);
+    let orders = q1.cq.atoms()[3].relation;
+    assert!(
+        !db.relation(orders).is_empty(),
+        "scale {scale} generates no Orders rows to replay as deltas"
+    );
+    let delta_rows: Vec<tsens_data::Row> =
+        db.relation(orders).rows()[..100.min(db.relation(orders).len())].to_vec();
+
+    let mut session = EngineSession::new(&db);
+    let answer = |s: &EngineSession<'_>| {
+        (
+            s.tsens_with_skips(&q1.cq, &q1.tree, &q1.skips)
+                .local_sensitivity,
+            s.tsens_with_skips(&q2.cq, &q2.tree, &q2.skips)
+                .local_sensitivity,
+        )
+    };
+    answer(&session); // prime
+
+    // Median single-tuple update latency over 20 insert/delete pairs.
+    let mut singles = Vec::new();
+    for _ in 0..20 {
+        let row = delta_rows[0].clone();
+        let (_, secs) = time_it(|| {
+            session.insert(orders, row.clone());
+            session.delete(orders, row.clone());
+        });
+        singles.push(secs * 1e6 / 2.0);
+    }
+    let single_update_us = median_f64(&singles);
+
+    let hits_before = session.stats().result_hits;
+    let mut rows = Vec::new();
+    for delta in [1usize, 10, 100]
+        .into_iter()
+        .filter(|&d| d <= delta_rows.len())
+    {
+        let reps = 5;
+        let (mut applies, mut requeries, mut rebuilds) = (Vec::new(), Vec::new(), Vec::new());
+        for _ in 0..reps {
+            let batch = &delta_rows[..delta];
+            let (_, apply_secs) = time_it(|| {
+                for row in batch {
+                    session.insert(orders, row.clone());
+                }
+            });
+            let (incr, requery_secs) = time_it(|| answer(&session));
+            let (full, rebuild_secs) = time_it(|| {
+                let fresh = EngineSession::new(session.database());
+                answer(&fresh)
+            });
+            assert_eq!(incr, full, "incremental answers must match rebuild");
+            for row in batch {
+                session.delete(orders, row.clone());
+            }
+            applies.push(apply_secs * 1e6);
+            requeries.push(requery_secs * 1e6);
+            rebuilds.push(rebuild_secs * 1e6);
+        }
+        rows.push(UpdatesRow {
+            delta,
+            apply_us: median_f64(&applies),
+            requery_us: median_f64(&requeries),
+            rebuild_us: median_f64(&rebuilds),
+        });
+    }
+    Updates {
+        scale,
+        single_update_us,
+        rows,
+        untouched_hits: session.stats().result_hits - hits_before,
+    }
+}
+
+impl fmt::Display for Updates {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Interleaved updates — warm session vs rebuild (TPC-H q1+q2, deltas into Orders, scale {})",
+            self.scale
+        )?;
+        writeln!(
+            f,
+            "single-tuple update latency: {:.1}µs; untouched-query cache hits: {}",
+            self.single_update_us, self.untouched_hits
+        )?;
+        writeln!(
+            f,
+            "{:>6} {:>12} {:>12} {:>12} {:>9}",
+            "delta", "apply µs", "requery µs", "rebuild µs", "speedup"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>6} {:>12.1} {:>12.1} {:>12.1} {:>8.1}x",
+                r.delta,
+                r.apply_us,
+                r.requery_us,
+                r.rebuild_us,
+                r.speedup()
+            )?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

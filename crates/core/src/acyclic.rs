@@ -159,7 +159,7 @@ pub fn multiplicity_tables(
     cq: &ConjunctiveQuery,
     tree: &DecompositionTree,
 ) -> Vec<MultiplicityTable> {
-    multiplicity_tables_session(&EngineSession::new(db), cq, tree)
+    multiplicity_tables_session(&EngineSession::for_query(db, cq), cq, tree)
 }
 
 /// Compute the multiplicity table of a single atom — what TSensDP needs
@@ -190,7 +190,7 @@ pub fn multiplicity_table_for(
     tree: &DecompositionTree,
     atom: usize,
 ) -> MultiplicityTable {
-    multiplicity_table_for_session(&EngineSession::new(db), cq, tree, atom)
+    multiplicity_table_for_session(&EngineSession::for_query(db, cq), cq, tree, atom)
 }
 
 /// `TSens` (Algorithm 2) over a warm session: local sensitivity, most
@@ -206,7 +206,9 @@ pub fn tsens_session(
 /// `TSens` (Algorithm 2): local sensitivity, most sensitive tuple, and the
 /// per-relation breakdown, skipping no relation.
 ///
-/// One-shot wrapper — equivalent to `tsens_session(&EngineSession::new(db), …)`.
+/// One-shot wrapper — equivalent to
+/// `tsens_session(&EngineSession::for_query(db, cq), …)` (only the
+/// query's relations are encoded).
 pub fn tsens(db: &Database, cq: &ConjunctiveQuery, tree: &DecompositionTree) -> SensitivityReport {
     tsens_with_skips(db, cq, tree, &[])
 }
@@ -253,7 +255,7 @@ pub fn tsens_with_skips(
     tree: &DecompositionTree,
     skip_atoms: &[usize],
 ) -> SensitivityReport {
-    tsens_with_skips_session(&EngineSession::new(db), cq, tree, skip_atoms)
+    tsens_with_skips_session(&EngineSession::for_query(db, cq), cq, tree, skip_atoms)
 }
 
 /// [`tsens_with_skips_session`] with the per-relation multiplicity tables
@@ -321,7 +323,13 @@ pub fn tsens_parallel(
     skip_atoms: &[usize],
     threads: usize,
 ) -> SensitivityReport {
-    tsens_parallel_session(&EngineSession::new(db), cq, tree, skip_atoms, threads)
+    tsens_parallel_session(
+        &EngineSession::for_query(db, cq),
+        cq,
+        tree,
+        skip_atoms,
+        threads,
+    )
 }
 
 #[cfg(test)]

@@ -72,7 +72,7 @@ pub fn tsens_topk(
     tree: &DecompositionTree,
     k: usize,
 ) -> SensitivityReport {
-    tsens_topk_session(&EngineSession::new(db), cq, tree, k)
+    tsens_topk_session(&EngineSession::for_query(db, cq), cq, tree, k)
 }
 
 /// [`tsens_topk`] over a warm session. The lifted atoms come from the

@@ -27,8 +27,11 @@
 //! The one-stop entry point is [`local_sensitivity`], which classifies the
 //! query, picks a decomposition and runs the right algorithm — including
 //! the §5.4 handling of disconnected queries. All free functions are
-//! one-shot wrappers over a fresh session (`tsens(db, cq, tree)` ≡
-//! `EngineSession::new(db).tsens(cq, tree)`).
+//! one-shot wrappers over a throwaway **partial** session that encodes
+//! only the relations the query references (`tsens(db, cq, tree)` ≡
+//! `EngineSession::for_query(db, cq).tsens(cq, tree)`) — observationally
+//! identical to a full session, without paying to encode the rest of the
+//! catalog.
 
 pub mod acyclic;
 pub mod approx;
@@ -54,6 +57,7 @@ pub use report::{
     LocalSensitivity, MultiplicityTable, RelationSensitivity, SensitivityReport, TupleRef,
 };
 pub use session::SessionExt;
+pub use tsens_data::Update;
 
 use tsens_data::Database;
 use tsens_engine::EngineSession;
@@ -77,10 +81,11 @@ pub fn local_sensitivity(
     db: &Database,
     cq: &ConjunctiveQuery,
 ) -> Result<SensitivityReport, QueryError> {
-    // One throwaway session serves the whole computation — for
-    // disconnected queries every component sub-query shares the resident
-    // encoding and the lifted-atom cache instead of rebuilding them.
-    EngineSession::new(db).local_sensitivity(cq)
+    // One throwaway partial session (resident over exactly the query's
+    // relations) serves the whole computation — for disconnected queries
+    // every component sub-query shares the resident encoding and the
+    // lifted-atom cache instead of rebuilding them.
+    EngineSession::for_query(db, cq).local_sensitivity(cq)
 }
 
 #[cfg(test)]

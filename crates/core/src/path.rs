@@ -28,7 +28,7 @@ use tsens_query::ConjunctiveQuery;
 /// when `cq` is not a path join query or carries non-trivial selection
 /// predicates (use [`crate::tsens`], which handles both, in that case).
 pub fn tsens_path(db: &Database, cq: &ConjunctiveQuery) -> Option<SensitivityReport> {
-    tsens_path_session(&EngineSession::new(db), cq)
+    tsens_path_session(&EngineSession::for_query(db, cq), cq)
 }
 
 /// Run Algorithm 1 over a warm session: lifted atoms come from the

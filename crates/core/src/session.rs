@@ -26,9 +26,17 @@
 //! let q = ConjunctiveQuery::over(&db, "q", &["R"]).unwrap();
 //! let tree = gyo_decompose(&q).unwrap().expect_acyclic("single atom");
 //!
-//! let session = EngineSession::new(&db); // resident encoding, built once
+//! let mut session = EngineSession::new(&db); // resident encoding, built once
 //! let report = session.tsens(&q, &tree); // warm per-query call
 //! assert_eq!(report.local_sensitivity, 1);
+//!
+//! // Sessions are mutable: interleave updates with queries (including
+//! // `tsens_dp`'s `tsensdp_answer_session`) — the resident encoding is
+//! // maintained in place and only cache entries whose fingerprint
+//! // contains the updated relation are invalidated.
+//! session.insert(0, vec![Value::Int(3), Value::Int(4)]);
+//! assert_eq!(session.count_query(&q, &tree), 2);
+//! assert!(session.delete(0, vec![Value::Int(3), Value::Int(4)]));
 //! ```
 
 use crate::elastic::ElasticReport;

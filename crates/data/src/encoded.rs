@@ -33,6 +33,22 @@ use std::fmt;
 ///
 /// Codes are assigned by sorting the distinct values of the database, so
 /// `a < b ⇔ code(a) < code(b)` for any two values in the dictionary.
+///
+/// # Growth under updates
+///
+/// A mutable database adds values the sorted base has never seen.
+/// Re-sorting the base on every such value would shift every existing
+/// code and force a full re-encode of every relation, so new values
+/// instead land in an **overflow region**: [`Dict::encode_or_insert`]
+/// appends them after the base in arrival order. Overflow codes are
+/// still *unique and stable* (encode/decode work, raw `u32` comparisons
+/// are internally consistent), but they are **not order-isomorphic**
+/// with [`Value`] order. A **re-sort epoch** ([`Dict::resorted`]) merges
+/// the overflow into the base and returns an old→new code remap —
+/// strictly monotone on base codes, so relations free of overflow codes
+/// stay sorted after remapping. `EncodedDatabase` triggers epochs
+/// periodically (overflow threshold) and before queries are served, so
+/// everything order-sensitive always runs on an isomorphic dictionary.
 #[derive(Clone, Default)]
 pub struct Dict {
     /// Sorted distinct integer values; `ints[i]` has code `i`.
@@ -41,6 +57,9 @@ pub struct Dict {
     /// (all integers order before all strings, matching [`Value`]'s
     /// total order).
     strs: Vec<Value>,
+    /// Values appended after the sorted base: `overflow[k]` has code
+    /// `base_len() + k`, in arrival order (not value order).
+    overflow: Vec<Value>,
     /// Reverse index for integer values — hashing a raw `i64` skips the
     /// enum discriminant and beats binary search on encode-heavy lifts.
     int_codes: FastMap<i64, u32>,
@@ -96,16 +115,20 @@ impl Dict {
         Dict {
             ints,
             strs,
+            overflow: Vec::new(),
             int_codes,
             str_codes,
         }
     }
 
-    /// Build the dictionary of every value appearing in `db`.
-    pub fn from_database(db: &crate::Database) -> Self {
-        let mut ints: Vec<i64> = Vec::with_capacity(db.total_tuples());
+    /// Build the dictionary of every value appearing in the given
+    /// relations (duplicates fine — the reverse index deduplicates).
+    pub fn from_relations<'a>(relations: impl IntoIterator<Item = &'a crate::Relation>) -> Self {
+        let relations: Vec<&crate::Relation> = relations.into_iter().collect();
+        let rows: usize = relations.iter().map(|r| r.len()).sum();
+        let mut ints: Vec<i64> = Vec::with_capacity(rows);
         let mut strs: Vec<Value> = Vec::new();
-        for (_, _, rel) in db.iter() {
+        for rel in relations {
             for row in rel.rows() {
                 for v in row {
                     match v {
@@ -118,16 +141,40 @@ impl Dict {
         Dict::from_parts(ints, strs)
     }
 
-    /// Number of distinct values.
+    /// Build the dictionary of every value appearing in `db`.
+    pub fn from_database(db: &crate::Database) -> Self {
+        Dict::from_relations(db.iter().map(|(_, _, rel)| rel))
+    }
+
+    /// Number of distinct values (base plus overflow).
     #[inline]
     pub fn len(&self) -> usize {
-        self.ints.len() + self.strs.len()
+        self.ints.len() + self.strs.len() + self.overflow.len()
     }
 
     /// True if the dictionary is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.ints.is_empty() && self.strs.is_empty()
+        self.len() == 0
+    }
+
+    /// Number of values in the sorted, order-isomorphic base region.
+    #[inline]
+    pub fn base_len(&self) -> usize {
+        self.ints.len() + self.strs.len()
+    }
+
+    /// Number of values waiting in the overflow region.
+    #[inline]
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    /// True if every code is order-isomorphic with [`Value`] order
+    /// (i.e. the overflow region is empty).
+    #[inline]
+    pub fn is_order_isomorphic(&self) -> bool {
+        self.overflow.is_empty()
     }
 
     /// The code of `v`, if it is in the dictionary.
@@ -158,9 +205,59 @@ impl Dict {
         let i = code as usize;
         if i < self.ints.len() {
             Value::Int(self.ints[i])
-        } else {
+        } else if i < self.base_len() {
             self.strs[i - self.ints.len()].clone()
+        } else {
+            self.overflow[i - self.base_len()].clone()
         }
+    }
+
+    /// The code of `v`, assigning a fresh **overflow** code if `v` has
+    /// never been seen. Overflow codes are stable but not
+    /// order-isomorphic; merge them into the base with
+    /// [`Dict::resorted`] before anything order-sensitive runs.
+    ///
+    /// # Panics
+    /// Panics if the dictionary would exceed `u32::MAX` values.
+    pub fn encode_or_insert(&mut self, v: &Value) -> u32 {
+        if let Some(code) = self.encode(v) {
+            return code;
+        }
+        let code = u32::try_from(self.len()).expect("dictionary overflow: more than u32::MAX");
+        self.overflow.push(v.clone());
+        match v {
+            Value::Int(x) => {
+                self.int_codes.insert(*x, code);
+            }
+            Value::Str(_) => {
+                self.str_codes.insert(v.clone(), code);
+            }
+        }
+        code
+    }
+
+    /// Run a re-sort epoch: merge the overflow region into the sorted
+    /// base, returning the fully order-isomorphic dictionary and the
+    /// old→new code remap (`remap[old_code] = new_code`).
+    ///
+    /// The remap is strictly increasing on old **base** codes (merging
+    /// only shifts them), so rows encoded purely from base codes keep
+    /// their relative order under remapping; rows containing overflow
+    /// codes must be re-sorted by the caller.
+    pub fn resorted(&self) -> (Dict, Vec<u32>) {
+        let mut ints = self.ints.clone();
+        let mut strs = self.strs.clone();
+        for v in &self.overflow {
+            match v {
+                Value::Int(x) => ints.push(*x),
+                Value::Str(_) => strs.push(v.clone()),
+            }
+        }
+        let new = Dict::from_parts(ints, strs);
+        let remap = (0..self.len() as u32)
+            .map(|c| new.code(&self.decode(c)))
+            .collect();
+        (new, remap)
     }
 
     /// Encode a `(row, count)` relation. Rows must already be encodable
@@ -441,6 +538,69 @@ impl EncodedRelation {
         self.counts = counts;
     }
 
+    /// Binary-search a **grouped** (rows distinct, sorted by code order)
+    /// relation for `row`: `Ok(i)` when row `i` equals it, `Err(i)` with
+    /// the insertion index otherwise.
+    pub fn find_row(&self, row: &[u32]) -> Result<usize, usize> {
+        debug_assert_eq!(row.len(), self.schema.arity());
+        let (mut lo, mut hi) = (0usize, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.row(mid) < row {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < self.len() && self.row(lo) == row {
+            Ok(lo)
+        } else {
+            Err(lo)
+        }
+    }
+
+    /// Splice a row in at index `i` (from [`EncodedRelation::find_row`]'s
+    /// `Err`), keeping a grouped relation grouped.
+    pub fn insert_row_at(&mut self, i: usize, row: &[u32], count: Count) {
+        debug_assert_eq!(row.len(), self.schema.arity());
+        let a = self.schema.arity();
+        self.codes.splice(i * a..i * a, row.iter().copied());
+        self.counts.insert(i, count);
+    }
+
+    /// Remove the row at index `i`.
+    pub fn remove_row_at(&mut self, i: usize) {
+        let a = self.schema.arity();
+        self.codes.drain(i * a..(i + 1) * a);
+        self.counts.remove(i);
+    }
+
+    /// Raise the count of row `i` by `by` (saturating).
+    pub fn increment_count(&mut self, i: usize, by: Count) {
+        self.counts[i] = sat_add(self.counts[i], by);
+    }
+
+    /// Lower the count of row `i` by `by` (saturating at 0), returning
+    /// the remaining count — the caller removes the row when it hits 0.
+    pub fn decrement_count(&mut self, i: usize, by: Count) -> Count {
+        self.counts[i] = self.counts[i].saturating_sub(by);
+        self.counts[i]
+    }
+
+    /// Rewrite every code through `remap` (a re-sort epoch's old→new
+    /// table). Returns whether any **pre-remap** code sat in the old
+    /// overflow region (`>= old_base_len`) — those rows may now be out
+    /// of order and the caller must re-sort; base-only relations stay
+    /// sorted because the remap is monotone on base codes.
+    pub fn remap_codes(&mut self, remap: &[u32], old_base_len: u32) -> bool {
+        let mut had_overflow = false;
+        for c in &mut self.codes {
+            had_overflow |= *c >= old_base_len;
+            *c = remap[*c as usize];
+        }
+        had_overflow
+    }
+
     /// Decode back to a `Value`-based [`CountedRelation`] — the
     /// report/API boundary.
     ///
@@ -585,6 +745,91 @@ mod tests {
         e.push_concat(&[7, 8], &[9], 2);
         assert_eq!(e.row(0), &[7, 8, 9]);
         assert_eq!(e.count(0), 2);
+    }
+
+    #[test]
+    fn overflow_codes_are_stable_until_resort() {
+        let mut d = Dict::from_values(vec![Value::Int(10), Value::Int(30)]);
+        assert!(d.is_order_isomorphic());
+        // Existing values resolve without growing the dictionary.
+        assert_eq!(d.encode_or_insert(&Value::Int(10)), 0);
+        assert_eq!(d.overflow_len(), 0);
+        // A new value lands in the overflow region: code after the base,
+        // out of value order.
+        let c20 = d.encode_or_insert(&Value::Int(20));
+        assert_eq!(c20, 2);
+        assert!(!d.is_order_isomorphic());
+        assert_eq!(d.decode(c20), Value::Int(20));
+        assert_eq!(d.encode(&Value::Int(20)), Some(c20));
+        // Idempotent.
+        assert_eq!(d.encode_or_insert(&Value::Int(20)), c20);
+        let cs = d.encode_or_insert(&Value::str("a"));
+        assert_eq!(cs, 3);
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn resorted_restores_order_isomorphism_with_monotone_base_remap() {
+        let mut d = Dict::from_values(vec![Value::Int(10), Value::Int(30), Value::str("b")]);
+        d.encode_or_insert(&Value::Int(20));
+        d.encode_or_insert(&Value::str("a"));
+        let (sorted, remap) = d.resorted();
+        assert!(sorted.is_order_isomorphic());
+        assert_eq!(sorted.len(), d.len());
+        // Every old code decodes to the same value through the remap.
+        for old in 0..d.len() as u32 {
+            assert_eq!(sorted.decode(remap[old as usize]), d.decode(old));
+        }
+        // The remap is strictly increasing on old base codes.
+        let base: Vec<u32> = (0..d.base_len()).map(|c| remap[c]).collect();
+        assert!(base.windows(2).all(|w| w[0] < w[1]));
+        // And the new codes are in value order.
+        assert_eq!(sorted.code(&Value::Int(10)), 0);
+        assert_eq!(sorted.code(&Value::Int(20)), 1);
+        assert_eq!(sorted.code(&Value::Int(30)), 2);
+        assert_eq!(sorted.code(&Value::str("a")), 3);
+        assert_eq!(sorted.code(&Value::str("b")), 4);
+    }
+
+    #[test]
+    fn find_insert_remove_keep_grouped_invariant() {
+        let mut e = EncodedRelation::new(schema(&[0, 1]));
+        e.push(&[1, 5], 2);
+        e.push(&[3, 0], 1);
+        assert_eq!(e.find_row(&[1, 5]), Ok(0));
+        assert_eq!(e.find_row(&[3, 0]), Ok(1));
+        assert_eq!(e.find_row(&[2, 9]), Err(1));
+        let at = e.find_row(&[2, 9]).unwrap_err();
+        e.insert_row_at(at, &[2, 9], 4);
+        assert_eq!(e.row(1), &[2, 9]);
+        assert_eq!(e.count(1), 4);
+        e.increment_count(1, 2);
+        assert_eq!(e.count(1), 6);
+        assert_eq!(e.decrement_count(1, 6), 0);
+        e.remove_row_at(1);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.find_row(&[2, 9]), Err(1));
+        assert_eq!(e.row(1), &[3, 0]);
+    }
+
+    #[test]
+    fn remap_codes_reports_overflow_rows() {
+        // Old layout: base = {0, 1}, overflow = {2}. Remap inserts the
+        // overflow value between the base values.
+        let remap = vec![0u32, 2, 1];
+        let mut clean = EncodedRelation::new(schema(&[0]));
+        clean.push(&[0], 1);
+        clean.push(&[1], 1);
+        assert!(!clean.remap_codes(&remap, 2));
+        let rows: Vec<u32> = clean.iter().map(|(r, _)| r[0]).collect();
+        assert_eq!(rows, vec![0, 2], "base-only rows stay sorted");
+        let mut dirty = EncodedRelation::new(schema(&[0]));
+        dirty.push(&[1], 1);
+        dirty.push(&[2], 1);
+        assert!(dirty.remap_codes(&remap, 2));
+        dirty.sort();
+        let rows: Vec<u32> = dirty.iter().map(|(r, _)| r[0]).collect();
+        assert_eq!(rows, vec![1, 2]);
     }
 
     #[test]

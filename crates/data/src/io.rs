@@ -14,8 +14,9 @@ use std::io::{BufRead, BufWriter, Write};
 use std::path::Path;
 
 /// Parse a field: integers become [`Value::Int`], everything else
-/// [`Value::Str`] (whitespace-trimmed).
-fn parse_field(field: &str) -> Value {
+/// [`Value::Str`] (whitespace-trimmed). Also used by `tsens-cli` to
+/// parse the rows of `update` op files.
+pub fn parse_field(field: &str) -> Value {
     let trimmed = field.trim();
     match trimmed.parse::<i64>() {
         Ok(i) => Value::Int(i),

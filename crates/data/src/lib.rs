@@ -32,6 +32,7 @@ pub mod io;
 pub mod relation;
 pub mod schema;
 pub mod session;
+pub mod update;
 pub mod value;
 
 pub use attr::{AttrId, AttrRegistry};
@@ -44,6 +45,7 @@ pub use fast::{FastMap, FastSet};
 pub use relation::{Relation, Row};
 pub use schema::Schema;
 pub use session::EncodedDatabase;
+pub use update::Update;
 pub use value::Value;
 
 /// Multiplicity / sensitivity count.

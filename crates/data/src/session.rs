@@ -1,10 +1,10 @@
 //! Database-resident encoding: the session layer's data substrate.
 //!
 //! The paper's setting is a trusted curator answering a *stream* of
-//! counting queries over one fixed database. Before this layer existed,
-//! every query run rebuilt a per-query [`Dict`] by rescanning and
-//! re-sorting the referenced relations and re-encoded every atom from
-//! scratch. [`EncodedDatabase`] does that work **once per database**:
+//! counting queries over one database. Before this layer existed, every
+//! query run rebuilt a per-query [`Dict`] by rescanning and re-sorting
+//! the referenced relations and re-encoded every atom from scratch.
+//! [`EncodedDatabase`] does that work **once per database**:
 //!
 //! * one order-isomorphic [`Dict`] over the union of all attribute
 //!   domains (every value of every relation), so any later query — over
@@ -14,28 +14,66 @@
 //!   construction** and grouped on the full schema — exactly the lifted
 //!   form the ⊥/⊤ passes consume for atoms without selection predicates.
 //!
-//! `tsens_engine`'s `EngineSession` wraps this with per-query caches;
-//! this type is deliberately engine-agnostic so other front-ends (a
-//! server, a replication target) can share the resident encoding.
+//! # Mutability
+//!
+//! The encoding is **maintained under updates** rather than rebuilt:
+//! [`EncodedDatabase::apply`] pushes single-tuple inserts/deletes and
+//! bulk loads into the resident relations in place. Values the sorted
+//! dictionary has never seen land in its overflow region
+//! ([`Dict::encode_or_insert`]); **re-sort epochs**
+//! ([`EncodedDatabase::normalize`], triggered automatically when the
+//! overflow passes a threshold and by the engine session before queries
+//! run) merge them back so encoded comparisons stay value-ordered.
+//! Every relation carries a **version counter** and the dictionary an
+//! **epoch counter**, which `tsens_engine::EngineSession` subscribes to
+//! for selective cache invalidation.
+//!
+//! # Partial residency
+//!
+//! [`EncodedDatabase::for_relations`] encodes only a subset of the
+//! catalog — what one-shot wrappers use so `tsens(db, cq, tree)` pays
+//! for the relations `cq` references instead of the whole database.
+//! Partial encodings are read-only snapshots: [`EncodedDatabase::apply`]
+//! refuses them.
 
 use crate::database::Database;
 use crate::encoded::{Dict, EncodedRelation};
+use crate::relation::Row;
+use crate::update::Update;
+use crate::value::Value;
 use std::sync::Arc;
 
+/// Once the dictionary overflow grows past this many values, `apply`
+/// runs a re-sort epoch on its own — bounding how stale code order can
+/// get inside long update batches while still amortizing the epoch over
+/// many single-tuple deltas.
+const OVERFLOW_RESORT_THRESHOLD: usize = 4096;
+
 /// A database plus its resident dictionary encoding, built once and
-/// amortized over every subsequent query.
+/// maintained in place under [`Update`]s.
 ///
-/// The encoding is a **snapshot**: it is valid for the database contents
-/// at construction time. Callers that mutate the database must rebuild
-/// (the engine's session layer enforces this by holding the database
-/// borrow for its own lifetime).
+/// The `Arc`s double as copy-on-write snapshots: callers (the engine
+/// session's pass cache, multiplicity-table factors) clone the handles,
+/// and [`EncodedDatabase::apply`] uses `Arc::make_mut`, so updates
+/// mutate in place when nothing pins the old state and transparently
+/// fork when something does — a cached pass state keeps decoding through
+/// the dictionary it was built with.
 #[derive(Clone, Debug)]
 pub struct EncodedDatabase {
     dict: Arc<Dict>,
     /// Per-relation encoded rows, grouped on the full schema (distinct
-    /// rows with counts, sorted in value order) — the trivial-predicate
+    /// rows with counts, sorted in code order) — the trivial-predicate
     /// lift of each relation, shared by every query that touches it.
     lifted: Vec<Arc<EncodedRelation>>,
+    /// Which relations are resident (encoded). Always all-true for
+    /// [`EncodedDatabase::new`]; partial for
+    /// [`EncodedDatabase::for_relations`].
+    resident: Vec<bool>,
+    /// Per-relation version counters, bumped by every update touching
+    /// the relation.
+    versions: Vec<u64>,
+    /// Dictionary epoch, bumped by every re-sort.
+    epoch: u64,
 }
 
 impl EncodedDatabase {
@@ -44,10 +82,34 @@ impl EncodedDatabase {
     /// distinct values — the "preprocessing" a serving deployment pays
     /// once, not per query.
     pub fn new(db: &Database) -> Self {
-        let dict = Arc::new(Dict::from_database(db));
+        Self::build(db, vec![true; db.relation_count()])
+    }
+
+    /// Encode only the listed relations (by catalog index); the rest get
+    /// empty non-resident placeholders. This is the one-shot wrappers'
+    /// path: a single query pays for its own atoms, not the catalog.
+    /// Partial encodings are read-only ([`EncodedDatabase::apply`]
+    /// panics on them).
+    pub fn for_relations(db: &Database, relations: impl IntoIterator<Item = usize>) -> Self {
+        let mut resident = vec![false; db.relation_count()];
+        for r in relations {
+            resident[r] = true;
+        }
+        Self::build(db, resident)
+    }
+
+    fn build(db: &Database, resident: Vec<bool>) -> Self {
+        let dict = Arc::new(Dict::from_relations(
+            db.iter()
+                .filter(|&(i, _, _)| resident[i])
+                .map(|(_, _, r)| r),
+        ));
         let lifted = db
             .iter()
-            .map(|(_, _, rel)| {
+            .map(|(i, _, rel)| {
+                if !resident[i] {
+                    return Arc::new(EncodedRelation::new(rel.schema().clone()));
+                }
                 let mut raw = EncodedRelation::with_capacity(rel.schema().clone(), rel.len());
                 for row in rel.rows() {
                     raw.push_mapped(row.iter().map(|v| dict.code(v)), 1);
@@ -55,7 +117,14 @@ impl EncodedDatabase {
                 Arc::new(raw.group(rel.schema()))
             })
             .collect();
-        EncodedDatabase { dict, lifted }
+        let versions = vec![0; resident.len()];
+        EncodedDatabase {
+            dict,
+            lifted,
+            resident,
+            versions,
+            epoch: 0,
+        }
     }
 
     /// The database-wide order-isomorphic dictionary.
@@ -67,8 +136,15 @@ impl EncodedDatabase {
     /// The lifted (grouped, counted) encoding of relation `idx`, in
     /// catalog order — the ready-to-join form of an atom with no
     /// selection predicate.
+    ///
+    /// # Panics
+    /// Panics if the relation is not resident in a partial encoding.
     #[inline]
     pub fn lifted(&self, idx: usize) -> &Arc<EncodedRelation> {
+        assert!(
+            self.resident[idx],
+            "relation {idx} is not resident in this partial encoding"
+        );
         &self.lifted[idx]
     }
 
@@ -76,6 +152,192 @@ impl EncodedDatabase {
     #[inline]
     pub fn relation_count(&self) -> usize {
         self.lifted.len()
+    }
+
+    /// Whether relation `idx` is resident (encoded).
+    #[inline]
+    pub fn is_resident(&self, idx: usize) -> bool {
+        self.resident[idx]
+    }
+
+    /// True when every relation is resident (the encoding is mutable).
+    pub fn fully_resident(&self) -> bool {
+        self.resident.iter().all(|&r| r)
+    }
+
+    /// The version counter of relation `idx` — bumped by every update
+    /// touching it. Cache entries fingerprinted on a relation are valid
+    /// exactly while its version is unchanged.
+    #[inline]
+    pub fn version(&self, idx: usize) -> u64 {
+        self.versions[idx]
+    }
+
+    /// The dictionary epoch — bumped by every re-sort
+    /// ([`EncodedDatabase::normalize`]). Encoded state from different
+    /// epochs uses different code labels and must not be mixed.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True when the dictionary has pending overflow values, i.e. code
+    /// order is not currently value order.
+    #[inline]
+    pub fn needs_normalize(&self) -> bool {
+        !self.dict.is_order_isomorphic()
+    }
+
+    /// Whether relation `rel` currently contains at least one copy of
+    /// `row`.
+    ///
+    /// # Panics
+    /// Panics on a non-resident relation or a row arity mismatch.
+    pub fn contains(&self, rel: usize, row: &[Value]) -> bool {
+        assert!(self.resident[rel], "relation {rel} is not resident");
+        assert_eq!(
+            row.len(),
+            self.lifted[rel].arity(),
+            "row arity must match the relation schema"
+        );
+        let codes: Option<Vec<u32>> = row.iter().map(|v| self.dict.encode(v)).collect();
+        codes.is_some_and(|codes| self.lifted[rel].find_row(&codes).is_ok())
+    }
+
+    /// Apply one delta to the resident encoding in place, bumping the
+    /// touched relation's version. Returns `false` only for a
+    /// [`Update::Delete`] of a row the relation does not contain (a
+    /// no-op: nothing is bumped).
+    ///
+    /// New values grow the dictionary's overflow region; when it passes
+    /// a threshold a re-sort epoch runs automatically. Callers that need
+    /// order-isomorphic codes *now* (anything about to serve a query)
+    /// should follow up with [`EncodedDatabase::normalize`].
+    ///
+    /// # Panics
+    /// Panics on a partial encoding, an out-of-range relation, or a row
+    /// arity mismatch.
+    pub fn apply(&mut self, update: &Update) -> bool {
+        assert!(
+            self.fully_resident(),
+            "partial (one-shot) encodings are read-only"
+        );
+        let rel = update.relation();
+        let applied = match update {
+            Update::Insert { row, .. } => {
+                // Resolve codes immutably first: in the common case every
+                // value is already in the dictionary, and forking a
+                // pinned `Arc<Dict>` (`make_mut` deep-clones it whenever
+                // a cached pass state holds a reference) would turn a
+                // µs-scale insert into an O(dictionary) copy.
+                let known: Option<Vec<u32>> = row.iter().map(|v| self.dict.encode(v)).collect();
+                let codes = match known {
+                    Some(codes) => codes,
+                    None => {
+                        let dict = Arc::make_mut(&mut self.dict);
+                        row.iter().map(|v| dict.encode_or_insert(v)).collect()
+                    }
+                };
+                let r = Arc::make_mut(&mut self.lifted[rel]);
+                assert_eq!(codes.len(), r.arity(), "insert row arity mismatch");
+                match r.find_row(&codes) {
+                    Ok(i) => r.increment_count(i, 1),
+                    Err(i) => r.insert_row_at(i, &codes, 1),
+                }
+                true
+            }
+            Update::Delete { row, .. } => {
+                assert_eq!(
+                    row.len(),
+                    self.lifted[rel].arity(),
+                    "delete row arity mismatch"
+                );
+                let codes: Option<Vec<u32>> = row.iter().map(|v| self.dict.encode(v)).collect();
+                let found = codes
+                    .and_then(|codes| self.lifted[rel].find_row(&codes).ok().map(|i| (codes, i)));
+                match found {
+                    None => false,
+                    Some((_, i)) => {
+                        let r = Arc::make_mut(&mut self.lifted[rel]);
+                        if r.decrement_count(i, 1) == 0 {
+                            r.remove_row_at(i);
+                        }
+                        true
+                    }
+                }
+            }
+            Update::BulkLoad { rows, .. } => {
+                if rows.is_empty() {
+                    return true;
+                }
+                // Unlike single inserts, a bulk load forks a pinned dict
+                // up front: the possible clone is amortized across the
+                // whole batch, and probing every value immutably first
+                // would double the encode work whenever values are new.
+                let dict = Arc::make_mut(&mut self.dict);
+                let r = Arc::make_mut(&mut self.lifted[rel]);
+                let schema = r.schema().clone();
+                r.reserve(rows.len());
+                for row in rows {
+                    assert_eq!(row.len(), schema.arity(), "bulk row arity mismatch");
+                    r.push_mapped(row.iter().map(|v| dict.encode_or_insert(v)), 1);
+                }
+                // Appending broke the grouped invariant; re-group once
+                // for the whole batch.
+                *r = r.group(&schema);
+                true
+            }
+        };
+        if applied {
+            self.versions[rel] += 1;
+            if self.dict.overflow_len() >= OVERFLOW_RESORT_THRESHOLD {
+                self.normalize();
+            }
+        }
+        applied
+    }
+
+    /// Run a re-sort epoch if the dictionary has pending overflow:
+    /// rebuild the sorted dictionary, remap every resident relation's
+    /// codes (a monotone relabeling — only relations that actually held
+    /// overflow codes are re-sorted), and bump the epoch counter.
+    /// Returns whether an epoch ran.
+    pub fn normalize(&mut self) -> bool {
+        if self.dict.is_order_isomorphic() {
+            return false;
+        }
+        let old_base = self.dict.base_len() as u32;
+        let (sorted, remap) = self.dict.resorted();
+        for rel in &mut self.lifted {
+            let r = Arc::make_mut(rel);
+            if r.remap_codes(&remap, old_base) {
+                r.sort();
+            }
+        }
+        self.dict = Arc::new(sorted);
+        self.epoch += 1;
+        true
+    }
+
+    /// [`EncodedDatabase::apply`] for a whole batch, with one
+    /// [`EncodedDatabase::normalize`] at the end instead of per delta.
+    /// Returns how many deltas applied (deletes of absent rows don't).
+    pub fn apply_all<'u>(&mut self, updates: impl IntoIterator<Item = &'u Update>) -> usize {
+        let applied = updates.into_iter().filter(|u| self.apply(u)).count();
+        self.normalize();
+        applied
+    }
+
+    /// Insert one copy of `row` into relation `rel`.
+    pub fn insert(&mut self, rel: usize, row: Row) {
+        self.apply(&Update::Insert { relation: rel, row });
+        self.normalize();
+    }
+
+    /// Remove one copy of `row` from relation `rel`, returning whether a
+    /// copy existed.
+    pub fn delete(&mut self, rel: usize, row: Row) -> bool {
+        self.apply(&Update::Delete { relation: rel, row })
     }
 }
 
@@ -111,6 +373,24 @@ mod tests {
         )
         .unwrap();
         db
+    }
+
+    /// The maintained lift must stay equal to a from-scratch lift of the
+    /// mutated `Value` database.
+    fn assert_matches_rebuild(enc: &EncodedDatabase, db: &Database) {
+        let fresh = EncodedDatabase::new(db);
+        for (i, _, rel) in db.iter() {
+            assert_eq!(
+                enc.lifted(i).decode(enc.dict()),
+                CountedRelation::from_relation(rel),
+                "relation {i} lift mismatch"
+            );
+            assert_eq!(
+                enc.lifted(i).decode(enc.dict()),
+                fresh.lifted(i).decode(fresh.dict()),
+                "relation {i} differs from rebuild"
+            );
+        }
     }
 
     #[test]
@@ -150,5 +430,156 @@ mod tests {
         // R has 3 rows, 2 distinct; counts must sum back to 3.
         assert_eq!(enc.lifted(0).len(), 2);
         assert_eq!(enc.lifted(0).total_count(), 3);
+    }
+
+    #[test]
+    fn insert_of_known_values_needs_no_epoch() {
+        let mut db = sample_db();
+        let mut enc = EncodedDatabase::new(&db);
+        let row = vec![Value::Int(2), Value::str("x")]; // both values known
+        enc.insert(0, row.clone());
+        db.insert_row(0, row);
+        assert_eq!(enc.epoch(), 0, "no new values → no re-sort epoch");
+        assert_eq!(enc.version(0), 1);
+        assert_eq!(enc.version(1), 0);
+        assert_matches_rebuild(&enc, &db);
+    }
+
+    #[test]
+    fn insert_of_duplicate_row_bumps_count() {
+        let mut db = sample_db();
+        let mut enc = EncodedDatabase::new(&db);
+        let row = vec![Value::Int(1), Value::str("x")];
+        enc.insert(0, row.clone());
+        db.insert_row(0, row);
+        assert_eq!(enc.lifted(0).len(), 2, "still two distinct rows");
+        assert_eq!(enc.lifted(0).total_count(), 4);
+        assert_matches_rebuild(&enc, &db);
+    }
+
+    #[test]
+    fn insert_of_new_value_resorts_on_normalize() {
+        let mut db = sample_db();
+        let mut enc = EncodedDatabase::new(&db);
+        // Int(0) sorts before every existing value: the epoch must shift
+        // every code and keep all relations value-ordered.
+        let row = vec![Value::Int(0), Value::str("w")];
+        enc.insert(0, row.clone());
+        db.insert_row(0, row);
+        assert_eq!(enc.epoch(), 1, "insert() normalizes eagerly");
+        assert!(enc.dict().is_order_isomorphic());
+        assert_matches_rebuild(&enc, &db);
+    }
+
+    #[test]
+    fn delete_decrements_then_removes() {
+        let mut db = sample_db();
+        let mut enc = EncodedDatabase::new(&db);
+        let dup = vec![Value::Int(1), Value::str("x")];
+        assert!(enc.delete(0, dup.clone()));
+        db.remove_row(0, &dup);
+        assert_eq!(enc.lifted(0).len(), 2, "count 2 → 1, row stays");
+        assert_matches_rebuild(&enc, &db);
+        assert!(enc.delete(0, dup.clone()));
+        db.remove_row(0, &dup);
+        assert_eq!(enc.lifted(0).len(), 1, "count 1 → 0, row removed");
+        assert_matches_rebuild(&enc, &db);
+        // Deleting an absent row is a detected no-op.
+        assert!(!enc.delete(0, dup.clone()));
+        assert!(!enc.delete(0, vec![Value::Int(99), Value::str("q")]));
+        assert_eq!(enc.version(0), 2, "no-op deletes don't bump versions");
+    }
+
+    #[test]
+    fn bulk_load_appends_and_regroups() {
+        let mut db = sample_db();
+        let mut enc = EncodedDatabase::new(&db);
+        let rows = vec![
+            vec![Value::Int(1), Value::str("x")], // duplicate of existing
+            vec![Value::Int(7), Value::str("x")], // new int value
+            vec![Value::Int(7), Value::str("x")], // duplicate within batch
+        ];
+        enc.apply_all(&[Update::bulk_load(0, rows.clone())]);
+        for r in rows {
+            db.insert_row(0, r);
+        }
+        assert!(enc.dict().is_order_isomorphic());
+        assert_matches_rebuild(&enc, &db);
+        assert_eq!(enc.lifted(0).total_count(), 6);
+    }
+
+    #[test]
+    fn interleaved_updates_match_rebuild_after_epochs() {
+        let mut db = sample_db();
+        let mut enc = EncodedDatabase::new(&db);
+        let updates = vec![
+            Update::insert(0, vec![Value::Int(-5), Value::str("x")]),
+            Update::insert(1, vec![Value::str("a")]),
+            Update::delete(0, vec![Value::Int(2), Value::str("y")]),
+            Update::insert(0, vec![Value::Int(3), Value::str("m")]),
+            Update::delete(1, vec![Value::str("z")]),
+        ];
+        enc.apply_all(&updates);
+        for u in &updates {
+            match u {
+                Update::Insert { relation, row } => db.insert_row(*relation, row.clone()),
+                Update::Delete { relation, row } => {
+                    db.remove_row(*relation, row);
+                }
+                Update::BulkLoad { relation, rows } => {
+                    for r in rows {
+                        db.insert_row(*relation, r.clone());
+                    }
+                }
+            }
+        }
+        assert!(enc.epoch() >= 1);
+        assert!(enc.version(0) >= 3);
+        assert!(enc.version(1) >= 2);
+        assert_matches_rebuild(&enc, &db);
+    }
+
+    #[test]
+    fn snapshots_pinned_by_arc_survive_updates() {
+        let db = sample_db();
+        let mut enc = EncodedDatabase::new(&db);
+        let old_dict = Arc::clone(enc.dict());
+        let old_lift = Arc::clone(enc.lifted(0));
+        let before = old_lift.decode(&old_dict);
+        // An epoch-forcing update must not disturb the pinned snapshot.
+        enc.insert(0, vec![Value::Int(-1), Value::str("k")]);
+        assert_eq!(old_lift.decode(&old_dict), before);
+        assert_ne!(enc.lifted(0).len(), old_lift.len());
+    }
+
+    #[test]
+    fn partial_encoding_covers_only_requested_relations() {
+        let db = sample_db();
+        let enc = EncodedDatabase::for_relations(&db, [1]);
+        assert!(!enc.is_resident(0));
+        assert!(enc.is_resident(1));
+        assert!(!enc.fully_resident());
+        // Dict holds S's values only.
+        assert_eq!(enc.dict().len(), 2);
+        assert_eq!(
+            enc.lifted(1).decode(enc.dict()),
+            CountedRelation::from_relation(db.relation(1))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not resident")]
+    fn partial_encoding_rejects_unresident_access() {
+        let db = sample_db();
+        let enc = EncodedDatabase::for_relations(&db, [1]);
+        let _ = enc.lifted(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only")]
+    fn partial_encoding_rejects_updates() {
+        let db = sample_db();
+        let mut enc = EncodedDatabase::for_relations(&db, [1]);
+        enc.insert(1, vec![Value::str("x")]);
     }
 }

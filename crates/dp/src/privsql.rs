@@ -132,7 +132,14 @@ pub fn privsql_answer<R: Rng>(
     epsilon: f64,
     rng: &mut R,
 ) -> PrivSqlResult {
-    privsql_answer_session(&EngineSession::new(db), cq, tree, policy, epsilon, rng)
+    privsql_answer_session(
+        &EngineSession::for_query(db, cq),
+        cq,
+        tree,
+        policy,
+        epsilon,
+        rng,
+    )
 }
 
 /// [`privsql_answer`] over a warm session. The untruncated `|Q(D)|` is

@@ -77,7 +77,7 @@ pub fn tsensdp_answer<R: Rng>(
     rng: &mut R,
 ) -> TSensDpResult {
     tsensdp_answer_session(
-        &EngineSession::new(db),
+        &EngineSession::for_query(db, cq),
         cq,
         tree,
         private_atom,

@@ -38,4 +38,5 @@ pub use passes::{
     topjoin_pass_enc_refs,
 };
 pub use session::{EngineSession, QueryKey, QueryPasses, SessionStats};
+pub use tsens_data::Update;
 pub use yannakakis::{count_query, count_query_legacy};

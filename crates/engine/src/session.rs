@@ -22,21 +22,45 @@
 //!   memoize their own per-query outputs without this crate knowing
 //!   their types.
 //!
-//! The session borrows the database for its whole lifetime, so the
-//! borrow checker enforces the snapshot semantics: the database cannot
-//! be mutated while a session (and its caches) is alive. Invalidation is
-//! wholesale — drop the session and build a new one.
+//! # Mutability and selective invalidation
+//!
+//! The session is a **mutable, versioned database**, not a frozen
+//! snapshot: [`EngineSession::apply`] (and the [`EngineSession::insert`]
+//! / [`EngineSession::delete`] / [`EngineSession::bulk_load`] sugar)
+//! pushes single-tuple and bulk deltas through both the `Value` catalog
+//! and the resident encoding in place, then invalidates **selectively**
+//! instead of wholesale:
+//!
+//! * lifted-atom entries keyed `(relation, predicate)` die only when
+//!   that relation changes;
+//! * pass states and cached results die only when a relation in their
+//!   structural fingerprint ([`QueryKey`]) changes;
+//! * `mf(X, R)` statistics die only when `R` changes;
+//! * a dictionary **re-sort epoch** (a genuinely new value entered the
+//!   database) additionally drops the lifted-atom cache, whose encoded
+//!   rows would otherwise mix stale code labels into *new* pass
+//!   computations. Surviving pass entries are safe: each pins the
+//!   `Arc<Dict>` it was built with and is only ever read
+//!   self-contained, and cached results store decoded values.
+//!
+//! Queries whose relations an update never touched keep hitting warm
+//! caches; re-querying a touched relation re-runs just that query's
+//! passes against the maintained encoding — no re-encoding, no
+//! dictionary rebuild (see `SessionStats`' invalidation counters).
 //!
 //! All caches sit behind `Mutex`es, making the session `Sync`: one warm
 //! session can serve many threads (`tsens_parallel` already fans its
-//! table computations out over a shared pass state).
+//! table computations out over a shared pass state). Mutation takes
+//! `&mut self`, so the borrow checker still serializes updates against
+//! in-flight queries.
 
 use crate::passes::{bag_relations_from_arcs, botjoin_pass_enc_refs, topjoin_pass_enc_refs};
 use std::any::Any;
+use std::borrow::Cow;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use tsens_data::{
-    AttrId, Count, Database, Dict, EncodedDatabase, EncodedRelation, FastMap, Schema,
+    AttrId, Count, Database, Dict, EncodedDatabase, EncodedRelation, FastMap, Row, Schema, Update,
 };
 use tsens_query::{Atom, ConjunctiveQuery, DecompositionTree, Predicate};
 
@@ -73,6 +97,12 @@ impl QueryKey {
             bags: Vec::new(),
             parents: Vec::new(),
         }
+    }
+
+    /// Whether relation `rel` is in this fingerprint — i.e. whether an
+    /// update to it invalidates state cached under this key.
+    pub fn touches(&self, rel: usize) -> bool {
+        self.atoms.iter().any(|(r, _, _)| *r == rel)
     }
 }
 
@@ -128,6 +158,19 @@ pub struct SessionStats {
     pub mf_hits: u64,
     /// Max-frequency cache misses.
     pub mf_misses: u64,
+    /// Updates applied through the session (no-op deletes excluded).
+    pub updates_applied: u64,
+    /// Dictionary re-sort epochs (updates that introduced new values).
+    pub dict_epochs: u64,
+    /// Lifted-atom entries dropped by invalidation (per-relation sweeps
+    /// plus epoch-wide clears).
+    pub atoms_invalidated: u64,
+    /// Pass states dropped by per-relation invalidation.
+    pub passes_invalidated: u64,
+    /// Cached results dropped by per-relation invalidation.
+    pub results_invalidated: u64,
+    /// `mf` statistics dropped by per-relation invalidation.
+    pub mf_invalidated: u64,
 }
 
 #[derive(Default)]
@@ -140,15 +183,27 @@ struct StatCounters {
     result_misses: AtomicU64,
     mf_hits: AtomicU64,
     mf_misses: AtomicU64,
+    updates_applied: AtomicU64,
+    dict_epochs: AtomicU64,
+    atoms_invalidated: AtomicU64,
+    passes_invalidated: AtomicU64,
+    results_invalidated: AtomicU64,
+    mf_invalidated: AtomicU64,
 }
 
 type ResultKey = (&'static str, QueryKey, Vec<u128>);
 
-/// A long-lived query-serving session over one database snapshot. See
-/// the module docs for the cache inventory; construction performs the
-/// whole database-resident encoding eagerly.
+/// A long-lived query-serving session over one mutable database. See
+/// the module docs for the cache inventory and invalidation rules;
+/// construction performs the whole database-resident encoding eagerly.
+///
+/// The session starts by borrowing the caller's database; the first
+/// [`EngineSession::apply`] forks it copy-on-write (the caller's
+/// original is never mutated) and from then on the session owns the
+/// authoritative, versioned catalog — read it back through
+/// [`EngineSession::database`].
 pub struct EngineSession<'a> {
-    db: &'a Database,
+    db: Cow<'a, Database>,
     enc: EncodedDatabase,
     /// Predicated lifted atoms: `(relation, predicate) → lift`.
     atoms: Mutex<FastMap<(usize, Predicate), Arc<EncodedRelation>>>,
@@ -165,9 +220,27 @@ impl<'a> EngineSession<'a> {
     /// Open a session: build the database-wide dictionary and encode
     /// every relation (the once-per-database preprocessing cost).
     pub fn new(db: &'a Database) -> Self {
+        Self::with_encoding(db, EncodedDatabase::new(db))
+    }
+
+    /// Open a **partial, read-only** session resident over the relations
+    /// `cq` references — what the one-shot wrappers use so a single
+    /// query never pays for encoding the rest of the catalog. Queries
+    /// over other relations (and updates) panic.
+    pub fn for_query(db: &'a Database, cq: &ConjunctiveQuery) -> Self {
+        Self::for_relations(db, cq.atoms().iter().map(|a| a.relation))
+    }
+
+    /// [`EngineSession::for_query`] generalized to an explicit relation
+    /// set (catalog indices).
+    pub fn for_relations(db: &'a Database, relations: impl IntoIterator<Item = usize>) -> Self {
+        Self::with_encoding(db, EncodedDatabase::for_relations(db, relations))
+    }
+
+    fn with_encoding(db: &'a Database, enc: EncodedDatabase) -> Self {
         EngineSession {
-            db,
-            enc: EncodedDatabase::new(db),
+            db: Cow::Borrowed(db),
+            enc,
             atoms: Mutex::new(FastMap::default()),
             passes: Mutex::new(FastMap::default()),
             results: Mutex::new(FastMap::default()),
@@ -176,10 +249,10 @@ impl<'a> EngineSession<'a> {
         }
     }
 
-    /// The underlying database snapshot.
+    /// The session's current database (reflecting every applied update).
     #[inline]
-    pub fn database(&self) -> &'a Database {
-        self.db
+    pub fn database(&self) -> &Database {
+        &self.db
     }
 
     /// The session-wide order-isomorphic dictionary.
@@ -205,6 +278,12 @@ impl<'a> EngineSession<'a> {
             result_misses: self.stats.result_misses.load(Ordering::Relaxed),
             mf_hits: self.stats.mf_hits.load(Ordering::Relaxed),
             mf_misses: self.stats.mf_misses.load(Ordering::Relaxed),
+            updates_applied: self.stats.updates_applied.load(Ordering::Relaxed),
+            dict_epochs: self.stats.dict_epochs.load(Ordering::Relaxed),
+            atoms_invalidated: self.stats.atoms_invalidated.load(Ordering::Relaxed),
+            passes_invalidated: self.stats.passes_invalidated.load(Ordering::Relaxed),
+            results_invalidated: self.stats.results_invalidated.load(Ordering::Relaxed),
+            mf_invalidated: self.stats.mf_invalidated.load(Ordering::Relaxed),
         }
     }
 
@@ -368,6 +447,176 @@ impl<'a> EngineSession<'a> {
         self.mf.lock().expect("mf cache poisoned").insert(key, mf);
         mf
     }
+
+    // ------------------------------------------------------------------
+    // Mutation: incremental updates with selective cache invalidation.
+    // ------------------------------------------------------------------
+
+    /// Version counter of relation `rel`: bumped by every update
+    /// touching it. Anything fingerprinted on `rel` is valid exactly
+    /// while this number is unchanged.
+    #[inline]
+    pub fn relation_version(&self, rel: usize) -> u64 {
+        self.enc.version(rel)
+    }
+
+    /// Dictionary epoch: bumped whenever an update introduced a value
+    /// the resident dictionary had never seen (forcing a re-sort).
+    #[inline]
+    pub fn dict_epoch(&self) -> u64 {
+        self.enc.epoch()
+    }
+
+    /// Apply one delta: sweep the caches fingerprinted on the touched
+    /// relation, push the delta through the `Value` catalog and the
+    /// resident encoding in place, and re-sort the dictionary if the
+    /// delta introduced new values. Returns `false` only for a delete of
+    /// an absent row (a no-op: nothing is swept or bumped).
+    ///
+    /// # Panics
+    /// Panics on a partial ([`EngineSession::for_query`]) session, an
+    /// out-of-range relation, or a row arity mismatch.
+    pub fn apply(&mut self, update: Update) -> bool {
+        self.apply_inner(update, true)
+    }
+
+    /// [`EngineSession::apply`] for a whole batch, deferring the
+    /// dictionary re-sort to the end (long ingests with many new values
+    /// pay one epoch, not one per delta — plus automatic threshold
+    /// epochs inside very large batches). Returns how many deltas
+    /// applied.
+    pub fn apply_all(&mut self, updates: impl IntoIterator<Item = Update>) -> usize {
+        let mut applied = 0;
+        for u in updates {
+            if self.apply_inner(u, false) {
+                applied += 1;
+            }
+        }
+        let before = self.enc.epoch();
+        self.enc.normalize();
+        if self.enc.epoch() != before {
+            self.on_epoch();
+        }
+        applied
+    }
+
+    /// Insert one copy of `row` into relation `relation`.
+    pub fn insert(&mut self, relation: usize, row: Row) {
+        self.apply(Update::Insert { relation, row });
+    }
+
+    /// Remove one copy of `row` from relation `relation`, returning
+    /// whether a copy existed.
+    pub fn delete(&mut self, relation: usize, row: Row) -> bool {
+        self.apply(Update::Delete { relation, row })
+    }
+
+    /// Append `rows` to relation `relation` in one delta.
+    pub fn bulk_load(&mut self, relation: usize, rows: Vec<Row>) {
+        self.apply(Update::BulkLoad { relation, rows });
+    }
+
+    fn apply_inner(&mut self, update: Update, normalize: bool) -> bool {
+        assert!(
+            self.enc.fully_resident(),
+            "partial (one-shot) sessions are read-only"
+        );
+        // No-op deltas must not sweep anything: an empty bulk load is
+        // vacuously applied, and a delete of an absent row reports
+        // `false`. The delete pre-check repeats the encode+search that
+        // `EncodedDatabase::apply` will redo, but that O(log n) double
+        // lookup is the price of sweeping the caches *before* the
+        // encoded mutation — the sweep drops the `Arc`s pinning the
+        // relation, so `make_mut` mutates in place instead of cloning
+        // the whole relation.
+        match &update {
+            Update::Delete { relation, row } => {
+                if !self.enc.contains(*relation, row) {
+                    return false;
+                }
+            }
+            Update::BulkLoad { rows, .. } => {
+                if rows.is_empty() {
+                    return true;
+                }
+            }
+            Update::Insert { .. } => {}
+        }
+        self.invalidate_relation(update.relation());
+        let epoch_before = self.enc.epoch();
+        let applied = self.enc.apply(&update);
+        debug_assert!(applied, "existence was pre-checked");
+        // Mirror the delta into the Value catalog (copy-on-write: the
+        // caller's original database is forked on the first update).
+        let db = self.db.to_mut();
+        match update {
+            Update::Insert { relation, row } => db.insert_row(relation, row),
+            Update::Delete { relation, row } => {
+                let removed = db.remove_row(relation, &row);
+                debug_assert!(removed, "encoding and catalog agree on membership");
+            }
+            Update::BulkLoad { relation, rows } => {
+                for row in rows {
+                    db.insert_row(relation, row);
+                }
+            }
+        }
+        if normalize {
+            self.enc.normalize();
+        }
+        if self.enc.epoch() != epoch_before {
+            self.on_epoch();
+        }
+        self.stats.updates_applied.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Drop every cache entry whose fingerprint contains `rel`. Entries
+    /// over other relations survive untouched — that is the whole point
+    /// of keying caches structurally.
+    fn invalidate_relation(&mut self, rel: usize) {
+        let atoms = self.atoms.get_mut().expect("atom cache poisoned");
+        let n = atoms.len();
+        atoms.retain(|(r, _), _| *r != rel);
+        self.stats
+            .atoms_invalidated
+            .fetch_add((n - atoms.len()) as u64, Ordering::Relaxed);
+
+        let passes = self.passes.get_mut().expect("pass cache poisoned");
+        let n = passes.len();
+        passes.retain(|key, _| !key.touches(rel));
+        self.stats
+            .passes_invalidated
+            .fetch_add((n - passes.len()) as u64, Ordering::Relaxed);
+
+        let results = self.results.get_mut().expect("result cache poisoned");
+        let n = results.len();
+        results.retain(|(_, key, _), _| !key.touches(rel));
+        self.stats
+            .results_invalidated
+            .fetch_add((n - results.len()) as u64, Ordering::Relaxed);
+
+        let mf = self.mf.get_mut().expect("mf cache poisoned");
+        let n = mf.len();
+        mf.retain(|(r, _), _| *r != rel);
+        self.stats
+            .mf_invalidated
+            .fetch_add((n - mf.len()) as u64, Ordering::Relaxed);
+    }
+
+    /// A re-sort epoch relabeled every code. Cached predicated lifts
+    /// would feed stale labels into *new* pass computations, so they
+    /// all go. Surviving pass states are safe — each pins its own
+    /// `Arc<Dict>` snapshot and is only ever read self-contained — and
+    /// cached results/statistics store decoded values and counts.
+    fn on_epoch(&mut self) {
+        self.stats.dict_epochs.fetch_add(1, Ordering::Relaxed);
+        let atoms = self.atoms.get_mut().expect("atom cache poisoned");
+        self.stats
+            .atoms_invalidated
+            .fetch_add(atoms.len() as u64, Ordering::Relaxed);
+        atoms.clear();
+    }
 }
 
 impl std::fmt::Debug for EngineSession<'_> {
@@ -495,6 +744,174 @@ mod tests {
         // Warm probe hits the cache.
         assert_eq!(session.max_frequency(0, &[b]), 2);
         assert!(session.stats().mf_hits >= 1);
+    }
+
+    #[test]
+    fn update_invalidates_only_touched_relations() {
+        let (db, q, tree) = path_db();
+        // A second query over S alone: its caches must survive R updates.
+        let s_only = ConjunctiveQuery::over(&db, "s", &["S"]).unwrap();
+        let s_tree = gyo_decompose(&s_only).unwrap().expect_acyclic("single");
+        let mut session = EngineSession::new(&db);
+        let rs_before = session.count_query(&q, &tree);
+        let s_count = session.count_query(&s_only, &s_tree);
+        assert_eq!(session.stats().pass_misses, 2);
+
+        // Insert into R (values already in the dictionary: no epoch).
+        session.insert(0, vec![Value::Int(2), Value::Int(10)]);
+        let stats = session.stats();
+        assert_eq!(stats.updates_applied, 1);
+        assert_eq!(stats.dict_epochs, 0);
+        assert_eq!(stats.passes_invalidated, 1, "only the R⋈S pass dies");
+
+        // S's pass state is still warm: pure cache hit.
+        assert_eq!(session.count_query(&s_only, &s_tree), s_count);
+        assert_eq!(session.stats().pass_hits, 1);
+        assert_eq!(session.stats().pass_misses, 2);
+
+        // The R⋈S query recomputes against the maintained encoding:
+        // (2,10) joins S's two B=10 rows → count grows by 2.
+        assert_eq!(session.count_query(&q, &tree), rs_before + 2);
+        assert_eq!(session.stats().pass_misses, 3);
+        // And it matches a from-scratch run on the mutated catalog.
+        assert_eq!(
+            session.count_query(&q, &tree),
+            count_query_legacy(session.database(), &q, &tree)
+        );
+    }
+
+    #[test]
+    fn empty_bulk_load_sweeps_nothing() {
+        let (db, q, tree) = path_db();
+        let mut session = EngineSession::new(&db);
+        session.count_query(&q, &tree);
+        session.bulk_load(0, Vec::new());
+        let stats = session.stats();
+        assert_eq!(stats.passes_invalidated, 0);
+        assert_eq!(stats.updates_applied, 0);
+        session.count_query(&q, &tree);
+        assert_eq!(session.stats().pass_hits, 1, "caches stayed warm");
+    }
+
+    #[test]
+    fn insert_of_known_values_never_forks_a_pinned_dict() {
+        let (db, q, tree) = path_db();
+        let mut session = EngineSession::new(&db);
+        session.count_query(&q, &tree); // pass state pins the dict
+        let dict_before = Arc::clone(session.dict());
+        session.insert(0, vec![Value::Int(2), Value::Int(10)]);
+        assert!(
+            Arc::ptr_eq(&dict_before, session.dict()),
+            "known-value inserts must not clone the dictionary"
+        );
+    }
+
+    #[test]
+    fn delete_of_absent_row_is_a_noop() {
+        let (db, q, tree) = path_db();
+        let mut session = EngineSession::new(&db);
+        session.count_query(&q, &tree);
+        assert!(!session.delete(0, vec![Value::Int(77), Value::Int(88)]));
+        let stats = session.stats();
+        assert_eq!(stats.updates_applied, 0);
+        assert_eq!(stats.passes_invalidated, 0, "no-op deletes sweep nothing");
+        assert_eq!(session.stats().pass_hits, 0);
+        assert_eq!(
+            session.count_query(&q, &tree),
+            session.count_query(&q, &tree)
+        );
+        assert!(session.stats().pass_hits >= 2, "caches stayed warm");
+    }
+
+    #[test]
+    fn new_value_update_runs_an_epoch_and_keeps_answers_exact() {
+        let (db, q, tree) = path_db();
+        let mut session = EngineSession::new(&db);
+        let before = session.count_query(&q, &tree);
+        // Int(5) is new to the dictionary → re-sort epoch; the row joins
+        // nothing, so the count is unchanged but recomputed.
+        session.insert(0, vec![Value::Int(5), Value::Int(99)]);
+        assert_eq!(session.stats().dict_epochs, 1);
+        assert_eq!(session.dict_epoch(), 1);
+        assert!(session.dict().is_order_isomorphic());
+        assert_eq!(session.count_query(&q, &tree), before);
+        assert_eq!(
+            session.count_query(&q, &tree),
+            count_query_legacy(session.database(), &q, &tree)
+        );
+        // Delete it again: back to the original database.
+        assert!(session.delete(0, vec![Value::Int(5), Value::Int(99)]));
+        assert_eq!(session.count_query(&q, &tree), before);
+    }
+
+    #[test]
+    fn result_cache_for_untouched_query_survives_epochs() {
+        let (db, _, _) = path_db();
+        let s_only = ConjunctiveQuery::over(&db, "s", &["S"]).unwrap();
+        let s_tree = gyo_decompose(&s_only).unwrap().expect_acyclic("single");
+        let mut session = EngineSession::new(&db);
+        let cached = session.cached_query_result("demo", &s_only, Some(&s_tree), &[], || 7u64);
+        // Epoch-forcing update to R: S's cached result must survive.
+        session.insert(0, vec![Value::Int(-1), Value::Int(-2)]);
+        assert_eq!(session.stats().dict_epochs, 1);
+        let again = session.cached_query_result("demo", &s_only, Some(&s_tree), &[], || 8u64);
+        assert_eq!((*cached, *again), (7, 7));
+        assert_eq!(session.stats().result_hits, 1);
+        // But R's own entries would have been swept per relation.
+        assert_eq!(session.stats().results_invalidated, 0);
+    }
+
+    #[test]
+    fn versions_track_touched_relations() {
+        let (db, _, _) = path_db();
+        let mut session = EngineSession::new(&db);
+        assert_eq!(session.relation_version(0), 0);
+        session.insert(0, vec![Value::Int(1), Value::Int(10)]);
+        session.insert(0, vec![Value::Int(1), Value::Int(10)]);
+        session.bulk_load(1, vec![vec![Value::Int(10), Value::Int(20)]]);
+        assert_eq!(session.relation_version(0), 2);
+        assert_eq!(session.relation_version(1), 1);
+    }
+
+    #[test]
+    fn partial_session_serves_its_query_and_rejects_updates() {
+        let (db, q, tree) = path_db();
+        let session = EngineSession::for_query(&db, &q);
+        assert_eq!(
+            session.count_query(&q, &tree),
+            count_query_legacy(&db, &q, &tree)
+        );
+        // A genuinely partial session (S only) is read-only.
+        let s_only = ConjunctiveQuery::over(&db, "s", &["S"]).unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut s = EngineSession::for_query(&db, &s_only);
+            s.insert(1, vec![Value::Int(10), Value::Int(20)]);
+        }));
+        assert!(err.is_err(), "partial sessions must reject updates");
+        // And its encoding really is partial: R is not resident.
+        assert!(!EngineSession::for_query(&db, &s_only)
+            .encoded()
+            .is_resident(0));
+    }
+
+    #[test]
+    fn batched_updates_share_one_epoch() {
+        let (db, q, tree) = path_db();
+        let mut session = EngineSession::new(&db);
+        let before = session.count_query(&q, &tree);
+        let applied = session.apply_all(vec![
+            Update::insert(0, vec![Value::Int(100), Value::Int(10)]),
+            Update::insert(0, vec![Value::Int(101), Value::Int(10)]),
+            Update::insert(1, vec![Value::Int(10), Value::Int(200)]),
+            Update::delete(1, vec![Value::Int(999), Value::Int(999)]), // absent
+        ]);
+        assert_eq!(applied, 3);
+        assert_eq!(session.stats().dict_epochs, 1, "one deferred epoch");
+        assert_eq!(
+            session.count_query(&q, &tree),
+            count_query_legacy(session.database(), &q, &tree)
+        );
+        let _ = before;
     }
 
     #[test]

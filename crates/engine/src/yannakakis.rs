@@ -14,16 +14,16 @@ use tsens_query::{ConjunctiveQuery, DecompositionTree};
 /// Bag-semantics output size `|Q(D)|` via the bottom-up count pass over
 /// `tree`. Works for join trees (acyclic queries) and GHDs alike.
 ///
-/// One-shot wrapper: equivalent to
-/// [`EngineSession::new(db).count_query(cq, tree)`](crate::session::EngineSession::count_query),
-/// paying the session's database-resident encoding for a single query.
-/// Callers answering more than one query over the same database should
-/// hold an [`crate::session::EngineSession`] instead — the encoding, the
-/// lifted atoms, and the ⊥ pass are then amortized across queries. The
-/// legacy `Value`-row pass is kept as [`count_query_legacy`] for
-/// cross-checks.
+/// One-shot wrapper over a throwaway partial session
+/// ([`EngineSession::for_query`](crate::session::EngineSession::for_query)):
+/// only the relations `cq` references are encoded, so a single query
+/// never pays for the rest of the catalog. Callers answering more than
+/// one query over the same database should hold a full
+/// [`crate::session::EngineSession`] instead — the encoding, the lifted
+/// atoms, and the ⊥ pass are then amortized across queries. The legacy
+/// `Value`-row pass is kept as [`count_query_legacy`] for cross-checks.
 pub fn count_query(db: &Database, cq: &ConjunctiveQuery, tree: &DecompositionTree) -> Count {
-    crate::session::EngineSession::new(db).count_query(cq, tree)
+    crate::session::EngineSession::for_query(db, cq).count_query(cq, tree)
 }
 
 /// [`count_query`] over the legacy `Value`-row operators — ground truth

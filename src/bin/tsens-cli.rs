@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! tsens-cli <table.csv>... --join R1,R2,... [options]
+//! tsens-cli update <table.csv>... --ops <ops.csv> [--join R1,R2,...]
 //!
 //! Loads each CSV (header row = attribute names; shared names join), then
 //! analyses the natural-join counting query over the listed relations
@@ -15,6 +16,14 @@
 //!   --ell N            tuple-sensitivity upper bound ℓ (default: 1.5 ×
 //!                      the max existing tuple sensitivity)
 //!   --seed N           RNG seed for the DP run (default: 0)
+//!
+//! The `update` subcommand answers the query, streams deltas from an ops
+//! file through the warm session (incremental encoding maintenance +
+//! selective cache invalidation), re-answers, and reports the measured
+//! update-vs-rebuild cost. Ops file format, one delta per line:
+//!
+//!   +,RelationName,v1,v2,...    insert one row
+//!   -,RelationName,v1,v2,...    delete one row copy
 //! ```
 //!
 //! Example:
@@ -22,15 +31,17 @@
 //! ```text
 //! tsens-cli customers.csv orders.csv lineitems.csv \
 //!     --join customers,orders,lineitems --private customers --epsilon 1
+//! tsens-cli update customers.csv orders.csv --ops deltas.csv
 //! ```
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 use tsens::core::elastic::plan_order_from_tree;
 use tsens::core::SessionExt;
-use tsens::data::io::load_csv;
+use tsens::data::io::{load_csv, parse_field};
 use tsens::dp::truncation::TruncationProfile;
 use tsens::dp::tsensdp::tsensdp_answer_from_profile;
 use tsens::engine::EngineSession;
@@ -44,6 +55,8 @@ struct Args {
     epsilon: f64,
     ell: Option<u128>,
     seed: u64,
+    /// `update` subcommand: path of the ops file to stream.
+    ops: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -54,8 +67,13 @@ fn parse_args() -> Result<Args, String> {
         epsilon: 1.0,
         ell: None,
         seed: 0,
+        ops: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    let update_mode = it.peek().is_some_and(|a| a == "update");
+    if update_mode {
+        it.next();
+    }
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
         match arg.as_str() {
@@ -73,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--ell" => args.ell = Some(value("--ell")?.parse().map_err(|_| "bad --ell")?),
             "--seed" => args.seed = value("--seed")?.parse().map_err(|_| "bad --seed")?,
+            "--ops" => args.ops = Some(PathBuf::from(value("--ops")?)),
             "--help" | "-h" => return Err("help".into()),
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             file => args.files.push(PathBuf::from(file)),
@@ -81,7 +100,53 @@ fn parse_args() -> Result<Args, String> {
     if args.files.is_empty() {
         return Err("no CSV files given".into());
     }
+    if update_mode && args.ops.is_none() {
+        return Err("the update subcommand needs --ops <file>".into());
+    }
+    if !update_mode && args.ops.is_some() {
+        return Err("--ops only applies to the update subcommand".into());
+    }
     Ok(args)
+}
+
+/// Parse an ops file (`+,Relation,v1,v2,…` / `-,Relation,v1,v2,…`) into
+/// deltas against `db`'s catalog.
+fn parse_ops(db: &Database, path: &Path) -> Result<Vec<Update>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut ops = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let op = fields.next().map(str::trim);
+        let rel_name = fields.next().map(str::trim).unwrap_or_default();
+        let rel = db
+            .relation_index(rel_name)
+            .ok_or(format!("line {}: unknown relation {rel_name}", lineno + 1))?;
+        let row: Row = fields.map(parse_field).collect();
+        let arity = db.relation(rel).schema().arity();
+        if row.len() != arity {
+            return Err(format!(
+                "line {}: {rel_name} expects {arity} values, got {}",
+                lineno + 1,
+                row.len()
+            ));
+        }
+        match op {
+            Some("+") => ops.push(Update::insert(rel, row)),
+            Some("-") => ops.push(Update::delete(rel, row)),
+            other => {
+                return Err(format!(
+                    "line {}: op must be + or -, got {:?}",
+                    lineno + 1,
+                    other.unwrap_or("")
+                ))
+            }
+        }
+    }
+    Ok(ops)
 }
 
 fn run(args: Args) -> Result<(), String> {
@@ -129,8 +194,9 @@ fn run(args: Args) -> Result<(), String> {
 
     // One session serves every analysis below: the database-resident
     // encoding, the passes, and the max-frequency statistics are shared
-    // instead of being rebuilt per entry point.
-    let session = EngineSession::new(&db);
+    // instead of being rebuilt per entry point. In `update` mode the
+    // same session absorbs the deltas in place.
+    let mut session = EngineSession::new(&db);
 
     // Count + sensitivity.
     let count = session.count_query(&q, &tree);
@@ -165,6 +231,59 @@ fn run(args: Args) -> Result<(), String> {
         elastic.overall,
         elastic.overall as f64 / report.local_sensitivity.max(1) as f64
     );
+
+    // `update` subcommand: stream the deltas through the warm session,
+    // re-answer, and report the measured update-vs-rebuild cost.
+    if let Some(ops_path) = &args.ops {
+        let ops = parse_ops(&db, ops_path)?;
+        let total = ops.len();
+        let t0 = Instant::now();
+        let applied = session.apply_all(ops);
+        let t_apply = t0.elapsed();
+        let t1 = Instant::now();
+        let count_after = session.count_query(&q, &tree);
+        let report_after = session.tsens(&q, &tree);
+        let t_requery = t1.elapsed();
+
+        // Sanity + cost comparison: a from-scratch session on the
+        // mutated catalog must agree, at full re-encoding price.
+        let t2 = Instant::now();
+        let fresh = EngineSession::new(session.database());
+        let fresh_count = fresh.count_query(&q, &tree);
+        let fresh_ls = fresh.tsens(&q, &tree).local_sensitivity;
+        let t_rebuild = t2.elapsed();
+        if (fresh_count, fresh_ls) != (count_after, report_after.local_sensitivity) {
+            return Err("incremental answer diverged from rebuild".into());
+        }
+
+        let stats = session.stats();
+        println!("\n=== update ===");
+        println!("applied {applied}/{total} delta(s) in {t_apply:.2?}");
+        println!(
+            "after update: |Q(D)| = {count_after}, LS(Q, D) = {}",
+            report_after.local_sensitivity
+        );
+        match &report_after.witness {
+            Some(w) => println!(
+                "most sensitive tuple:       {}",
+                w.display(session.database())
+            ),
+            None => println!("no tuple can change the output"),
+        }
+        let warm = t_apply + t_requery;
+        println!(
+            "update + re-query: {warm:.2?}   vs   session rebuild: {t_rebuild:.2?}   ({:.1}× faster)",
+            t_rebuild.as_secs_f64() / warm.as_secs_f64().max(1e-9)
+        );
+        println!(
+            "invalidation: {} pass state(s), {} result(s), {} lifted atom(s), {} mf stat(s); {} dict epoch(s)",
+            stats.passes_invalidated,
+            stats.results_invalidated,
+            stats.atoms_invalidated,
+            stats.mf_invalidated,
+            stats.dict_epochs
+        );
+    }
 
     // Optional DP answer.
     if let Some(private) = &args.private {
@@ -205,7 +324,8 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: tsens-cli <table.csv>... [--join A,B,C] [--private R] \
-                 [--epsilon X] [--ell N] [--seed N]"
+                 [--epsilon X] [--ell N] [--seed N]\n       \
+                 tsens-cli update <table.csv>... --ops <ops.csv> [--join A,B,C]"
             );
             ExitCode::from(2)
         }

@@ -40,12 +40,16 @@ pub use tsens_workloads as workloads;
 /// [`EngineSession`](tsens_engine::EngineSession) per database and call
 /// the [`SessionExt`](tsens_core::SessionExt) methods on it to amortize
 /// the database-resident encoding across a stream of queries; the free
-/// functions remain as one-shot wrappers.
+/// functions remain as one-shot wrappers. Sessions are **mutable**:
+/// interleave [`Update`](tsens_data::Update)s
+/// (`session.insert(…)` / `session.delete(…)` / `session.apply(…)`)
+/// with queries and only the caches touching the updated relations are
+/// invalidated.
 pub mod prelude {
     pub use tsens_core::{
         local_sensitivity, LocalSensitivity, SensitivityReport, SessionExt, TupleRef,
     };
-    pub use tsens_data::{AttrId, Count, Database, Relation, Row, Schema, Value};
+    pub use tsens_data::{AttrId, Count, Database, Relation, Row, Schema, Update, Value};
     pub use tsens_engine::EngineSession;
     pub use tsens_query::{classify, ConjunctiveQuery, DecompositionTree, QueryClass};
 }
