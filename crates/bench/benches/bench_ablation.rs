@@ -21,6 +21,7 @@ use tsens_data::{AttrId, Count, CountedRelation, Dict, Row, Schema, Value};
 use tsens_engine::ops::{hash_join, hash_join_enc, lookup_join, lookup_join_enc};
 use tsens_engine::EngineSession;
 use tsens_query::gyo_decompose;
+use tsens_server::{Server, ServerState};
 use tsens_workloads::facebook::{self, small_params};
 use tsens_workloads::tpch;
 
@@ -149,19 +150,19 @@ fn bench_session(c: &mut Criterion) {
 
     let session = EngineSession::new(&db);
     for (q, t) in &cases {
-        session.tsens(q, t); // prime the caches
+        session.tsens(q, t).unwrap(); // prime the caches
     }
     group.bench_function("warm_batch_tsens", |b| {
         b.iter(|| {
             for (q, t) in &cases {
-                black_box(session.tsens(q, t));
+                black_box(session.tsens(q, t).unwrap());
             }
         })
     });
     group.bench_function("warm_batch_eval", |b| {
         b.iter(|| {
             for (q, t) in &cases {
-                black_box(session.count_query(q, t));
+                black_box(session.count_query(q, t).unwrap());
             }
         })
     });
@@ -183,7 +184,7 @@ fn bench_session(c: &mut Criterion) {
         b.iter(|| {
             let fresh = EngineSession::new(&db);
             for (q, t) in &cases {
-                black_box(fresh.tsens(q, t));
+                black_box(fresh.tsens(q, t).unwrap());
             }
         })
     });
@@ -237,14 +238,14 @@ fn bench_updates(c: &mut Criterion) {
     group.sample_size(if quick() { 15 } else { 20 });
 
     let mut session = EngineSession::new(&db);
-    session.count_query(&hot, &t_hot);
-    session.count_query(&cold, &t_cold);
+    session.count_query(&hot, &t_hot).unwrap();
+    session.count_query(&cold, &t_cold).unwrap();
 
     group.bench_function("single_tuple_update", |b| {
         b.iter(|| {
             let row = vec![Value::Int(3), Value::Int(4)];
-            session.insert(0, row.clone());
-            black_box(session.delete(0, row));
+            session.insert(0, row.clone()).unwrap();
+            black_box(session.delete(0, row).unwrap());
         })
     });
 
@@ -258,12 +259,12 @@ fn bench_updates(c: &mut Criterion) {
                         .map(|i| vec![Value::Int(i % 211), Value::Int((i + 7) % 211)])
                         .collect();
                     for row in &rows {
-                        session.insert(0, row.clone());
+                        session.insert(0, row.clone()).unwrap();
                     }
-                    black_box(session.count_query(&hot, &t_hot));
-                    black_box(session.count_query(&cold, &t_cold));
+                    black_box(session.count_query(&hot, &t_hot).unwrap());
+                    black_box(session.count_query(&cold, &t_cold).unwrap());
                     for row in rows {
-                        session.delete(0, row);
+                        session.delete(0, row).unwrap();
                     }
                 })
             },
@@ -273,11 +274,60 @@ fn bench_updates(c: &mut Criterion) {
     group.bench_function("rebuild_requery", |b| {
         b.iter(|| {
             let fresh = EngineSession::new(&db);
-            black_box(fresh.count_query(&hot, &t_hot));
-            black_box(fresh.count_query(&cold, &t_cold));
+            black_box(fresh.count_query(&hot, &t_hot).unwrap());
+            black_box(fresh.count_query(&cold, &t_cold).unwrap());
         })
     });
     group.finish();
+}
+
+/// The serving-front-end ablation: warm request latency through the
+/// full HTTP path (`tsens-server` on loopback: TCP connect, framing,
+/// wire parse, query build, read-locked session call, JSON response)
+/// versus the same warm session called in-process. The gap is the
+/// *request overhead* a deployment pays for process isolation; the
+/// criterion stand-in reports medians, i.e. warm p50 latency.
+fn bench_serving(c: &mut Criterion) {
+    let db = facebook::facebook_database(small_params(), 348);
+    let (q4, t4) = facebook::q4(&db).unwrap();
+    let join: Vec<&str> = q4
+        .atoms()
+        .iter()
+        .map(|a| db.relation_name(a.relation))
+        .collect();
+    let count_body = format!("op=count\njoin={}", join.join(","));
+    let tsens_body = format!("op=tsens\njoin={}", join.join(","));
+
+    let session = EngineSession::new(&db);
+    session.count_query(&q4, &t4).unwrap();
+    session.tsens(&q4, &t4).unwrap();
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let state = ServerState::new(vec![("bench".to_owned(), db.clone())]);
+    let server = Server::start(listener, state, 2).expect("start server");
+    let addr = server.addr();
+    // Prime the served session's caches too.
+    for body in [&count_body, &tsens_body] {
+        let (status, response) = tsens_server::request(addr, "POST", "/query", body).unwrap();
+        assert_eq!(status, 200, "{response}");
+    }
+
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(if quick() { 15 } else { 30 });
+    group.bench_function("http_count_warm", |b| {
+        b.iter(|| black_box(tsens_server::request(addr, "POST", "/query", &count_body).unwrap()))
+    });
+    group.bench_function("http_tsens_warm", |b| {
+        b.iter(|| black_box(tsens_server::request(addr, "POST", "/query", &tsens_body).unwrap()))
+    });
+    group.bench_function("inprocess_count_warm", |b| {
+        b.iter(|| black_box(session.count_query(&q4, &t4).unwrap()))
+    });
+    group.bench_function("inprocess_tsens_warm", |b| {
+        b.iter(|| black_box(session.tsens(&q4, &t4).unwrap()))
+    });
+    group.finish();
+    server.stop();
 }
 
 criterion_group!(
@@ -287,6 +337,7 @@ criterion_group!(
     bench_topk,
     bench_vs_naive,
     bench_session,
-    bench_updates
+    bench_updates,
+    bench_serving
 );
 criterion_main!(benches);

@@ -48,16 +48,16 @@ fn bench_facebook(c: &mut Criterion) {
     for (name, q, tree) in &cases {
         let plan = plan_order_from_tree(tree);
         // Prime the caches once; the timed iterations are all hits.
-        session.tsens(q, tree);
-        session.elastic_sensitivity(q, &plan, 0);
+        session.tsens(q, tree).unwrap();
+        session.elastic_sensitivity(q, &plan, 0).unwrap();
         group.bench_with_input(BenchmarkId::new("tsens", name), &(), |b, ()| {
-            b.iter(|| session.tsens(q, tree))
+            b.iter(|| session.tsens(q, tree).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("elastic", name), &(), |b, ()| {
-            b.iter(|| session.elastic_sensitivity(q, &plan, 0))
+            b.iter(|| session.elastic_sensitivity(q, &plan, 0).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("evaluation", name), &(), |b, ()| {
-            b.iter(|| session.count_query(q, tree))
+            b.iter(|| session.count_query(q, tree).unwrap())
         });
     }
     group.finish();

@@ -215,9 +215,11 @@ pub fn fig6a(scales: &[f64], q3_max_scale: f64, seed: u64) -> Fig6a {
             if pq.name == "q3" && scale > q3_max_scale {
                 continue;
             }
-            let report = session.tsens_with_skips(&pq.cq, &pq.tree, &pq.skips);
+            let report = session
+                .tsens_with_skips(&pq.cq, &pq.tree, &pq.skips)
+                .unwrap();
             let plan = plan_order_from_tree(&pq.tree);
-            let elastic = session.elastic_sensitivity(&pq.cq, &plan, 0);
+            let elastic = session.elastic_sensitivity(&pq.cq, &plan, 0).unwrap();
             points.push(Fig6aPoint {
                 scale,
                 query: pq.name,
@@ -293,9 +295,11 @@ pub fn fig6b(scale: f64, seed: u64) -> Fig6b {
         .into_iter()
         .nth(2)
         .expect("q3 is third");
-    let report = session.tsens_with_skips(&pq.cq, &pq.tree, &pq.skips);
+    let report = session
+        .tsens_with_skips(&pq.cq, &pq.tree, &pq.skips)
+        .unwrap();
     let plan = plan_order_from_tree(&pq.tree);
-    let elastic = session.elastic_sensitivity(&pq.cq, &plan, 0);
+    let elastic = session.elastic_sensitivity(&pq.cq, &plan, 0).unwrap();
     let elastic_of = |rel: usize| -> Count {
         elastic
             .per_relation
@@ -395,10 +399,15 @@ pub fn fig7(scales: &[f64], q3_max_scale: f64, seed: u64) -> Fig7 {
             if pq.name == "q3" && scale > q3_max_scale {
                 continue;
             }
-            let (_, eval_secs) = time_it(|| session.count_query(&pq.cq, &pq.tree));
-            let (_, tsens_secs) = time_it(|| session.tsens_with_skips(&pq.cq, &pq.tree, &pq.skips));
+            let (_, eval_secs) = time_it(|| session.count_query(&pq.cq, &pq.tree).unwrap());
+            let (_, tsens_secs) = time_it(|| {
+                session
+                    .tsens_with_skips(&pq.cq, &pq.tree, &pq.skips)
+                    .unwrap()
+            });
             let plan = plan_order_from_tree(&pq.tree);
-            let (_, elastic_secs) = time_it(|| session.elastic_sensitivity(&pq.cq, &plan, 0));
+            let (_, elastic_secs) =
+                time_it(|| session.elastic_sensitivity(&pq.cq, &plan, 0).unwrap());
             points.push(Fig7Point {
                 scale,
                 query: pq.name,
@@ -469,11 +478,15 @@ pub fn table1(params: FacebookParams, seed: u64) -> Table1 {
     let session = EngineSession::new(&db);
     let mut rows = Vec::new();
     for pq in facebook_queries(&db) {
-        let (_, eval_secs) = time_it(|| session.count_query(&pq.cq, &pq.tree));
-        let (report, tsens_secs) =
-            time_it(|| session.tsens_with_skips(&pq.cq, &pq.tree, &pq.skips));
+        let (_, eval_secs) = time_it(|| session.count_query(&pq.cq, &pq.tree).unwrap());
+        let (report, tsens_secs) = time_it(|| {
+            session
+                .tsens_with_skips(&pq.cq, &pq.tree, &pq.skips)
+                .unwrap()
+        });
         let plan = plan_order_from_tree(&pq.tree);
-        let (elastic, elastic_secs) = time_it(|| session.elastic_sensitivity(&pq.cq, &plan, 0));
+        let (elastic, elastic_secs) =
+            time_it(|| session.elastic_sensitivity(&pq.cq, &plan, 0).unwrap());
         rows.push(Table1Row {
             query: pq.name,
             tsens: report.local_sensitivity,
@@ -570,8 +583,9 @@ fn run_table2_query(
     // The multiplicity table and truncation profile depend only on the
     // data, so they are computed once (and memoized in the session);
     // each run then only draws noise.
-    let (profile, table_secs) =
-        time_it(|| TruncationProfile::build_session(session, &pq.cq, &pq.tree, pq.private_atom));
+    let (profile, table_secs) = time_it(|| {
+        TruncationProfile::build_session(session, &pq.cq, &pq.tree, pq.private_atom).unwrap()
+    });
     let ell = resolve_ell(pq.ell, &profile);
     let mut ts_err = Vec::new();
     let mut ts_bias = Vec::new();
@@ -596,6 +610,7 @@ fn run_table2_query(
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5AFE ^ (run as u64) << 20);
         let (r, secs) = time_it(|| {
             privsql_answer_session(session, &pq.cq, &pq.tree, &pq.policy, epsilon, &mut rng)
+                .unwrap()
         });
         ps_err.push(r.relative_error());
         ps_bias.push(r.relative_bias());
@@ -716,8 +731,11 @@ pub fn param_l(
         .into_iter()
         .nth(3)
         .expect("q* is fourth");
-    let table = session.multiplicity_table_for(&pq.cq, &pq.tree, pq.private_atom);
-    let profile = TruncationProfile::build_session(&session, &pq.cq, &pq.tree, pq.private_atom);
+    let table = session
+        .multiplicity_table_for(&pq.cq, &pq.tree, pq.private_atom)
+        .unwrap();
+    let profile =
+        TruncationProfile::build_session(&session, &pq.cq, &pq.tree, pq.private_atom).unwrap();
     let true_ls = table
         .max_sensitivity(&pq.cq.atoms()[pq.private_atom].schema)
         .sensitivity;
@@ -829,8 +847,10 @@ pub fn updates(scale: f64, seed: u64) -> Updates {
     let answer = |s: &EngineSession<'_>| {
         (
             s.tsens_with_skips(&q1.cq, &q1.tree, &q1.skips)
+                .unwrap()
                 .local_sensitivity,
             s.tsens_with_skips(&q2.cq, &q2.tree, &q2.skips)
+                .unwrap()
                 .local_sensitivity,
         )
     };
@@ -841,8 +861,8 @@ pub fn updates(scale: f64, seed: u64) -> Updates {
     for _ in 0..20 {
         let row = delta_rows[0].clone();
         let (_, secs) = time_it(|| {
-            session.insert(orders, row.clone());
-            session.delete(orders, row.clone());
+            session.insert(orders, row.clone()).unwrap();
+            session.delete(orders, row.clone()).unwrap();
         });
         singles.push(secs * 1e6 / 2.0);
     }
@@ -860,7 +880,7 @@ pub fn updates(scale: f64, seed: u64) -> Updates {
             let batch = &delta_rows[..delta];
             let (_, apply_secs) = time_it(|| {
                 for row in batch {
-                    session.insert(orders, row.clone());
+                    session.insert(orders, row.clone()).unwrap();
                 }
             });
             let (incr, requery_secs) = time_it(|| answer(&session));
@@ -870,7 +890,7 @@ pub fn updates(scale: f64, seed: u64) -> Updates {
             });
             assert_eq!(incr, full, "incremental answers must match rebuild");
             for row in batch {
-                session.delete(orders, row.clone());
+                session.delete(orders, row.clone()).unwrap();
             }
             applies.push(apply_secs * 1e6);
             requeries.push(requery_secs * 1e6);

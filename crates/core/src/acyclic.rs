@@ -23,7 +23,7 @@
 //! acyclic (doubly acyclic queries, §5.3).
 
 use crate::report::{MultiplicityTable, SensitivityReport};
-use tsens_data::{Database, EncodedRelation, Schema};
+use tsens_data::{Database, EncodedRelation, Schema, TsensError};
 use tsens_engine::ops::multiway_join_enc;
 use tsens_engine::session::{EngineSession, QueryPasses};
 use tsens_query::{ConjunctiveQuery, DecompositionTree};
@@ -139,8 +139,8 @@ pub fn multiplicity_tables_session(
     session: &EngineSession<'_>,
     cq: &ConjunctiveQuery,
     tree: &DecompositionTree,
-) -> Vec<MultiplicityTable> {
-    let passes = session.passes(cq, tree);
+) -> Result<Vec<MultiplicityTable>, TsensError> {
+    let passes = session.passes(cq, tree)?;
     let tops = passes.tops(tree);
     let mut out: Vec<Option<MultiplicityTable>> = (0..cq.atom_count()).map(|_| None).collect();
     for v in 0..tree.bag_count() {
@@ -148,9 +148,10 @@ pub fn multiplicity_tables_session(
             out[ai] = Some(table_for_atom(cq, tree, &passes, tops, v, ai));
         }
     }
-    out.into_iter()
+    Ok(out
+        .into_iter()
         .map(|t| t.expect("every atom is in a bag"))
-        .collect()
+        .collect())
 }
 
 /// [`multiplicity_tables_session`] as a one-shot call (fresh session).
@@ -160,6 +161,7 @@ pub fn multiplicity_tables(
     tree: &DecompositionTree,
 ) -> Vec<MultiplicityTable> {
     multiplicity_tables_session(&EngineSession::for_query(db, cq), cq, tree)
+        .expect("one-shot sessions are resident over their query")
 }
 
 /// Compute the multiplicity table of a single atom — what TSensDP needs
@@ -171,16 +173,17 @@ pub fn multiplicity_table_for_session(
     cq: &ConjunctiveQuery,
     tree: &DecompositionTree,
     atom: usize,
-) -> MultiplicityTable {
-    let cached = session.cached_query_result("mtable", cq, Some(tree), &[atom as u128], || {
-        let passes = session.passes(cq, tree);
-        let tops = passes.tops(tree);
-        let v = (0..tree.bag_count())
-            .find(|&v| tree.bags()[v].atoms.contains(&atom))
-            .expect("atom must be assigned to a bag");
-        table_for_atom(cq, tree, &passes, tops, v, atom)
-    });
-    (*cached).clone()
+) -> Result<MultiplicityTable, TsensError> {
+    let cached =
+        session.try_cached_query_result("mtable", cq, Some(tree), &[atom as u128], || {
+            let passes = session.passes(cq, tree)?;
+            let tops = passes.tops(tree);
+            let v = (0..tree.bag_count())
+                .find(|&v| tree.bags()[v].atoms.contains(&atom))
+                .expect("atom must be assigned to a bag");
+            Ok(table_for_atom(cq, tree, &passes, tops, v, atom))
+        })?;
+    Ok((*cached).clone())
 }
 
 /// [`multiplicity_table_for_session`] as a one-shot call (fresh session).
@@ -191,6 +194,7 @@ pub fn multiplicity_table_for(
     atom: usize,
 ) -> MultiplicityTable {
     multiplicity_table_for_session(&EngineSession::for_query(db, cq), cq, tree, atom)
+        .expect("one-shot sessions are resident over their query")
 }
 
 /// `TSens` (Algorithm 2) over a warm session: local sensitivity, most
@@ -199,7 +203,7 @@ pub fn tsens_session(
     session: &EngineSession<'_>,
     cq: &ConjunctiveQuery,
     tree: &DecompositionTree,
-) -> SensitivityReport {
+) -> Result<SensitivityReport, TsensError> {
     tsens_with_skips_session(session, cq, tree, &[])
 }
 
@@ -225,12 +229,12 @@ pub fn tsens_with_skips_session(
     cq: &ConjunctiveQuery,
     tree: &DecompositionTree,
     skip_atoms: &[usize],
-) -> SensitivityReport {
+) -> Result<SensitivityReport, TsensError> {
     let mut salt: Vec<u128> = skip_atoms.iter().map(|&a| a as u128).collect();
     salt.sort_unstable();
     salt.dedup();
-    let cached = session.cached_query_result("tsens", cq, Some(tree), &salt, || {
-        let passes = session.passes(cq, tree);
+    let cached = session.try_cached_query_result("tsens", cq, Some(tree), &salt, || {
+        let passes = session.passes(cq, tree)?;
         let tops = passes.tops(tree);
         let mut per_relation = Vec::with_capacity(cq.atom_count());
         for v in 0..tree.bag_count() {
@@ -243,9 +247,9 @@ pub fn tsens_with_skips_session(
             }
         }
         per_relation.sort_by_key(|rs| rs.relation);
-        SensitivityReport::from_per_relation(per_relation)
-    });
-    (*cached).clone()
+        Ok(SensitivityReport::from_per_relation(per_relation))
+    })?;
+    Ok((*cached).clone())
 }
 
 /// [`tsens_with_skips_session`] as a one-shot call (fresh session).
@@ -256,6 +260,7 @@ pub fn tsens_with_skips(
     skip_atoms: &[usize],
 ) -> SensitivityReport {
     tsens_with_skips_session(&EngineSession::for_query(db, cq), cq, tree, skip_atoms)
+        .expect("one-shot sessions are resident over their query")
 }
 
 /// [`tsens_with_skips_session`] with the per-relation multiplicity tables
@@ -274,9 +279,9 @@ pub fn tsens_parallel_session(
     tree: &DecompositionTree,
     skip_atoms: &[usize],
     threads: usize,
-) -> SensitivityReport {
+) -> Result<SensitivityReport, TsensError> {
     assert!(threads > 0, "need at least one thread");
-    let passes = session.passes(cq, tree);
+    let passes = session.passes(cq, tree)?;
     let tops = passes.tops(tree);
     // Work items: (node, atom), bucketed round-robin.
     let mut items: Vec<(usize, usize)> = Vec::with_capacity(cq.atom_count());
@@ -312,7 +317,7 @@ pub fn tsens_parallel_session(
             .collect()
     });
     per_relation.sort_by_key(|rs| rs.relation);
-    SensitivityReport::from_per_relation(per_relation)
+    Ok(SensitivityReport::from_per_relation(per_relation))
 }
 
 /// [`tsens_parallel_session`] as a one-shot call (fresh session).
@@ -330,6 +335,7 @@ pub fn tsens_parallel(
         skip_atoms,
         threads,
     )
+    .expect("one-shot sessions are resident over their query")
 }
 
 #[cfg(test)]

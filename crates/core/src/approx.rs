@@ -13,7 +13,7 @@
 //! `bench_ablation` benchmark.
 
 use crate::report::SensitivityReport;
-use tsens_data::{Count, CountedRelation, Database, EncodedRelation};
+use tsens_data::{Count, CountedRelation, Database, EncodedRelation, TsensError};
 use tsens_engine::ops::lookup_join_enc;
 use tsens_engine::passes::bag_relations_from_arcs;
 use tsens_engine::session::EngineSession;
@@ -73,6 +73,7 @@ pub fn tsens_topk(
     k: usize,
 ) -> SensitivityReport {
     tsens_topk_session(&EngineSession::for_query(db, cq), cq, tree, k)
+        .expect("one-shot sessions are resident over their query")
 }
 
 /// [`tsens_topk`] over a warm session. The lifted atoms come from the
@@ -84,12 +85,13 @@ pub fn tsens_topk_session(
     cq: &ConjunctiveQuery,
     tree: &DecompositionTree,
     k: usize,
-) -> SensitivityReport {
+) -> Result<SensitivityReport, TsensError> {
     assert!(k > 0, "top-k capping needs k ≥ 1");
-    let cached = session.cached_query_result("tsens_topk", cq, Some(tree), &[k as u128], || {
-        tsens_topk_uncached(session, cq, tree, k)
-    });
-    (*cached).clone()
+    let cached =
+        session.try_cached_query_result("tsens_topk", cq, Some(tree), &[k as u128], || {
+            tsens_topk_uncached(session, cq, tree, k)
+        })?;
+    Ok((*cached).clone())
 }
 
 fn tsens_topk_uncached(
@@ -97,8 +99,8 @@ fn tsens_topk_uncached(
     cq: &ConjunctiveQuery,
     tree: &DecompositionTree,
     k: usize,
-) -> SensitivityReport {
-    let lifted = session.lift_query(cq);
+) -> Result<SensitivityReport, TsensError> {
+    let lifted = session.lift_query(cq)?;
     let bags = bag_relations_from_arcs(&lifted, tree);
 
     // Capped ⊥ pass.
@@ -155,7 +157,7 @@ fn tsens_topk_uncached(
         }
     }
     per_relation.sort_by_key(|rs| rs.relation);
-    SensitivityReport::from_per_relation(per_relation)
+    Ok(SensitivityReport::from_per_relation(per_relation))
 }
 
 #[cfg(test)]

@@ -23,7 +23,7 @@
 //! the selection operators") — that is part of why TSens beats it.
 
 use std::collections::BTreeSet;
-use tsens_data::{sat_mul, AttrId, Count, Database, FastMap, Row, Schema};
+use tsens_data::{sat_mul, AttrId, Count, Database, FastMap, Row, Schema, TsensError};
 use tsens_engine::session::EngineSession;
 use tsens_query::{ConjunctiveQuery, DecompositionTree};
 
@@ -116,7 +116,10 @@ impl<'a> MfOracle<'a> {
         if let Some(s) = self.session {
             // The session computes from the resident encoding and shares
             // the statistic across atoms, plans and queries.
-            return self.bump_private(rel, s.max_frequency(rel, &key.1));
+            let mf = s
+                .max_frequency(rel, &key.1)
+                .expect("residency pre-checked at the session entry point");
+            return self.bump_private(rel, mf);
         }
         if let Some(&c) = self.base_memo.get(&key) {
             return self.bump_private(rel, c);
@@ -259,13 +262,20 @@ pub fn elastic_sensitivity_session(
     cq: &ConjunctiveQuery,
     plan: &[usize],
     k: Count,
-) -> ElasticReport {
+) -> Result<ElasticReport, TsensError> {
+    session.ensure_resident(cq)?;
     let mut salt: Vec<u128> = plan.iter().map(|&p| p as u128).collect();
     salt.push(k);
-    let cached = session.cached_query_result("elastic", cq, None, &salt, || {
-        elastic_report(session.database(), Some(session), cq, plan, k)
-    });
-    (*cached).clone()
+    let cached = session.try_cached_query_result("elastic", cq, None, &salt, || {
+        Ok(elastic_report(
+            session.database(),
+            Some(session),
+            cq,
+            plan,
+            k,
+        ))
+    })?;
+    Ok((*cached).clone())
 }
 
 fn elastic_report(

@@ -18,7 +18,7 @@
 //! supported by treating the shared attribute *set* as the composite key.
 
 use crate::report::{RelationSensitivity, SensitivityReport, TupleRef};
-use tsens_data::{sat_mul, Database, EncodedRelation, Schema, Value};
+use tsens_data::{sat_mul, Database, EncodedRelation, Schema, TsensError, Value};
 use tsens_engine::ops::lookup_join_enc;
 use tsens_engine::session::EngineSession;
 use tsens_query::analysis::path_order;
@@ -29,6 +29,7 @@ use tsens_query::ConjunctiveQuery;
 /// predicates (use [`crate::tsens`], which handles both, in that case).
 pub fn tsens_path(db: &Database, cq: &ConjunctiveQuery) -> Option<SensitivityReport> {
     tsens_path_session(&EngineSession::for_query(db, cq), cq)
+        .expect("one-shot sessions are resident over their query")
 }
 
 /// Run Algorithm 1 over a warm session: lifted atoms come from the
@@ -37,15 +38,17 @@ pub fn tsens_path(db: &Database, cq: &ConjunctiveQuery) -> Option<SensitivityRep
 pub fn tsens_path_session(
     session: &EngineSession<'_>,
     cq: &ConjunctiveQuery,
-) -> Option<SensitivityReport> {
-    let order = path_order(cq)?;
+) -> Result<Option<SensitivityReport>, TsensError> {
+    let Some(order) = path_order(cq) else {
+        return Ok(None);
+    };
     if cq.atoms().iter().any(|a| !a.predicate.is_trivial()) {
-        return None;
+        return Ok(None);
     }
-    let cached = session.cached_query_result("tsens_path", cq, None, &[], || {
+    let cached = session.try_cached_query_result("tsens_path", cq, None, &[], || {
         tsens_path_ordered(session, cq, &order)
-    });
-    Some((*cached).clone())
+    })?;
+    Ok(Some((*cached).clone()))
 }
 
 /// The body of Algorithm 1 for a query already known to be a path, with
@@ -54,7 +57,7 @@ fn tsens_path_ordered(
     session: &EngineSession<'_>,
     cq: &ConjunctiveQuery,
     order: &[usize],
-) -> SensitivityReport {
+) -> Result<SensitivityReport, TsensError> {
     let m = order.len();
     let atom_schema = |i: usize| -> &Schema { &cq.atoms()[order[i]].schema };
 
@@ -70,7 +73,7 @@ fn tsens_path_ordered(
                 values: vec![None; arity],
             }),
         };
-        return SensitivityReport::from_per_relation(vec![rs]);
+        return Ok(SensitivityReport::from_per_relation(vec![rs]));
     }
 
     // keys[i] = A_i = attributes shared between path positions i and i+1.
@@ -82,7 +85,7 @@ fn tsens_path_ordered(
     // session's cached lifts; witnesses are decoded back to values at the
     // report boundary below.
     let dict = std::sync::Arc::clone(session.dict());
-    let lifted_all = session.lift_query(cq);
+    let lifted_all = session.lift_query(cq)?;
     let lifted: Vec<&EncodedRelation> = order.iter().map(|&ai| &*lifted_all[ai]).collect();
 
     // I) topjoins: tops[i] = J(R_{i+1}) keyed on keys[i], counting partial
@@ -170,7 +173,7 @@ fn tsens_path_ordered(
         });
     }
     per_relation.sort_by_key(|rs| rs.relation);
-    SensitivityReport::from_per_relation(per_relation)
+    Ok(SensitivityReport::from_per_relation(per_relation))
 }
 
 #[cfg(test)]

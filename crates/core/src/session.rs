@@ -27,21 +27,21 @@
 //! let tree = gyo_decompose(&q).unwrap().expect_acyclic("single atom");
 //!
 //! let mut session = EngineSession::new(&db); // resident encoding, built once
-//! let report = session.tsens(&q, &tree); // warm per-query call
+//! let report = session.tsens(&q, &tree).unwrap(); // warm per-query call
 //! assert_eq!(report.local_sensitivity, 1);
 //!
 //! // Sessions are mutable: interleave updates with queries (including
 //! // `tsens_dp`'s `tsensdp_answer_session`) — the resident encoding is
 //! // maintained in place and only cache entries whose fingerprint
 //! // contains the updated relation are invalidated.
-//! session.insert(0, vec![Value::Int(3), Value::Int(4)]);
-//! assert_eq!(session.count_query(&q, &tree), 2);
-//! assert!(session.delete(0, vec![Value::Int(3), Value::Int(4)]));
+//! session.insert(0, vec![Value::Int(3), Value::Int(4)]).unwrap();
+//! assert_eq!(session.count_query(&q, &tree).unwrap(), 2);
+//! assert!(session.delete(0, vec![Value::Int(3), Value::Int(4)]).unwrap());
 //! ```
 
 use crate::elastic::ElasticReport;
 use crate::report::{MultiplicityTable, SensitivityReport};
-use tsens_data::{sat_mul, Count};
+use tsens_data::{sat_mul, Count, TsensError};
 use tsens_engine::session::EngineSession;
 use tsens_query::{auto_decompose, classify, ConjunctiveQuery, DecompositionTree, QueryError};
 
@@ -53,66 +53,107 @@ use tsens_query::{auto_decompose, classify, ConjunctiveQuery, DecompositionTree,
 /// statistics and reports).
 pub trait SessionExt {
     /// [`crate::tsens`] on the session's database.
-    fn tsens(&self, cq: &ConjunctiveQuery, tree: &DecompositionTree) -> SensitivityReport;
+    ///
+    /// # Errors
+    /// [`TsensError`] when the (partial) session does not serve one of
+    /// the query's relations — every method here is fallible for the
+    /// same reason, so a serving front-end can turn a bad request into
+    /// an error response instead of a dead worker.
+    fn tsens(
+        &self,
+        cq: &ConjunctiveQuery,
+        tree: &DecompositionTree,
+    ) -> Result<SensitivityReport, TsensError>;
 
     /// [`crate::tsens_with_skips`] on the session's database.
+    ///
+    /// # Errors
+    /// See [`SessionExt::tsens`].
     fn tsens_with_skips(
         &self,
         cq: &ConjunctiveQuery,
         tree: &DecompositionTree,
         skip_atoms: &[usize],
-    ) -> SensitivityReport;
+    ) -> Result<SensitivityReport, TsensError>;
 
     /// [`crate::tsens_parallel`] on the session's database.
+    ///
+    /// # Errors
+    /// See [`SessionExt::tsens`].
     fn tsens_parallel(
         &self,
         cq: &ConjunctiveQuery,
         tree: &DecompositionTree,
         skip_atoms: &[usize],
         threads: usize,
-    ) -> SensitivityReport;
+    ) -> Result<SensitivityReport, TsensError>;
 
-    /// [`crate::tsens_path`] on the session's database.
-    fn tsens_path(&self, cq: &ConjunctiveQuery) -> Option<SensitivityReport>;
+    /// [`crate::tsens_path`] on the session's database. `Ok(None)` means
+    /// the query is not a (predicate-free) path join query.
+    ///
+    /// # Errors
+    /// See [`SessionExt::tsens`].
+    fn tsens_path(&self, cq: &ConjunctiveQuery) -> Result<Option<SensitivityReport>, TsensError>;
 
     /// [`crate::tsens_topk`] on the session's database.
+    ///
+    /// # Errors
+    /// See [`SessionExt::tsens`].
     fn tsens_topk(
         &self,
         cq: &ConjunctiveQuery,
         tree: &DecompositionTree,
         k: usize,
-    ) -> SensitivityReport;
+    ) -> Result<SensitivityReport, TsensError>;
 
     /// [`crate::multiplicity_tables`] on the session's database.
+    ///
+    /// # Errors
+    /// See [`SessionExt::tsens`].
     fn multiplicity_tables(
         &self,
         cq: &ConjunctiveQuery,
         tree: &DecompositionTree,
-    ) -> Vec<MultiplicityTable>;
+    ) -> Result<Vec<MultiplicityTable>, TsensError>;
 
     /// [`crate::multiplicity_table_for`] on the session's database.
+    ///
+    /// # Errors
+    /// See [`SessionExt::tsens`].
     fn multiplicity_table_for(
         &self,
         cq: &ConjunctiveQuery,
         tree: &DecompositionTree,
         atom: usize,
-    ) -> MultiplicityTable;
+    ) -> Result<MultiplicityTable, TsensError>;
 
     /// [`crate::elastic_sensitivity`] on the session's database.
-    fn elastic_sensitivity(&self, cq: &ConjunctiveQuery, plan: &[usize], k: Count)
-        -> ElasticReport;
+    ///
+    /// # Errors
+    /// See [`SessionExt::tsens`].
+    fn elastic_sensitivity(
+        &self,
+        cq: &ConjunctiveQuery,
+        plan: &[usize],
+        k: Count,
+    ) -> Result<ElasticReport, TsensError>;
 
     /// [`crate::local_sensitivity`] on the session's database: classify
     /// the query, pick a decomposition, run the right algorithm
     /// (including the §5.4 handling of disconnected queries).
     ///
     /// # Errors
-    /// Propagates query/decomposition construction failures.
+    /// Propagates query/decomposition construction failures and session
+    /// serving failures ([`QueryError::Session`]).
     fn local_sensitivity(&self, cq: &ConjunctiveQuery) -> Result<SensitivityReport, QueryError>;
 }
 
 impl SessionExt for EngineSession<'_> {
-    fn tsens(&self, cq: &ConjunctiveQuery, tree: &DecompositionTree) -> SensitivityReport {
+    fn tsens(
+        &self,
+        cq: &ConjunctiveQuery,
+        tree: &DecompositionTree,
+    ) -> Result<SensitivityReport, TsensError> {
         crate::acyclic::tsens_session(self, cq, tree)
     }
 
@@ -121,7 +162,7 @@ impl SessionExt for EngineSession<'_> {
         cq: &ConjunctiveQuery,
         tree: &DecompositionTree,
         skip_atoms: &[usize],
-    ) -> SensitivityReport {
+    ) -> Result<SensitivityReport, TsensError> {
         crate::acyclic::tsens_with_skips_session(self, cq, tree, skip_atoms)
     }
 
@@ -131,11 +172,11 @@ impl SessionExt for EngineSession<'_> {
         tree: &DecompositionTree,
         skip_atoms: &[usize],
         threads: usize,
-    ) -> SensitivityReport {
+    ) -> Result<SensitivityReport, TsensError> {
         crate::acyclic::tsens_parallel_session(self, cq, tree, skip_atoms, threads)
     }
 
-    fn tsens_path(&self, cq: &ConjunctiveQuery) -> Option<SensitivityReport> {
+    fn tsens_path(&self, cq: &ConjunctiveQuery) -> Result<Option<SensitivityReport>, TsensError> {
         crate::path::tsens_path_session(self, cq)
     }
 
@@ -144,7 +185,7 @@ impl SessionExt for EngineSession<'_> {
         cq: &ConjunctiveQuery,
         tree: &DecompositionTree,
         k: usize,
-    ) -> SensitivityReport {
+    ) -> Result<SensitivityReport, TsensError> {
         crate::approx::tsens_topk_session(self, cq, tree, k)
     }
 
@@ -152,7 +193,7 @@ impl SessionExt for EngineSession<'_> {
         &self,
         cq: &ConjunctiveQuery,
         tree: &DecompositionTree,
-    ) -> Vec<MultiplicityTable> {
+    ) -> Result<Vec<MultiplicityTable>, TsensError> {
         crate::acyclic::multiplicity_tables_session(self, cq, tree)
     }
 
@@ -161,7 +202,7 @@ impl SessionExt for EngineSession<'_> {
         cq: &ConjunctiveQuery,
         tree: &DecompositionTree,
         atom: usize,
-    ) -> MultiplicityTable {
+    ) -> Result<MultiplicityTable, TsensError> {
         crate::acyclic::multiplicity_table_for_session(self, cq, tree, atom)
     }
 
@@ -170,7 +211,7 @@ impl SessionExt for EngineSession<'_> {
         cq: &ConjunctiveQuery,
         plan: &[usize],
         k: Count,
-    ) -> ElasticReport {
+    ) -> Result<ElasticReport, TsensError> {
         crate::elastic::elastic_sensitivity_session(self, cq, plan, k)
     }
 
@@ -181,7 +222,7 @@ impl SessionExt for EngineSession<'_> {
                 Some(t) => t,
                 None => auto_decompose(cq)?,
             };
-            return Ok(self.tsens(cq, &tree));
+            return Ok(self.tsens(cq, &tree)?);
         }
 
         // §5.4 "Disconnected join trees": run per component, then scale
@@ -199,8 +240,8 @@ impl SessionExt for EngineSession<'_> {
                 Some(t) => t,
                 None => auto_decompose(&sub)?,
             };
-            sub_counts.push(self.count_query(&sub, &tree));
-            sub_reports.push(self.tsens(&sub, &tree));
+            sub_counts.push(self.count_query(&sub, &tree)?);
+            sub_reports.push(self.tsens(&sub, &tree)?);
         }
         for (ci, report) in sub_reports.iter().enumerate() {
             let other_product: Count = sub_counts
@@ -255,23 +296,23 @@ mod tests {
 
         let session = tsens_engine::EngineSession::new(&db);
         for _ in 0..2 {
-            let warm = session.tsens(&rs, &tree_rs);
+            let warm = session.tsens(&rs, &tree_rs).unwrap();
             let cold = crate::tsens(&db, &rs, &tree_rs);
             assert_eq!(warm.local_sensitivity, cold.local_sensitivity);
             assert_eq!(warm.witness, cold.witness);
 
             assert_eq!(
-                session.tsens(&r_only, &tree_r).local_sensitivity,
+                session.tsens(&r_only, &tree_r).unwrap().local_sensitivity,
                 crate::tsens(&db, &r_only, &tree_r).local_sensitivity
             );
             let plan = vec![0, 1];
-            let warm_e = session.elastic_sensitivity(&rs, &plan, 0);
+            let warm_e = session.elastic_sensitivity(&rs, &plan, 0).unwrap();
             let cold_e = crate::elastic_sensitivity(&db, &rs, &plan, 0);
             assert_eq!(warm_e.overall, cold_e.overall);
             assert_eq!(warm_e.per_relation, cold_e.per_relation);
 
             assert_eq!(
-                session.tsens_path(&rs).unwrap().local_sensitivity,
+                session.tsens_path(&rs).unwrap().unwrap().local_sensitivity,
                 crate::tsens_path(&db, &rs).unwrap().local_sensitivity
             );
         }

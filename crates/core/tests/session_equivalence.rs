@@ -85,14 +85,14 @@ fn assert_session_equivalent(db: &Database, q: &ConjunctiveQuery, tree: &Decompo
     for round in 0..2 {
         // count_query: session == one-shot == naive.
         prop_assert_eq!(
-            session.count_query(q, tree),
+            session.count_query(q, tree).unwrap(),
             naive_cnt,
             "count round {}",
             round
         );
 
         // tsens: session == one-shot, and == naive per relation.
-        let warm = session.tsens(q, tree);
+        let warm = session.tsens(q, tree).unwrap();
         prop_assert_eq!(
             warm.local_sensitivity,
             oneshot_report.local_sensitivity,
@@ -107,13 +107,13 @@ fn assert_session_equivalent(db: &Database, q: &ConjunctiveQuery, tree: &Decompo
         }
 
         // elastic: session == one-shot (and both bound the true LS).
-        let warm_e = session.elastic_sensitivity(q, &plan, 0);
+        let warm_e = session.elastic_sensitivity(q, &plan, 0).unwrap();
         prop_assert_eq!(warm_e.overall, oneshot_elastic.overall);
         prop_assert_eq!(&warm_e.per_relation, &oneshot_elastic.per_relation);
         prop_assert!(warm_e.overall >= naive_ls.local_sensitivity);
 
         // tsens_path (None for non-path queries in both flavours).
-        let warm_p = session.tsens_path(q);
+        let warm_p = session.tsens_path(q).unwrap();
         match (&warm_p, &oneshot_path) {
             (Some(a), Some(b)) => {
                 prop_assert_eq!(a.local_sensitivity, b.local_sensitivity);
@@ -125,13 +125,13 @@ fn assert_session_equivalent(db: &Database, q: &ConjunctiveQuery, tree: &Decompo
 
         // Predicated variant interleaved through the same session.
         if let Some(qp) = &q_pred {
-            let warm_pred = session.tsens(qp, tree);
+            let warm_pred = session.tsens(qp, tree).unwrap();
             let cold_pred = tsens(db, qp, tree);
             prop_assert_eq!(warm_pred.local_sensitivity, cold_pred.local_sensitivity);
             let naive_pred = naive_local_sensitivity(db, qp);
             prop_assert_eq!(warm_pred.local_sensitivity, naive_pred.local_sensitivity);
             prop_assert_eq!(
-                session.count_query(qp, tree),
+                session.count_query(qp, tree).unwrap(),
                 naive_count(db, qp),
                 "predicated count round {}",
                 round

@@ -62,7 +62,7 @@ fn apply_op(session: &mut EngineSession<'_>, mirror: &mut Database, op: &Op) {
     match kind {
         0 => {
             let row: Row = vec![value(x), value(y)];
-            assert!(session.apply(Update::insert(rel, row.clone())));
+            assert!(session.apply(Update::insert(rel, row.clone())).unwrap());
             mirror.insert_row(rel, row);
         }
         1 => {
@@ -71,13 +71,16 @@ fn apply_op(session: &mut EngineSession<'_>, mirror: &mut Database, op: &Op) {
                 return;
             }
             let row = rows[(x.unsigned_abs() as usize) % rows.len()].clone();
-            assert!(session.delete(rel, row.clone()), "mirror row must exist");
+            assert!(
+                session.delete(rel, row.clone()).unwrap(),
+                "mirror row must exist"
+            );
             assert!(mirror.remove_row(rel, &row));
         }
         _ => {
             // Values far outside the base domain: new to the dictionary.
             let row: Row = vec![value(1000 + x), value(2000 + y)];
-            session.insert(rel, row.clone());
+            session.insert(rel, row.clone()).unwrap();
             mirror.insert_row(rel, row);
         }
     }
@@ -91,9 +94,12 @@ fn assert_matches_materialized(
     q: &ConjunctiveQuery,
     tree: &DecompositionTree,
 ) {
-    prop_assert_eq!(session.count_query(q, tree), naive_count(mirror, q));
+    prop_assert_eq!(
+        session.count_query(q, tree).unwrap(),
+        naive_count(mirror, q)
+    );
 
-    let warm = session.tsens(q, tree);
+    let warm = session.tsens(q, tree).unwrap();
     let fresh = tsens(mirror, q, tree);
     prop_assert_eq!(warm.local_sensitivity, fresh.local_sensitivity);
     prop_assert_eq!(&warm.witness, &fresh.witness);
@@ -105,7 +111,7 @@ fn assert_matches_materialized(
     }
 
     let plan = plan_order_from_tree(tree);
-    let warm_e = session.elastic_sensitivity(q, &plan, 0);
+    let warm_e = session.elastic_sensitivity(q, &plan, 0).unwrap();
     let fresh_e = tsens_core::elastic_sensitivity(mirror, q, &plan, 0);
     prop_assert_eq!(warm_e.overall, fresh_e.overall);
     prop_assert_eq!(&warm_e.per_relation, &fresh_e.per_relation);
@@ -118,10 +124,13 @@ fn assert_matches_materialized(
             mirror.relation_name(q.atoms()[0].relation),
             Predicate::eq(pred_attr, first[0].clone()),
         );
-        let warm_p = session.tsens(&qp, tree);
+        let warm_p = session.tsens(&qp, tree).unwrap();
         let naive_p = naive_local_sensitivity(mirror, &qp);
         prop_assert_eq!(warm_p.local_sensitivity, naive_p.local_sensitivity);
-        prop_assert_eq!(session.count_query(&qp, tree), naive_count(mirror, &qp));
+        prop_assert_eq!(
+            session.count_query(&qp, tree).unwrap(),
+            naive_count(mirror, &qp)
+        );
     }
 }
 
@@ -129,15 +138,15 @@ fn run_interleaved(db: Database, q: &ConjunctiveQuery, tree: &DecompositionTree,
     let mut mirror = db.clone();
     let mut session = EngineSession::new(&db);
     // Prime the caches so updates have something to invalidate.
-    session.count_query(q, tree);
-    session.tsens(q, tree);
+    session.count_query(q, tree).unwrap();
+    session.tsens(q, tree).unwrap();
 
     for (i, op) in ops.iter().enumerate() {
         apply_op(&mut session, &mut mirror, op);
         // Interleave a query check every few updates.
         if i % 3 == 2 {
             prop_assert_eq!(
-                session.count_query(q, tree),
+                session.count_query(q, tree).unwrap(),
                 naive_count(&mirror, q),
                 "after op {}",
                 i
@@ -228,14 +237,16 @@ fn untouched_queries_keep_hitting_caches_across_updates() {
     let t_r2 = gyo_decompose(&q_r2).unwrap().expect_acyclic("single");
 
     let mut session = EngineSession::new(&db);
-    let all_before = session.tsens(&q_all, &t_all);
-    let r2_report = session.tsens(&q_r2, &t_r2);
+    let all_before = session.tsens(&q_all, &t_all).unwrap();
+    let r2_report = session.tsens(&q_r2, &t_r2).unwrap();
     let misses_frozen = session.stats().result_misses;
 
     // 10 single-tuple updates to R0 — R2's caches must survive them all.
     for i in 0..10i64 {
-        session.insert(0, vec![value(i % 4), value((i + 1) % 4)]);
-        let again = session.tsens(&q_r2, &t_r2);
+        session
+            .insert(0, vec![value(i % 4), value((i + 1) % 4)])
+            .unwrap();
+        let again = session.tsens(&q_r2, &t_r2).unwrap();
         assert_eq!(again.local_sensitivity, r2_report.local_sensitivity);
         assert_eq!(again.witness, r2_report.witness);
     }
@@ -248,7 +259,7 @@ fn untouched_queries_keep_hitting_caches_across_updates() {
 
     // The touched query recomputes — against the maintained encoding,
     // matching a from-scratch run on the materialized database.
-    let all_after = session.tsens(&q_all, &t_all);
+    let all_after = session.tsens(&q_all, &t_all).unwrap();
     let fresh = tsens(session.database(), &q_all, &t_all);
     assert_eq!(all_after.local_sensitivity, fresh.local_sensitivity);
     assert_eq!(all_after.witness, fresh.witness);
@@ -307,8 +318,8 @@ fn single_tuple_update_requery_beats_rebuild_10x() {
     let t_cold = gyo_decompose(&cold).unwrap().expect_acyclic("path");
 
     let mut session = EngineSession::new(&db);
-    let hot_count = session.count_query(&hot, &t_hot);
-    let cold_count = session.count_query(&cold, &t_cold);
+    let hot_count = session.count_query(&hot, &t_hot).unwrap();
+    let cold_count = session.count_query(&cold, &t_cold).unwrap();
 
     // Warm path: delta + re-query both (values already in the dict:
     // the realistic no-epoch fast path).
@@ -316,13 +327,13 @@ fn single_tuple_update_requery_beats_rebuild_10x() {
     for i in 0..5i64 {
         let row = vec![Value::Int(i % 211), Value::Int((i + 1) % 211)];
         let t0 = Instant::now();
-        session.insert(0, row.clone());
-        let h = session.count_query(&hot, &t_hot);
-        let c = session.count_query(&cold, &t_cold);
+        session.insert(0, row.clone()).unwrap();
+        let h = session.count_query(&hot, &t_hot).unwrap();
+        let c = session.count_query(&cold, &t_cold).unwrap();
         warm_best = warm_best.min(t0.elapsed().as_secs_f64());
         assert!(h >= hot_count);
         assert_eq!(c, cold_count, "untouched query must not change");
-        session.delete(0, row);
+        session.delete(0, row).unwrap();
     }
 
     // Rebuild path: fresh session (re-encode all four relations) + both
@@ -332,8 +343,8 @@ fn single_tuple_update_requery_beats_rebuild_10x() {
     for _ in 0..3 {
         let t0 = Instant::now();
         let fresh = EngineSession::new(&current);
-        let h = fresh.count_query(&hot, &t_hot);
-        let c = fresh.count_query(&cold, &t_cold);
+        let h = fresh.count_query(&hot, &t_hot).unwrap();
+        let c = fresh.count_query(&cold, &t_cold).unwrap();
         rebuild_best = rebuild_best.min(t0.elapsed().as_secs_f64());
         assert_eq!((h, c), (hot_count, cold_count));
     }

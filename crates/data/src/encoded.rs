@@ -245,17 +245,42 @@ impl Dict {
     /// their relative order under remapping; rows containing overflow
     /// codes must be re-sorted by the caller.
     pub fn resorted(&self) -> (Dict, Vec<u32>) {
-        let mut ints = self.ints.clone();
-        let mut strs = self.strs.clone();
-        for v in &self.overflow {
-            match v {
-                Value::Int(x) => ints.push(*x),
-                Value::Str(_) => strs.push(v.clone()),
+        self.resorted_retaining(|_| true)
+    }
+
+    /// [`Dict::resorted`] with **tombstone compaction**: values whose
+    /// code fails the `live` predicate are dropped from the new
+    /// dictionary instead of being carried forever. Delete-heavy
+    /// workloads otherwise accumulate values no relation references
+    /// anymore — the epoch is the natural point to collect them, since
+    /// every code is being relabeled anyway.
+    ///
+    /// Dead codes get the sentinel `u32::MAX` in the remap; by contract
+    /// the caller only feeds codes that still occur in some relation
+    /// through [`EncodedRelation::remap_codes`], so the sentinel is never
+    /// dereferenced. The remap stays strictly increasing on *surviving*
+    /// base codes, preserving the sort order of overflow-free rows.
+    pub fn resorted_retaining(&self, live: impl Fn(u32) -> bool) -> (Dict, Vec<u32>) {
+        let mut ints = Vec::with_capacity(self.ints.len());
+        let mut strs = Vec::with_capacity(self.strs.len());
+        for c in 0..self.len() as u32 {
+            if !live(c) {
+                continue;
+            }
+            match self.decode(c) {
+                Value::Int(x) => ints.push(x),
+                v @ Value::Str(_) => strs.push(v),
             }
         }
         let new = Dict::from_parts(ints, strs);
         let remap = (0..self.len() as u32)
-            .map(|c| new.code(&self.decode(c)))
+            .map(|c| {
+                if live(c) {
+                    new.code(&self.decode(c))
+                } else {
+                    u32::MAX
+                }
+            })
             .collect();
         (new, remap)
     }
@@ -789,6 +814,34 @@ mod tests {
         assert_eq!(sorted.code(&Value::Int(30)), 2);
         assert_eq!(sorted.code(&Value::str("a")), 3);
         assert_eq!(sorted.code(&Value::str("b")), 4);
+    }
+
+    #[test]
+    fn resorted_retaining_drops_dead_values() {
+        let mut d = Dict::from_values(vec![Value::Int(10), Value::Int(30), Value::str("b")]);
+        d.encode_or_insert(&Value::Int(20));
+        // Live set: everything except Int(30) and the overflow Int(20).
+        let dead = [d.code(&Value::Int(30)), d.code(&Value::Int(20))];
+        let (compacted, remap) = d.resorted_retaining(|c| !dead.contains(&c));
+        assert!(compacted.is_order_isomorphic());
+        assert_eq!(compacted.len(), 2);
+        assert_eq!(compacted.encode(&Value::Int(30)), None);
+        assert_eq!(compacted.encode(&Value::Int(20)), None);
+        assert_eq!(compacted.code(&Value::Int(10)), 0);
+        assert_eq!(compacted.code(&Value::str("b")), 1);
+        // Surviving codes remap to the compacted labels; dead codes get
+        // the sentinel.
+        assert_eq!(remap[d.code(&Value::Int(10)) as usize], 0);
+        assert_eq!(remap[d.code(&Value::str("b")) as usize], 1);
+        for c in dead {
+            assert_eq!(remap[c as usize], u32::MAX);
+        }
+        // Survivor base codes stay strictly increasing (monotone remap).
+        let survivors: Vec<u32> = (0..d.base_len() as u32)
+            .filter(|c| !dead.contains(c))
+            .map(|c| remap[c as usize])
+            .collect();
+        assert!(survivors.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

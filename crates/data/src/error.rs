@@ -18,6 +18,9 @@ pub enum DataError {
         /// Actual row length.
         actual: usize,
     },
+    /// Malformed textual input (ops files, wire requests) with a
+    /// human-readable description of what went wrong and where.
+    Malformed(String),
 }
 
 impl fmt::Display for DataError {
@@ -32,11 +35,81 @@ impl fmt::Display for DataError {
                     "row arity {actual} does not match schema arity {expected}"
                 )
             }
+            DataError::Malformed(msg) => write!(f, "malformed input: {msg}"),
         }
     }
 }
 
 impl std::error::Error for DataError {}
+
+/// Errors raised while *serving* requests against a resident encoding or
+/// an engine session — the typed replacement for the panics a long-lived
+/// server must never hit on untrusted input.
+///
+/// Everything reachable from a query or update request surfaces as one of
+/// these variants (or a [`DataError`] wrapped in
+/// [`TsensError::Data`]): a bad request yields an error response, not a
+/// dead worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TsensError {
+    /// The request touched a relation that is not resident in a partial
+    /// (one-shot) encoding — only the relations a one-shot query
+    /// references are encoded.
+    NotResident {
+        /// Catalog index of the unresident relation.
+        relation: usize,
+    },
+    /// An update was pushed at a partial (one-shot) encoding, which is a
+    /// read-only snapshot.
+    ReadOnlySession,
+    /// A relation index outside the catalog.
+    NoSuchRelation {
+        /// The out-of-range index.
+        relation: usize,
+        /// Number of relations in the catalog.
+        count: usize,
+    },
+    /// A catalog/schema error (arity mismatch, unknown name, …).
+    Data(DataError),
+}
+
+impl fmt::Display for TsensError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsensError::NotResident { relation } => {
+                write!(
+                    f,
+                    "relation {relation} is not resident in this partial encoding"
+                )
+            }
+            TsensError::ReadOnlySession => {
+                write!(f, "partial (one-shot) sessions are read-only")
+            }
+            TsensError::NoSuchRelation { relation, count } => {
+                write!(
+                    f,
+                    "relation index {relation} out of range (catalog has {count})"
+                )
+            }
+            TsensError::Data(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TsensError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TsensError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for TsensError {
+    fn from(e: DataError) -> Self {
+        TsensError::Data(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -62,5 +135,23 @@ mod tests {
         assert!(DataError::UnknownAttribute("A".into())
             .to_string()
             .contains("A"));
+    }
+
+    #[test]
+    fn tsens_error_display_and_wrapping() {
+        assert!(TsensError::NotResident { relation: 3 }
+            .to_string()
+            .contains("not resident"));
+        assert!(TsensError::ReadOnlySession
+            .to_string()
+            .contains("read-only"));
+        assert!(TsensError::NoSuchRelation {
+            relation: 9,
+            count: 2
+        }
+        .to_string()
+        .contains("out of range"));
+        let wrapped: TsensError = DataError::UnknownRelation("X".into()).into();
+        assert!(wrapped.to_string().contains("X"));
     }
 }

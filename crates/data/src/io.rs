@@ -7,8 +7,9 @@
 
 use crate::database::Database;
 use crate::error::DataError;
-use crate::relation::Relation;
+use crate::relation::{Relation, Row};
 use crate::schema::Schema;
+use crate::update::Update;
 use crate::value::Value;
 use std::io::{BufRead, BufWriter, Write};
 use std::path::Path;
@@ -86,6 +87,57 @@ pub fn load_csv(db: &mut Database, path: &Path) -> Result<usize, DataError> {
     db.add_relation(&name, rel)
 }
 
+/// Parse a delta stream (`+,Relation,v1,v2,…` inserts /
+/// `-,Relation,v1,v2,…` deletes, one per line; blank lines and `#`
+/// comments skipped) into [`Update`]s against `db`'s catalog.
+///
+/// Shared by the `tsens-cli update` subcommand and the `tsens-server`
+/// `/update` endpoint, so the on-disk ops format and the wire format are
+/// one and the same.
+///
+/// # Errors
+/// [`DataError::Malformed`] naming the offending line — every failure
+/// mode of untrusted input is a typed error, never a panic.
+pub fn parse_ops(db: &Database, text: &str) -> Result<Vec<Update>, DataError> {
+    let mut ops = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let op = fields.next().map(str::trim);
+        let rel_name = fields.next().map(str::trim).unwrap_or_default();
+        let rel = db.relation_index(rel_name).ok_or_else(|| {
+            DataError::Malformed(format!(
+                "line {}: unknown relation {rel_name:?}",
+                lineno + 1
+            ))
+        })?;
+        let row: Row = fields.map(parse_field).collect();
+        let arity = db.relation(rel).schema().arity();
+        if row.len() != arity {
+            return Err(DataError::Malformed(format!(
+                "line {}: {rel_name} expects {arity} values, got {}",
+                lineno + 1,
+                row.len()
+            )));
+        }
+        match op {
+            Some("+") => ops.push(Update::insert(rel, row)),
+            Some("-") => ops.push(Update::delete(rel, row)),
+            other => {
+                return Err(DataError::Malformed(format!(
+                    "line {}: op must be + or -, got {:?}",
+                    lineno + 1,
+                    other.unwrap_or("")
+                )))
+            }
+        }
+    }
+    Ok(ops)
+}
+
 /// Write a relation as CSV (header of attribute names, then rows).
 ///
 /// # Errors
@@ -154,6 +206,37 @@ mod tests {
         assert_eq!(rel.rows()[0][1], Value::str("x"));
         assert!(db.attr_id("a").is_some());
         assert!(db.attr_id("b").is_some());
+    }
+
+    #[test]
+    fn parse_ops_accepts_inserts_deletes_and_rejects_junk() {
+        let mut db = Database::new();
+        let [a, b] = db.attrs(["a", "b"]);
+        db.add_relation("R", Relation::new(Schema::new(vec![a, b])))
+            .unwrap();
+        let ops = parse_ops(&db, "# comment\n+,R,1,x\n\n-,R, 2 , y \n").unwrap();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(
+            ops[0],
+            Update::insert(0, vec![Value::Int(1), Value::str("x")])
+        );
+        assert_eq!(
+            ops[1],
+            Update::delete(0, vec![Value::Int(2), Value::str("y")])
+        );
+        // Every failure carries the offending line for multi-hundred-line
+        // ops files / update bodies.
+        let err = parse_ops(&db, "+,R,1,2\n+,Nope,1,2")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("line 2") && err.contains("Nope"), "{err}");
+        let err = parse_ops(&db, "+,R,1").unwrap_err().to_string();
+        assert!(
+            err.contains("line 1") && err.contains("expects 2 values, got 1"),
+            "{err}"
+        );
+        let err = parse_ops(&db, "*,R,1,2").unwrap_err().to_string();
+        assert!(err.contains("line 1") && err.contains("+ or -"), "{err}");
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub use counted::CountedRelation;
 pub use database::Database;
 pub use domain::{active_domain, active_domain_multi};
 pub use encoded::{Dict, EncodedRelation};
-pub use error::DataError;
+pub use error::{DataError, TsensError};
 pub use fast::{FastMap, FastSet};
 pub use relation::{Relation, Row};
 pub use schema::Schema;

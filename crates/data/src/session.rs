@@ -38,6 +38,7 @@
 
 use crate::database::Database;
 use crate::encoded::{Dict, EncodedRelation};
+use crate::error::{DataError, TsensError};
 use crate::relation::Row;
 use crate::update::Update;
 use crate::value::Value;
@@ -46,7 +47,10 @@ use std::sync::Arc;
 /// Once the dictionary overflow grows past this many values, `apply`
 /// runs a re-sort epoch on its own — bounding how stale code order can
 /// get inside long update batches while still amortizing the epoch over
-/// many single-tuple deltas.
+/// many single-tuple deltas. The same threshold bounds **delete churn**
+/// (structurally removed rows): a sustained stream of deletes triggers a
+/// compacting epoch even when it never adds a new value, so tombstoned
+/// dictionary entries cannot accumulate forever.
 const OVERFLOW_RESORT_THRESHOLD: usize = 4096;
 
 /// A database plus its resident dictionary encoding, built once and
@@ -74,6 +78,12 @@ pub struct EncodedDatabase {
     versions: Vec<u64>,
     /// Dictionary epoch, bumped by every re-sort.
     epoch: u64,
+    /// Structural delete churn since the last epoch: rows removed
+    /// outright (count hit zero). Each such removal may orphan values in
+    /// the dictionary, so churn counts toward the epoch trigger exactly
+    /// like overflow growth does — the epoch's compaction then drops
+    /// values with zero remaining references.
+    churn: usize,
 }
 
 impl EncodedDatabase {
@@ -89,7 +99,7 @@ impl EncodedDatabase {
     /// empty non-resident placeholders. This is the one-shot wrappers'
     /// path: a single query pays for its own atoms, not the catalog.
     /// Partial encodings are read-only ([`EncodedDatabase::apply`]
-    /// panics on them).
+    /// returns [`TsensError::ReadOnlySession`] on them).
     pub fn for_relations(db: &Database, relations: impl IntoIterator<Item = usize>) -> Self {
         let mut resident = vec![false; db.relation_count()];
         for r in relations {
@@ -124,6 +134,7 @@ impl EncodedDatabase {
             resident,
             versions,
             epoch: 0,
+            churn: 0,
         }
     }
 
@@ -137,15 +148,21 @@ impl EncodedDatabase {
     /// catalog order — the ready-to-join form of an atom with no
     /// selection predicate.
     ///
-    /// # Panics
-    /// Panics if the relation is not resident in a partial encoding.
+    /// # Errors
+    /// [`TsensError::NotResident`] when `idx` is not resident in a
+    /// partial encoding, [`TsensError::NoSuchRelation`] when it is
+    /// outside the catalog — a bad request must never kill a serving
+    /// worker.
     #[inline]
-    pub fn lifted(&self, idx: usize) -> &Arc<EncodedRelation> {
-        assert!(
-            self.resident[idx],
-            "relation {idx} is not resident in this partial encoding"
-        );
-        &self.lifted[idx]
+    pub fn lifted(&self, idx: usize) -> Result<&Arc<EncodedRelation>, TsensError> {
+        match self.resident.get(idx) {
+            Some(true) => Ok(&self.lifted[idx]),
+            Some(false) => Err(TsensError::NotResident { relation: idx }),
+            None => Err(TsensError::NoSuchRelation {
+                relation: idx,
+                count: self.lifted.len(),
+            }),
+        }
     }
 
     /// Number of encoded relations.
@@ -191,40 +208,64 @@ impl EncodedDatabase {
     /// Whether relation `rel` currently contains at least one copy of
     /// `row`.
     ///
-    /// # Panics
-    /// Panics on a non-resident relation or a row arity mismatch.
-    pub fn contains(&self, rel: usize, row: &[Value]) -> bool {
-        assert!(self.resident[rel], "relation {rel} is not resident");
-        assert_eq!(
-            row.len(),
-            self.lifted[rel].arity(),
-            "row arity must match the relation schema"
-        );
+    /// # Errors
+    /// [`TsensError::NotResident`] / [`TsensError::NoSuchRelation`] for a
+    /// bad relation, [`TsensError::Data`] for an arity mismatch.
+    pub fn contains(&self, rel: usize, row: &[Value]) -> Result<bool, TsensError> {
+        let lifted = self.lifted(rel)?;
+        if row.len() != lifted.arity() {
+            return Err(DataError::ArityMismatch {
+                expected: lifted.arity(),
+                actual: row.len(),
+            }
+            .into());
+        }
         let codes: Option<Vec<u32>> = row.iter().map(|v| self.dict.encode(v)).collect();
-        codes.is_some_and(|codes| self.lifted[rel].find_row(&codes).is_ok())
+        Ok(codes.is_some_and(|codes| lifted.find_row(&codes).is_ok()))
     }
 
     /// Apply one delta to the resident encoding in place, bumping the
-    /// touched relation's version. Returns `false` only for a
+    /// touched relation's version. Returns `Ok(false)` only for a
     /// [`Update::Delete`] of a row the relation does not contain (a
     /// no-op: nothing is bumped).
     ///
-    /// New values grow the dictionary's overflow region; when it passes
-    /// a threshold a re-sort epoch runs automatically. Callers that need
-    /// order-isomorphic codes *now* (anything about to serve a query)
-    /// should follow up with [`EncodedDatabase::normalize`].
+    /// New values grow the dictionary's overflow region; when it (or the
+    /// structural delete churn) passes a threshold a re-sort epoch runs
+    /// automatically. Callers that need order-isomorphic codes *now*
+    /// (anything about to serve a query) should follow up with
+    /// [`EncodedDatabase::normalize`].
     ///
-    /// # Panics
-    /// Panics on a partial encoding, an out-of-range relation, or a row
-    /// arity mismatch.
-    pub fn apply(&mut self, update: &Update) -> bool {
-        assert!(
-            self.fully_resident(),
-            "partial (one-shot) encodings are read-only"
-        );
+    /// # Errors
+    /// [`TsensError::ReadOnlySession`] on a partial encoding,
+    /// [`TsensError::NoSuchRelation`] on an out-of-range relation, and
+    /// [`TsensError::Data`] on a row arity mismatch — all checked before
+    /// anything is mutated.
+    pub fn apply(&mut self, update: &Update) -> Result<bool, TsensError> {
+        if !self.fully_resident() {
+            return Err(TsensError::ReadOnlySession);
+        }
         let rel = update.relation();
+        if rel >= self.lifted.len() {
+            return Err(TsensError::NoSuchRelation {
+                relation: rel,
+                count: self.lifted.len(),
+            });
+        }
+        let arity = self.lifted[rel].arity();
+        let check_arity = |row: &Row| -> Result<(), TsensError> {
+            if row.len() == arity {
+                Ok(())
+            } else {
+                Err(DataError::ArityMismatch {
+                    expected: arity,
+                    actual: row.len(),
+                }
+                .into())
+            }
+        };
         let applied = match update {
             Update::Insert { row, .. } => {
+                check_arity(row)?;
                 // Resolve codes immutably first: in the common case every
                 // value is already in the dictionary, and forking a
                 // pinned `Arc<Dict>` (`make_mut` deep-clones it whenever
@@ -239,7 +280,6 @@ impl EncodedDatabase {
                     }
                 };
                 let r = Arc::make_mut(&mut self.lifted[rel]);
-                assert_eq!(codes.len(), r.arity(), "insert row arity mismatch");
                 match r.find_row(&codes) {
                     Ok(i) => r.increment_count(i, 1),
                     Err(i) => r.insert_row_at(i, &codes, 1),
@@ -247,11 +287,7 @@ impl EncodedDatabase {
                 true
             }
             Update::Delete { row, .. } => {
-                assert_eq!(
-                    row.len(),
-                    self.lifted[rel].arity(),
-                    "delete row arity mismatch"
-                );
+                check_arity(row)?;
                 let codes: Option<Vec<u32>> = row.iter().map(|v| self.dict.encode(v)).collect();
                 let found = codes
                     .and_then(|codes| self.lifted[rel].find_row(&codes).ok().map(|i| (codes, i)));
@@ -261,14 +297,20 @@ impl EncodedDatabase {
                         let r = Arc::make_mut(&mut self.lifted[rel]);
                         if r.decrement_count(i, 1) == 0 {
                             r.remove_row_at(i);
+                            // Structural removal: the row's values may now
+                            // be orphaned in the dictionary.
+                            self.churn += 1;
                         }
                         true
                     }
                 }
             }
             Update::BulkLoad { rows, .. } => {
+                for row in rows {
+                    check_arity(row)?;
+                }
                 if rows.is_empty() {
-                    return true;
+                    return Ok(true);
                 }
                 // Unlike single inserts, a bulk load forks a pinned dict
                 // up front: the possible clone is amortized across the
@@ -279,7 +321,6 @@ impl EncodedDatabase {
                 let schema = r.schema().clone();
                 r.reserve(rows.len());
                 for row in rows {
-                    assert_eq!(row.len(), schema.arity(), "bulk row arity mismatch");
                     r.push_mapped(row.iter().map(|v| dict.encode_or_insert(v)), 1);
                 }
                 // Appending broke the grouped invariant; re-group once
@@ -290,24 +331,51 @@ impl EncodedDatabase {
         };
         if applied {
             self.versions[rel] += 1;
-            if self.dict.overflow_len() >= OVERFLOW_RESORT_THRESHOLD {
+            if self.dict.overflow_len() >= OVERFLOW_RESORT_THRESHOLD
+                || self.churn >= OVERFLOW_RESORT_THRESHOLD
+            {
                 self.normalize();
             }
         }
-        applied
+        Ok(applied)
     }
 
-    /// Run a re-sort epoch if the dictionary has pending overflow:
-    /// rebuild the sorted dictionary, remap every resident relation's
-    /// codes (a monotone relabeling — only relations that actually held
-    /// overflow codes are re-sorted), and bump the epoch counter.
-    /// Returns whether an epoch ran.
+    /// Run a re-sort epoch if the dictionary has pending overflow *or*
+    /// the structural delete churn passed the threshold: rebuild the
+    /// sorted dictionary **compacting away values no resident relation
+    /// references anymore**, remap every resident relation's codes (a
+    /// monotone relabeling — only relations that actually held overflow
+    /// codes are re-sorted), and bump the epoch counter. Returns whether
+    /// an epoch ran.
+    ///
+    /// A churn-triggered call that finds every value still referenced
+    /// skips the epoch entirely (nothing to collect, and an epoch is not
+    /// free: the engine session clears its lifted-atom cache on every
+    /// one).
     pub fn normalize(&mut self) -> bool {
-        if self.dict.is_order_isomorphic() {
+        let churn_due = self.churn >= OVERFLOW_RESORT_THRESHOLD;
+        if self.dict.is_order_isomorphic() && !churn_due {
+            return false;
+        }
+        self.churn = 0;
+        // Liveness scan: one pass over the resident codes, the same
+        // order of work as the remap below.
+        let mut live = vec![false; self.dict.len()];
+        for (i, rel) in self.lifted.iter().enumerate() {
+            if !self.resident[i] {
+                continue;
+            }
+            for (row, _) in rel.iter() {
+                for &c in row {
+                    live[c as usize] = true;
+                }
+            }
+        }
+        if self.dict.is_order_isomorphic() && live.iter().all(|&l| l) {
             return false;
         }
         let old_base = self.dict.base_len() as u32;
-        let (sorted, remap) = self.dict.resorted();
+        let (sorted, remap) = self.dict.resorted_retaining(|c| live[c as usize]);
         for rel in &mut self.lifted {
             let r = Arc::make_mut(rel);
             if r.remap_codes(&remap, old_base) {
@@ -322,21 +390,51 @@ impl EncodedDatabase {
     /// [`EncodedDatabase::apply`] for a whole batch, with one
     /// [`EncodedDatabase::normalize`] at the end instead of per delta.
     /// Returns how many deltas applied (deletes of absent rows don't).
-    pub fn apply_all<'u>(&mut self, updates: impl IntoIterator<Item = &'u Update>) -> usize {
-        let applied = updates.into_iter().filter(|u| self.apply(u)).count();
+    ///
+    /// # Errors
+    /// Stops at the first failing delta (see [`EncodedDatabase::apply`]);
+    /// earlier deltas stay applied, and the applied prefix is
+    /// normalized before the error returns so the encoding is always
+    /// left order-isomorphic.
+    pub fn apply_all<'u>(
+        &mut self,
+        updates: impl IntoIterator<Item = &'u Update>,
+    ) -> Result<usize, TsensError> {
+        let mut applied = 0;
+        let mut failed = None;
+        for u in updates {
+            match self.apply(u) {
+                Ok(true) => applied += 1,
+                Ok(false) => {}
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
         self.normalize();
-        applied
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(applied),
+        }
     }
 
     /// Insert one copy of `row` into relation `rel`.
-    pub fn insert(&mut self, rel: usize, row: Row) {
-        self.apply(&Update::Insert { relation: rel, row });
+    ///
+    /// # Errors
+    /// See [`EncodedDatabase::apply`].
+    pub fn insert(&mut self, rel: usize, row: Row) -> Result<(), TsensError> {
+        self.apply(&Update::Insert { relation: rel, row })?;
         self.normalize();
+        Ok(())
     }
 
     /// Remove one copy of `row` from relation `rel`, returning whether a
     /// copy existed.
-    pub fn delete(&mut self, rel: usize, row: Row) -> bool {
+    ///
+    /// # Errors
+    /// See [`EncodedDatabase::apply`].
+    pub fn delete(&mut self, rel: usize, row: Row) -> Result<bool, TsensError> {
         self.apply(&Update::Delete { relation: rel, row })
     }
 }
@@ -381,13 +479,13 @@ mod tests {
         let fresh = EncodedDatabase::new(db);
         for (i, _, rel) in db.iter() {
             assert_eq!(
-                enc.lifted(i).decode(enc.dict()),
+                enc.lifted(i).unwrap().decode(enc.dict()),
                 CountedRelation::from_relation(rel),
                 "relation {i} lift mismatch"
             );
             assert_eq!(
-                enc.lifted(i).decode(enc.dict()),
-                fresh.lifted(i).decode(fresh.dict()),
+                enc.lifted(i).unwrap().decode(enc.dict()),
+                fresh.lifted(i).unwrap().decode(fresh.dict()),
                 "relation {i} differs from rebuild"
             );
         }
@@ -401,7 +499,7 @@ mod tests {
         for (i, _, rel) in db.iter() {
             let expected = CountedRelation::from_relation(rel);
             assert_eq!(
-                enc.lifted(i).decode(enc.dict()),
+                enc.lifted(i).unwrap().decode(enc.dict()),
                 expected,
                 "relation {i} lift mismatch"
             );
@@ -428,8 +526,8 @@ mod tests {
         let db = sample_db();
         let enc = EncodedDatabase::new(&db);
         // R has 3 rows, 2 distinct; counts must sum back to 3.
-        assert_eq!(enc.lifted(0).len(), 2);
-        assert_eq!(enc.lifted(0).total_count(), 3);
+        assert_eq!(enc.lifted(0).unwrap().len(), 2);
+        assert_eq!(enc.lifted(0).unwrap().total_count(), 3);
     }
 
     #[test]
@@ -437,7 +535,7 @@ mod tests {
         let mut db = sample_db();
         let mut enc = EncodedDatabase::new(&db);
         let row = vec![Value::Int(2), Value::str("x")]; // both values known
-        enc.insert(0, row.clone());
+        enc.insert(0, row.clone()).unwrap();
         db.insert_row(0, row);
         assert_eq!(enc.epoch(), 0, "no new values → no re-sort epoch");
         assert_eq!(enc.version(0), 1);
@@ -450,10 +548,10 @@ mod tests {
         let mut db = sample_db();
         let mut enc = EncodedDatabase::new(&db);
         let row = vec![Value::Int(1), Value::str("x")];
-        enc.insert(0, row.clone());
+        enc.insert(0, row.clone()).unwrap();
         db.insert_row(0, row);
-        assert_eq!(enc.lifted(0).len(), 2, "still two distinct rows");
-        assert_eq!(enc.lifted(0).total_count(), 4);
+        assert_eq!(enc.lifted(0).unwrap().len(), 2, "still two distinct rows");
+        assert_eq!(enc.lifted(0).unwrap().total_count(), 4);
         assert_matches_rebuild(&enc, &db);
     }
 
@@ -464,7 +562,7 @@ mod tests {
         // Int(0) sorts before every existing value: the epoch must shift
         // every code and keep all relations value-ordered.
         let row = vec![Value::Int(0), Value::str("w")];
-        enc.insert(0, row.clone());
+        enc.insert(0, row.clone()).unwrap();
         db.insert_row(0, row);
         assert_eq!(enc.epoch(), 1, "insert() normalizes eagerly");
         assert!(enc.dict().is_order_isomorphic());
@@ -476,17 +574,19 @@ mod tests {
         let mut db = sample_db();
         let mut enc = EncodedDatabase::new(&db);
         let dup = vec![Value::Int(1), Value::str("x")];
-        assert!(enc.delete(0, dup.clone()));
+        assert!(enc.delete(0, dup.clone()).unwrap());
         db.remove_row(0, &dup);
-        assert_eq!(enc.lifted(0).len(), 2, "count 2 → 1, row stays");
+        assert_eq!(enc.lifted(0).unwrap().len(), 2, "count 2 → 1, row stays");
         assert_matches_rebuild(&enc, &db);
-        assert!(enc.delete(0, dup.clone()));
+        assert!(enc.delete(0, dup.clone()).unwrap());
         db.remove_row(0, &dup);
-        assert_eq!(enc.lifted(0).len(), 1, "count 1 → 0, row removed");
+        assert_eq!(enc.lifted(0).unwrap().len(), 1, "count 1 → 0, row removed");
         assert_matches_rebuild(&enc, &db);
         // Deleting an absent row is a detected no-op.
-        assert!(!enc.delete(0, dup.clone()));
-        assert!(!enc.delete(0, vec![Value::Int(99), Value::str("q")]));
+        assert!(!enc.delete(0, dup.clone()).unwrap());
+        assert!(!enc
+            .delete(0, vec![Value::Int(99), Value::str("q")])
+            .unwrap());
         assert_eq!(enc.version(0), 2, "no-op deletes don't bump versions");
     }
 
@@ -499,13 +599,14 @@ mod tests {
             vec![Value::Int(7), Value::str("x")], // new int value
             vec![Value::Int(7), Value::str("x")], // duplicate within batch
         ];
-        enc.apply_all(&[Update::bulk_load(0, rows.clone())]);
+        enc.apply_all(&[Update::bulk_load(0, rows.clone())])
+            .unwrap();
         for r in rows {
             db.insert_row(0, r);
         }
         assert!(enc.dict().is_order_isomorphic());
         assert_matches_rebuild(&enc, &db);
-        assert_eq!(enc.lifted(0).total_count(), 6);
+        assert_eq!(enc.lifted(0).unwrap().total_count(), 6);
     }
 
     #[test]
@@ -519,7 +620,7 @@ mod tests {
             Update::insert(0, vec![Value::Int(3), Value::str("m")]),
             Update::delete(1, vec![Value::str("z")]),
         ];
-        enc.apply_all(&updates);
+        enc.apply_all(&updates).unwrap();
         for u in &updates {
             match u {
                 Update::Insert { relation, row } => db.insert_row(*relation, row.clone()),
@@ -544,12 +645,13 @@ mod tests {
         let db = sample_db();
         let mut enc = EncodedDatabase::new(&db);
         let old_dict = Arc::clone(enc.dict());
-        let old_lift = Arc::clone(enc.lifted(0));
+        let old_lift = Arc::clone(enc.lifted(0).unwrap());
         let before = old_lift.decode(&old_dict);
         // An epoch-forcing update must not disturb the pinned snapshot.
-        enc.insert(0, vec![Value::Int(-1), Value::str("k")]);
+        enc.insert(0, vec![Value::Int(-1), Value::str("k")])
+            .unwrap();
         assert_eq!(old_lift.decode(&old_dict), before);
-        assert_ne!(enc.lifted(0).len(), old_lift.len());
+        assert_ne!(enc.lifted(0).unwrap().len(), old_lift.len());
     }
 
     #[test]
@@ -562,24 +664,142 @@ mod tests {
         // Dict holds S's values only.
         assert_eq!(enc.dict().len(), 2);
         assert_eq!(
-            enc.lifted(1).decode(enc.dict()),
+            enc.lifted(1).unwrap().decode(enc.dict()),
             CountedRelation::from_relation(db.relation(1))
         );
     }
 
     #[test]
-    #[should_panic(expected = "not resident")]
     fn partial_encoding_rejects_unresident_access() {
         let db = sample_db();
         let enc = EncodedDatabase::for_relations(&db, [1]);
-        let _ = enc.lifted(0);
+        assert_eq!(
+            enc.lifted(0).err(),
+            Some(TsensError::NotResident { relation: 0 }),
+            "unresident access must be a typed error, not a panic"
+        );
+        assert_eq!(
+            enc.lifted(99).err(),
+            Some(TsensError::NoSuchRelation {
+                relation: 99,
+                count: 2
+            })
+        );
     }
 
     #[test]
-    #[should_panic(expected = "read-only")]
     fn partial_encoding_rejects_updates() {
         let db = sample_db();
         let mut enc = EncodedDatabase::for_relations(&db, [1]);
-        enc.insert(1, vec![Value::str("x")]);
+        assert_eq!(
+            enc.insert(1, vec![Value::str("x")]).err(),
+            Some(TsensError::ReadOnlySession),
+            "read-only mutation must be a typed error, not a panic"
+        );
+    }
+
+    #[test]
+    fn malformed_updates_are_typed_errors() {
+        let db = sample_db();
+        let mut enc = EncodedDatabase::new(&db);
+        // Out-of-range relation.
+        assert_eq!(
+            enc.insert(7, vec![Value::Int(1)]).err(),
+            Some(TsensError::NoSuchRelation {
+                relation: 7,
+                count: 2
+            })
+        );
+        // Arity mismatches across all delta kinds, checked pre-mutation.
+        let bad = |e: Option<TsensError>| {
+            assert!(
+                matches!(e, Some(TsensError::Data(DataError::ArityMismatch { .. }))),
+                "expected arity error, got {e:?}"
+            );
+        };
+        bad(enc.insert(0, vec![Value::Int(1)]).err());
+        bad(enc.delete(0, vec![Value::Int(1)]).err());
+        bad(enc
+            .apply(&Update::bulk_load(0, vec![vec![Value::Int(1)]]))
+            .err());
+        bad(enc.contains(0, &[Value::Int(1)]).err());
+        // Nothing was applied or bumped.
+        assert_eq!(enc.version(0), 0);
+        assert_matches_rebuild(&enc, &db);
+    }
+
+    /// Satellite regression: sustained insert/delete churn with fresh
+    /// values must keep the dictionary bounded — every epoch compacts
+    /// away the values the deletes orphaned instead of folding them into
+    /// the base forever.
+    #[test]
+    fn insert_delete_churn_keeps_dict_bounded() {
+        let db = sample_db();
+        let mut enc = EncodedDatabase::new(&db);
+        let base = enc.dict().len();
+        // Each round inserts a row with a never-seen value and deletes it
+        // again: the value is dead the moment the delete lands.
+        for i in 0..3 * OVERFLOW_RESORT_THRESHOLD as i64 {
+            let row = vec![Value::Int(1_000_000 + i), Value::str("x")];
+            assert!(enc.apply(&Update::insert(0, row.clone())).unwrap());
+            assert!(enc.apply(&Update::delete(0, row)).unwrap());
+        }
+        assert!(enc.epoch() >= 2, "threshold epochs must have fired");
+        // Without compaction the dictionary would hold base + 3×threshold
+        // values; with it, at most one un-normalized window of overflow.
+        assert!(
+            enc.dict().len() <= base + OVERFLOW_RESORT_THRESHOLD,
+            "dict grew unbounded: {} values (base {base})",
+            enc.dict().len()
+        );
+        enc.normalize();
+        assert_eq!(enc.dict().len(), base, "all churned values collected");
+        assert_matches_rebuild(&enc, &sample_db());
+    }
+
+    /// A pure delete stream (no new values, so no overflow) must still
+    /// trigger a compacting epoch once churn passes the threshold.
+    #[test]
+    fn delete_only_churn_compacts_tombstones() {
+        let mut db = Database::new();
+        let [a] = db.attrs(["A"]);
+        let n = OVERFLOW_RESORT_THRESHOLD as i64 + 64;
+        db.add_relation(
+            "R",
+            Relation::from_rows(
+                Schema::new(vec![a]),
+                (0..n).map(|i| vec![Value::Int(i)]).collect(),
+            ),
+        )
+        .unwrap();
+        let mut enc = EncodedDatabase::new(&db);
+        assert_eq!(enc.dict().len(), n as usize);
+        for i in 0..OVERFLOW_RESORT_THRESHOLD as i64 {
+            assert!(enc.delete(0, vec![Value::Int(i)]).unwrap());
+        }
+        assert!(enc.epoch() >= 1, "delete churn must trigger an epoch");
+        assert_eq!(
+            enc.dict().len(),
+            64,
+            "tombstoned values must be compacted away"
+        );
+        // The surviving encoding still matches a rebuild.
+        for i in 0..OVERFLOW_RESORT_THRESHOLD as i64 {
+            db.remove_row(0, &[Value::Int(i)]);
+        }
+        assert_matches_rebuild(&enc, &db);
+    }
+
+    /// Churn-triggered normalize calls with nothing dead must not burn
+    /// an epoch (epochs clear the engine's lifted-atom cache).
+    #[test]
+    fn churn_epoch_skipped_when_everything_is_live() {
+        let db = sample_db();
+        let mut enc = EncodedDatabase::new(&db);
+        // Deleting one copy of a duplicated row only decrements its
+        // count — no structural churn, nothing orphaned.
+        assert!(enc.delete(0, vec![Value::Int(1), Value::str("x")]).unwrap());
+        assert!(!enc.normalize(), "below threshold: no epoch");
+        assert_eq!(enc.epoch(), 0);
     }
 }

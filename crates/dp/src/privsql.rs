@@ -23,7 +23,7 @@ use crate::laplace::laplace_mechanism;
 use crate::svt::svt_first_above;
 use rand::Rng;
 use tsens_core::elastic::{elastic_sensitivity, plan_order_from_tree};
-use tsens_data::{sat_mul, AttrId, Count, Database, FastMap, Row};
+use tsens_data::{sat_mul, AttrId, Count, Database, FastMap, Row, TsensError};
 use tsens_engine::yannakakis::count_query;
 use tsens_engine::EngineSession;
 use tsens_query::{ConjunctiveQuery, DecompositionTree};
@@ -140,12 +140,17 @@ pub fn privsql_answer<R: Rng>(
         epsilon,
         rng,
     )
+    .expect("one-shot sessions are resident over their query")
 }
 
 /// [`privsql_answer`] over a warm session. The untruncated `|Q(D)|` is
 /// served by the session's pass cache; the truncated instance is a
 /// *different* database (rows removed by the learned caps), so its count
 /// and its elastic bound are necessarily evaluated one-shot.
+///
+/// # Errors
+/// [`TsensError`] when the (partial) session does not serve one of the
+/// query's relations.
 ///
 /// # Panics
 /// Panics if the policy references out-of-range atoms or `epsilon ≤ 0`.
@@ -156,7 +161,7 @@ pub fn privsql_answer_session<R: Rng>(
     policy: &PrivSqlPolicy,
     epsilon: f64,
     rng: &mut R,
-) -> PrivSqlResult {
+) -> Result<PrivSqlResult, TsensError> {
     assert!(epsilon > 0.0, "epsilon must be positive");
     assert!(
         policy.primary_atom < cq.atom_count(),
@@ -166,7 +171,7 @@ pub fn privsql_answer_session<R: Rng>(
 
     let eps_learn = epsilon / 2.0;
     let eps_answer = epsilon / 2.0;
-    let true_count = session.count_query(cq, tree);
+    let true_count = session.count_query(cq, tree)?;
 
     // Phase 1: learn per-cascade frequency caps with SVT and truncate.
     let mut work = db.clone();
@@ -238,7 +243,7 @@ pub fn privsql_answer_session<R: Rng>(
 
     let bias = (true_count as f64 - truncated_count as f64).abs();
     let error = (true_count as f64 - noisy).abs();
-    PrivSqlResult {
+    Ok(PrivSqlResult {
         noisy_answer: noisy,
         global_sensitivity,
         learned_caps,
@@ -246,7 +251,7 @@ pub fn privsql_answer_session<R: Rng>(
         truncated_count,
         bias,
         error,
-    }
+    })
 }
 
 #[cfg(test)]

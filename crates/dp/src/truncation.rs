@@ -21,7 +21,7 @@
 //! TSensDP's SVT scan thresholds `1..ℓ` without re-evaluating the query.
 
 use tsens_core::{MultiplicityTable, SessionExt};
-use tsens_data::{sat_add, Count, Database};
+use tsens_data::{sat_add, Count, Database, TsensError};
 use tsens_engine::EngineSession;
 use tsens_query::{ConjunctiveQuery, DecompositionTree};
 
@@ -85,23 +85,31 @@ impl TruncationProfile {
     /// cache (computed at most once per `(query, tree, atom)`), and the
     /// finished profile is memoized too — repeated-run experiments and
     /// interleaved DP answers over one database only re-draw noise.
+    /// # Errors
+    /// [`TsensError`] when the (partial) session does not serve one of
+    /// the query's relations.
     pub fn build_session(
         session: &EngineSession<'_>,
         cq: &ConjunctiveQuery,
         tree: &DecompositionTree,
         private_atom: usize,
-    ) -> Self {
-        let cached = session.cached_query_result(
+    ) -> Result<Self, TsensError> {
+        let cached = session.try_cached_query_result(
             "truncation_profile",
             cq,
             Some(tree),
             &[private_atom as u128],
             || {
-                let table = session.multiplicity_table_for(cq, tree, private_atom);
-                TruncationProfile::build(session.database(), cq, private_atom, &table)
+                let table = session.multiplicity_table_for(cq, tree, private_atom)?;
+                Ok(TruncationProfile::build(
+                    session.database(),
+                    cq,
+                    private_atom,
+                    &table,
+                ))
             },
-        );
-        (*cached).clone()
+        )?;
+        Ok((*cached).clone())
     }
 
     /// `|Q(T_TSens(Q, D, τ))|` — the bag count after truncating at `τ`.

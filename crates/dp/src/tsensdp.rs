@@ -19,7 +19,7 @@ use crate::laplace::laplace_mechanism;
 use crate::svt::svt_first_above;
 use crate::truncation::TruncationProfile;
 use rand::Rng;
-use tsens_data::{Count, Database};
+use tsens_data::{Count, Database, TsensError};
 use tsens_engine::EngineSession;
 use tsens_query::{ConjunctiveQuery, DecompositionTree};
 
@@ -85,12 +85,17 @@ pub fn tsensdp_answer<R: Rng>(
         epsilon,
         rng,
     )
+    .expect("one-shot sessions are resident over their query")
 }
 
 /// [`tsensdp_answer`] over a warm session: the multiplicity table and
 /// truncation profile are served from (and memoized in) the session's
 /// result caches, so a stream of DP answers over the same database — or
 /// repeated runs of the same query — only re-draws noise.
+///
+/// # Errors
+/// [`TsensError`] when the (partial) session does not serve one of the
+/// query's relations.
 ///
 /// # Panics
 /// Panics if `ell == 0` or `epsilon ≤ 0`.
@@ -102,9 +107,9 @@ pub fn tsensdp_answer_session<R: Rng>(
     ell: Count,
     epsilon: f64,
     rng: &mut R,
-) -> TSensDpResult {
-    let profile = TruncationProfile::build_session(session, cq, tree, private_atom);
-    tsensdp_answer_from_profile(&profile, ell, epsilon, rng)
+) -> Result<TSensDpResult, TsensError> {
+    let profile = TruncationProfile::build_session(session, cq, tree, private_atom)?;
+    Ok(tsensdp_answer_from_profile(&profile, ell, epsilon, rng))
 }
 
 /// [`tsensdp_answer`] over a pre-built [`TruncationProfile`]. The profile

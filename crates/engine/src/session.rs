@@ -60,7 +60,8 @@ use std::borrow::Cow;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use tsens_data::{
-    AttrId, Count, Database, Dict, EncodedDatabase, EncodedRelation, FastMap, Row, Schema, Update,
+    AttrId, Count, DataError, Database, Dict, EncodedDatabase, EncodedRelation, FastMap, Row,
+    Schema, TsensError, Update,
 };
 use tsens_query::{Atom, ConjunctiveQuery, DecompositionTree, Predicate};
 
@@ -226,7 +227,7 @@ impl<'a> EngineSession<'a> {
     /// Open a **partial, read-only** session resident over the relations
     /// `cq` references — what the one-shot wrappers use so a single
     /// query never pays for encoding the rest of the catalog. Queries
-    /// over other relations (and updates) panic.
+    /// over other relations (and updates) return typed errors.
     pub fn for_query(db: &'a Database, cq: &ConjunctiveQuery) -> Self {
         Self::for_relations(db, cq.atoms().iter().map(|a| a.relation))
     }
@@ -237,9 +238,22 @@ impl<'a> EngineSession<'a> {
         Self::with_encoding(db, EncodedDatabase::for_relations(db, relations))
     }
 
+    /// Open a session that **owns** its database — the serving
+    /// front-end's constructor, where the session must outlive the scope
+    /// that loaded the data (`EngineSession<'static>` slots straight
+    /// into an `RwLock` shared across worker threads).
+    pub fn owned(db: Database) -> EngineSession<'static> {
+        let enc = EncodedDatabase::new(&db);
+        EngineSession::from_parts(Cow::Owned(db), enc)
+    }
+
     fn with_encoding(db: &'a Database, enc: EncodedDatabase) -> Self {
+        Self::from_parts(Cow::Borrowed(db), enc)
+    }
+
+    fn from_parts(db: Cow<'a, Database>, enc: EncodedDatabase) -> Self {
         EngineSession {
-            db: Cow::Borrowed(db),
+            db,
             enc,
             atoms: Mutex::new(FastMap::default()),
             passes: Mutex::new(FastMap::default()),
@@ -265,6 +279,21 @@ impl<'a> EngineSession<'a> {
     #[inline]
     pub fn encoded(&self) -> &EncodedDatabase {
         &self.enc
+    }
+
+    /// Check that every relation `cq` references is resident — the
+    /// request-path guard algorithms run before diving into infallible
+    /// inner plumbing (after it, atom lifts and `mf` lookups over the
+    /// query's relations cannot fail).
+    ///
+    /// # Errors
+    /// [`TsensError::NotResident`] / [`TsensError::NoSuchRelation`] for
+    /// the first offending atom.
+    pub fn ensure_resident(&self, cq: &ConjunctiveQuery) -> Result<(), TsensError> {
+        for atom in cq.atoms() {
+            self.enc.lifted(atom.relation)?;
+        }
+        Ok(())
     }
 
     /// Current cache counters.
@@ -293,27 +322,45 @@ impl<'a> EngineSession<'a> {
     /// atoms are filtered once per distinct `(relation, predicate)` and
     /// cached. Selection predicates are evaluated over the encoded rows
     /// through a decoding lookup, so the `Value` rows are never
-    /// re-scanned.
-    pub fn lifted_atom(&self, atom: &Atom) -> Arc<EncodedRelation> {
+    /// re-scanned. A predicate constant the database has never seen is
+    /// simply never equal to any stored value — the lift comes back
+    /// empty, never a panic.
+    ///
+    /// # Errors
+    /// [`TsensError::NotResident`] / [`TsensError::NoSuchRelation`] when
+    /// the atom's relation is not served by this (partial) session, and
+    /// [`TsensError::Data`] when the predicate references an attribute
+    /// the relation does not have.
+    pub fn lifted_atom(&self, atom: &Atom) -> Result<Arc<EncodedRelation>, TsensError> {
         if atom.predicate.is_trivial() {
-            return Arc::clone(self.enc.lifted(atom.relation));
+            return Ok(Arc::clone(self.enc.lifted(atom.relation)?));
         }
         let key = (atom.relation, atom.predicate.clone());
         if let Some(hit) = self.atoms.lock().expect("atom cache poisoned").get(&key) {
             self.stats.atom_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
+            return Ok(Arc::clone(hit));
         }
         self.stats.atom_misses.fetch_add(1, Ordering::Relaxed);
-        let base = self.enc.lifted(atom.relation);
+        let base = self.enc.lifted(atom.relation)?;
         let dict = self.dict();
         let schema = base.schema();
         debug_assert_eq!(schema, &atom.schema, "atom schema must match its relation");
         let mut out = EncodedRelation::with_capacity(schema.clone(), base.len());
         for (row, c) in base.iter() {
+            // Full stored rows decide every in-schema attribute, so an
+            // undecided predicate means it references an attribute the
+            // relation does not have — malformed input. Keeping the row
+            // would silently serve unfiltered counts; report it instead.
             let keep = atom
                 .predicate
                 .eval_partial(&|a| schema.position(a).map(|pos| dict.decode(row[pos])))
-                .expect("full rows decide predicates");
+                .ok_or_else(|| {
+                    TsensError::Data(DataError::UnknownAttribute(format!(
+                        "predicate on relation {} references an attribute \
+                         outside its schema",
+                        atom.relation
+                    )))
+                })?;
             if keep {
                 out.push(row, c);
             }
@@ -324,25 +371,38 @@ impl<'a> EngineSession<'a> {
             .lock()
             .expect("atom cache poisoned")
             .insert(key, Arc::clone(&lifted));
-        lifted
+        Ok(lifted)
     }
 
     /// Lift every atom of `cq`, in atom order.
-    pub fn lift_query(&self, cq: &ConjunctiveQuery) -> Vec<Arc<EncodedRelation>> {
+    ///
+    /// # Errors
+    /// See [`EngineSession::lifted_atom`].
+    pub fn lift_query(
+        &self,
+        cq: &ConjunctiveQuery,
+    ) -> Result<Vec<Arc<EncodedRelation>>, TsensError> {
         cq.atoms().iter().map(|a| self.lifted_atom(a)).collect()
     }
 
     /// The shared pass state of `(cq, tree)`: lifted atoms, bag
     /// relations and the ⊥ pass, computed once and memoized (the ⊤ pass
     /// is added lazily inside the entry).
-    pub fn passes(&self, cq: &ConjunctiveQuery, tree: &DecompositionTree) -> Arc<QueryPasses> {
+    ///
+    /// # Errors
+    /// See [`EngineSession::lifted_atom`].
+    pub fn passes(
+        &self,
+        cq: &ConjunctiveQuery,
+        tree: &DecompositionTree,
+    ) -> Result<Arc<QueryPasses>, TsensError> {
         let key = QueryKey::new(cq, tree);
         if let Some(hit) = self.passes.lock().expect("pass cache poisoned").get(&key) {
             self.stats.pass_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
+            return Ok(Arc::clone(hit));
         }
         self.stats.pass_misses.fetch_add(1, Ordering::Relaxed);
-        let lifted = self.lift_query(cq);
+        let lifted = self.lift_query(cq)?;
         let bags = bag_relations_from_arcs(&lifted, tree);
         let bag_refs: Vec<&EncodedRelation> = bags.iter().map(|b| &**b).collect();
         let bots = botjoin_pass_enc_refs(tree, &bag_refs);
@@ -356,14 +416,21 @@ impl<'a> EngineSession<'a> {
         // A racing thread may have inserted meanwhile; keep the first
         // entry so concurrent callers converge on one shared state.
         let mut guard = self.passes.lock().expect("pass cache poisoned");
-        Arc::clone(guard.entry(key).or_insert(entry))
+        Ok(Arc::clone(guard.entry(key).or_insert(entry)))
     }
 
     /// Bag-semantics output size `|Q(D)|` — warm calls are a single
     /// pass-cache lookup.
-    pub fn count_query(&self, cq: &ConjunctiveQuery, tree: &DecompositionTree) -> Count {
-        let passes = self.passes(cq, tree);
-        passes.bots[tree.root()].total_count()
+    ///
+    /// # Errors
+    /// See [`EngineSession::lifted_atom`].
+    pub fn count_query(
+        &self,
+        cq: &ConjunctiveQuery,
+        tree: &DecompositionTree,
+    ) -> Result<Count, TsensError> {
+        let passes = self.passes(cq, tree)?;
+        Ok(passes.bots[tree.root()].total_count())
     }
 
     /// Memoize an arbitrary per-query result computed by a higher layer
@@ -383,6 +450,25 @@ impl<'a> EngineSession<'a> {
         salt: &[u128],
         compute: impl FnOnce() -> T,
     ) -> Arc<T> {
+        self.try_cached_query_result(kind, cq, tree, salt, || Ok(compute()))
+            .expect("infallible computation")
+    }
+
+    /// [`EngineSession::cached_query_result`] for fallible computations —
+    /// the serving path, where a bad request (unresident relation in a
+    /// partial session) must come back as an error, not cache a poisoned
+    /// entry or kill the worker. Failed computations cache nothing.
+    ///
+    /// # Errors
+    /// Whatever `compute` returns.
+    pub fn try_cached_query_result<T: Any + Send + Sync>(
+        &self,
+        kind: &'static str,
+        cq: &ConjunctiveQuery,
+        tree: Option<&DecompositionTree>,
+        salt: &[u128],
+        compute: impl FnOnce() -> Result<T, TsensError>,
+    ) -> Result<Arc<T>, TsensError> {
         let key = (
             kind,
             match tree {
@@ -399,18 +485,18 @@ impl<'a> EngineSession<'a> {
         {
             if let Ok(typed) = Arc::clone(hit).downcast::<T>() {
                 self.stats.result_hits.fetch_add(1, Ordering::Relaxed);
-                return typed;
+                return Ok(typed);
             }
         }
         self.stats.result_misses.fetch_add(1, Ordering::Relaxed);
         // Compute outside the lock: the computation may re-enter the
         // session (passes, lifts) and must not deadlock.
-        let value = Arc::new(compute());
+        let value = Arc::new(compute()?);
         self.results
             .lock()
             .expect("result cache poisoned")
             .insert(key, Arc::clone(&value) as Arc<dyn Any + Send + Sync>);
-        value
+        Ok(value)
     }
 
     /// Max frequency `mf(X, R)`: the largest number of rows of relation
@@ -419,19 +505,23 @@ impl<'a> EngineSession<'a> {
     /// `(relation, attr set)` — the statistic elastic sensitivity probes
     /// repeatedly across atoms, plans and distances.
     ///
+    /// # Errors
+    /// [`TsensError::NotResident`] / [`TsensError::NoSuchRelation`] for
+    /// a relation this (partial) session does not serve.
+    ///
     /// # Panics
     /// Panics if an attribute is not a column of the relation.
-    pub fn max_frequency(&self, rel: usize, attrs: &[AttrId]) -> Count {
+    pub fn max_frequency(&self, rel: usize, attrs: &[AttrId]) -> Result<Count, TsensError> {
         let mut sorted: Vec<AttrId> = attrs.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
         let key = (rel, sorted);
         if let Some(&hit) = self.mf.lock().expect("mf cache poisoned").get(&key) {
             self.stats.mf_hits.fetch_add(1, Ordering::Relaxed);
-            return hit;
+            return Ok(hit);
         }
         self.stats.mf_misses.fetch_add(1, Ordering::Relaxed);
-        let lifted = self.enc.lifted(rel);
+        let lifted = self.enc.lifted(rel)?;
         let mf = if key.1.is_empty() {
             // mf(∅, R) = |R| (row count under bag semantics).
             lifted.total_count()
@@ -445,7 +535,7 @@ impl<'a> EngineSession<'a> {
                 .unwrap_or(0)
         };
         self.mf.lock().expect("mf cache poisoned").insert(key, mf);
-        mf
+        Ok(mf)
     }
 
     // ------------------------------------------------------------------
@@ -470,13 +560,17 @@ impl<'a> EngineSession<'a> {
     /// Apply one delta: sweep the caches fingerprinted on the touched
     /// relation, push the delta through the `Value` catalog and the
     /// resident encoding in place, and re-sort the dictionary if the
-    /// delta introduced new values. Returns `false` only for a delete of
-    /// an absent row (a no-op: nothing is swept or bumped).
+    /// delta introduced new values. Returns `Ok(false)` only for a
+    /// delete of an absent row (a no-op: nothing is swept or bumped).
     ///
-    /// # Panics
-    /// Panics on a partial ([`EngineSession::for_query`]) session, an
-    /// out-of-range relation, or a row arity mismatch.
-    pub fn apply(&mut self, update: Update) -> bool {
+    /// # Errors
+    /// [`TsensError::ReadOnlySession`] on a partial
+    /// ([`EngineSession::for_query`]) session,
+    /// [`TsensError::NoSuchRelation`] on an out-of-range relation,
+    /// [`TsensError::Data`] on a row arity mismatch — all checked before
+    /// any cache is swept or any state mutated, so a malformed request
+    /// leaves the warm session untouched.
+    pub fn apply(&mut self, update: Update) -> Result<bool, TsensError> {
         self.apply_inner(update, true)
     }
 
@@ -485,11 +579,24 @@ impl<'a> EngineSession<'a> {
     /// pay one epoch, not one per delta — plus automatic threshold
     /// epochs inside very large batches). Returns how many deltas
     /// applied.
-    pub fn apply_all(&mut self, updates: impl IntoIterator<Item = Update>) -> usize {
+    ///
+    /// # Errors
+    /// Stops at the first failing delta; earlier deltas stay applied
+    /// (and are normalized before returning the error).
+    pub fn apply_all(
+        &mut self,
+        updates: impl IntoIterator<Item = Update>,
+    ) -> Result<usize, TsensError> {
         let mut applied = 0;
+        let mut failed = None;
         for u in updates {
-            if self.apply_inner(u, false) {
-                applied += 1;
+            match self.apply_inner(u, false) {
+                Ok(true) => applied += 1,
+                Ok(false) => {}
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
             }
         }
         let before = self.enc.epoch();
@@ -497,30 +604,71 @@ impl<'a> EngineSession<'a> {
         if self.enc.epoch() != before {
             self.on_epoch();
         }
-        applied
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(applied),
+        }
     }
 
     /// Insert one copy of `row` into relation `relation`.
-    pub fn insert(&mut self, relation: usize, row: Row) {
-        self.apply(Update::Insert { relation, row });
+    ///
+    /// # Errors
+    /// See [`EngineSession::apply`].
+    pub fn insert(&mut self, relation: usize, row: Row) -> Result<(), TsensError> {
+        self.apply(Update::Insert { relation, row }).map(|_| ())
     }
 
     /// Remove one copy of `row` from relation `relation`, returning
     /// whether a copy existed.
-    pub fn delete(&mut self, relation: usize, row: Row) -> bool {
+    ///
+    /// # Errors
+    /// See [`EngineSession::apply`].
+    pub fn delete(&mut self, relation: usize, row: Row) -> Result<bool, TsensError> {
         self.apply(Update::Delete { relation, row })
     }
 
     /// Append `rows` to relation `relation` in one delta.
-    pub fn bulk_load(&mut self, relation: usize, rows: Vec<Row>) {
-        self.apply(Update::BulkLoad { relation, rows });
+    ///
+    /// # Errors
+    /// See [`EngineSession::apply`].
+    pub fn bulk_load(&mut self, relation: usize, rows: Vec<Row>) -> Result<(), TsensError> {
+        self.apply(Update::BulkLoad { relation, rows }).map(|_| ())
     }
 
-    fn apply_inner(&mut self, update: Update, normalize: bool) -> bool {
-        assert!(
-            self.enc.fully_resident(),
-            "partial (one-shot) sessions are read-only"
-        );
+    /// Validate a delta against the catalog without touching anything:
+    /// the request path's "fail before sweeping" guard.
+    fn validate_update(&self, update: &Update) -> Result<(), TsensError> {
+        if !self.enc.fully_resident() {
+            return Err(TsensError::ReadOnlySession);
+        }
+        let rel = update.relation();
+        let count = self.enc.relation_count();
+        if rel >= count {
+            return Err(TsensError::NoSuchRelation {
+                relation: rel,
+                count,
+            });
+        }
+        let arity = self.db.relation(rel).schema().arity();
+        let check = |row: &Row| -> Result<(), TsensError> {
+            if row.len() == arity {
+                Ok(())
+            } else {
+                Err(DataError::ArityMismatch {
+                    expected: arity,
+                    actual: row.len(),
+                }
+                .into())
+            }
+        };
+        match update {
+            Update::Insert { row, .. } | Update::Delete { row, .. } => check(row),
+            Update::BulkLoad { rows, .. } => rows.iter().try_for_each(check),
+        }
+    }
+
+    fn apply_inner(&mut self, update: Update, normalize: bool) -> Result<bool, TsensError> {
+        self.validate_update(&update)?;
         // No-op deltas must not sweep anything: an empty bulk load is
         // vacuously applied, and a delete of an absent row reports
         // `false`. The delete pre-check repeats the encode+search that
@@ -531,20 +679,20 @@ impl<'a> EngineSession<'a> {
         // the whole relation.
         match &update {
             Update::Delete { relation, row } => {
-                if !self.enc.contains(*relation, row) {
-                    return false;
+                if !self.enc.contains(*relation, row)? {
+                    return Ok(false);
                 }
             }
             Update::BulkLoad { rows, .. } => {
                 if rows.is_empty() {
-                    return true;
+                    return Ok(true);
                 }
             }
             Update::Insert { .. } => {}
         }
         self.invalidate_relation(update.relation());
         let epoch_before = self.enc.epoch();
-        let applied = self.enc.apply(&update);
+        let applied = self.enc.apply(&update)?;
         debug_assert!(applied, "existence was pre-checked");
         // Mirror the delta into the Value catalog (copy-on-write: the
         // caller's original database is forked on the first update).
@@ -568,7 +716,7 @@ impl<'a> EngineSession<'a> {
             self.on_epoch();
         }
         self.stats.updates_applied.fetch_add(1, Ordering::Relaxed);
-        true
+        Ok(true)
     }
 
     /// Drop every cache entry whose fingerprint contains `rel`. Entries
@@ -668,8 +816,8 @@ mod tests {
         let (db, q, tree) = path_db();
         let session = EngineSession::new(&db);
         let expected = count_query_legacy(&db, &q, &tree);
-        assert_eq!(session.count_query(&q, &tree), expected);
-        assert_eq!(session.count_query(&q, &tree), expected);
+        assert_eq!(session.count_query(&q, &tree).unwrap(), expected);
+        assert_eq!(session.count_query(&q, &tree).unwrap(), expected);
         let stats = session.stats();
         assert_eq!(stats.pass_misses, 1);
         assert_eq!(stats.pass_hits, 1);
@@ -683,8 +831,8 @@ mod tests {
             .clone()
             .with_predicate(&db, "R", Predicate::eq(a, Value::Int(1)));
         let session = EngineSession::new(&db);
-        let l1 = session.lifted_atom(&q1.atoms()[0]);
-        let l2 = session.lifted_atom(&q1.atoms()[0]);
+        let l1 = session.lifted_atom(&q1.atoms()[0]).unwrap();
+        let l2 = session.lifted_atom(&q1.atoms()[0]).unwrap();
         assert!(Arc::ptr_eq(&l1, &l2), "same predicate must share one lift");
         // Only the A=1 rows survive (2 duplicates grouped to one entry).
         assert_eq!(l1.total_count(), 2);
@@ -692,7 +840,7 @@ mod tests {
         assert_eq!((stats.atom_misses, stats.atom_hits), (1, 1));
         // Counting under the predicate matches the legacy path.
         assert_eq!(
-            session.count_query(&q1, &tree),
+            session.count_query(&q1, &tree).unwrap(),
             count_query_legacy(&db, &q1, &tree)
         );
     }
@@ -704,8 +852,8 @@ mod tests {
         let rooted_at_r = DecompositionTree::singleton(&q, vec![None, Some(0)]).expect("valid");
         let rooted_at_s = DecompositionTree::singleton(&q, vec![Some(1), None]).expect("valid");
         let session = EngineSession::new(&db);
-        let c1 = session.count_query(&q, &rooted_at_r);
-        let c2 = session.count_query(&q, &rooted_at_s);
+        let c1 = session.count_query(&q, &rooted_at_r).unwrap();
+        let c2 = session.count_query(&q, &rooted_at_s).unwrap();
         assert_eq!(c1, c2, "count is root-invariant");
         assert_eq!(session.stats().pass_misses, 2);
     }
@@ -736,13 +884,13 @@ mod tests {
         let b = db.attr_id("B").unwrap();
         let a = db.attr_id("A").unwrap();
         // R: B=10 appears twice, B=11 once.
-        assert_eq!(session.max_frequency(0, &[b]), 2);
-        assert_eq!(session.max_frequency(0, &[a, b]), 2);
-        assert_eq!(session.max_frequency(0, &[]), 3);
+        assert_eq!(session.max_frequency(0, &[b]).unwrap(), 2);
+        assert_eq!(session.max_frequency(0, &[a, b]).unwrap(), 2);
+        assert_eq!(session.max_frequency(0, &[]).unwrap(), 3);
         // S: B=10 twice.
-        assert_eq!(session.max_frequency(1, &[b]), 2);
+        assert_eq!(session.max_frequency(1, &[b]).unwrap(), 2);
         // Warm probe hits the cache.
-        assert_eq!(session.max_frequency(0, &[b]), 2);
+        assert_eq!(session.max_frequency(0, &[b]).unwrap(), 2);
         assert!(session.stats().mf_hits >= 1);
     }
 
@@ -753,29 +901,31 @@ mod tests {
         let s_only = ConjunctiveQuery::over(&db, "s", &["S"]).unwrap();
         let s_tree = gyo_decompose(&s_only).unwrap().expect_acyclic("single");
         let mut session = EngineSession::new(&db);
-        let rs_before = session.count_query(&q, &tree);
-        let s_count = session.count_query(&s_only, &s_tree);
+        let rs_before = session.count_query(&q, &tree).unwrap();
+        let s_count = session.count_query(&s_only, &s_tree).unwrap();
         assert_eq!(session.stats().pass_misses, 2);
 
         // Insert into R (values already in the dictionary: no epoch).
-        session.insert(0, vec![Value::Int(2), Value::Int(10)]);
+        session
+            .insert(0, vec![Value::Int(2), Value::Int(10)])
+            .unwrap();
         let stats = session.stats();
         assert_eq!(stats.updates_applied, 1);
         assert_eq!(stats.dict_epochs, 0);
         assert_eq!(stats.passes_invalidated, 1, "only the R⋈S pass dies");
 
         // S's pass state is still warm: pure cache hit.
-        assert_eq!(session.count_query(&s_only, &s_tree), s_count);
+        assert_eq!(session.count_query(&s_only, &s_tree).unwrap(), s_count);
         assert_eq!(session.stats().pass_hits, 1);
         assert_eq!(session.stats().pass_misses, 2);
 
         // The R⋈S query recomputes against the maintained encoding:
         // (2,10) joins S's two B=10 rows → count grows by 2.
-        assert_eq!(session.count_query(&q, &tree), rs_before + 2);
+        assert_eq!(session.count_query(&q, &tree).unwrap(), rs_before + 2);
         assert_eq!(session.stats().pass_misses, 3);
         // And it matches a from-scratch run on the mutated catalog.
         assert_eq!(
-            session.count_query(&q, &tree),
+            session.count_query(&q, &tree).unwrap(),
             count_query_legacy(session.database(), &q, &tree)
         );
     }
@@ -784,12 +934,12 @@ mod tests {
     fn empty_bulk_load_sweeps_nothing() {
         let (db, q, tree) = path_db();
         let mut session = EngineSession::new(&db);
-        session.count_query(&q, &tree);
-        session.bulk_load(0, Vec::new());
+        session.count_query(&q, &tree).unwrap();
+        session.bulk_load(0, Vec::new()).unwrap();
         let stats = session.stats();
         assert_eq!(stats.passes_invalidated, 0);
         assert_eq!(stats.updates_applied, 0);
-        session.count_query(&q, &tree);
+        session.count_query(&q, &tree).unwrap();
         assert_eq!(session.stats().pass_hits, 1, "caches stayed warm");
     }
 
@@ -797,9 +947,11 @@ mod tests {
     fn insert_of_known_values_never_forks_a_pinned_dict() {
         let (db, q, tree) = path_db();
         let mut session = EngineSession::new(&db);
-        session.count_query(&q, &tree); // pass state pins the dict
+        session.count_query(&q, &tree).unwrap(); // pass state pins the dict
         let dict_before = Arc::clone(session.dict());
-        session.insert(0, vec![Value::Int(2), Value::Int(10)]);
+        session
+            .insert(0, vec![Value::Int(2), Value::Int(10)])
+            .unwrap();
         assert!(
             Arc::ptr_eq(&dict_before, session.dict()),
             "known-value inserts must not clone the dictionary"
@@ -810,15 +962,17 @@ mod tests {
     fn delete_of_absent_row_is_a_noop() {
         let (db, q, tree) = path_db();
         let mut session = EngineSession::new(&db);
-        session.count_query(&q, &tree);
-        assert!(!session.delete(0, vec![Value::Int(77), Value::Int(88)]));
+        session.count_query(&q, &tree).unwrap();
+        assert!(!session
+            .delete(0, vec![Value::Int(77), Value::Int(88)])
+            .unwrap());
         let stats = session.stats();
         assert_eq!(stats.updates_applied, 0);
         assert_eq!(stats.passes_invalidated, 0, "no-op deletes sweep nothing");
         assert_eq!(session.stats().pass_hits, 0);
         assert_eq!(
-            session.count_query(&q, &tree),
-            session.count_query(&q, &tree)
+            session.count_query(&q, &tree).unwrap(),
+            session.count_query(&q, &tree).unwrap()
         );
         assert!(session.stats().pass_hits >= 2, "caches stayed warm");
     }
@@ -827,21 +981,25 @@ mod tests {
     fn new_value_update_runs_an_epoch_and_keeps_answers_exact() {
         let (db, q, tree) = path_db();
         let mut session = EngineSession::new(&db);
-        let before = session.count_query(&q, &tree);
+        let before = session.count_query(&q, &tree).unwrap();
         // Int(5) is new to the dictionary → re-sort epoch; the row joins
         // nothing, so the count is unchanged but recomputed.
-        session.insert(0, vec![Value::Int(5), Value::Int(99)]);
+        session
+            .insert(0, vec![Value::Int(5), Value::Int(99)])
+            .unwrap();
         assert_eq!(session.stats().dict_epochs, 1);
         assert_eq!(session.dict_epoch(), 1);
         assert!(session.dict().is_order_isomorphic());
-        assert_eq!(session.count_query(&q, &tree), before);
+        assert_eq!(session.count_query(&q, &tree).unwrap(), before);
         assert_eq!(
-            session.count_query(&q, &tree),
+            session.count_query(&q, &tree).unwrap(),
             count_query_legacy(session.database(), &q, &tree)
         );
         // Delete it again: back to the original database.
-        assert!(session.delete(0, vec![Value::Int(5), Value::Int(99)]));
-        assert_eq!(session.count_query(&q, &tree), before);
+        assert!(session
+            .delete(0, vec![Value::Int(5), Value::Int(99)])
+            .unwrap());
+        assert_eq!(session.count_query(&q, &tree).unwrap(), before);
     }
 
     #[test]
@@ -852,7 +1010,9 @@ mod tests {
         let mut session = EngineSession::new(&db);
         let cached = session.cached_query_result("demo", &s_only, Some(&s_tree), &[], || 7u64);
         // Epoch-forcing update to R: S's cached result must survive.
-        session.insert(0, vec![Value::Int(-1), Value::Int(-2)]);
+        session
+            .insert(0, vec![Value::Int(-1), Value::Int(-2)])
+            .unwrap();
         assert_eq!(session.stats().dict_epochs, 1);
         let again = session.cached_query_result("demo", &s_only, Some(&s_tree), &[], || 8u64);
         assert_eq!((*cached, *again), (7, 7));
@@ -866,9 +1026,15 @@ mod tests {
         let (db, _, _) = path_db();
         let mut session = EngineSession::new(&db);
         assert_eq!(session.relation_version(0), 0);
-        session.insert(0, vec![Value::Int(1), Value::Int(10)]);
-        session.insert(0, vec![Value::Int(1), Value::Int(10)]);
-        session.bulk_load(1, vec![vec![Value::Int(10), Value::Int(20)]]);
+        session
+            .insert(0, vec![Value::Int(1), Value::Int(10)])
+            .unwrap();
+        session
+            .insert(0, vec![Value::Int(1), Value::Int(10)])
+            .unwrap();
+        session
+            .bulk_load(1, vec![vec![Value::Int(10), Value::Int(20)]])
+            .unwrap();
         assert_eq!(session.relation_version(0), 2);
         assert_eq!(session.relation_version(1), 1);
     }
@@ -878,16 +1044,27 @@ mod tests {
         let (db, q, tree) = path_db();
         let session = EngineSession::for_query(&db, &q);
         assert_eq!(
-            session.count_query(&q, &tree),
+            session.count_query(&q, &tree).unwrap(),
             count_query_legacy(&db, &q, &tree)
         );
-        // A genuinely partial session (S only) is read-only.
+        // A genuinely partial session (S only) is read-only, and says so
+        // with a typed error instead of panicking.
         let s_only = ConjunctiveQuery::over(&db, "s", &["S"]).unwrap();
-        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut s = EngineSession::for_query(&db, &s_only);
-            s.insert(1, vec![Value::Int(10), Value::Int(20)]);
-        }));
-        assert!(err.is_err(), "partial sessions must reject updates");
+        let mut s = EngineSession::for_query(&db, &s_only);
+        assert_eq!(
+            s.insert(1, vec![Value::Int(10), Value::Int(20)]).err(),
+            Some(TsensError::ReadOnlySession)
+        );
+        // Querying a relation the partial session does not serve is a
+        // typed error too — and leaves the session usable afterwards.
+        let r_only = ConjunctiveQuery::over(&db, "r", &["R"]).unwrap();
+        let r_tree = gyo_decompose(&r_only).unwrap().expect_acyclic("single");
+        assert_eq!(
+            s.count_query(&r_only, &r_tree).err(),
+            Some(TsensError::NotResident { relation: 0 })
+        );
+        let s_tree = gyo_decompose(&s_only).unwrap().expect_acyclic("single");
+        assert!(s.count_query(&s_only, &s_tree).is_ok());
         // And its encoding really is partial: R is not resident.
         assert!(!EngineSession::for_query(&db, &s_only)
             .encoded()
@@ -895,20 +1072,43 @@ mod tests {
     }
 
     #[test]
+    fn malformed_updates_leave_warm_caches_untouched() {
+        let (db, q, tree) = path_db();
+        let mut session = EngineSession::new(&db);
+        session.count_query(&q, &tree).unwrap();
+        // Bad arity and out-of-range relation fail before any sweep.
+        assert!(matches!(
+            session.insert(0, vec![Value::Int(1)]).err(),
+            Some(TsensError::Data(_))
+        ));
+        assert!(matches!(
+            session.insert(9, vec![Value::Int(1), Value::Int(2)]).err(),
+            Some(TsensError::NoSuchRelation { relation: 9, .. })
+        ));
+        let stats = session.stats();
+        assert_eq!(stats.updates_applied, 0);
+        assert_eq!(stats.passes_invalidated, 0, "failed deltas sweep nothing");
+        session.count_query(&q, &tree).unwrap();
+        assert_eq!(session.stats().pass_hits, 1, "caches stayed warm");
+    }
+
+    #[test]
     fn batched_updates_share_one_epoch() {
         let (db, q, tree) = path_db();
         let mut session = EngineSession::new(&db);
-        let before = session.count_query(&q, &tree);
-        let applied = session.apply_all(vec![
-            Update::insert(0, vec![Value::Int(100), Value::Int(10)]),
-            Update::insert(0, vec![Value::Int(101), Value::Int(10)]),
-            Update::insert(1, vec![Value::Int(10), Value::Int(200)]),
-            Update::delete(1, vec![Value::Int(999), Value::Int(999)]), // absent
-        ]);
+        let before = session.count_query(&q, &tree).unwrap();
+        let applied = session
+            .apply_all(vec![
+                Update::insert(0, vec![Value::Int(100), Value::Int(10)]),
+                Update::insert(0, vec![Value::Int(101), Value::Int(10)]),
+                Update::insert(1, vec![Value::Int(10), Value::Int(200)]),
+                Update::delete(1, vec![Value::Int(999), Value::Int(999)]), // absent
+            ])
+            .unwrap();
         assert_eq!(applied, 3);
         assert_eq!(session.stats().dict_epochs, 1, "one deferred epoch");
         assert_eq!(
-            session.count_query(&q, &tree),
+            session.count_query(&q, &tree).unwrap(),
             count_query_legacy(session.database(), &q, &tree)
         );
         let _ = before;
@@ -918,10 +1118,10 @@ mod tests {
     fn session_is_sync_and_shareable_across_threads() {
         let (db, q, tree) = path_db();
         let session = EngineSession::new(&db);
-        let expected = session.count_query(&q, &tree);
+        let expected = session.count_query(&q, &tree).unwrap();
         std::thread::scope(|scope| {
             for _ in 0..4 {
-                scope.spawn(|| assert_eq!(session.count_query(&q, &tree), expected));
+                scope.spawn(|| assert_eq!(session.count_query(&q, &tree).unwrap(), expected));
             }
         });
         assert_eq!(session.stats().pass_misses, 1);

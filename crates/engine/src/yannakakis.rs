@@ -23,7 +23,9 @@ use tsens_query::{ConjunctiveQuery, DecompositionTree};
 /// atoms, and the ⊥ pass are then amortized across queries. The legacy
 /// `Value`-row pass is kept as [`count_query_legacy`] for cross-checks.
 pub fn count_query(db: &Database, cq: &ConjunctiveQuery, tree: &DecompositionTree) -> Count {
-    crate::session::EngineSession::for_query(db, cq).count_query(cq, tree)
+    crate::session::EngineSession::for_query(db, cq)
+        .count_query(cq, tree)
+        .expect("one-shot sessions are resident over their query")
 }
 
 /// [`count_query`] over the legacy `Value`-row operators — ground truth

@@ -1,6 +1,7 @@
 //! Error types for query construction and decomposition.
 
 use std::fmt;
+use tsens_data::TsensError;
 
 /// Errors raised while building queries or decompositions.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -15,6 +16,10 @@ pub enum QueryError {
     Cyclic,
     /// A user-supplied decomposition is not a valid GHD for the query.
     InvalidDecomposition(String),
+    /// The serving session could not answer the request (unresident
+    /// relation, read-only partial session, …) — lets entry points that
+    /// classify *and* run a query report both kinds of failure.
+    Session(TsensError),
 }
 
 impl fmt::Display for QueryError {
@@ -32,11 +37,18 @@ impl fmt::Display for QueryError {
             QueryError::InvalidDecomposition(msg) => {
                 write!(f, "invalid decomposition: {msg}")
             }
+            QueryError::Session(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for QueryError {}
+
+impl From<TsensError> for QueryError {
+    fn from(e: TsensError) -> Self {
+        QueryError::Session(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,60 @@
+//! A minimal blocking HTTP client — enough for the `tsens-cli client`
+//! subcommand, the CI smoke test, and the serving benchmarks to talk to
+//! the server without external dependencies.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Issue one request and return `(status, body)`. Opens a fresh
+/// connection per call (the server answers `Connection: close`).
+///
+/// # Errors
+/// I/O failures, plus a malformed status line surfaced as
+/// `InvalidData`.
+pub fn request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: tsens\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &str) -> io::Result<(u16, String)> {
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_and_body() {
+        let (status, body) =
+            parse_response("HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi").unwrap();
+        assert_eq!((status, body.as_str()), (200, "hi"));
+        let (status, body) = parse_response("HTTP/1.1 404 Not Found\r\n\r\n").unwrap();
+        assert_eq!((status, body.as_str()), (404, ""));
+        assert!(parse_response("garbage").is_err());
+    }
+}

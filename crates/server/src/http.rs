@@ -1,0 +1,274 @@
+//! Minimal HTTP/1.1 framing over `std::net` — hand-rolled because the
+//! build environment is offline (no hyper/axum), and the server's needs
+//! are tiny: parse one request, write one response, close.
+//!
+//! The parser is written for **untrusted input**: every malformed or
+//! oversized request becomes a typed [`HttpError`] carrying the status
+//! code to answer with — never a panic, never unbounded buffering.
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body (`Content-Length`).
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased by the client, taken verbatim here).
+    pub method: String,
+    /// The request target, query string included (e.g. `/query?db=x`).
+    pub path: String,
+    /// The request body (empty when there is no `Content-Length`).
+    pub body: String,
+}
+
+impl Request {
+    /// The path without its query string.
+    pub fn route(&self) -> &str {
+        self.path.split('?').next().unwrap_or("")
+    }
+
+    /// The value of query-string parameter `key`, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        let qs = self.path.split_once('?')?.1;
+        qs.split('&')
+            .filter_map(|kv| kv.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// A request that could not be parsed, with the status to answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// HTTP status code (400, 413, …).
+    pub status: u16,
+    /// Human-readable description (ends up in the JSON error body).
+    pub message: String,
+}
+
+impl HttpError {
+    fn bad_request(message: impl Into<String>) -> Self {
+        HttpError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+/// Read and parse one request from `reader`.
+///
+/// Returns `Ok(None)` when the peer closed the connection before sending
+/// anything (a keep-alive probe or the shutdown wake-up), `Err` for
+/// malformed input, and I/O errors bubble as `Err` with status 400 too —
+/// the caller answers and closes either way.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+    let io_err = |e: io::Error| HttpError::bad_request(format!("read failed: {e}"));
+    let too_large = || HttpError {
+        status: 431,
+        message: "request head too large".into(),
+    };
+    // Hard-cap the head *while reading it*: `read_line` would otherwise
+    // buffer a newline-free request line without bound. Inside the
+    // `take`, hitting the cap looks like EOF mid-line (no trailing
+    // newline), which the checks below turn into 431.
+    let mut head_reader = io::Read::take(&mut *reader, MAX_HEAD_BYTES as u64);
+    let mut line = String::new();
+    if head_reader.read_line(&mut line).map_err(io_err)? == 0 {
+        return Ok(None);
+    }
+    if !line.ends_with('\n') {
+        return Err(too_large());
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_owned(), p.to_owned()),
+        _ => return Err(HttpError::bad_request("malformed request line")),
+    };
+    // Headers: only Content-Length matters to us.
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        if head_reader.read_line(&mut line).map_err(io_err)? == 0 {
+            return Err(if head_reader.limit() == 0 {
+                too_large()
+            } else {
+                HttpError::bad_request("connection closed mid-headers")
+            });
+        }
+        if !line.ends_with('\n') {
+            return Err(too_large());
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| HttpError::bad_request("bad Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError {
+            status: 413,
+            message: "request body too large".into(),
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(io_err)?;
+    Ok(Some(Request {
+        method,
+        path,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    }))
+}
+
+/// Write a full response (status line, minimal headers, body) and flush.
+pub fn write_response(stream: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The standard error body: `{"ok":false,"error":"…"}`.
+pub fn error_body(message: &str) -> String {
+    format!("{{\"ok\":false,\"error\":\"{}\"}}", json_escape(message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_and_post() {
+        let r = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!((r.method.as_str(), r.route()), ("GET", "/healthz"));
+        assert!(r.body.is_empty());
+
+        let r = parse("POST /query HTTP/1.1\r\nContent-Length: 8\r\n\r\nop=count")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.body, "op=count");
+    }
+
+    #[test]
+    fn query_params_and_route_split() {
+        let r = parse("GET /stats?db=tpch&x=1 HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.route(), "/stats");
+        assert_eq!(r.query_param("db"), Some("tpch"));
+        assert_eq!(r.query_param("x"), Some("1"));
+        assert_eq!(r.query_param("nope"), None);
+    }
+
+    #[test]
+    fn malformed_requests_are_errors_not_panics() {
+        assert_eq!(parse("\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(
+            parse("POST /q HTTP/1.1\r\nContent-Length: zork\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+        // Declared body longer than what arrives.
+        assert_eq!(
+            parse("POST /q HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort")
+                .unwrap_err()
+                .status,
+            400
+        );
+        // Oversized body is refused before buffering it.
+        let huge = format!(
+            "POST /q HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(parse(&huge).unwrap_err().status, 413);
+        // Closed-before-request is a clean None.
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn newline_free_flood_is_431_not_unbounded_buffering() {
+        // A request "line" that never ends: the reader must stop at the
+        // head cap instead of buffering all of it.
+        let flood = "G".repeat(MAX_HEAD_BYTES * 4);
+        assert_eq!(parse(&flood).unwrap_err().status, 431);
+        // Same flood inside a header line.
+        let flood = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}",
+            "y".repeat(MAX_HEAD_BYTES * 4)
+        );
+        assert_eq!(parse(&flood).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn oversized_head_is_431() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..2000 {
+            raw.push_str(&format!("X-Pad-{i}: {}\r\n", "y".repeat(20)));
+        }
+        raw.push_str("\r\n");
+        assert_eq!(parse(&raw).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("plain"), "plain");
+        assert!(error_body("x\"y").contains("\\\""));
+    }
+
+    #[test]
+    fn response_framing() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

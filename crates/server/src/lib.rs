@@ -1,0 +1,42 @@
+//! # tsens-server
+//!
+//! A long-lived serving front-end over shared
+//! [`EngineSession`](tsens_engine::EngineSession)s — the
+//! deployment shape the paper assumes: an analyst repeatedly issuing
+//! counting queries against a live private database, answered by a
+//! resident structure that absorbs updates (the Berkholz et al.
+//! FO+MOD-under-updates model, held across requests instead of rebuilt
+//! per query).
+//!
+//! The server is **dependency-free**: hand-rolled HTTP/1.1 framing over
+//! `std::net::TcpListener` ([`http`]), a fixed worker-thread pool
+//! ([`server`]), and a line-based `key=value` wire format reusing the
+//! CLI's query/ops conventions ([`wire`]). One
+//! `RwLock<EngineSession<'static>>` per loaded database: readers share
+//! the lock (and the warm caches) concurrently, writers take it
+//! exclusively and invalidate selectively.
+//!
+//! Endpoints:
+//!
+//! | Endpoint         | Method | Body                                      |
+//! |------------------|--------|-------------------------------------------|
+//! | `/query`         | POST   | `op=`/`join=`/`where=`… (see [`wire`])    |
+//! | `/update`        | POST   | `+,R,v…` / `-,R,v…` delta lines           |
+//! | `/stats`         | GET    | — (SessionStats + dictionary sizes)       |
+//! | `/healthz`       | GET    | —                                         |
+//! | `/shutdown`      | POST   | — (drains the worker pool)                |
+//!
+//! The request path is **panic-free on untrusted input** end to end:
+//! unknown relations, bad arities, junk bodies and unseen predicate
+//! constants all produce 4xx/zero answers, backed by the typed
+//! `TsensError` paths through `tsens-data`/`tsens-engine`/`tsens-core`
+//! (plus a `catch_unwind` shield per request as a last resort).
+
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod wire;
+
+pub use client::request;
+pub use server::{Server, ServerState};
+pub use wire::{parse_query, QueryOp, QueryRequest};

@@ -1,0 +1,560 @@
+//! The serving core: a fixed pool of worker threads accepting
+//! connections on one `TcpListener`, sharing one
+//! `RwLock<EngineSession>` per loaded database.
+//!
+//! # Locking model
+//!
+//! `EngineSession` is `Sync` — its caches are internally mutex-guarded —
+//! so **readers share the lock concurrently**: N in-flight `/query`
+//! requests over a warm session run in parallel and mostly hit the
+//! atom/pass/result caches. **Writers take the lock exclusively**:
+//! `/update` streams deltas through [`EngineSession::apply_all`] under
+//! the write lock, maintaining the resident encoding in place and
+//! invalidating only the cache entries whose fingerprint contains a
+//! touched relation. A query admitted after the write therefore sees
+//! the post-update database, still warm for every untouched relation.
+//!
+//! # Panic-freedom
+//!
+//! The whole request path is typed-error end to end (`TsensError`,
+//! `QueryError`, `DataError`, parse errors) — malformed requests get
+//! 4xx responses. As a last-resort shield each request additionally runs
+//! under `catch_unwind`, and lock poisoning is explicitly recovered
+//! (`PoisonError::into_inner`), so even a bug cannot take a worker or
+//! the shared session down with it.
+
+use crate::http::{self, error_body, json_escape, Request};
+use crate::wire::{self, QueryOp, QueryRequest};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tsens_core::elastic::plan_order_from_tree;
+use tsens_core::{SensitivityReport, SessionExt};
+use tsens_data::io::parse_ops;
+use tsens_data::Database;
+use tsens_dp::truncation::TruncationProfile;
+use tsens_dp::tsensdp::tsensdp_answer_from_profile;
+use tsens_engine::EngineSession;
+use tsens_query::{auto_decompose, classify, ConjunctiveQuery, Predicate};
+
+/// How long a worker waits for a slow client before giving up on the
+/// connection (slow-loris guard).
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One served database: the name clients address it by and the shared
+/// session answering its queries.
+struct NamedDb {
+    name: String,
+    session: RwLock<EngineSession<'static>>,
+}
+
+/// Everything the worker pool shares: the catalog of served databases.
+pub struct ServerState {
+    dbs: Vec<NamedDb>,
+}
+
+impl ServerState {
+    /// Build the state, encoding every database into its own resident
+    /// session (the once-per-database preprocessing cost, paid at
+    /// startup instead of per request).
+    pub fn new(dbs: Vec<(String, Database)>) -> Self {
+        ServerState {
+            dbs: dbs
+                .into_iter()
+                .map(|(name, db)| NamedDb {
+                    name,
+                    session: RwLock::new(EngineSession::owned(db)),
+                })
+                .collect(),
+        }
+    }
+
+    fn find(&self, name: Option<&str>) -> Result<&NamedDb, (u16, String)> {
+        match name {
+            None => self
+                .dbs
+                .first()
+                .ok_or((500, "no databases loaded".to_owned())),
+            Some(n) => self
+                .dbs
+                .iter()
+                .find(|d| d.name == n)
+                .ok_or((404, format!("unknown database {n:?}"))),
+        }
+    }
+}
+
+/// Recover a read guard even if a (shielded) panic poisoned the lock:
+/// the session's own invariants are maintained before any fallible work
+/// runs, so the data is still consistent — refusing to serve forever
+/// would be strictly worse.
+fn read_session(ndb: &NamedDb) -> RwLockReadGuard<'_, EngineSession<'static>> {
+    ndb.session.read().unwrap_or_else(|p| p.into_inner())
+}
+
+fn write_session(ndb: &NamedDb) -> RwLockWriteGuard<'_, EngineSession<'static>> {
+    ndb.session.write().unwrap_or_else(|p| p.into_inner())
+}
+
+/// A running server: worker threads plus the handle to stop them.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start `threads` workers accepting on `listener`. Returns as soon
+    /// as the workers are spawned; the listener's address (including the
+    /// OS-assigned port for `:0` binds) is available via
+    /// [`Server::addr`].
+    ///
+    /// # Errors
+    /// Propagates listener cloning failures.
+    pub fn start(listener: TcpListener, state: ServerState, threads: usize) -> io::Result<Server> {
+        let addr = listener.local_addr()?;
+        let state = Arc::new(state);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let threads = threads.max(1);
+        let mut workers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let listener = listener.try_clone()?;
+            let state = Arc::clone(&state);
+            let shutdown = Arc::clone(&shutdown);
+            workers.push(std::thread::spawn(move || {
+                worker_loop(listener, state, shutdown, addr, threads)
+            }));
+        }
+        Ok(Server {
+            addr,
+            shutdown,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves `:0` binds to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until the server shuts down (via `POST /shutdown` or
+    /// [`Server::stop`]).
+    pub fn join(self) {
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Stop the server from the owning thread: set the flag, wake every
+    /// blocked acceptor, and join the workers.
+    pub fn stop(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        wake_acceptors(self.addr, self.workers.len());
+        self.join();
+    }
+}
+
+/// Unblock `count` workers stuck in `accept()` by dialing them; each
+/// sees the shutdown flag immediately after accepting and exits.
+fn wake_acceptors(addr: SocketAddr, count: usize) {
+    for _ in 0..count {
+        let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+    }
+}
+
+fn worker_loop(
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+    threads: usize,
+) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return; // the accepted connection was a shutdown wake-up
+        }
+        handle_connection(stream, &state, &shutdown, addr, threads);
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    state: &ServerState,
+    shutdown: &AtomicBool,
+    addr: SocketAddr,
+    threads: usize,
+) {
+    // Both directions time out: a client that stops *reading* would
+    // otherwise wedge the worker in write_response once the socket
+    // buffer fills, just like a slow sender would wedge the parser.
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(READ_TIMEOUT));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let request = match http::read_request(&mut reader) {
+        Ok(Some(r)) => r,
+        Ok(None) => return, // closed before sending anything
+        Err(e) => {
+            let _ = http::write_response(&mut writer, e.status, &error_body(&e.message));
+            return;
+        }
+    };
+    // Last-resort shield: nothing on the request path should panic (the
+    // whole stack returns typed errors on bad input), but if a bug slips
+    // through, the worker answers 500 and keeps serving instead of dying
+    // with 1/N of the pool's capacity.
+    let (status, body) = catch_unwind(AssertUnwindSafe(|| {
+        route(&request, state, shutdown, addr, threads)
+    }))
+    .unwrap_or_else(|_| (500, error_body("internal error: request handler panicked")));
+    let _ = http::write_response(&mut writer, status, &body);
+}
+
+fn route(
+    req: &Request,
+    state: &ServerState,
+    shutdown: &AtomicBool,
+    addr: SocketAddr,
+    threads: usize,
+) -> (u16, String) {
+    match (req.method.as_str(), req.route()) {
+        ("GET", "/healthz") => (200, "{\"ok\":true}".to_owned()),
+        ("GET", "/stats") => handle_stats(state, req),
+        ("POST", "/query") => handle_query(state, req),
+        ("POST", "/update") => handle_update(state, req),
+        ("POST", "/shutdown") => {
+            shutdown.store(true, Ordering::SeqCst);
+            wake_acceptors(addr, threads);
+            (200, "{\"ok\":true,\"shutting_down\":true}".to_owned())
+        }
+        (_, "/healthz" | "/stats" | "/query" | "/update" | "/shutdown") => {
+            (405, error_body("method not allowed"))
+        }
+        _ => (
+            404,
+            error_body(&format!("no such endpoint {:?}", req.route())),
+        ),
+    }
+}
+
+fn handle_stats(state: &ServerState, req: &Request) -> (u16, String) {
+    let ndb = match state.find(req.query_param("db")) {
+        Ok(d) => d,
+        Err((status, msg)) => return (status, error_body(&msg)),
+    };
+    let session = read_session(ndb);
+    let db = session.database();
+    let enc = session.encoded();
+    let dict = session.dict();
+    let s = session.stats();
+    let body = format!(
+        "{{\"ok\":true,\"db\":\"{}\",\"relations\":{},\"total_tuples\":{},\
+         \"dict\":{{\"len\":{},\"base\":{},\"overflow\":{},\"epoch\":{}}},\
+         \"cache\":{{\"atom_hits\":{},\"atom_misses\":{},\"pass_hits\":{},\"pass_misses\":{},\
+         \"result_hits\":{},\"result_misses\":{},\"mf_hits\":{},\"mf_misses\":{}}},\
+         \"updates\":{{\"applied\":{},\"dict_epochs\":{},\"atoms_invalidated\":{},\
+         \"passes_invalidated\":{},\"results_invalidated\":{},\"mf_invalidated\":{}}}}}",
+        json_escape(&ndb.name),
+        db.relation_count(),
+        db.total_tuples(),
+        dict.len(),
+        dict.base_len(),
+        dict.overflow_len(),
+        enc.epoch(),
+        s.atom_hits,
+        s.atom_misses,
+        s.pass_hits,
+        s.pass_misses,
+        s.result_hits,
+        s.result_misses,
+        s.mf_hits,
+        s.mf_misses,
+        s.updates_applied,
+        s.dict_epochs,
+        s.atoms_invalidated,
+        s.passes_invalidated,
+        s.results_invalidated,
+        s.mf_invalidated,
+    );
+    (200, body)
+}
+
+fn handle_query(state: &ServerState, req: &Request) -> (u16, String) {
+    let parsed = match wire::parse_query(&req.body) {
+        Ok(p) => p,
+        Err(msg) => return (400, error_body(&msg)),
+    };
+    let db_name = parsed.db.as_deref().or_else(|| req.query_param("db"));
+    let ndb = match state.find(db_name) {
+        Ok(d) => d,
+        Err((status, msg)) => return (status, error_body(&msg)),
+    };
+    let session = read_session(ndb);
+    match run_query(&session, &ndb.name, &parsed) {
+        Ok(body) => (200, body),
+        Err((status, msg)) => (status, error_body(&msg)),
+    }
+}
+
+/// Execute one parsed query against a (read-locked) session. Every
+/// failure — unknown relation, bad predicate column, cyclic-query
+/// decomposition trouble, session errors — comes back as
+/// `(status, message)`.
+fn run_query(
+    session: &EngineSession<'static>,
+    db_name: &str,
+    q: &QueryRequest,
+) -> Result<String, (u16, String)> {
+    let db = session.database();
+    let names: Vec<String> = if q.join.is_empty() {
+        (0..db.relation_count())
+            .map(|i| db.relation_name(i).to_owned())
+            .collect()
+    } else {
+        q.join.clone()
+    };
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut cq = ConjunctiveQuery::over(db, "serve", &refs).map_err(|e| (400, e.to_string()))?;
+
+    // Validate and attach `where=` predicates. The constant itself needs
+    // no validation: a value the database has never seen just matches
+    // nothing (empty lift → zero/empty answer), by design.
+    let mut per_relation: Vec<(String, Predicate)> = Vec::new();
+    for w in &q.predicates {
+        if !names.iter().any(|n| n == &w.relation) {
+            return Err((
+                400,
+                format!(
+                    "where references {:?}, which is not in the join",
+                    w.relation
+                ),
+            ));
+        }
+        let rel_idx = db
+            .relation_index(&w.relation)
+            .ok_or_else(|| (400, format!("unknown relation {:?}", w.relation)))?;
+        let attr = db
+            .attr_id(&w.attr)
+            .filter(|&a| db.relation(rel_idx).schema().position(a).is_some())
+            .ok_or_else(|| {
+                (
+                    400,
+                    format!("{:?} is not a column of {:?}", w.attr, w.relation),
+                )
+            })?;
+        let pred = Predicate::eq(attr, w.value.clone());
+        match per_relation.iter_mut().find(|(r, _)| r == &w.relation) {
+            Some((_, existing)) => {
+                let prev = std::mem::replace(existing, Predicate::True);
+                *existing = prev.and(pred);
+            }
+            None => per_relation.push((w.relation.clone(), pred)),
+        }
+    }
+    for (rel, pred) in per_relation {
+        cq = cq.with_predicate(db, &rel, pred);
+    }
+
+    let (_, tree) = classify(&cq).map_err(|e| (400, e.to_string()))?;
+    let tree = match tree {
+        Some(t) => t,
+        None => auto_decompose(&cq).map_err(|e| (400, e.to_string()))?,
+    };
+    // A full server session is resident over the whole catalog, so
+    // session errors here indicate a server-side bug, not a bad request.
+    let internal = |e: tsens_data::TsensError| (500, e.to_string());
+
+    match q.op {
+        QueryOp::Count => {
+            let count = session.count_query(&cq, &tree).map_err(internal)?;
+            Ok(format!(
+                "{{\"ok\":true,\"op\":\"count\",\"db\":\"{}\",\"count\":{count}}}",
+                json_escape(db_name)
+            ))
+        }
+        QueryOp::Tsens => {
+            let report = session.tsens(&cq, &tree).map_err(internal)?;
+            Ok(report_body(db, db_name, "tsens", "", &report))
+        }
+        QueryOp::TsensTopk => {
+            let report = session.tsens_topk(&cq, &tree, q.k).map_err(internal)?;
+            let extra = format!("\"k\":{},", q.k);
+            Ok(report_body(db, db_name, "tsens_topk", &extra, &report))
+        }
+        QueryOp::Elastic => {
+            let plan = plan_order_from_tree(&tree);
+            let elastic = session
+                .elastic_sensitivity(&cq, &plan, 0)
+                .map_err(internal)?;
+            let per: Vec<String> = elastic
+                .per_relation
+                .iter()
+                .map(|(rel, bound)| {
+                    format!(
+                        "{{\"relation\":\"{}\",\"bound\":{bound}}}",
+                        json_escape(db.relation_name(*rel))
+                    )
+                })
+                .collect();
+            Ok(format!(
+                "{{\"ok\":true,\"op\":\"elastic\",\"db\":\"{}\",\"overall\":{},\"per_relation\":[{}]}}",
+                json_escape(db_name),
+                elastic.overall,
+                per.join(",")
+            ))
+        }
+        QueryOp::TsensDp => {
+            let private = q.private.as_deref().expect("checked by the wire parser");
+            let rel_idx = db
+                .relation_index(private)
+                .ok_or_else(|| (400, format!("unknown private relation {private:?}")))?;
+            let atom = cq
+                .atoms()
+                .iter()
+                .position(|a| a.relation == rel_idx)
+                .ok_or_else(|| (400, format!("{private:?} is not in the query")))?;
+            let profile =
+                TruncationProfile::build_session(session, &cq, &tree, atom).map_err(internal)?;
+            // The SVT threshold scan is linear in ℓ, so a wire-supplied
+            // ℓ must be bounded by what the data can justify — an
+            // astronomical ℓ would wedge this worker (and block
+            // writers) in a billions-long scan off one cheap request.
+            let ell_cap = profile.max_delta().saturating_mul(4).saturating_add(1000);
+            let ell = q.ell.unwrap_or(((profile.max_delta() * 3) / 2).max(10));
+            if ell > ell_cap {
+                return Err((
+                    400,
+                    format!("ell {ell} exceeds the data-justified cap {ell_cap}"),
+                ));
+            }
+            // Deterministic noise is no noise: a client-known seed lets
+            // the "noise" be replayed and subtracted, so without an
+            // explicit (test/reproduction) seed every request draws
+            // fresh entropy.
+            let mut rng = StdRng::seed_from_u64(q.seed.unwrap_or_else(entropy_seed));
+            let r = tsensdp_answer_from_profile(&profile, ell, q.epsilon, &mut rng);
+            // Only the released quantities go on the wire: the noisy
+            // answer and the learned threshold (itself the global
+            // sensitivity of the release). Bias/error diagnostics would
+            // leak the true answer.
+            Ok(format!(
+                "{{\"ok\":true,\"op\":\"tsensdp\",\"db\":\"{}\",\"private\":\"{}\",\
+                 \"epsilon\":{},\"ell\":{ell},\"noisy_answer\":{},\"threshold\":{}}}",
+                json_escape(db_name),
+                json_escape(private),
+                q.epsilon,
+                r.noisy_answer,
+                r.threshold
+            ))
+        }
+    }
+}
+
+/// A per-request RNG seed for DP releases when the client supplies
+/// none. The vendored `rand` stand-in has no OS entropy source, so this
+/// mixes the wall clock with a process-wide counter — unpredictable
+/// enough that the noise cannot be replayed from the wire; a production
+/// deployment should swap in a real CSPRNG along with the real `rand`.
+fn entropy_seed() -> u64 {
+    use std::sync::atomic::AtomicU64;
+    static COUNTER: AtomicU64 = AtomicU64::new(0x9e37_79b9_7f4a_7c15);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let tick = COUNTER.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+    (nanos ^ tick).wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+fn report_body(
+    db: &Database,
+    db_name: &str,
+    op: &str,
+    extra: &str,
+    report: &SensitivityReport,
+) -> String {
+    let witness = match &report.witness {
+        Some(w) => format!("\"{}\"", json_escape(&w.display(db))),
+        None => "null".to_owned(),
+    };
+    let per: Vec<String> = report
+        .per_relation
+        .iter()
+        .map(|rs| {
+            let w = match &rs.witness {
+                Some(w) => format!("\"{}\"", json_escape(&w.display(db))),
+                None => "null".to_owned(),
+            };
+            format!(
+                "{{\"relation\":\"{}\",\"sensitivity\":{},\"witness\":{w}}}",
+                json_escape(db.relation_name(rs.relation)),
+                rs.sensitivity
+            )
+        })
+        .collect();
+    format!(
+        "{{\"ok\":true,\"op\":\"{op}\",\"db\":\"{}\",{extra}\"local_sensitivity\":{},\
+         \"witness\":{witness},\"per_relation\":[{}]}}",
+        json_escape(db_name),
+        report.local_sensitivity,
+        per.join(",")
+    )
+}
+
+fn handle_update(state: &ServerState, req: &Request) -> (u16, String) {
+    let ndb = match state.find(req.query_param("db")) {
+        Ok(d) => d,
+        Err((status, msg)) => return (status, error_body(&msg)),
+    };
+    // Parse against the live catalog under a *read* lock — unknown
+    // relations, arity mismatches and junk op markers all fail here
+    // without ever stalling concurrent readers on parse CPU. The
+    // catalog itself is fixed at load time (no DDL endpoints), and
+    // `apply_all` re-validates every delta anyway, so releasing the
+    // read lock before taking the write lock cannot be raced into
+    // applying a stale-invalid delta.
+    let ops = {
+        let session = read_session(ndb);
+        match parse_ops(session.database(), &req.body) {
+            Ok(ops) => ops,
+            Err(e) => return (400, error_body(&e.to_string())),
+        }
+    };
+    let mut session = write_session(ndb);
+    let total = ops.len();
+    let before = session.stats();
+    let t0 = Instant::now();
+    let applied = match session.apply_all(ops) {
+        Ok(n) => n,
+        Err(e) => return (400, error_body(&e.to_string())),
+    };
+    let micros = t0.elapsed().as_micros();
+    let after = session.stats();
+    let body = format!(
+        "{{\"ok\":true,\"db\":\"{}\",\"applied\":{applied},\"total\":{total},\"micros\":{micros},\
+         \"invalidated\":{{\"passes\":{},\"results\":{},\"atoms\":{},\"mf\":{}}},\"dict_epochs\":{}}}",
+        json_escape(&ndb.name),
+        after.passes_invalidated - before.passes_invalidated,
+        after.results_invalidated - before.results_invalidated,
+        after.atoms_invalidated - before.atoms_invalidated,
+        after.mf_invalidated - before.mf_invalidated,
+        after.dict_epochs - before.dict_epochs,
+    );
+    (200, body)
+}

@@ -1,0 +1,209 @@
+//! The query wire format: a small line-based `key=value` body, reusing
+//! the CLI's conventions (`join=` relation lists, CSV `+`/`-` delta
+//! lines) so anything scriptable against `tsens-cli` speaks the server's
+//! language too.
+//!
+//! ```text
+//! POST /query
+//!   op=count|tsens|tsens_topk|elastic|tsensdp   (default: tsens)
+//!   join=R1,R2,R3                               (default: all relations)
+//!   where=R.A=value                             (repeatable, ANDed per relation)
+//!   k=16                                        (tsens_topk)
+//!   private=R epsilon=1.0 ell=12 seed=7         (tsensdp)
+//!   db=name                                     (multi-database servers)
+//!
+//! POST /update
+//!   +,Relation,v1,v2,...                        (same lines as `tsens-cli
+//!   -,Relation,v1,v2,...                         update --ops` files)
+//! ```
+//!
+//! Parsing is pure string handling over untrusted input: every failure
+//! is a typed error carried back as an HTTP 400, never a panic.
+
+use tsens_data::io::parse_field;
+use tsens_data::Value;
+
+/// Which algorithm a `/query` request runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOp {
+    /// `|Q(D)|` under bag semantics.
+    Count,
+    /// Local sensitivity via TSens (Algorithm 2).
+    Tsens,
+    /// Top-k capped TSens (upper bound).
+    TsensTopk,
+    /// Elastic sensitivity (Flex baseline).
+    Elastic,
+    /// TSensDP differentially private answer.
+    TsensDp,
+}
+
+/// One equality selection `relation.attr = value`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WherePredicate {
+    /// Relation name as sent on the wire.
+    pub relation: String,
+    /// Attribute name as sent on the wire.
+    pub attr: String,
+    /// The constant (parsed with the CSV field rules: integers become
+    /// `Value::Int`, everything else `Value::Str`).
+    pub value: Value,
+}
+
+/// A parsed `/query` body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// Target database (`None` = the server's default).
+    pub db: Option<String>,
+    /// Algorithm to run.
+    pub op: QueryOp,
+    /// Relations to join, in order; empty = all relations in the catalog.
+    pub join: Vec<String>,
+    /// Equality selections, ANDed per relation.
+    pub predicates: Vec<WherePredicate>,
+    /// `k` for [`QueryOp::TsensTopk`].
+    pub k: usize,
+    /// Privacy budget for [`QueryOp::TsensDp`].
+    pub epsilon: f64,
+    /// Tuple-sensitivity bound ℓ for [`QueryOp::TsensDp`] (`None` =
+    /// derived from the data as in the CLI).
+    pub ell: Option<u128>,
+    /// RNG seed for [`QueryOp::TsensDp`]. `None` (the default) makes
+    /// the server draw fresh entropy per request — a fixed seed makes
+    /// the "noise" deterministic and the release non-private, so it is
+    /// only for tests and offline reproduction.
+    pub seed: Option<u64>,
+    /// Primary private relation for [`QueryOp::TsensDp`].
+    pub private: Option<String>,
+}
+
+impl Default for QueryRequest {
+    fn default() -> Self {
+        QueryRequest {
+            db: None,
+            op: QueryOp::Tsens,
+            join: Vec::new(),
+            predicates: Vec::new(),
+            k: 16,
+            epsilon: 1.0,
+            ell: None,
+            seed: None,
+            private: None,
+        }
+    }
+}
+
+/// Parse a `/query` body. Unknown keys are rejected (typos should fail
+/// loudly, not silently run a different query than the analyst asked
+/// for).
+///
+/// # Errors
+/// A human-readable message describing the first offending line.
+pub fn parse_query(body: &str) -> Result<QueryRequest, String> {
+    let mut req = QueryRequest::default();
+    for (lineno, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected key=value, got {line:?}", lineno + 1))?;
+        let bad = |what: &str| format!("line {}: bad {what}: {value:?}", lineno + 1);
+        match key.trim() {
+            "db" => req.db = Some(value.trim().to_owned()),
+            "op" => {
+                req.op = match value.trim() {
+                    "count" => QueryOp::Count,
+                    "tsens" => QueryOp::Tsens,
+                    "tsens_topk" => QueryOp::TsensTopk,
+                    "elastic" => QueryOp::Elastic,
+                    "tsensdp" => QueryOp::TsensDp,
+                    other => return Err(format!("line {}: unknown op {other:?}", lineno + 1)),
+                }
+            }
+            "join" => {
+                req.join = value
+                    .split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "where" => {
+                // R.A=value — split on the *first* '=' after the column.
+                let (col, constant) = value
+                    .split_once('=')
+                    .ok_or_else(|| bad("where (expected R.A=value)"))?;
+                let (rel, attr) = col
+                    .split_once('.')
+                    .ok_or_else(|| bad("where (expected R.A=value)"))?;
+                req.predicates.push(WherePredicate {
+                    relation: rel.trim().to_owned(),
+                    attr: attr.trim().to_owned(),
+                    value: parse_field(constant),
+                });
+            }
+            "k" => req.k = value.trim().parse().map_err(|_| bad("k"))?,
+            "epsilon" => req.epsilon = value.trim().parse().map_err(|_| bad("epsilon"))?,
+            "ell" => req.ell = Some(value.trim().parse().map_err(|_| bad("ell"))?),
+            "seed" => req.seed = Some(value.trim().parse().map_err(|_| bad("seed"))?),
+            "private" => req.private = Some(value.trim().to_owned()),
+            other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
+        }
+    }
+    if req.op == QueryOp::TsensDp && req.private.is_none() {
+        return Err("op=tsensdp needs private=<relation>".into());
+    }
+    if req.op == QueryOp::TsensTopk && req.k == 0 {
+        return Err("k must be at least 1".into());
+    }
+    if req.op == QueryOp::TsensDp && (req.epsilon.is_nan() || req.epsilon <= 0.0) {
+        return Err("epsilon must be positive".into());
+    }
+    if req.op == QueryOp::TsensDp && req.ell == Some(0) {
+        return Err("ell must be at least 1".into());
+    }
+    Ok(req)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_full_parse() {
+        let req = parse_query("").unwrap();
+        assert_eq!(req.op, QueryOp::Tsens);
+        assert!(req.join.is_empty());
+
+        let req = parse_query(
+            "op=tsensdp\njoin=R1, R2 ,R3\nwhere=R1.A=a1\nwhere=R1.B=7\n\
+             k=4\nepsilon=0.5\nell=9\nseed=3\nprivate=R1\ndb=main\n# c\n",
+        )
+        .unwrap();
+        assert_eq!(req.op, QueryOp::TsensDp);
+        assert_eq!(req.join, vec!["R1", "R2", "R3"]);
+        assert_eq!(req.predicates.len(), 2);
+        assert_eq!(req.predicates[0].relation, "R1");
+        assert_eq!(req.predicates[0].attr, "A");
+        assert_eq!(req.predicates[0].value, Value::str("a1"));
+        assert_eq!(req.predicates[1].value, Value::Int(7));
+        assert_eq!((req.k, req.ell, req.seed), (4, Some(9), Some(3)));
+        assert_eq!(parse_query("").unwrap().seed, None, "no seed = entropy");
+        assert_eq!(req.private.as_deref(), Some("R1"));
+        assert_eq!(req.db.as_deref(), Some("main"));
+    }
+
+    #[test]
+    fn malformed_bodies_are_errors() {
+        assert!(parse_query("nonsense").is_err());
+        assert!(parse_query("op=transmogrify").is_err());
+        assert!(parse_query("where=R.A").is_err());
+        assert!(parse_query("where=noDotHere=3").is_err());
+        assert!(parse_query("k=minus one").is_err());
+        assert!(parse_query("unknown_key=1").is_err());
+        assert!(parse_query("op=tsensdp").is_err(), "tsensdp needs private=");
+        assert!(parse_query("op=tsensdp\nprivate=R\nepsilon=-1").is_err());
+        assert!(parse_query("op=tsens_topk\nk=0").is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! Concurrent-serving property test — the serving front-end's locking
+//! model, exercised directly on the `RwLock<EngineSession>` the server
+//! shares across its worker pool: N reader threads issue cached queries
+//! while one writer applies a delta batch under the write lock.
+//!
+//! Invariants:
+//! * **no torn reads** — every reader-observed answer equals the answer
+//!   on either the pre-update or the post-update materialized database;
+//! * **selective invalidation survives concurrency** — a query over a
+//!   relation the writer never touched is still a cache hit afterwards.
+
+use proptest::prelude::*;
+use std::sync::RwLock;
+use std::time::Duration;
+use tsens_data::{Count, Database, Relation, Row, Schema, Value};
+use tsens_engine::yannakakis::count_query;
+use tsens_engine::EngineSession;
+use tsens_query::{gyo_decompose, ConjunctiveQuery, DecompositionTree};
+
+/// Build `R(A,B) ⋈ S(B,C)` plus a disconnected `T(X)` that the writer
+/// never touches.
+fn build(
+    r_rows: &[(i64, i64)],
+    s_rows: &[(i64, i64)],
+    t_rows: &[i64],
+) -> (
+    Database,
+    (ConjunctiveQuery, DecompositionTree),
+    (ConjunctiveQuery, DecompositionTree),
+) {
+    let mut db = Database::new();
+    let [a, b, c, x] = db.attrs(["A", "B", "C", "X"]);
+    let pair = |rows: &[(i64, i64)]| -> Vec<Row> {
+        rows.iter()
+            .map(|&(u, v)| vec![Value::Int(u), Value::Int(v)])
+            .collect()
+    };
+    db.add_relation(
+        "R",
+        Relation::from_rows(Schema::new(vec![a, b]), pair(r_rows)),
+    )
+    .unwrap();
+    db.add_relation(
+        "S",
+        Relation::from_rows(Schema::new(vec![b, c]), pair(s_rows)),
+    )
+    .unwrap();
+    db.add_relation(
+        "T",
+        Relation::from_rows(
+            Schema::new(vec![x]),
+            t_rows.iter().map(|&v| vec![Value::Int(v)]).collect(),
+        ),
+    )
+    .unwrap();
+    let q_rs = ConjunctiveQuery::over(&db, "rs", &["R", "S"]).unwrap();
+    let tree_rs = gyo_decompose(&q_rs).unwrap().expect_acyclic("path");
+    let q_t = ConjunctiveQuery::over(&db, "t", &["T"]).unwrap();
+    let tree_t = gyo_decompose(&q_t).unwrap().expect_acyclic("single");
+    (db, (q_rs, tree_rs), (q_t, tree_t))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn readers_see_pre_or_post_update_answers_never_torn_states(
+        r_rows in prop::collection::vec((0..4i64, 0..4i64), 1..10),
+        s_rows in prop::collection::vec((0..4i64, 0..4i64), 1..10),
+        t_rows in prop::collection::vec(0..4i64, 1..6),
+        delta in prop::collection::vec((0..6i64, 0..6i64), 1..5),
+    ) {
+        let (db, (q_rs, tree_rs), (q_t, tree_t)) = build(&r_rows, &s_rows, &t_rows);
+
+        // Ground truth on the two valid database states. Delta values in
+        // 4..6 are new to the dictionary, so some batches also force a
+        // re-sort epoch mid-serve.
+        let delta_rows: Vec<Row> = delta
+            .iter()
+            .map(|&(u, v)| vec![Value::Int(u), Value::Int(v)])
+            .collect();
+        let mut post_db = db.clone();
+        for row in &delta_rows {
+            post_db.insert_row(0, row.clone());
+        }
+        let pre_rs = count_query(&db, &q_rs, &tree_rs);
+        let post_rs = count_query(&post_db, &q_rs, &tree_rs);
+        let t_count = count_query(&db, &q_t, &tree_t);
+
+        let lock = RwLock::new(EngineSession::owned(db.clone()));
+        {
+            // Prime both queries so readers start warm.
+            let session = lock.read().unwrap();
+            prop_assert_eq!(session.count_query(&q_rs, &tree_rs).unwrap(), pre_rs);
+            prop_assert_eq!(session.count_query(&q_t, &tree_t).unwrap(), t_count);
+        }
+
+        let observed: Vec<Vec<(Count, Count)>> = std::thread::scope(|scope| {
+            let readers: Vec<_> = (0..4)
+                .map(|_| {
+                    let lock = &lock;
+                    let (q_rs, tree_rs, q_t, tree_t) = (&q_rs, &tree_rs, &q_t, &tree_t);
+                    scope.spawn(move || {
+                        let mut seen = Vec::with_capacity(40);
+                        for _ in 0..40 {
+                            let session = lock.read().unwrap_or_else(|p| p.into_inner());
+                            seen.push((
+                                session.count_query(q_rs, tree_rs).unwrap(),
+                                session.count_query(q_t, tree_t).unwrap(),
+                            ));
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            // One writer: the whole batch under a single write-lock
+            // hold, exactly like the server's `/update` endpoint.
+            let writer = scope.spawn(|| {
+                std::thread::sleep(Duration::from_micros(300));
+                let mut session = lock.write().unwrap_or_else(|p| p.into_inner());
+                for row in &delta_rows {
+                    session.insert(0, row.clone()).unwrap();
+                }
+            });
+            writer.join().expect("writer");
+            readers
+                .into_iter()
+                .map(|r| r.join().expect("reader"))
+                .collect()
+        });
+
+        // No torn states: every observed answer is one of the two valid
+        // database versions'.
+        for seen in &observed {
+            for &(rs, t) in seen {
+                prop_assert!(
+                    rs == pre_rs || rs == post_rs,
+                    "torn R⋈S answer {rs} (valid: {pre_rs} pre / {post_rs} post)"
+                );
+                prop_assert_eq!(t, t_count, "T is never touched by the writer");
+            }
+        }
+
+        // The warm session now answers post-update, and the untouched
+        // T query is still served from cache: re-asking adds pass hits,
+        // not misses.
+        let session = lock.read().unwrap_or_else(|p| p.into_inner());
+        prop_assert_eq!(session.count_query(&q_rs, &tree_rs).unwrap(), post_rs);
+        let misses_before = session.stats().pass_misses;
+        let hits_before = session.stats().pass_hits;
+        prop_assert_eq!(session.count_query(&q_t, &tree_t).unwrap(), t_count);
+        prop_assert_eq!(
+            session.stats().pass_misses,
+            misses_before,
+            "untouched-relation query must stay a cache hit across the write"
+        );
+        prop_assert_eq!(session.stats().pass_hits, hits_before + 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! End-to-end server test over a real loopback socket: the paper's
+//! Figure 1 running example served over HTTP — query, update, re-query,
+//! malformed requests, stats, shutdown — all against one process-local
+//! worker pool.
+
+use std::net::TcpListener;
+use tsens_data::{Database, Relation, Schema, Value};
+use tsens_server::{client, Server, ServerState};
+
+/// The Figure 1 / Example 2.1 database (LS = 4 via inserting
+/// `(a2, b2, c1)` into R1).
+fn figure1() -> Database {
+    let mut db = Database::new();
+    let [a, b, c, d, e, f] = db.attrs(["A", "B", "C", "D", "E", "F"]);
+    let v = Value::str;
+    db.add_relation(
+        "R1",
+        Relation::from_rows(
+            Schema::new(vec![a, b, c]),
+            vec![
+                vec![v("a1"), v("b1"), v("c1")],
+                vec![v("a1"), v("b2"), v("c1")],
+                vec![v("a2"), v("b1"), v("c1")],
+            ],
+        ),
+    )
+    .unwrap();
+    db.add_relation(
+        "R2",
+        Relation::from_rows(
+            Schema::new(vec![a, b, d]),
+            vec![
+                vec![v("a1"), v("b1"), v("d1")],
+                vec![v("a2"), v("b2"), v("d2")],
+            ],
+        ),
+    )
+    .unwrap();
+    db.add_relation(
+        "R3",
+        Relation::from_rows(
+            Schema::new(vec![a, e]),
+            vec![
+                vec![v("a1"), v("e1")],
+                vec![v("a2"), v("e1")],
+                vec![v("a2"), v("e2")],
+            ],
+        ),
+    )
+    .unwrap();
+    db.add_relation(
+        "R4",
+        Relation::from_rows(
+            Schema::new(vec![b, f]),
+            vec![
+                vec![v("b1"), v("f1")],
+                vec![v("b2"), v("f1")],
+                vec![v("b2"), v("f2")],
+            ],
+        ),
+    )
+    .unwrap();
+    db
+}
+
+fn start_server() -> (Server, std::net::SocketAddr) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let state = ServerState::new(vec![("fig1".to_owned(), figure1())]);
+    let server = Server::start(listener, state, 3).expect("start server");
+    let addr = server.addr();
+    (server, addr)
+}
+
+fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> (u16, String) {
+    client::request(addr, "POST", path, body).expect("request")
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    client::request(addr, "GET", path, "").expect("request")
+}
+
+#[test]
+fn serves_figure1_with_updates_errors_and_shutdown() {
+    let (server, addr) = start_server();
+
+    // Liveness.
+    assert_eq!(get(addr, "/healthz"), (200, "{\"ok\":true}".to_owned()));
+
+    // The paper's running example over the wire: LS = 4, witnessed by
+    // (a2, b2, *) in R1.
+    let (status, body) = post(addr, "/query", "op=tsens\njoin=R1,R2,R3,R4");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"local_sensitivity\":4"), "{body}");
+    assert!(body.contains("R1(a2, b2, *)"), "{body}");
+
+    // |Q(D)| = 1 before the update…
+    let (_, body) = post(addr, "/query", "op=count\njoin=R1,R2,R3,R4");
+    assert!(body.contains("\"count\":1"), "{body}");
+
+    // …inserting the witness row grows it to 5 (Δ = LS = 4).
+    let (status, body) = post(addr, "/update", "+,R1,a2,b2,c1");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"applied\":1"), "{body}");
+    let (_, body) = post(addr, "/query", "op=count\njoin=R1,R2,R3,R4");
+    assert!(body.contains("\"count\":5"), "{body}");
+
+    // Malformed requests are 4xx error responses, never dead workers:
+    // unknown relation, bad arity, junk op, junk body, wrong method,
+    // unknown endpoint, oversized nonsense.
+    let cases: Vec<(u16, String)> = vec![
+        post(addr, "/query", "op=count\njoin=R9"),
+        post(addr, "/query", "op=transmogrify"),
+        post(addr, "/query", "complete nonsense"),
+        post(addr, "/query", "op=count\njoin=R1\nwhere=R1.Zork=1"),
+        post(addr, "/update", "+,R1,a2"),
+        post(addr, "/update", "*,R1,a2,b2,c1"),
+        post(addr, "/update", "+,Nope,a2,b2,c1"),
+        // An astronomical ℓ would turn the SVT scan into a hours-long
+        // read-lock hold; the server rejects it against a data-derived
+        // cap instead of wedging a worker.
+        post(
+            addr,
+            "/query",
+            "op=tsensdp\nprivate=R1\nell=4000000000\njoin=R1,R2,R3,R4",
+        ),
+        get(addr, "/query"),
+        get(addr, "/no-such-endpoint"),
+    ];
+    for (status, body) in cases {
+        assert!(
+            (400..500).contains(&status),
+            "expected 4xx, got {status}: {body}"
+        );
+        assert!(body.contains("\"ok\":false"), "{body}");
+    }
+
+    // An unseen predicate constant is a *valid* zero answer, not an
+    // error — the database simply contains nothing matching it.
+    let (status, body) = post(
+        addr,
+        "/query",
+        "op=count\njoin=R1,R2,R3,R4\nwhere=R1.A=never-seen",
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"count\":0"), "{body}");
+
+    // After all of the above, the server still answers correctly.
+    let (status, body) = post(addr, "/query", "op=count\njoin=R1,R2,R3,R4");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"count\":5"), "{body}");
+
+    // Stats expose the session counters and dictionary sizes.
+    let (status, body) = get(addr, "/stats");
+    assert_eq!(status, 200);
+    for key in [
+        "\"relations\":4",
+        "\"dict\"",
+        "\"pass_hits\"",
+        "\"updates\"",
+    ] {
+        assert!(body.contains(key), "missing {key} in {body}");
+    }
+    // Named database addressing works, unknown names 404.
+    assert_eq!(get(addr, "/stats?db=fig1").0, 200);
+    assert_eq!(get(addr, "/stats?db=nope").0, 404);
+
+    // Clean shutdown: the endpoint answers, then every worker drains.
+    let (status, body) = post(addr, "/shutdown", "");
+    assert_eq!(status, 200, "{body}");
+    server.join();
+}
+
+#[test]
+fn concurrent_readers_share_the_warm_session() {
+    let (server, addr) = start_server();
+    let body = "op=count\njoin=R1,R2,R3,R4";
+    let (_, first) = post(addr, "/query", body);
+    assert!(first.contains("\"count\":1"), "{first}");
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(move || {
+                for _ in 0..5 {
+                    let (status, response) = post(addr, "/query", body);
+                    assert_eq!(status, 200);
+                    assert!(response.contains("\"count\":1"), "{response}");
+                }
+            });
+        }
+    });
+    // 41 requests, 1 pass computation: everything after the first was a
+    // cache hit on the shared session.
+    let (_, stats) = get(addr, "/stats");
+    assert!(stats.contains("\"pass_misses\":1"), "{stats}");
+    server.stop();
+}

@@ -3,6 +3,8 @@
 //! ```text
 //! tsens-cli <table.csv>... --join R1,R2,... [options]
 //! tsens-cli update <table.csv>... --ops <ops.csv> [--join R1,R2,...]
+//! tsens-cli serve <table.csv>... [--port N] [--threads N] [--name DB]
+//! tsens-cli client [--host H] [--port N] <query|update|stats|healthz|shutdown> [args...]
 //!
 //! Loads each CSV (header row = attribute names; shared names join), then
 //! analyses the natural-join counting query over the listed relations
@@ -33,20 +35,34 @@
 //!     --join customers,orders,lineitems --private customers --epsilon 1
 //! tsens-cli update customers.csv orders.csv --ops deltas.csv
 //! ```
+//!
+//! The `serve` subcommand loads the CSVs once, encodes them into a
+//! resident [`EngineSession`], and serves `/query`, `/update`, `/stats`,
+//! `/healthz` and `/shutdown` over HTTP on a fixed worker pool; the
+//! `client` subcommand speaks the same wire format back:
+//!
+//! ```text
+//! tsens-cli serve r1.csv r2.csv --port 7878 --threads 4 &
+//! tsens-cli client --port 7878 query op=tsens join=r1,r2
+//! tsens-cli client --port 7878 update +,r1,a2,b2,c1
+//! tsens-cli client --port 7878 shutdown
+//! ```
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 use tsens::core::elastic::plan_order_from_tree;
 use tsens::core::SessionExt;
-use tsens::data::io::{load_csv, parse_field};
+use tsens::data::io::{load_csv, parse_ops};
 use tsens::dp::truncation::TruncationProfile;
 use tsens::dp::tsensdp::tsensdp_answer_from_profile;
 use tsens::engine::EngineSession;
 use tsens::prelude::*;
 use tsens::query::auto_decompose;
+use tsens::server::{Server, ServerState};
 
 struct Args {
     files: Vec<PathBuf>,
@@ -109,46 +125,6 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Parse an ops file (`+,Relation,v1,v2,…` / `-,Relation,v1,v2,…`) into
-/// deltas against `db`'s catalog.
-fn parse_ops(db: &Database, path: &Path) -> Result<Vec<Update>, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let mut ops = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut fields = line.split(',');
-        let op = fields.next().map(str::trim);
-        let rel_name = fields.next().map(str::trim).unwrap_or_default();
-        let rel = db
-            .relation_index(rel_name)
-            .ok_or(format!("line {}: unknown relation {rel_name}", lineno + 1))?;
-        let row: Row = fields.map(parse_field).collect();
-        let arity = db.relation(rel).schema().arity();
-        if row.len() != arity {
-            return Err(format!(
-                "line {}: {rel_name} expects {arity} values, got {}",
-                lineno + 1,
-                row.len()
-            ));
-        }
-        match op {
-            Some("+") => ops.push(Update::insert(rel, row)),
-            Some("-") => ops.push(Update::delete(rel, row)),
-            other => {
-                return Err(format!(
-                    "line {}: op must be + or -, got {:?}",
-                    lineno + 1,
-                    other.unwrap_or("")
-                ))
-            }
-        }
-    }
-    Ok(ops)
-}
-
 fn run(args: Args) -> Result<(), String> {
     // Load tables.
     let mut db = Database::new();
@@ -199,9 +175,9 @@ fn run(args: Args) -> Result<(), String> {
     let mut session = EngineSession::new(&db);
 
     // Count + sensitivity.
-    let count = session.count_query(&q, &tree);
+    let count = session.count_query(&q, &tree).map_err(|e| e.to_string())?;
     println!("|Q(D)| = {count}");
-    let report = session.tsens(&q, &tree);
+    let report = session.tsens(&q, &tree).map_err(|e| e.to_string())?;
     println!(
         "\nlocal sensitivity LS(Q, D) = {}",
         report.local_sensitivity
@@ -225,7 +201,9 @@ fn run(args: Args) -> Result<(), String> {
         );
     }
     let plan = plan_order_from_tree(&tree);
-    let elastic = session.elastic_sensitivity(&q, &plan, 0);
+    let elastic = session
+        .elastic_sensitivity(&q, &plan, 0)
+        .map_err(|e| e.to_string())?;
     println!(
         "\nelastic (Flex) upper bound: {} ({:.1}× looser)",
         elastic.overall,
@@ -235,22 +213,25 @@ fn run(args: Args) -> Result<(), String> {
     // `update` subcommand: stream the deltas through the warm session,
     // re-answer, and report the measured update-vs-rebuild cost.
     if let Some(ops_path) = &args.ops {
-        let ops = parse_ops(&db, ops_path)?;
+        let ops = read_ops_file(&db, ops_path)?;
         let total = ops.len();
         let t0 = Instant::now();
-        let applied = session.apply_all(ops);
+        let applied = session.apply_all(ops).map_err(|e| e.to_string())?;
         let t_apply = t0.elapsed();
         let t1 = Instant::now();
-        let count_after = session.count_query(&q, &tree);
-        let report_after = session.tsens(&q, &tree);
+        let count_after = session.count_query(&q, &tree).map_err(|e| e.to_string())?;
+        let report_after = session.tsens(&q, &tree).map_err(|e| e.to_string())?;
         let t_requery = t1.elapsed();
 
         // Sanity + cost comparison: a from-scratch session on the
         // mutated catalog must agree, at full re-encoding price.
         let t2 = Instant::now();
         let fresh = EngineSession::new(session.database());
-        let fresh_count = fresh.count_query(&q, &tree);
-        let fresh_ls = fresh.tsens(&q, &tree).local_sensitivity;
+        let fresh_count = fresh.count_query(&q, &tree).map_err(|e| e.to_string())?;
+        let fresh_ls = fresh
+            .tsens(&q, &tree)
+            .map_err(|e| e.to_string())?
+            .local_sensitivity;
         let t_rebuild = t2.elapsed();
         if (fresh_count, fresh_ls) != (count_after, report_after.local_sensitivity) {
             return Err("incremental answer diverged from rebuild".into());
@@ -295,7 +276,8 @@ fn run(args: Args) -> Result<(), String> {
             .iter()
             .position(|a| a.relation == rel_idx)
             .ok_or(format!("{private} is not in the query"))?;
-        let profile = TruncationProfile::build_session(&session, &q, &tree, atom);
+        let profile = TruncationProfile::build_session(&session, &q, &tree, atom)
+            .map_err(|e| e.to_string())?;
         let ell = args.ell.unwrap_or(((profile.max_delta() * 3) / 2).max(10));
         let mut rng = StdRng::seed_from_u64(args.seed);
         let r = tsensdp_answer_from_profile(&profile, ell, args.epsilon, &mut rng);
@@ -316,17 +298,149 @@ fn run(args: Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Read and parse an ops file against `db`'s catalog.
+fn read_ops_file(db: &Database, path: &Path) -> Result<Vec<Update>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_ops(db, &text).map_err(|e| e.to_string())
+}
+
+/// `serve` subcommand: load the CSVs, build one resident session, and
+/// serve it over HTTP until `/shutdown`.
+fn serve(args: &[String]) -> Result<(), String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut port: u16 = 7878;
+    let mut threads: usize = 4;
+    let mut name: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |opt: &str| it.next().cloned().ok_or(format!("{opt} needs a value"));
+        match arg.as_str() {
+            "--port" => port = value("--port")?.parse().map_err(|_| "bad --port")?,
+            "--threads" => threads = value("--threads")?.parse().map_err(|_| "bad --threads")?,
+            "--name" => name = Some(value("--name")?),
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+    if files.is_empty() {
+        return Err("serve needs at least one CSV file".into());
+    }
+    let mut db = Database::new();
+    for path in &files {
+        let idx = load_csv(&mut db, path).map_err(|e| e.to_string())?;
+        println!(
+            "loaded {:<20} {} rows",
+            db.relation_name(idx),
+            db.relation(idx).len()
+        );
+    }
+    let name = name.unwrap_or_else(|| "default".to_owned());
+    let listener = TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
+    let state = ServerState::new(vec![(name, db)]);
+    let server = Server::start(listener, state, threads).map_err(|e| e.to_string())?;
+    println!(
+        "tsens-server listening on http://{} ({threads} worker threads); \
+         POST /shutdown (or `tsens-cli client shutdown`) to stop",
+        server.addr()
+    );
+    server.join();
+    println!("server stopped");
+    Ok(())
+}
+
+/// `client` subcommand: issue one request against a running server and
+/// print the JSON response.
+fn client_cmd(args: &[String]) -> Result<(), String> {
+    let mut host = "127.0.0.1".to_owned();
+    let mut port: u16 = 7878;
+    let mut ops: Option<PathBuf> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |opt: &str| it.next().cloned().ok_or(format!("{opt} needs a value"));
+        match arg.as_str() {
+            "--host" => host = value("--host")?,
+            "--port" => port = value("--port")?.parse().map_err(|_| "bad --port")?,
+            "--ops" => ops = Some(PathBuf::from(value("--ops")?)),
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            other => positional.push(other.to_owned()),
+        }
+    }
+    let Some((command, rest)) = positional.split_first() else {
+        return Err("client needs a command: query | update | stats | healthz | shutdown".into());
+    };
+    let (method, path, body) = match command.as_str() {
+        // Each further argument is one body line: `op=tsens`,
+        // `join=R1,R2`, `where=R.A=v`, … for query; `+,R,v…` for update.
+        "query" => ("POST", "/query", rest.join("\n")),
+        "update" => {
+            let body = match &ops {
+                Some(path) => {
+                    std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?
+                }
+                None => rest.join("\n"),
+            };
+            if body.trim().is_empty() {
+                return Err("update needs delta lines (or --ops <file>)".into());
+            }
+            ("POST", "/update", body)
+        }
+        "stats" => ("GET", "/stats", String::new()),
+        "healthz" => ("GET", "/healthz", String::new()),
+        "shutdown" => ("POST", "/shutdown", String::new()),
+        other => return Err(format!("unknown client command {other:?}")),
+    };
+    let (status, response) = tsens::server::request((host.as_str(), port), method, path, &body)
+        .map_err(|e| format!("{host}:{port}: {e}"))?;
+    println!("{response}");
+    if status >= 400 {
+        return Err(format!("server answered HTTP {status}"));
+    }
+    Ok(())
+}
+
+fn usage() {
+    eprintln!(
+        "usage: tsens-cli <table.csv>... [--join A,B,C] [--private R] \
+         [--epsilon X] [--ell N] [--seed N]\n       \
+         tsens-cli update <table.csv>... --ops <ops.csv> [--join A,B,C]\n       \
+         tsens-cli serve <table.csv>... [--port N] [--threads N] [--name DB]\n       \
+         tsens-cli client [--host H] [--port N] \
+         <query|update|stats|healthz|shutdown> [lines...]"
+    );
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => {
+            return match serve(&argv[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("error: {msg}\n");
+                    usage();
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("client") => {
+            return match client_cmd(&argv[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {}
+    }
     match parse_args() {
         Err(msg) => {
             if msg != "help" {
                 eprintln!("error: {msg}\n");
             }
-            eprintln!(
-                "usage: tsens-cli <table.csv>... [--join A,B,C] [--private R] \
-                 [--epsilon X] [--ell N] [--seed N]\n       \
-                 tsens-cli update <table.csv>... --ops <ops.csv> [--join A,B,C]"
-            );
+            usage();
             ExitCode::from(2)
         }
         Ok(args) => match run(args) {

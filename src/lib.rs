@@ -18,6 +18,8 @@
 //! * [`engine`] — multiplicity-aware operators and Yannakakis evaluation;
 //! * [`core`] — the TSens algorithms plus naive and elastic baselines;
 //! * [`dp`] — Laplace, SVT, truncation, TSensDP, the PrivSQL-style baseline;
+//! * [`server`] — the long-lived HTTP serving front-end over shared
+//!   sessions (`tsens-cli serve`);
 //! * [`workloads`] — TPC-H-like / ego-network-like generators and the
 //!   paper's seven queries.
 //!
@@ -32,6 +34,7 @@ pub use tsens_data as data;
 pub use tsens_dp as dp;
 pub use tsens_engine as engine;
 pub use tsens_query as query;
+pub use tsens_server as server;
 pub use tsens_workloads as workloads;
 
 /// Convenience prelude: the types most programs need.
@@ -49,7 +52,9 @@ pub mod prelude {
     pub use tsens_core::{
         local_sensitivity, LocalSensitivity, SensitivityReport, SessionExt, TupleRef,
     };
-    pub use tsens_data::{AttrId, Count, Database, Relation, Row, Schema, Update, Value};
+    pub use tsens_data::{
+        AttrId, Count, Database, Relation, Row, Schema, TsensError, Update, Value,
+    };
     pub use tsens_engine::EngineSession;
     pub use tsens_query::{classify, ConjunctiveQuery, DecompositionTree, QueryClass};
 }
