@@ -19,9 +19,9 @@ use rand::{RngExt, SeedableRng};
 use tsens_core::{naive_local_sensitivity, tsens, tsens_path, tsens_topk, SessionExt};
 use tsens_data::{AttrId, Count, CountedRelation, Dict, Row, Schema, Value};
 use tsens_engine::ops::{hash_join, hash_join_enc, lookup_join, lookup_join_enc};
-use tsens_engine::EngineSession;
+use tsens_engine::{EngineSession, SnapshotCell};
 use tsens_query::gyo_decompose;
-use tsens_server::{Server, ServerState};
+use tsens_server::{Client, Server, ServerState};
 use tsens_workloads::facebook::{self, small_params};
 use tsens_workloads::tpch;
 
@@ -282,11 +282,24 @@ fn bench_updates(c: &mut Criterion) {
 }
 
 /// The serving-front-end ablation: warm request latency through the
-/// full HTTP path (`tsens-server` on loopback: TCP connect, framing,
-/// wire parse, query build, read-locked session call, JSON response)
-/// versus the same warm session called in-process. The gap is the
-/// *request overhead* a deployment pays for process isolation; the
-/// criterion stand-in reports medians, i.e. warm p50 latency.
+/// full HTTP path (`tsens-server` on loopback) versus the same warm
+/// session called in-process. The gap is the *request overhead* a
+/// deployment pays for process isolation; the criterion stand-in
+/// reports medians, i.e. warm p50 latency.
+///
+/// Three wire shapes, plus the snapshot primitives underneath them:
+///
+/// * `http_*_warm` — one fresh TCP connect per request (the PR 5
+///   baseline, dominated by connect + teardown);
+/// * `http_*_reused` — the same request over a persistent keep-alive
+///   connection (what a real client pays per request);
+/// * `http_batch_8` — eight queries in one `/query_batch` body,
+///   answered from one pinned snapshot (whole-request cost; ÷8 for
+///   per-item);
+/// * `snapshot_read` — `SnapshotCell::load` + a cached in-process
+///   query: the server's per-request engine cost with zero wire;
+/// * `snapshot_publish` — fork + single-row apply + publish: the full
+///   copy-on-write write-lane cost a `/update` pays.
 fn bench_serving(c: &mut Criterion) {
     let db = facebook::facebook_database(small_params(), 348);
     let (q4, t4) = facebook::q4(&db).unwrap();
@@ -320,11 +333,53 @@ fn bench_serving(c: &mut Criterion) {
     group.bench_function("http_tsens_warm", |b| {
         b.iter(|| black_box(tsens_server::request(addr, "POST", "/query", &tsens_body).unwrap()))
     });
+
+    // Keep-alive: same requests, connection dialed once outside the
+    // timed loop.
+    let mut conn = Client::new(addr).expect("dial");
+    group.bench_function("http_count_reused", |b| {
+        b.iter(|| black_box(conn.request("POST", "/query", &count_body).unwrap()))
+    });
+    group.bench_function("http_tsens_reused", |b| {
+        b.iter(|| black_box(conn.request("POST", "/query", &tsens_body).unwrap()))
+    });
+    assert!(conn.is_connected(), "bench loop must not drop keep-alive");
+
+    // Batch: 8 queries answered from one pinned snapshot in a single
+    // round trip (the key times the whole request; divide by 8 for the
+    // per-item cost).
+    let batch_body = [count_body.as_str(); 8].join("\n---\n");
+    group.bench_function("http_batch_8", |b| {
+        b.iter(|| black_box(conn.request("POST", "/query_batch", &batch_body).unwrap()))
+    });
+
     group.bench_function("inprocess_count_warm", |b| {
         b.iter(|| black_box(session.count_query(&q4, &t4).unwrap()))
     });
     group.bench_function("inprocess_tsens_warm", |b| {
         b.iter(|| black_box(session.tsens(&q4, &t4).unwrap()))
+    });
+
+    // The snapshot primitives under the endpoints, with the wire
+    // stripped away: these two feed the perf gate (HTTP keys are too
+    // runner-dependent to baseline).
+    let cell = SnapshotCell::new(EngineSession::owned(db.clone()));
+    cell.load().count_query(&q4, &t4).unwrap(); // prime
+    group.bench_function("snapshot_read", |b| {
+        b.iter(|| {
+            let pinned = cell.load();
+            black_box(pinned.count_query(&q4, &t4).unwrap())
+        })
+    });
+    let delta = vec![Value::Int(-1), Value::Int(-2)];
+    group.bench_function("snapshot_publish", |b| {
+        b.iter(|| {
+            cell.update(|s| {
+                s.insert(0, delta.clone())?;
+                s.delete(0, delta.clone())
+            })
+            .unwrap()
+        })
     });
     group.finish();
     server.stop();

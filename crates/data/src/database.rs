@@ -6,6 +6,7 @@ use crate::relation::{Relation, Row};
 use crate::schema::Schema;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A database instance `D`: a catalog of named bag-semantics relations
 /// sharing one attribute namespace.
@@ -13,10 +14,18 @@ use std::fmt;
 /// Relation order is stable (insertion order) and relations are addressed
 /// either by name or by dense index — queries refer to relations by index
 /// for speed.
+///
+/// Relations are held behind `Arc`s, so **cloning a database is
+/// O(#relations), not O(data)**: a clone shares every relation's rows
+/// with the original and mutation forks only the touched relation
+/// (`Arc::make_mut`). This is what makes snapshot serving cheap — a
+/// writer forks the catalog, applies a delta (paying one copy of the one
+/// relation it touches), and publishes, while readers keep using the old
+/// snapshot.
 #[derive(Clone, Default)]
 pub struct Database {
     registry: AttrRegistry,
-    relations: Vec<(String, Relation)>,
+    relations: Vec<(String, Arc<Relation>)>,
     by_name: HashMap<String, usize>,
 }
 
@@ -55,7 +64,7 @@ impl Database {
             return Err(DataError::DuplicateRelation(name.to_owned()));
         }
         let idx = self.relations.len();
-        self.relations.push((name.to_owned(), rel));
+        self.relations.push((name.to_owned(), Arc::new(rel)));
         self.by_name.insert(name.to_owned(), idx);
         Ok(idx)
     }
@@ -80,9 +89,18 @@ impl Database {
         &self.relations[idx].1
     }
 
-    /// Mutable access to the relation at `idx`.
+    /// The shared handle of the relation at `idx` — pin it to keep these
+    /// exact rows alive across later updates (updates fork, they never
+    /// mutate a shared relation in place).
+    pub fn relation_arc(&self, idx: usize) -> &Arc<Relation> {
+        &self.relations[idx].1
+    }
+
+    /// Mutable access to the relation at `idx`. Copy-on-write: if a
+    /// cloned database (a pinned snapshot) still shares this relation,
+    /// the rows are forked here — the snapshot is never disturbed.
     pub fn relation_mut(&mut self, idx: usize) -> &mut Relation {
-        &mut self.relations[idx].1
+        Arc::make_mut(&mut self.relations[idx].1)
     }
 
     /// The name of the relation at `idx`.
@@ -105,7 +123,7 @@ impl Database {
         self.relations
             .iter()
             .enumerate()
-            .map(|(i, (n, r))| (i, n.as_str(), r))
+            .map(|(i, (n, r))| (i, n.as_str(), r.as_ref()))
     }
 
     /// Insert one copy of `row` into relation `idx` (the `D ∪ {t}` of
@@ -114,13 +132,13 @@ impl Database {
     /// # Panics
     /// Panics if the row arity mismatches the relation schema.
     pub fn insert_row(&mut self, idx: usize, row: Row) {
-        self.relations[idx].1.push(row);
+        self.relation_mut(idx).push(row);
     }
 
     /// Remove one copy of `row` from relation `idx`, returning whether a
     /// copy existed (the `D \ {t}` of downward tuple sensitivity).
     pub fn remove_row(&mut self, idx: usize, row: &[crate::Value]) -> bool {
-        self.relations[idx].1.remove_one(row)
+        self.relation_mut(idx).remove_one(row)
     }
 }
 

@@ -16,6 +16,9 @@
 //!   max-frequency statistics and higher-layer query results. The free
 //!   functions below are thin one-shot wrappers over a fresh session;
 //!   long-lived callers should hold a session and reuse it;
+//! * [`snapshot`] — [`SnapshotCell`], atomically-published session
+//!   snapshots: readers pin an `Arc` and never block, writers fork
+//!   copy-on-write and publish with a pointer swap;
 //! * [`yannakakis`] — near-linear count evaluation of acyclic (and, via
 //!   GHDs, certain cyclic) counting queries: the paper's "query
 //!   evaluation" runtime baseline;
@@ -25,6 +28,7 @@ pub mod naive_eval;
 pub mod ops;
 pub mod passes;
 pub mod session;
+pub mod snapshot;
 pub mod yannakakis;
 
 pub use naive_eval::{full_join, naive_count};
@@ -38,5 +42,6 @@ pub use passes::{
     topjoin_pass_enc_refs,
 };
 pub use session::{EngineSession, QueryKey, QueryPasses, SessionStats};
+pub use snapshot::SnapshotCell;
 pub use tsens_data::Update;
 pub use yannakakis::{count_query, count_query_legacy};

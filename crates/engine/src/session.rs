@@ -172,6 +172,9 @@ pub struct SessionStats {
     pub results_invalidated: u64,
     /// `mf` statistics dropped by per-relation invalidation.
     pub mf_invalidated: u64,
+    /// Copy-on-write forks taken in this session's lineage
+    /// ([`EngineSession::fork`] — the snapshot-publish writer path).
+    pub forks: u64,
 }
 
 #[derive(Default)]
@@ -190,6 +193,31 @@ struct StatCounters {
     passes_invalidated: AtomicU64,
     results_invalidated: AtomicU64,
     mf_invalidated: AtomicU64,
+    forks: AtomicU64,
+}
+
+impl StatCounters {
+    /// Seed counters from a snapshot — the fork path, where the child
+    /// session continues the parent's monotonic counts.
+    fn from_stats(s: SessionStats) -> Self {
+        StatCounters {
+            atom_hits: AtomicU64::new(s.atom_hits),
+            atom_misses: AtomicU64::new(s.atom_misses),
+            pass_hits: AtomicU64::new(s.pass_hits),
+            pass_misses: AtomicU64::new(s.pass_misses),
+            result_hits: AtomicU64::new(s.result_hits),
+            result_misses: AtomicU64::new(s.result_misses),
+            mf_hits: AtomicU64::new(s.mf_hits),
+            mf_misses: AtomicU64::new(s.mf_misses),
+            updates_applied: AtomicU64::new(s.updates_applied),
+            dict_epochs: AtomicU64::new(s.dict_epochs),
+            atoms_invalidated: AtomicU64::new(s.atoms_invalidated),
+            passes_invalidated: AtomicU64::new(s.passes_invalidated),
+            results_invalidated: AtomicU64::new(s.results_invalidated),
+            mf_invalidated: AtomicU64::new(s.mf_invalidated),
+            forks: AtomicU64::new(s.forks),
+        }
+    }
 }
 
 type ResultKey = (&'static str, QueryKey, Vec<u128>);
@@ -313,6 +341,35 @@ impl<'a> EngineSession<'a> {
             passes_invalidated: self.stats.passes_invalidated.load(Ordering::Relaxed),
             results_invalidated: self.stats.results_invalidated.load(Ordering::Relaxed),
             mf_invalidated: self.stats.mf_invalidated.load(Ordering::Relaxed),
+            forks: self.stats.forks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fork this session copy-on-write — the snapshot-publish writer
+    /// path. The child owns its database (`'static`), shares every
+    /// relation's rows and the resident encoding with the parent via
+    /// `Arc` until an update forks the touched pieces, and **carries the
+    /// parent's warm caches forward**: atom lifts, pass state, result
+    /// entries, and `mf` statistics accumulated by readers against the
+    /// parent all remain hits in the child. Stats counters continue from
+    /// the parent's values, with `forks` bumped by one.
+    ///
+    /// Cost is O(#relations + #cache entries) pointer clones — no row
+    /// data, encodings, or pass state are copied.
+    pub fn fork(&self) -> EngineSession<'static> {
+        fn clone_map<K: Clone, V: Clone>(m: &Mutex<FastMap<K, V>>) -> Mutex<FastMap<K, V>> {
+            Mutex::new(m.lock().unwrap_or_else(|p| p.into_inner()).clone())
+        }
+        let mut stats = self.stats();
+        stats.forks += 1;
+        EngineSession {
+            db: Cow::Owned(self.db.clone().into_owned()),
+            enc: self.enc.clone(),
+            atoms: clone_map(&self.atoms),
+            passes: clone_map(&self.passes),
+            results: clone_map(&self.results),
+            mf: clone_map(&self.mf),
+            stats: StatCounters::from_stats(stats),
         }
     }
 

@@ -1,13 +1,20 @@
 //! A minimal blocking HTTP client — enough for the `tsens-cli client`
 //! subcommand, the CI smoke test, and the serving benchmarks to talk to
 //! the server without external dependencies.
+//!
+//! Two flavors: the one-shot [`request`] (fresh connection per call,
+//! the PR 5 baseline) and the persistent [`Client`], which keeps one
+//! keep-alive connection open across calls — the fast path, skipping
+//! the per-request TCP connect that dominated one-shot latency.
 
-use std::io::{self, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-/// Issue one request and return `(status, body)`. Opens a fresh
-/// connection per call (the server answers `Connection: close`).
+/// Issue one request over a fresh connection and return `(status,
+/// body)`. Sends `Connection: close`; kept as the simple path (and the
+/// benchmarks' per-connect baseline) — latency-sensitive callers should
+/// use [`Client`].
 ///
 /// # Errors
 /// I/O failures, plus a malformed status line surfaced as
@@ -44,6 +51,142 @@ fn parse_response(raw: &str) -> io::Result<(u16, String)> {
     Ok((status, body))
 }
 
+/// A persistent keep-alive connection to the server.
+///
+/// Each call writes one request and reads exactly one response (framed
+/// by `Content-Length` — a kept-alive socket never signals "done" by
+/// closing). If the server answers `Connection: close` — or the socket
+/// errors — the connection transparently redials on the next call.
+pub struct Client {
+    addr: SocketAddr,
+    conn: Option<BufReader<TcpStream>>,
+    read_timeout: Duration,
+}
+
+impl Client {
+    /// A client for `addr`. Connects lazily on the first request.
+    ///
+    /// # Errors
+    /// Address resolution failures.
+    pub fn new(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+        Ok(Client {
+            addr,
+            conn: None,
+            read_timeout: Duration::from_secs(60),
+        })
+    }
+
+    /// Issue one request over the kept-alive connection and return
+    /// `(status, body)`.
+    ///
+    /// # Errors
+    /// I/O failures (after which the next call redials), plus malformed
+    /// response framing surfaced as `InvalidData`.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        let mut conn = match self.conn.take() {
+            Some(c) => c,
+            None => self.dial()?,
+        };
+        let out = Self::roundtrip(&mut conn, method, path, body);
+        match out {
+            Ok((status, body, keep)) => {
+                if keep {
+                    self.conn = Some(conn);
+                }
+                Ok((status, body))
+            }
+            Err(e) => Err(e), // dropped conn; next call redials
+        }
+    }
+
+    /// Whether the connection is currently established (keep-alive held
+    /// open after the last response).
+    pub fn is_connected(&self) -> bool {
+        self.conn.is_some()
+    }
+
+    fn dial(&self) -> io::Result<BufReader<TcpStream>> {
+        let stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(10))?;
+        stream.set_read_timeout(Some(self.read_timeout))?;
+        stream.set_write_timeout(Some(self.read_timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(BufReader::new(stream))
+    }
+
+    fn roundtrip(
+        conn: &mut BufReader<TcpStream>,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> io::Result<(u16, String, bool)> {
+        let stream = conn.get_ref();
+        let mut w = stream.try_clone()?;
+        // One write per request: fragmented writes on a NODELAY socket
+        // are one packet each for no benefit.
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: tsens\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        w.write_all(request.as_bytes())?;
+        w.flush()?;
+        read_response(conn)
+    }
+}
+
+/// Read one `Content-Length`-framed response off a kept-alive
+/// connection: `(status, body, keep_alive)`.
+fn read_response(reader: &mut impl BufRead) -> io::Result<(u16, String, bool)> {
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_owned());
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before response",
+        ));
+    }
+    let status = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut content_length = 0usize;
+    let mut keep_alive = true; // HTTP/1.1 default
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("connection closed mid-headers"));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("bad Content-Length"))?;
+            } else if name.eq_ignore_ascii_case("connection")
+                && value.trim().eq_ignore_ascii_case("close")
+            {
+                keep_alive = false;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((
+        status,
+        String::from_utf8_lossy(&body).into_owned(),
+        keep_alive,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,5 +199,17 @@ mod tests {
         let (status, body) = parse_response("HTTP/1.1 404 Not Found\r\n\r\n").unwrap();
         assert_eq!((status, body.as_str()), (404, ""));
         assert!(parse_response("garbage").is_err());
+    }
+
+    #[test]
+    fn framed_responses_parse_back_to_back() {
+        let raw = "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\nhi\
+                   HTTP/1.1 400 Bad Request\r\nContent-Length: 3\r\nConnection: close\r\n\r\nbad";
+        let mut reader = std::io::BufReader::new(raw.as_bytes());
+        let (status, body, keep) = read_response(&mut reader).unwrap();
+        assert_eq!((status, body.as_str(), keep), (200, "hi", true));
+        let (status, body, keep) = read_response(&mut reader).unwrap();
+        assert_eq!((status, body.as_str(), keep), (400, "bad", false));
+        assert!(read_response(&mut reader).is_err(), "clean EOF after");
     }
 }

@@ -1,6 +1,7 @@
 //! Minimal HTTP/1.1 framing over `std::net` — hand-rolled because the
 //! build environment is offline (no hyper/axum), and the server's needs
-//! are tiny: parse one request, write one response, close.
+//! are tiny: parse requests off a connection, write responses back,
+//! honoring `Connection:` keep-alive semantics.
 //!
 //! The parser is written for **untrusted input**: every malformed or
 //! oversized request becomes a typed [`HttpError`] carrying the status
@@ -22,6 +23,10 @@ pub struct Request {
     pub path: String,
     /// The request body (empty when there is no `Content-Length`).
     pub body: String,
+    /// Whether the connection should stay open after the response:
+    /// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close, and an
+    /// explicit `Connection:` header overrides either way.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -87,7 +92,10 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpEr
         (Some(m), Some(p)) => (m.to_owned(), p.to_owned()),
         _ => return Err(HttpError::bad_request("malformed request line")),
     };
-    // Headers: only Content-Length matters to us.
+    // HTTP/1.1 (and anything newer or unstated) defaults to keep-alive;
+    // HTTP/1.0 defaults to close.
+    let mut keep_alive = parts.next() != Some("HTTP/1.0");
+    // Headers: only Content-Length and Connection matter to us.
     let mut content_length = 0usize;
     loop {
         line.clear();
@@ -106,11 +114,19 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpEr
             break;
         }
         if let Some((name, value)) = trimmed.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
                 content_length = value
                     .trim()
                     .parse::<usize>()
                     .map_err(|_| HttpError::bad_request("bad Content-Length"))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                let value = value.trim();
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
             }
         }
     }
@@ -126,11 +142,19 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpEr
         method,
         path,
         body: String::from_utf8_lossy(&body).into_owned(),
+        keep_alive,
     }))
 }
 
 /// Write a full response (status line, minimal headers, body) and flush.
-pub fn write_response(stream: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
+/// `keep_alive` decides the `Connection:` header — the caller must
+/// actually close the socket after a `Connection: close` response.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -141,11 +165,15 @@ pub fn write_response(stream: &mut impl Write, status: u16, body: &str) -> io::R
         500 => "Internal Server Error",
         _ => "Unknown",
     };
-    write!(
-        stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    // One write: fragment-per-syscall `write!` on a raw socket turns the
+    // keep-alive ping-pong into write-write-read, which Nagle + delayed
+    // ACK stretch to ~40ms per request on loopback.
+    let response = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
         body.len()
-    )?;
+    );
+    stream.write_all(response.as_bytes())?;
     stream.flush()
 }
 
@@ -256,6 +284,30 @@ mod tests {
     }
 
     #[test]
+    fn connection_header_semantics() {
+        // HTTP/1.1 defaults to keep-alive.
+        let r = parse("GET / HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert!(r.keep_alive);
+        // HTTP/1.0 defaults to close.
+        let r = parse("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!r.keep_alive);
+        // Explicit headers override either default.
+        let r = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!r.keep_alive);
+        let r = parse("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(r.keep_alive);
+        // Unknown tokens keep the version default.
+        let r = parse("GET / HTTP/1.1\r\nConnection: upgrade\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(r.keep_alive);
+    }
+
+    #[test]
     fn json_escaping() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("plain"), "plain");
@@ -265,10 +317,28 @@ mod tests {
     #[test]
     fn response_framing() {
         let mut out = Vec::new();
-        write_response(&mut out, 200, "{\"ok\":true}").unwrap();
+        write_response(&mut out, 200, "{\"ok\":true}", false).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("{\"ok\":true}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let raw =
+            "POST /query HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcGET /healthz HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(raw.as_bytes());
+        let r1 = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!((r1.route(), r1.body.as_str()), ("/query", "abc"));
+        let r2 = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(r2.route(), "/healthz");
+        assert!(read_request(&mut reader).unwrap().is_none());
     }
 }

@@ -8,21 +8,25 @@
 //! FO+MOD-under-updates model, held across requests instead of rebuilt
 //! per query).
 //!
-//! The server is **dependency-free**: hand-rolled HTTP/1.1 framing over
-//! `std::net::TcpListener` ([`http`]), a fixed worker-thread pool
-//! ([`server`]), and a line-based `key=value` wire format reusing the
-//! CLI's query/ops conventions ([`wire`]). One
-//! `RwLock<EngineSession<'static>>` per loaded database: readers share
-//! the lock (and the warm caches) concurrently, writers take it
-//! exclusively and invalidate selectively.
+//! The server is **dependency-free**: hand-rolled HTTP/1.1 framing with
+//! keep-alive and pipelining over `std::net::TcpListener` ([`http`]), a
+//! fixed worker-thread pool ([`server`]), and a line-based `key=value`
+//! wire format reusing the CLI's query/ops conventions ([`wire`]). One
+//! [`SnapshotCell`](tsens_engine::SnapshotCell) per loaded database:
+//! readers pin an atomically-published snapshot and **never block on
+//! writers**; `/update` forks the session copy-on-write, applies the
+//! whole delta off to the side (atomically — any bad op discards the
+//! fork), and publishes with a pointer swap, carrying the warm caches
+//! forward.
 //!
 //! Endpoints:
 //!
 //! | Endpoint         | Method | Body                                      |
 //! |------------------|--------|-------------------------------------------|
 //! | `/query`         | POST   | `op=`/`join=`/`where=`… (see [`wire`])    |
+//! | `/query_batch`   | POST   | `/query` bodies separated by `---` lines  |
 //! | `/update`        | POST   | `+,R,v…` / `-,R,v…` delta lines           |
-//! | `/stats`         | GET    | — (SessionStats + dictionary sizes)       |
+//! | `/stats`         | GET    | — (SessionStats + snapshot version)       |
 //! | `/healthz`       | GET    | —                                         |
 //! | `/shutdown`      | POST   | — (drains the worker pool)                |
 //!
@@ -37,6 +41,6 @@ pub mod http;
 pub mod server;
 pub mod wire;
 
-pub use client::request;
+pub use client::{request, Client};
 pub use server::{Server, ServerState};
-pub use wire::{parse_query, QueryOp, QueryRequest};
+pub use wire::{parse_batch, parse_query, QueryOp, QueryRequest};

@@ -1,37 +1,51 @@
 //! The serving core: a fixed pool of worker threads accepting
-//! connections on one `TcpListener`, sharing one
-//! `RwLock<EngineSession>` per loaded database.
+//! connections on one `TcpListener`, serving each database from an
+//! atomically-published session snapshot ([`SnapshotCell`]).
 //!
-//! # Locking model
+//! # Snapshot model
 //!
-//! `EngineSession` is `Sync` — its caches are internally mutex-guarded —
-//! so **readers share the lock concurrently**: N in-flight `/query`
-//! requests over a warm session run in parallel and mostly hit the
-//! atom/pass/result caches. **Writers take the lock exclusively**:
-//! `/update` streams deltas through [`EngineSession::apply_all`] under
-//! the write lock, maintaining the resident encoding in place and
-//! invalidating only the cache entries whose fingerprint contains a
-//! touched relation. A query admitted after the write therefore sees
-//! the post-update database, still warm for every untouched relation.
+//! Readers **never block on writers**: `/query` pins the current
+//! snapshot (`Arc` clone, nanoseconds) and computes against it; a
+//! concurrent `/update` forks the session copy-on-write, applies the
+//! whole delta off to the side, and publishes the fork with an atomic
+//! pointer swap. Every answer therefore reflects exactly one published
+//! snapshot — never a half-applied delta — and updates are **atomic**:
+//! a delta that fails validation mid-batch discards the fork, leaving
+//! the published snapshot untouched (PR 5's `RwLock` server stopped at
+//! the first bad op with earlier ops already applied).
+//!
+//! Warm caches are carried forward: atom lifts, pass states, and memoized
+//! results accumulated by readers against the old snapshot remain hits
+//! in the new one (minus entries invalidated by the delta itself).
+//!
+//! # Connection model
+//!
+//! HTTP/1.1 keep-alive with pipelining: each worker runs a
+//! per-connection request loop, honoring `Connection:` headers. Between
+//! requests the worker polls at [`IDLE_POLL`] so idle sockets notice
+//! shutdown promptly and enforce [`KEEP_ALIVE_IDLE`]; a request already
+//! in flight gets the full [`READ_TIMEOUT`]. `/shutdown` drains: in-
+//! flight requests finish, keep-alive connections close after their
+//! current response, and idle connections close within one poll tick.
 //!
 //! # Panic-freedom
 //!
 //! The whole request path is typed-error end to end (`TsensError`,
 //! `QueryError`, `DataError`, parse errors) — malformed requests get
 //! 4xx responses. As a last-resort shield each request additionally runs
-//! under `catch_unwind`, and lock poisoning is explicitly recovered
-//! (`PoisonError::into_inner`), so even a bug cannot take a worker or
-//! the shared session down with it.
+//! under `catch_unwind`, and a panicking handler can at worst poison a
+//! private fork (which is then discarded) — never the published
+//! snapshot.
 
 use crate::http::{self, error_body, json_escape, Request};
 use crate::wire::{self, QueryOp, QueryRequest};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::io::{self, BufReader};
+use std::io::{self, BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tsens_core::elastic::plan_order_from_tree;
@@ -40,18 +54,23 @@ use tsens_data::io::parse_ops;
 use tsens_data::Database;
 use tsens_dp::truncation::TruncationProfile;
 use tsens_dp::tsensdp::tsensdp_answer_from_profile;
-use tsens_engine::EngineSession;
+use tsens_engine::{EngineSession, SnapshotCell};
 use tsens_query::{auto_decompose, classify, ConjunctiveQuery, Predicate};
 
-/// How long a worker waits for a slow client before giving up on the
-/// connection (slow-loris guard).
+/// How long a worker waits on a request already in flight before giving
+/// up on the connection (slow-loris guard).
 const READ_TIMEOUT: Duration = Duration::from_secs(30);
+/// How often an idle keep-alive connection checks for shutdown.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+/// How long a keep-alive connection may sit idle before the server
+/// closes it.
+const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(30);
 
-/// One served database: the name clients address it by and the shared
-/// session answering its queries.
+/// One served database: the name clients address it by and the
+/// snapshot cell publishing its session.
 struct NamedDb {
     name: String,
-    session: RwLock<EngineSession<'static>>,
+    cell: SnapshotCell,
 }
 
 /// Everything the worker pool shares: the catalog of served databases.
@@ -62,14 +81,15 @@ pub struct ServerState {
 impl ServerState {
     /// Build the state, encoding every database into its own resident
     /// session (the once-per-database preprocessing cost, paid at
-    /// startup instead of per request).
+    /// startup instead of per request) and publishing it as snapshot
+    /// version 0.
     pub fn new(dbs: Vec<(String, Database)>) -> Self {
         ServerState {
             dbs: dbs
                 .into_iter()
                 .map(|(name, db)| NamedDb {
                     name,
-                    session: RwLock::new(EngineSession::owned(db)),
+                    cell: SnapshotCell::new(EngineSession::owned(db)),
                 })
                 .collect(),
         }
@@ -88,18 +108,6 @@ impl ServerState {
                 .ok_or((404, format!("unknown database {n:?}"))),
         }
     }
-}
-
-/// Recover a read guard even if a (shielded) panic poisoned the lock:
-/// the session's own invariants are maintained before any fallible work
-/// runs, so the data is still consistent — refusing to serve forever
-/// would be strictly worse.
-fn read_session(ndb: &NamedDb) -> RwLockReadGuard<'_, EngineSession<'static>> {
-    ndb.session.read().unwrap_or_else(|p| p.into_inner())
-}
-
-fn write_session(ndb: &NamedDb) -> RwLockWriteGuard<'_, EngineSession<'static>> {
-    ndb.session.write().unwrap_or_else(|p| p.into_inner())
 }
 
 /// A running server: worker threads plus the handle to stop them.
@@ -144,7 +152,9 @@ impl Server {
     }
 
     /// Block until the server shuts down (via `POST /shutdown` or
-    /// [`Server::stop`]).
+    /// [`Server::stop`]). Joining is the drain: a worker only returns
+    /// once its current connection — including any pinned snapshot —
+    /// is finished with.
     pub fn join(self) {
         for w in self.workers {
             let _ = w.join();
@@ -190,6 +200,16 @@ fn worker_loop(
     }
 }
 
+/// Serve one connection: a keep-alive request loop.
+///
+/// Idle waiting works by polling: the socket's read timeout is
+/// [`IDLE_POLL`] between requests, and the loop peeks with `fill_buf`
+/// (which is safe to retry after a timeout — no partial state) until
+/// bytes arrive, the peer closes, the idle budget runs out, or shutdown
+/// is flagged. Once bytes are available the timeout is raised to
+/// [`READ_TIMEOUT`] for the actual request parse. Pipelined requests
+/// already sitting in the buffer are served back-to-back without
+/// touching the socket.
 fn handle_connection(
     stream: TcpStream,
     state: &ServerState,
@@ -197,33 +217,67 @@ fn handle_connection(
     addr: SocketAddr,
     threads: usize,
 ) {
-    // Both directions time out: a client that stops *reading* would
-    // otherwise wedge the worker in write_response once the socket
-    // buffer fills, just like a slow sender would wedge the parser.
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    // Write timeouts too: a client that stops *reading* would otherwise
+    // wedge the worker in write_response once the socket buffer fills.
+    // NODELAY because a request/response ping-pong never benefits from
+    // Nagle batching and pays delayed-ACK stalls for it.
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
     let _ = stream.set_write_timeout(Some(READ_TIMEOUT));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
-    let request = match http::read_request(&mut reader) {
-        Ok(Some(r)) => r,
-        Ok(None) => return, // closed before sending anything
-        Err(e) => {
-            let _ = http::write_response(&mut writer, e.status, &error_body(&e.message));
+    let mut idle_since = Instant::now();
+    loop {
+        match reader.fill_buf() {
+            Ok([]) => return, // peer closed
+            Ok(_) => {}       // a request (or part of one) is waiting
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return; // drain: idle connections close within one poll
+                }
+                if idle_since.elapsed() >= KEEP_ALIVE_IDLE {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        let _ = reader.get_ref().set_read_timeout(Some(READ_TIMEOUT));
+        let request = match http::read_request(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return,
+            Err(e) => {
+                // Parser state after a malformed request is unknowable;
+                // answer and close, per HTTP convention.
+                let _ = http::write_response(&mut writer, e.status, &error_body(&e.message), false);
+                return;
+            }
+        };
+        // Last-resort shield: nothing on the request path should panic
+        // (the whole stack returns typed errors on bad input), but if a
+        // bug slips through, the worker answers 500 and keeps serving
+        // instead of dying with 1/N of the pool's capacity.
+        let (status, body) = catch_unwind(AssertUnwindSafe(|| {
+            route(&request, state, shutdown, addr, threads)
+        }))
+        .unwrap_or_else(|_| (500, error_body("internal error: request handler panicked")));
+        // Drain semantics: once shutdown is flagged (possibly by this
+        // very request), finish this response and close.
+        let keep = request.keep_alive && !shutdown.load(Ordering::SeqCst);
+        if http::write_response(&mut writer, status, &body, keep).is_err() || !keep {
             return;
         }
-    };
-    // Last-resort shield: nothing on the request path should panic (the
-    // whole stack returns typed errors on bad input), but if a bug slips
-    // through, the worker answers 500 and keeps serving instead of dying
-    // with 1/N of the pool's capacity.
-    let (status, body) = catch_unwind(AssertUnwindSafe(|| {
-        route(&request, state, shutdown, addr, threads)
-    }))
-    .unwrap_or_else(|_| (500, error_body("internal error: request handler panicked")));
-    let _ = http::write_response(&mut writer, status, &body);
+        let _ = reader.get_ref().set_read_timeout(Some(IDLE_POLL));
+        idle_since = Instant::now();
+    }
 }
 
 fn route(
@@ -237,13 +291,14 @@ fn route(
         ("GET", "/healthz") => (200, "{\"ok\":true}".to_owned()),
         ("GET", "/stats") => handle_stats(state, req),
         ("POST", "/query") => handle_query(state, req),
+        ("POST", "/query_batch") => handle_batch(state, req),
         ("POST", "/update") => handle_update(state, req),
         ("POST", "/shutdown") => {
             shutdown.store(true, Ordering::SeqCst);
             wake_acceptors(addr, threads);
             (200, "{\"ok\":true,\"shutting_down\":true}".to_owned())
         }
-        (_, "/healthz" | "/stats" | "/query" | "/update" | "/shutdown") => {
+        (_, "/healthz" | "/stats" | "/query" | "/query_batch" | "/update" | "/shutdown") => {
             (405, error_body("method not allowed"))
         }
         _ => (
@@ -258,13 +313,14 @@ fn handle_stats(state: &ServerState, req: &Request) -> (u16, String) {
         Ok(d) => d,
         Err((status, msg)) => return (status, error_body(&msg)),
     };
-    let session = read_session(ndb);
+    let session = ndb.cell.load();
     let db = session.database();
     let enc = session.encoded();
     let dict = session.dict();
     let s = session.stats();
     let body = format!(
         "{{\"ok\":true,\"db\":\"{}\",\"relations\":{},\"total_tuples\":{},\
+         \"snapshot\":{{\"version\":{},\"forks\":{}}},\
          \"dict\":{{\"len\":{},\"base\":{},\"overflow\":{},\"epoch\":{}}},\
          \"cache\":{{\"atom_hits\":{},\"atom_misses\":{},\"pass_hits\":{},\"pass_misses\":{},\
          \"result_hits\":{},\"result_misses\":{},\"mf_hits\":{},\"mf_misses\":{}}},\
@@ -273,6 +329,8 @@ fn handle_stats(state: &ServerState, req: &Request) -> (u16, String) {
         json_escape(&ndb.name),
         db.relation_count(),
         db.total_tuples(),
+        ndb.cell.version(),
+        s.forks,
         dict.len(),
         dict.base_len(),
         dict.overflow_len(),
@@ -305,17 +363,65 @@ fn handle_query(state: &ServerState, req: &Request) -> (u16, String) {
         Ok(d) => d,
         Err((status, msg)) => return (status, error_body(&msg)),
     };
-    let session = read_session(ndb);
+    // Pin the current snapshot for this request: updates published
+    // while we compute don't disturb it, and it's freed when the last
+    // pin drops.
+    let session = ndb.cell.load();
     match run_query(&session, &ndb.name, &parsed) {
         Ok(body) => (200, body),
         Err((status, msg)) => (status, error_body(&msg)),
     }
 }
 
-/// Execute one parsed query against a (read-locked) session. Every
-/// failure — unknown relation, bad predicate column, cyclic-query
-/// decomposition trouble, session errors — comes back as
-/// `(status, message)`.
+/// `POST /query_batch`: `/query` bodies separated by `---` lines.
+///
+/// Parse-all-first: any malformed item fails the whole batch with 400
+/// and nothing executes. Execution pins **one snapshot per database**
+/// for the whole batch, so all items over one database answer from the
+/// same consistent state no matter how many updates publish meanwhile.
+/// Per-item execution errors come back embedded in the results array
+/// (the batch itself still answers 200).
+fn handle_batch(state: &ServerState, req: &Request) -> (u16, String) {
+    let parsed = match wire::parse_batch(&req.body) {
+        Ok(p) => p,
+        Err(msg) => return (400, error_body(&msg)),
+    };
+    let mut pinned: Vec<(String, Arc<EngineSession<'static>>)> = Vec::new();
+    let mut results = Vec::with_capacity(parsed.len());
+    for q in &parsed {
+        let db_name = q.db.as_deref().or_else(|| req.query_param("db"));
+        let item = match state.find(db_name) {
+            Err((_, msg)) => error_body(&msg),
+            Ok(ndb) => {
+                let session = match pinned.iter().find(|(n, _)| *n == ndb.name) {
+                    Some((_, s)) => Arc::clone(s),
+                    None => {
+                        let s = ndb.cell.load();
+                        pinned.push((ndb.name.clone(), Arc::clone(&s)));
+                        s
+                    }
+                };
+                match run_query(&session, &ndb.name, q) {
+                    Ok(body) => body,
+                    Err((_, msg)) => error_body(&msg),
+                }
+            }
+        };
+        results.push(item);
+    }
+    (
+        200,
+        format!(
+            "{{\"ok\":true,\"count\":{},\"results\":[{}]}}",
+            results.len(),
+            results.join(",")
+        ),
+    )
+}
+
+/// Execute one parsed query against a pinned snapshot. Every failure —
+/// unknown relation, bad predicate column, cyclic-query decomposition
+/// trouble, session errors — comes back as `(status, message)`.
 fn run_query(
     session: &EngineSession<'static>,
     db_name: &str,
@@ -433,8 +539,8 @@ fn run_query(
                 TruncationProfile::build_session(session, &cq, &tree, atom).map_err(internal)?;
             // The SVT threshold scan is linear in ℓ, so a wire-supplied
             // ℓ must be bounded by what the data can justify — an
-            // astronomical ℓ would wedge this worker (and block
-            // writers) in a billions-long scan off one cheap request.
+            // astronomical ℓ would wedge this worker in a billions-long
+            // scan off one cheap request.
             let ell_cap = profile.max_delta().saturating_mul(4).saturating_add(1000);
             let ell = q.ell.unwrap_or(((profile.max_delta() * 3) / 2).max(10));
             if ell > ell_cap {
@@ -517,39 +623,42 @@ fn report_body(
     )
 }
 
+/// `POST /update`: parse the delta against the current snapshot's
+/// catalog (fixed at load time — no DDL endpoints), then fork → apply →
+/// publish. The batch is atomic: any failing op discards the fork and
+/// answers 400 with the published snapshot unchanged. Readers are never
+/// blocked — they keep answering from the old snapshot until the
+/// publish, and from the new one after.
 fn handle_update(state: &ServerState, req: &Request) -> (u16, String) {
     let ndb = match state.find(req.query_param("db")) {
         Ok(d) => d,
         Err((status, msg)) => return (status, error_body(&msg)),
     };
-    // Parse against the live catalog under a *read* lock — unknown
-    // relations, arity mismatches and junk op markers all fail here
-    // without ever stalling concurrent readers on parse CPU. The
-    // catalog itself is fixed at load time (no DDL endpoints), and
-    // `apply_all` re-validates every delta anyway, so releasing the
-    // read lock before taking the write lock cannot be raced into
-    // applying a stale-invalid delta.
     let ops = {
-        let session = read_session(ndb);
-        match parse_ops(session.database(), &req.body) {
+        let snap = ndb.cell.load();
+        match parse_ops(snap.database(), &req.body) {
             Ok(ops) => ops,
             Err(e) => return (400, error_body(&e.to_string())),
         }
     };
-    let mut session = write_session(ndb);
     let total = ops.len();
-    let before = session.stats();
     let t0 = Instant::now();
-    let applied = match session.apply_all(ops) {
-        Ok(n) => n,
+    let result = ndb.cell.update(|fork| {
+        let before = fork.stats();
+        let applied = fork.apply_all(ops)?;
+        Ok((applied, before, fork.stats()))
+    });
+    let micros = t0.elapsed().as_micros();
+    let (applied, before, after) = match result {
+        Ok(r) => r,
         Err(e) => return (400, error_body(&e.to_string())),
     };
-    let micros = t0.elapsed().as_micros();
-    let after = session.stats();
     let body = format!(
         "{{\"ok\":true,\"db\":\"{}\",\"applied\":{applied},\"total\":{total},\"micros\":{micros},\
+         \"snapshot_version\":{},\
          \"invalidated\":{{\"passes\":{},\"results\":{},\"atoms\":{},\"mf\":{}}},\"dict_epochs\":{}}}",
         json_escape(&ndb.name),
+        ndb.cell.version(),
         after.passes_invalidated - before.passes_invalidated,
         after.results_invalidated - before.results_invalidated,
         after.atoms_invalidated - before.atoms_invalidated,

@@ -15,6 +15,11 @@
 //! POST /update
 //!   +,Relation,v1,v2,...                        (same lines as `tsens-cli
 //!   -,Relation,v1,v2,...                         update --ops` files)
+//!
+//! POST /query_batch
+//!   <query body>                                (any number of /query
+//!   ---                                          bodies separated by
+//!   <query body>                                 `---` lines)
 //! ```
 //!
 //! Parsing is pure string handling over untrusted input: every failure
@@ -166,6 +171,40 @@ pub fn parse_query(body: &str) -> Result<QueryRequest, String> {
     Ok(req)
 }
 
+/// Parse a `/query_batch` body: `/query` bodies separated by `---`
+/// lines. **Parse-all-first**: any malformed item fails the whole batch
+/// (the server answers 400 and executes nothing), so a batch is never
+/// half-run.
+///
+/// Blank items (stray or trailing separators) are dropped rather than
+/// silently run as default whole-catalog queries; a batch with no
+/// non-blank items is an error.
+///
+/// # Errors
+/// The first offending item's message, prefixed with its 1-based index.
+pub fn parse_batch(body: &str) -> Result<Vec<QueryRequest>, String> {
+    let mut items = Vec::new();
+    let mut raw_items: Vec<String> = Vec::new();
+    let mut current = String::new();
+    for line in body.lines() {
+        if line.trim() == "---" {
+            raw_items.push(std::mem::take(&mut current));
+        } else {
+            current.push_str(line);
+            current.push('\n');
+        }
+    }
+    raw_items.push(current);
+    raw_items.retain(|s| !s.trim().is_empty());
+    if raw_items.is_empty() {
+        return Err("empty batch".into());
+    }
+    for (i, raw) in raw_items.iter().enumerate() {
+        items.push(parse_query(raw).map_err(|e| format!("batch item {}: {e}", i + 1))?);
+    }
+    Ok(items)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,5 +244,27 @@ mod tests {
         assert!(parse_query("op=tsensdp").is_err(), "tsensdp needs private=");
         assert!(parse_query("op=tsensdp\nprivate=R\nepsilon=-1").is_err());
         assert!(parse_query("op=tsens_topk\nk=0").is_err());
+    }
+
+    #[test]
+    fn batch_parses_separated_items() {
+        let reqs = parse_batch("op=count\njoin=R1\n---\nop=tsens\n---\nop=elastic\n").unwrap();
+        assert_eq!(reqs.len(), 3);
+        assert_eq!(reqs[0].op, QueryOp::Count);
+        assert_eq!(reqs[0].join, vec!["R1"]);
+        assert_eq!(reqs[1].op, QueryOp::Tsens);
+        assert_eq!(reqs[2].op, QueryOp::Elastic);
+        // Trailing separator doesn't create a phantom item.
+        assert_eq!(parse_batch("op=count\n---\n").unwrap().len(), 1);
+        // Single item, no separator at all.
+        assert_eq!(parse_batch("op=count").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn batch_is_all_or_nothing() {
+        let err = parse_batch("op=count\n---\nop=transmogrify\n").unwrap_err();
+        assert!(err.starts_with("batch item 2:"), "{err}");
+        assert!(parse_batch("").is_err(), "empty batch is an error");
+        assert!(parse_batch("---\n---\n").is_err());
     }
 }

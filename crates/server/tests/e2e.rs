@@ -5,7 +5,7 @@
 
 use std::net::TcpListener;
 use tsens_data::{Database, Relation, Schema, Value};
-use tsens_server::{client, Server, ServerState};
+use tsens_server::{client, Client, Server, ServerState};
 
 /// The Figure 1 / Example 2.1 database (LS = 4 via inserting
 /// `(a2, b2, c1)` into R1).
@@ -168,6 +168,106 @@ fn serves_figure1_with_updates_errors_and_shutdown() {
     let (status, body) = post(addr, "/shutdown", "");
     assert_eq!(status, 200, "{body}");
     server.join();
+}
+
+#[test]
+fn keep_alive_serves_queries_and_updates_over_one_connection() {
+    let (server, addr) = start_server();
+    let mut c = Client::new(addr).expect("client");
+
+    // Two queries and one update over a single connection, interleaved
+    // with a second query proving the published snapshot moved.
+    let (status, body) = c
+        .request("POST", "/query", "op=count\njoin=R1,R2,R3,R4")
+        .expect("query 1");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"count\":1"), "{body}");
+    assert!(c.is_connected(), "server must honor keep-alive");
+
+    let (status, body) = c
+        .request("POST", "/update", "+,R1,a2,b2,c1")
+        .expect("update");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"snapshot_version\":1"), "{body}");
+
+    let (status, body) = c
+        .request("POST", "/query", "op=count\njoin=R1,R2,R3,R4")
+        .expect("query 2");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"count\":5"), "{body}");
+    assert!(c.is_connected(), "still the same connection");
+
+    // A 4xx answer keeps the connection usable too.
+    let (status, _) = c.request("POST", "/query", "op=transmogrify").expect("bad");
+    assert_eq!(status, 400);
+    let (status, _) = c.request("GET", "/healthz", "").expect("health");
+    assert_eq!(status, 200);
+    assert!(c.is_connected());
+
+    server.stop();
+}
+
+/// The drain fix: an idle keep-alive connection parks a worker in its
+/// idle-poll loop; `/shutdown` must still complete promptly (the worker
+/// notices the flag within one poll tick) instead of wedging until the
+/// 30s idle timeout.
+#[test]
+fn shutdown_drains_idle_keep_alive_connections() {
+    let (server, addr) = start_server();
+    let mut idle = Client::new(addr).expect("client");
+    let (status, _) = idle.request("GET", "/healthz", "").expect("health");
+    assert_eq!(status, 200);
+    assert!(idle.is_connected(), "connection parked idle");
+
+    let (status, _) = post(addr, "/shutdown", "");
+    assert_eq!(status, 200);
+    let t0 = std::time::Instant::now();
+    server.join();
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(5),
+        "drain wedged on the idle keep-alive connection"
+    );
+}
+
+#[test]
+fn query_batch_answers_from_one_snapshot() {
+    let (server, addr) = start_server();
+
+    // A happy batch: three items, one response, per-item results.
+    let (status, body) = post(
+        addr,
+        "/query_batch",
+        "op=count\njoin=R1,R2,R3,R4\n---\nop=tsens\njoin=R1,R2,R3,R4\n---\nop=count\njoin=R3",
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"count\":1"), "{body}");
+    assert!(body.contains("\"local_sensitivity\":4"), "{body}");
+    assert!(body.contains("\"count\":3"), "{body}");
+    assert!(body.starts_with("{\"ok\":true,\"count\":3,"), "{body}");
+
+    // A malformed item fails the whole batch: 400, nothing executes.
+    let (status, body) = post(addr, "/query_batch", "op=count\n---\nop=transmogrify");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("batch item 2"), "{body}");
+    let (status, body) = post(addr, "/query_batch", "");
+    assert_eq!(status, 400, "{body}");
+
+    // Per-item *execution* errors come back embedded, batch still 200.
+    let (status, body) = post(
+        addr,
+        "/query_batch",
+        "op=count\njoin=R9\n---\nop=count\njoin=R3",
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"ok\":false"), "{body}");
+    assert!(body.contains("\"count\":3"), "{body}");
+
+    // The server still answers after the malformed batches.
+    let (status, body) = post(addr, "/query", "op=count\njoin=R1,R2,R3,R4");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"count\":1"), "{body}");
+
+    server.stop();
 }
 
 #[test]

@@ -4,7 +4,9 @@
 //! tsens-cli <table.csv>... --join R1,R2,... [options]
 //! tsens-cli update <table.csv>... --ops <ops.csv> [--join R1,R2,...]
 //! tsens-cli serve <table.csv>... [--port N] [--threads N] [--name DB]
-//! tsens-cli client [--host H] [--port N] <query|update|stats|healthz|shutdown> [args...]
+//! tsens-cli client [--host H] [--port N] <query|batch|update|stats|healthz|shutdown> [args...]
+//! tsens-cli client [--host H] [--port N] exec '<cmd body...>' '<cmd body...>' ...
+//! tsens-cli loadgen [--host H] [--port N] [--connections C] [--requests N] [options]
 //!
 //! Loads each CSV (header row = attribute names; shared names join), then
 //! analyses the natural-join counting query over the listed relations
@@ -44,9 +46,19 @@
 //! ```text
 //! tsens-cli serve r1.csv r2.csv --port 7878 --threads 4 &
 //! tsens-cli client --port 7878 query op=tsens join=r1,r2
+//! tsens-cli client --port 7878 batch op=count --- op=tsens
 //! tsens-cli client --port 7878 update +,r1,a2,b2,c1
+//! tsens-cli client --port 7878 exec 'query op=count' 'update +,r1,a2,b2,c1' 'query op=count'
 //! tsens-cli client --port 7878 shutdown
 //! ```
+//!
+//! `client exec` runs every command over **one keep-alive connection**
+//! (each quoted argument is `<command> <body-line> <body-line>…`), and
+//! `loadgen` drives a running server with `--connections` persistent
+//! connections issuing `--requests` queries each, reporting req/s and
+//! p50/p99 latency — optionally with a concurrent bulk updater
+//! (`--update-body`) to prove readers don't stall, and `--assert-*`
+//! floors for CI.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -363,17 +375,30 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
             "--host" => host = value("--host")?,
             "--port" => port = value("--port")?.parse().map_err(|_| "bad --port")?,
             "--ops" => ops = Some(PathBuf::from(value("--ops")?)),
+            // `---` is the batch item separator, not an option.
+            "---" => positional.push(arg.clone()),
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => positional.push(other.to_owned()),
         }
     }
     let Some((command, rest)) = positional.split_first() else {
-        return Err("client needs a command: query | update | stats | healthz | shutdown".into());
+        return Err(
+            "client needs a command: query | batch | update | stats | healthz | shutdown | exec"
+                .into(),
+        );
     };
+    // `exec`: every remaining argument is one command (`<cmd> <line>
+    // <line>…`, whitespace-separated), all issued over a single
+    // keep-alive connection.
+    if command == "exec" {
+        return client_exec(&host, port, rest);
+    }
     let (method, path, body) = match command.as_str() {
         // Each further argument is one body line: `op=tsens`,
         // `join=R1,R2`, `where=R.A=v`, … for query; `+,R,v…` for update.
         "query" => ("POST", "/query", rest.join("\n")),
+        // Batch: body lines with literal `---` arguments as separators.
+        "batch" => ("POST", "/query_batch", rest.join("\n")),
         "update" => {
             let body = match &ops {
                 Some(path) => {
@@ -400,6 +425,186 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Run several commands over one keep-alive connection. Each `spec` is
+/// `<command> <body-line> <body-line>…` (whitespace-separated); prints
+/// every response, fails on the first HTTP error or I/O failure.
+fn client_exec(host: &str, port: u16, specs: &[String]) -> Result<(), String> {
+    if specs.is_empty() {
+        return Err("exec needs at least one command argument".into());
+    }
+    let mut client =
+        tsens::server::Client::new((host, port)).map_err(|e| format!("{host}:{port}: {e}"))?;
+    for spec in specs {
+        let mut tokens = spec.split_whitespace();
+        let command = tokens.next().ok_or("empty exec command")?;
+        let body: Vec<&str> = tokens.collect();
+        let (method, path) = match command {
+            "query" => ("POST", "/query"),
+            "batch" => ("POST", "/query_batch"),
+            "update" => ("POST", "/update"),
+            "stats" => ("GET", "/stats"),
+            "healthz" => ("GET", "/healthz"),
+            "shutdown" => ("POST", "/shutdown"),
+            other => return Err(format!("unknown exec command {other:?}")),
+        };
+        let (status, response) = client
+            .request(method, path, &body.join("\n"))
+            .map_err(|e| format!("{host}:{port}: {e}"))?;
+        println!("{response}");
+        if status >= 400 {
+            return Err(format!("server answered HTTP {status}"));
+        }
+    }
+    // Surface whether keep-alive actually held (CI asserts on this).
+    eprintln!(
+        "exec: {} command(s), connection {}",
+        specs.len(),
+        if client.is_connected() {
+            "reused (keep-alive)"
+        } else {
+            "closed by server"
+        }
+    );
+    Ok(())
+}
+
+/// `loadgen` subcommand: drive a running server with persistent
+/// connections and report throughput + latency percentiles.
+fn loadgen(args: &[String]) -> Result<(), String> {
+    let mut host = "127.0.0.1".to_owned();
+    let mut port: u16 = 7878;
+    let mut connections: usize = 4;
+    let mut requests: usize = 1000;
+    let mut query = "op=count".to_owned();
+    let mut update_body: Option<String> = None;
+    let mut assert_min_rps: Option<f64> = None;
+    let mut assert_max_p99_us: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |opt: &str| it.next().cloned().ok_or(format!("{opt} needs a value"));
+        match arg.as_str() {
+            "--host" => host = value("--host")?,
+            "--port" => port = value("--port")?.parse().map_err(|_| "bad --port")?,
+            "--connections" => {
+                connections = value("--connections")?
+                    .parse()
+                    .map_err(|_| "bad --connections")?
+            }
+            "--requests" => {
+                requests = value("--requests")?.parse().map_err(|_| "bad --requests")?
+            }
+            // Space-separated body lines, e.g. "op=count join=R1,R2".
+            "--query" => query = value("--query")?,
+            // Semicolon-separated delta lines, looped by a concurrent
+            // updater thread for the whole run, e.g.
+            // "+,R1,a9,b9,c1;-,R1,a9,b9,c1".
+            "--update-body" => update_body = Some(value("--update-body")?),
+            "--assert-min-rps" => {
+                assert_min_rps = Some(
+                    value("--assert-min-rps")?
+                        .parse()
+                        .map_err(|_| "bad --assert-min-rps")?,
+                )
+            }
+            "--assert-max-p99-us" => {
+                assert_max_p99_us = Some(
+                    value("--assert-max-p99-us")?
+                        .parse()
+                        .map_err(|_| "bad --assert-max-p99-us")?,
+                )
+            }
+            other => return Err(format!("unknown loadgen option {other}")),
+        }
+    }
+    if connections == 0 || requests == 0 {
+        return Err("--connections and --requests must be at least 1".into());
+    }
+    let body: String = query.split_whitespace().collect::<Vec<_>>().join("\n");
+
+    // Optional concurrent bulk updater: loops the delta body through
+    // its own keep-alive connection until the readers are done, so the
+    // measured reader latencies overlap live publishes.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let updater = update_body.map(|spec| {
+        let delta = spec.split(';').collect::<Vec<_>>().join("\n");
+        let stop = std::sync::Arc::clone(&stop);
+        let addr = (host.clone(), port);
+        std::thread::spawn(move || -> Result<u64, String> {
+            let mut client = tsens::server::Client::new(addr).map_err(|e| e.to_string())?;
+            let mut published = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                let (status, resp) = client
+                    .request("POST", "/update", &delta)
+                    .map_err(|e| e.to_string())?;
+                if status != 200 {
+                    return Err(format!("updater got HTTP {status}: {resp}"));
+                }
+                published += 1;
+            }
+            Ok(published)
+        })
+    });
+
+    let t0 = Instant::now();
+    let readers: Vec<_> = (0..connections)
+        .map(|_| {
+            let addr = (host.clone(), port);
+            let body = body.clone();
+            std::thread::spawn(move || -> Result<Vec<u64>, String> {
+                let mut client = tsens::server::Client::new(addr).map_err(|e| e.to_string())?;
+                let mut lat = Vec::with_capacity(requests);
+                for _ in 0..requests {
+                    let t = Instant::now();
+                    let (status, resp) = client
+                        .request("POST", "/query", &body)
+                        .map_err(|e| e.to_string())?;
+                    lat.push(t.elapsed().as_micros() as u64);
+                    if status != 200 {
+                        return Err(format!("reader got HTTP {status}: {resp}"));
+                    }
+                }
+                Ok(lat)
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::with_capacity(connections * requests);
+    for r in readers {
+        latencies.extend(r.join().map_err(|_| "reader thread panicked")??);
+    }
+    let elapsed = t0.elapsed();
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    let publishes = match updater {
+        Some(u) => u.join().map_err(|_| "updater thread panicked")??,
+        None => 0,
+    };
+
+    latencies.sort_unstable();
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    let total = latencies.len() as f64;
+    let rps = total / elapsed.as_secs_f64();
+    let (p50, p99) = (pct(0.50), pct(0.99));
+    println!(
+        "loadgen: {} requests over {connections} connection(s) in {elapsed:.2?}",
+        latencies.len()
+    );
+    println!("rps={rps:.0}");
+    println!("p50_us={p50}");
+    println!("p99_us={p99}");
+    println!("max_us={}", latencies[latencies.len() - 1]);
+    println!("concurrent_update_publishes={publishes}");
+    if let Some(floor) = assert_min_rps {
+        if rps < floor {
+            return Err(format!("throughput {rps:.0} req/s below floor {floor}"));
+        }
+    }
+    if let Some(cap) = assert_max_p99_us {
+        if p99 > cap {
+            return Err(format!("reader p99 {p99}µs above cap {cap}µs"));
+        }
+    }
+    Ok(())
+}
+
 fn usage() {
     eprintln!(
         "usage: tsens-cli <table.csv>... [--join A,B,C] [--private R] \
@@ -407,7 +612,11 @@ fn usage() {
          tsens-cli update <table.csv>... --ops <ops.csv> [--join A,B,C]\n       \
          tsens-cli serve <table.csv>... [--port N] [--threads N] [--name DB]\n       \
          tsens-cli client [--host H] [--port N] \
-         <query|update|stats|healthz|shutdown> [lines...]"
+         <query|batch|update|stats|healthz|shutdown> [lines...]\n       \
+         tsens-cli client [--host H] [--port N] exec '<cmd lines...>' ...\n       \
+         tsens-cli loadgen [--host H] [--port N] [--connections C] [--requests N] \
+         [--query 'op=… join=…'] [--update-body '+,R,…;-,R,…'] \
+         [--assert-min-rps X] [--assert-max-p99-us N]"
     );
 }
 
@@ -426,6 +635,15 @@ fn main() -> ExitCode {
         }
         Some("client") => {
             return match client_cmd(&argv[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("loadgen") => {
+            return match loadgen(&argv[1..]) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(msg) => {
                     eprintln!("error: {msg}");
