@@ -385,6 +385,76 @@ fn bench_serving(c: &mut Criterion) {
     server.stop();
 }
 
+/// Durability layer: snapshot save, snapshot load vs the CSV re-encode
+/// a restart would otherwise pay, and WAL append under each fsync
+/// policy (the latency every `/update` ack carries).
+fn bench_durability(c: &mut Criterion) {
+    use tsens_data::store::{self, FsyncPolicy, Wal};
+
+    let db = facebook::facebook_database(small_params(), 348);
+    let session = EngineSession::owned(db);
+    let dir = std::env::temp_dir().join(format!("tsens-bench-durability-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut group = c.benchmark_group("durability");
+    group.sample_size(if quick() { 15 } else { 20 });
+    group.bench_function("snapshot_save", |b| {
+        b.iter(|| store::save_snapshot(&dir, 1, session.database(), session.encoded()).unwrap())
+    });
+
+    let path = store::save_snapshot(&dir, 1, session.database(), session.encoded()).unwrap();
+    // The boot path the snapshot replaces: read the CSVs, rebuild the
+    // catalog, re-encode — what a non-durable restart pays before it
+    // can serve (both paths read page-cache-warm files here).
+    let csv_dir = dir.join("csv");
+    std::fs::create_dir_all(&csv_dir).unwrap();
+    let csv_files: Vec<std::path::PathBuf> = (0..session.database().relation_count())
+        .map(|i| {
+            let file = csv_dir.join(format!("{}.csv", session.database().relation_name(i)));
+            tsens_data::io::write_csv(session.database(), i, &file).unwrap();
+            file
+        })
+        .collect();
+    group.bench_function("csv_encode", |b| {
+        b.iter(|| {
+            let mut db = tsens_data::Database::new();
+            for file in &csv_files {
+                tsens_data::io::load_csv(&mut db, file).unwrap();
+            }
+            tsens_data::EncodedDatabase::new(black_box(&db))
+        })
+    });
+    group.bench_function("snapshot_load", |b| {
+        b.iter(|| store::load_snapshot(black_box(&path)).unwrap())
+    });
+    // Restart-skips-re-encode, asserted: the loaded encoding *is* the
+    // saved one (same epoch, same per-relation versions), not a fresh
+    // re-encode that merely agrees.
+    let loaded = store::load_snapshot(&path).unwrap();
+    assert_eq!(loaded.enc.epoch(), session.encoded().epoch());
+    assert_eq!(
+        loaded.enc.relation_count(),
+        session.encoded().relation_count()
+    );
+    for i in 0..loaded.enc.relation_count() {
+        assert_eq!(loaded.enc.version(i), session.encoded().version(i));
+    }
+
+    let record = "+,Friends,1,2\n-,Friends,1,2";
+    for (i, policy) in [FsyncPolicy::Always, FsyncPolicy::Batch, FsyncPolicy::Off]
+        .into_iter()
+        .enumerate()
+    {
+        group.bench_function(BenchmarkId::new("wal_append", policy), |b| {
+            let mut wal = Wal::create(&dir, 100 + i as u64, policy).unwrap();
+            b.iter(|| wal.append(black_box(record)).unwrap())
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group!(
     benches,
     bench_path_vs_general,
@@ -393,6 +463,7 @@ criterion_group!(
     bench_vs_naive,
     bench_session,
     bench_updates,
-    bench_serving
+    bench_serving,
+    bench_durability
 );
 criterion_main!(benches);

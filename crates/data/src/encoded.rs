@@ -285,6 +285,71 @@ impl Dict {
         (new, remap)
     }
 
+    /// The dictionary's raw regions, in code order: `(sorted ints,
+    /// sorted strings, arrival-order overflow)` — the exact state the
+    /// snapshot format persists, so a load rebuilds identical codes.
+    pub(crate) fn regions(&self) -> (&[i64], &[Value], &[Value]) {
+        (&self.ints, &self.strs, &self.overflow)
+    }
+
+    /// Rebuild a dictionary from regions previously obtained via
+    /// [`Dict::regions`] — the snapshot-load constructor. Unlike
+    /// [`Dict::from_parts`] this trusts (but verifies) that the base
+    /// regions are already sorted and distinct, so no re-sort runs and
+    /// every value keeps the exact code it had when saved (overflow
+    /// included).
+    ///
+    /// # Errors
+    /// [`DataError::Malformed`] when a base region is unsorted or
+    /// contains duplicates, a base string region holds a non-string, an
+    /// overflow value duplicates an existing code, or the total exceeds
+    /// `u32` code space.
+    pub(crate) fn from_regions(
+        ints: Vec<i64>,
+        strs: Vec<Value>,
+        overflow: Vec<Value>,
+    ) -> Result<Self, crate::DataError> {
+        let bad = |m: &str| crate::DataError::Malformed(format!("dictionary regions: {m}"));
+        if u32::try_from(ints.len() + strs.len() + overflow.len()).is_err() {
+            return Err(bad("more than u32::MAX values"));
+        }
+        if !ints.windows(2).all(|w| w[0] < w[1]) {
+            return Err(bad("integer base is not sorted-distinct"));
+        }
+        if strs.iter().any(|v| !matches!(v, Value::Str(_))) {
+            return Err(bad("string base holds a non-string"));
+        }
+        if !strs.windows(2).all(|w| w[0] < w[1]) {
+            return Err(bad("string base is not sorted-distinct"));
+        }
+        let mut int_codes: FastMap<i64, u32> = fast_map_with_capacity(ints.len());
+        for (i, &x) in ints.iter().enumerate() {
+            int_codes.insert(x, i as u32);
+        }
+        let mut str_codes: FastMap<Value, u32> = FastMap::default();
+        for (j, v) in strs.iter().enumerate() {
+            str_codes.insert(v.clone(), (ints.len() + j) as u32);
+        }
+        let base = ints.len() + strs.len();
+        for (k, v) in overflow.iter().enumerate() {
+            let code = (base + k) as u32;
+            let clash = match v {
+                Value::Int(x) => int_codes.insert(*x, code),
+                Value::Str(_) => str_codes.insert(v.clone(), code),
+            };
+            if clash.is_some() {
+                return Err(bad("overflow value duplicates an existing code"));
+            }
+        }
+        Ok(Dict {
+            ints,
+            strs,
+            overflow,
+            int_codes,
+            str_codes,
+        })
+    }
+
     /// Encode a `(row, count)` relation. Rows must already be encodable
     /// (every value present in the dictionary).
     ///
@@ -386,6 +451,46 @@ impl EncodedRelation {
     #[inline]
     pub fn count(&self, i: usize) -> Count {
         self.counts[i]
+    }
+
+    /// The flat code buffer (stride = arity) — the snapshot format's
+    /// raw section payload.
+    #[inline]
+    pub(crate) fn raw_codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The parallel per-row multiplicities.
+    #[inline]
+    pub(crate) fn raw_counts(&self) -> &[Count] {
+        &self.counts
+    }
+
+    /// Rebuild a relation from raw buffers previously obtained via
+    /// [`EncodedRelation::raw_codes`]/[`raw_counts`](EncodedRelation::raw_counts)
+    /// — the snapshot-load constructor.
+    ///
+    /// # Errors
+    /// [`DataError::Malformed`] when the buffer lengths disagree with
+    /// the schema arity.
+    pub(crate) fn from_raw(
+        schema: Schema,
+        codes: Vec<u32>,
+        counts: Vec<Count>,
+    ) -> Result<Self, crate::DataError> {
+        let arity = schema.arity();
+        if codes.len() != counts.len() * arity {
+            return Err(crate::DataError::Malformed(format!(
+                "encoded relation buffers disagree: {} codes for {} rows of arity {arity}",
+                codes.len(),
+                counts.len()
+            )));
+        }
+        Ok(EncodedRelation {
+            schema,
+            codes,
+            counts,
+        })
     }
 
     /// Append a row.

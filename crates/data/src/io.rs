@@ -99,6 +99,40 @@ pub fn load_csv(db: &mut Database, path: &Path) -> Result<usize, DataError> {
 /// [`DataError::Malformed`] naming the offending line — every failure
 /// mode of untrusted input is a typed error, never a panic.
 pub fn parse_ops(db: &Database, text: &str) -> Result<Vec<Update>, DataError> {
+    Ok(parse_ops_indexed(db, text)?
+        .into_iter()
+        .map(|op| op.update)
+        .collect())
+}
+
+/// One parsed delta line, still carrying where it came from — what the
+/// server's `/update` 4xx diagnostics and the WAL replay log use to say
+/// *which* op failed instead of "somewhere in the batch".
+#[derive(Debug, Clone)]
+pub struct OpLine {
+    /// 1-based line number in the original batch text.
+    pub line: usize,
+    /// The trimmed source text of the line.
+    pub text: String,
+    /// The parsed delta.
+    pub update: Update,
+}
+
+impl OpLine {
+    /// `line N: <text>` — the prefix shared by parse- and apply-stage
+    /// diagnostics.
+    pub fn locate(&self) -> String {
+        format!("line {}: {:?}", self.line, self.text)
+    }
+}
+
+/// [`parse_ops`] but keeping each op's source line number and text
+/// alongside the parsed delta, so apply-stage failures can be pinned to
+/// an exact input line.
+///
+/// # Errors
+/// As [`parse_ops`].
+pub fn parse_ops_indexed(db: &Database, text: &str) -> Result<Vec<OpLine>, DataError> {
     let mut ops = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -118,14 +152,14 @@ pub fn parse_ops(db: &Database, text: &str) -> Result<Vec<Update>, DataError> {
         let arity = db.relation(rel).schema().arity();
         if row.len() != arity {
             return Err(DataError::Malformed(format!(
-                "line {}: {rel_name} expects {arity} values, got {}",
+                "line {}: {rel_name} expects {arity} values, got {} in {line:?}",
                 lineno + 1,
                 row.len()
             )));
         }
-        match op {
-            Some("+") => ops.push(Update::insert(rel, row)),
-            Some("-") => ops.push(Update::delete(rel, row)),
+        let update = match op {
+            Some("+") => Update::insert(rel, row),
+            Some("-") => Update::delete(rel, row),
             other => {
                 return Err(DataError::Malformed(format!(
                     "line {}: op must be + or -, got {:?}",
@@ -133,7 +167,12 @@ pub fn parse_ops(db: &Database, text: &str) -> Result<Vec<Update>, DataError> {
                     other.unwrap_or("")
                 )))
             }
-        }
+        };
+        ops.push(OpLine {
+            line: lineno + 1,
+            text: line.to_owned(),
+            update,
+        });
     }
     Ok(ops)
 }

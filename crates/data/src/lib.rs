@@ -32,6 +32,7 @@ pub mod io;
 pub mod relation;
 pub mod schema;
 pub mod session;
+pub mod store;
 pub mod update;
 pub mod value;
 

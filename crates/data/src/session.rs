@@ -205,6 +205,35 @@ impl EncodedDatabase {
         !self.dict.is_order_isomorphic()
     }
 
+    /// Rebuild a fully-resident encoding from parts loaded off disk —
+    /// the snapshot-load constructor ([`crate::store`]). The caller
+    /// guarantees `lifted[i]` was encoded with `dict` (the store's CRC
+    /// sections protect the pair in transit); delete churn restarts at
+    /// zero, which only delays the next compacting epoch.
+    pub(crate) fn from_loaded_parts(
+        dict: Dict,
+        lifted: Vec<EncodedRelation>,
+        versions: Vec<u64>,
+        epoch: u64,
+    ) -> Result<Self, DataError> {
+        if versions.len() != lifted.len() {
+            return Err(DataError::Malformed(format!(
+                "{} versions for {} relations",
+                versions.len(),
+                lifted.len()
+            )));
+        }
+        let resident = vec![true; lifted.len()];
+        Ok(EncodedDatabase {
+            dict: Arc::new(dict),
+            lifted: lifted.into_iter().map(Arc::new).collect(),
+            resident,
+            versions,
+            epoch,
+            churn: 0,
+        })
+    }
+
     /// Whether relation `rel` currently contains at least one copy of
     /// `row`.
     ///

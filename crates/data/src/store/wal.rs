@@ -1,0 +1,364 @@
+//! The write-ahead log: every accepted `/update` batch, appended as one
+//! CRC-guarded record *before* the new snapshot version is published to
+//! readers.
+//!
+//! Layout: `magic "TWAL" | u32 format_version | u64 generation`, then
+//! records — each a section (`u32 len | u32 crc | payload`) whose
+//! payload is the batch's ops text verbatim (`+,R,v…` / `-,R,v…`
+//! lines, the existing wire format). Replay therefore reuses the same
+//! parser as the live `/update` lane, and a WAL is human-inspectable
+//! with `strings`.
+//!
+//! A crash can leave a **torn tail**: a half-written length prefix,
+//! payload, or a record whose CRC fails. [`replay`] stops at the first
+//! damaged record and reports the valid byte length; recovery truncates
+//! the file there. Records *after* a damaged one are never replayed —
+//! applying a suffix across a hole would produce a state that was never
+//! live (a mixed state, not a prefix).
+
+use super::format::{crc32, MAX_SECTION_LEN};
+use super::StoreError;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Leading magic: "TWAL".
+pub const WAL_MAGIC: [u8; 4] = *b"TWAL";
+/// Current WAL format version.
+pub const WAL_VERSION: u32 = 1;
+/// Header bytes before the first record.
+pub const WAL_HEADER_LEN: u64 = 16;
+
+/// `wal-<generation>.tlog`, zero-padded like the snapshot names.
+pub fn wal_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("wal-{generation:016}.tlog"))
+}
+
+/// When to fsync appended WAL records.
+///
+/// * `Always` — fdatasync every record before it is acknowledged: a
+///   `kill -9` never loses an acked update.
+/// * `Batch` — write-through on every record, fsync once per
+///   [`BATCH_SYNC_RECORDS`] records (or [`BATCH_SYNC_BYTES`]): bounded
+///   loss window, much cheaper under high update rates.
+/// * `Off` — never fsync explicitly; the OS flushes on its own
+///   schedule. Torn/lost tails on crash are expected and recovery
+///   truncates them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    Always,
+    Batch,
+    Off,
+}
+
+/// `Batch` policy: fsync at least every this many records…
+pub const BATCH_SYNC_RECORDS: u64 = 32;
+/// …or this many appended bytes, whichever comes first.
+pub const BATCH_SYNC_BYTES: u64 = 1 << 20;
+
+impl std::str::FromStr for FsyncPolicy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "batch" => Ok(FsyncPolicy::Batch),
+            "off" => Ok(FsyncPolicy::Off),
+            other => Err(format!(
+                "unknown fsync policy {other:?} (expected always|batch|off)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Batch => "batch",
+            FsyncPolicy::Off => "off",
+        })
+    }
+}
+
+/// An open, append-only WAL file.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    generation: u64,
+    policy: FsyncPolicy,
+    records: u64,
+    bytes: u64,
+    unsynced_records: u64,
+    unsynced_bytes: u64,
+}
+
+impl Wal {
+    /// Create (truncating) `wal-<generation>.tlog` in `dir` and write
+    /// its header durably.
+    ///
+    /// # Errors
+    /// I/O failures.
+    pub fn create(dir: &Path, generation: u64, policy: FsyncPolicy) -> Result<Wal, StoreError> {
+        let path = wal_path(dir, generation);
+        let mut file = File::create(&path)?;
+        file.write_all(&WAL_MAGIC)?;
+        file.write_all(&WAL_VERSION.to_le_bytes())?;
+        file.write_all(&generation.to_le_bytes())?;
+        if policy != FsyncPolicy::Off {
+            file.sync_all()?;
+            super::fsync_dir(dir)?;
+        }
+        Ok(Wal {
+            file,
+            path,
+            generation,
+            policy,
+            records: 0,
+            bytes: WAL_HEADER_LEN,
+            unsynced_records: 0,
+            unsynced_bytes: 0,
+        })
+    }
+
+    /// Append one batch record, applying the fsync policy. On success
+    /// (under `always`) the record is durable before this returns —
+    /// which is what lets the server acknowledge the batch.
+    ///
+    /// # Errors
+    /// I/O failures. The caller must treat a failure as "not durable":
+    /// the server answers 503 and publishes nothing.
+    pub fn append(&mut self, ops_text: &str) -> Result<(), StoreError> {
+        let payload = ops_text.as_bytes();
+        if payload.len() as u64 > u64::from(MAX_SECTION_LEN) {
+            return Err(StoreError::Corrupt("update batch over section cap".into()));
+        }
+        let mut record = Vec::with_capacity(8 + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&crc32(payload).to_le_bytes());
+        record.extend_from_slice(payload);
+        self.file.write_all(&record)?;
+        self.records += 1;
+        self.bytes += record.len() as u64;
+        self.unsynced_records += 1;
+        self.unsynced_bytes += record.len() as u64;
+        match self.policy {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::Batch => {
+                if self.unsynced_records >= BATCH_SYNC_RECORDS
+                    || self.unsynced_bytes >= BATCH_SYNC_BYTES
+                {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Off => {}
+        }
+        Ok(())
+    }
+
+    /// Force everything appended so far to stable storage.
+    ///
+    /// # Errors
+    /// I/O failures.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.sync_data()?;
+        self.unsynced_records = 0;
+        self.unsynced_bytes = 0;
+        Ok(())
+    }
+
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Records appended through this handle.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// File bytes written (header included).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// The result of scanning one WAL file.
+#[derive(Debug)]
+pub struct WalReplay {
+    pub generation: u64,
+    /// Each intact record's ops text, in append order.
+    pub records: Vec<String>,
+    /// Byte length of the intact prefix (header + whole records).
+    pub valid_len: u64,
+    /// Why the scan stopped early, if it did (torn tail / CRC failure).
+    pub damage: Option<String>,
+    /// Bytes past the intact prefix.
+    pub dropped_bytes: u64,
+}
+
+/// Scan a WAL file, collecting intact records and locating any torn
+/// tail. Damage is a *result*, not an error — a torn tail is the
+/// expected shape of a crash, and recovery's job is to truncate it.
+///
+/// # Errors
+/// Only environmental failures (file unreadable). A damaged header is
+/// reported as zero records with `damage` set.
+pub fn replay(path: &Path) -> Result<WalReplay, StoreError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let total = bytes.len() as u64;
+    let mut out = WalReplay {
+        generation: 0,
+        records: Vec::new(),
+        valid_len: 0,
+        damage: None,
+        dropped_bytes: total,
+    };
+    if bytes.len() < WAL_HEADER_LEN as usize
+        || bytes[0..4] != WAL_MAGIC
+        || bytes[4..8] != WAL_VERSION.to_le_bytes()
+    {
+        out.damage = Some("unreadable WAL header".into());
+        return Ok(out);
+    }
+    out.generation = u64::from_le_bytes(bytes[8..16].try_into().expect("8"));
+    let mut pos = WAL_HEADER_LEN as usize;
+    out.valid_len = WAL_HEADER_LEN;
+    while pos < bytes.len() {
+        if bytes.len() - pos < 8 {
+            out.damage = Some(format!("torn record header at offset {pos}"));
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4")) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4"));
+        if len as u64 > u64::from(MAX_SECTION_LEN) {
+            out.damage = Some(format!("implausible record length at offset {pos}"));
+            break;
+        }
+        if bytes.len() - pos - 8 < len {
+            out.damage = Some(format!("torn record payload at offset {pos}"));
+            break;
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            out.damage = Some(format!("record CRC mismatch at offset {pos}"));
+            break;
+        }
+        match String::from_utf8(payload.to_vec()) {
+            Ok(text) => out.records.push(text),
+            Err(_) => {
+                out.damage = Some(format!("non-UTF-8 record at offset {pos}"));
+                break;
+            }
+        }
+        pos += 8 + len;
+        out.valid_len = pos as u64;
+    }
+    out.dropped_bytes = total - out.valid_len;
+    Ok(out)
+}
+
+/// Physically truncate a WAL's torn tail so the file on disk is exactly
+/// its intact prefix.
+///
+/// # Errors
+/// I/O failures.
+pub fn truncate_tail(path: &Path, valid_len: u64) -> Result<(), StoreError> {
+    let file = OpenOptions::new().write(true).open(path)?;
+    file.set_len(valid_len)?;
+    file.sync_all()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tsens-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_and_replay_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let mut wal = Wal::create(&dir, 3, FsyncPolicy::Always).unwrap();
+        wal.append("+,R1,a,b,c").unwrap();
+        wal.append("-,R1,a,b,c\n+,R2,x,y").unwrap();
+        let scanned = replay(wal.path()).unwrap();
+        assert_eq!(scanned.generation, 3);
+        assert_eq!(
+            scanned.records,
+            vec!["+,R1,a,b,c".to_owned(), "-,R1,a,b,c\n+,R2,x,y".to_owned()]
+        );
+        assert!(scanned.damage.is_none());
+        assert_eq!(scanned.dropped_bytes, 0);
+        assert_eq!(scanned.valid_len, wal.bytes());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_truncatable() {
+        let dir = tmpdir("torn");
+        let mut wal = Wal::create(&dir, 0, FsyncPolicy::Off).unwrap();
+        wal.append("+,R1,1").unwrap();
+        wal.append("+,R1,2").unwrap();
+        wal.sync().unwrap();
+        let full = wal.bytes();
+        let path = wal.path().to_owned();
+        drop(wal);
+        // Cut mid-way through the second record's payload.
+        truncate_tail(&path, full - 2).unwrap();
+        let scanned = replay(&path).unwrap();
+        assert_eq!(scanned.records, vec!["+,R1,1".to_owned()]);
+        assert!(scanned.damage.is_some(), "{scanned:?}");
+        assert!(scanned.dropped_bytes > 0);
+        // Truncating to the intact prefix yields a clean scan.
+        truncate_tail(&path, scanned.valid_len).unwrap();
+        let clean = replay(&path).unwrap();
+        assert!(clean.damage.is_none());
+        assert_eq!(clean.records.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_middle_stops_replay_before_later_records() {
+        let dir = tmpdir("middle");
+        let mut wal = Wal::create(&dir, 0, FsyncPolicy::Batch).unwrap();
+        wal.append("+,R1,1").unwrap();
+        wal.append("+,R1,2").unwrap();
+        wal.append("+,R1,3").unwrap();
+        wal.sync().unwrap();
+        let path = wal.path().to_owned();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a byte inside the second record's payload.
+        let second_payload = WAL_HEADER_LEN as usize + 8 + "+,R1,1".len() + 8 + 2;
+        bytes[second_payload] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let scanned = replay(&path).unwrap();
+        assert_eq!(
+            scanned.records,
+            vec!["+,R1,1".to_owned()],
+            "records after the damage must not replay"
+        );
+        assert!(scanned.damage.unwrap().contains("CRC"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unreadable_header_reports_damage_not_panic() {
+        let dir = tmpdir("header");
+        let path = dir.join("wal-0000000000000000.tlog");
+        std::fs::write(&path, b"junk").unwrap();
+        let scanned = replay(&path).unwrap();
+        assert!(scanned.records.is_empty());
+        assert!(scanned.damage.is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

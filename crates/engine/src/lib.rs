@@ -42,6 +42,6 @@ pub use passes::{
     topjoin_pass_enc_refs,
 };
 pub use session::{EngineSession, QueryKey, QueryPasses, SessionStats};
-pub use snapshot::SnapshotCell;
+pub use snapshot::{PublishHook, SnapshotCell};
 pub use tsens_data::Update;
 pub use yannakakis::{count_query, count_query_legacy};

@@ -275,6 +275,35 @@ impl<'a> EngineSession<'a> {
         EngineSession::from_parts(Cow::Owned(db), enc)
     }
 
+    /// Open an owning session over state restored from a durable
+    /// snapshot (`tsens_data::store`) — [`EngineSession::owned`] minus
+    /// the encoding cost, which is the whole point of snapshots: the
+    /// dictionary and lifted relations come back exactly as saved, so
+    /// boot skips CSV parse, dictionary sort, encode, and group.
+    ///
+    /// # Errors
+    /// [`TsensError::Data`] when the pair is inconsistent (relation
+    /// counts disagree, or the encoding is partial) — defense against a
+    /// caller pairing a catalog with someone else's encoding; the
+    /// store's load path always produces a matching pair.
+    pub fn from_encoded(
+        db: Database,
+        enc: EncodedDatabase,
+    ) -> Result<EngineSession<'static>, TsensError> {
+        if db.relation_count() != enc.relation_count() {
+            return Err(DataError::Malformed(format!(
+                "catalog has {} relations, encoding has {}",
+                db.relation_count(),
+                enc.relation_count()
+            ))
+            .into());
+        }
+        if !enc.fully_resident() {
+            return Err(TsensError::ReadOnlySession);
+        }
+        Ok(EngineSession::from_parts(Cow::Owned(db), enc))
+    }
+
     fn with_encoding(db: &'a Database, enc: EncodedDatabase) -> Self {
         Self::from_parts(Cow::Borrowed(db), enc)
     }
@@ -644,14 +673,30 @@ impl<'a> EngineSession<'a> {
         &mut self,
         updates: impl IntoIterator<Item = Update>,
     ) -> Result<usize, TsensError> {
+        self.apply_all_diagnosed(updates).map_err(|(_, e)| e)
+    }
+
+    /// [`EngineSession::apply_all`] keeping track of *which* delta
+    /// failed: the error carries the 0-based index of the offending
+    /// update, so batch callers (the server's `/update` lane, WAL
+    /// replay) can report the exact line instead of "somewhere in the
+    /// batch".
+    ///
+    /// # Errors
+    /// `(index, error)` of the first failing delta; earlier deltas stay
+    /// applied (and are normalized before returning).
+    pub fn apply_all_diagnosed(
+        &mut self,
+        updates: impl IntoIterator<Item = Update>,
+    ) -> Result<usize, (usize, TsensError)> {
         let mut applied = 0;
         let mut failed = None;
-        for u in updates {
+        for (i, u) in updates.into_iter().enumerate() {
             match self.apply_inner(u, false) {
                 Ok(true) => applied += 1,
                 Ok(false) => {}
                 Err(e) => {
-                    failed = Some(e);
+                    failed = Some((i, e));
                     break;
                 }
             }
@@ -662,7 +707,7 @@ impl<'a> EngineSession<'a> {
             self.on_epoch();
         }
         match failed {
-            Some(e) => Err(e),
+            Some(ie) => Err(ie),
             None => Ok(applied),
         }
     }

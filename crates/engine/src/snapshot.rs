@@ -45,6 +45,12 @@ use tsens_data::TsensError;
 /// reader's clone from ever overlapping a fast writer burst.
 const SLOTS: usize = 4;
 
+/// Observer invoked after every publish, still inside the writer lane —
+/// no other publish can interleave, so what it sees is exactly the
+/// state that just went live. Keep it cheap (the durability layer uses
+/// it to *trigger* background checkpoints, not to run them inline).
+pub type PublishHook = Box<dyn Fn(u64, &Arc<EngineSession<'static>>) + Send + Sync>;
+
 /// A published, pinnable [`EngineSession`] — see the module docs.
 pub struct SnapshotCell {
     slots: [Mutex<Arc<EngineSession<'static>>>; SLOTS],
@@ -55,6 +61,9 @@ pub struct SnapshotCell {
     writer: Mutex<()>,
     /// Monotone publish counter; version 0 is the initial session.
     version: AtomicU64,
+    /// Post-publish observer (checkpoint trigger). Behind its own
+    /// mutex so installing it never touches the reader path.
+    hook: Mutex<Option<PublishHook>>,
 }
 
 impl SnapshotCell {
@@ -66,6 +75,21 @@ impl SnapshotCell {
             current: AtomicUsize::new(0),
             writer: Mutex::new(()),
             version: AtomicU64::new(0),
+            hook: Mutex::new(None),
+        }
+    }
+
+    /// Install the post-publish observer (replacing any previous one).
+    /// Called with `(new_version, just-published session)` after every
+    /// [`SnapshotCell::update`] and [`SnapshotCell::replace`].
+    pub fn set_publish_hook(&self, hook: PublishHook) {
+        *self.hook.lock().unwrap_or_else(|p| p.into_inner()) = Some(hook);
+    }
+
+    fn run_hook(&self, version: u64, session: &Arc<EngineSession<'static>>) {
+        let guard = self.hook.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(hook) = guard.as_ref() {
+            hook(version, session);
         }
     }
 
@@ -106,9 +130,11 @@ impl SnapshotCell {
         // loads of the current index never see this store.
         let cur = self.current.load(Ordering::Relaxed);
         let next = (cur + 1) % SLOTS;
-        *self.lock_slot(next) = Arc::new(fork);
+        let published = Arc::new(fork);
+        *self.lock_slot(next) = Arc::clone(&published);
         self.current.store(next, Ordering::Release);
-        self.version.fetch_add(1, Ordering::AcqRel);
+        let version = self.version.fetch_add(1, Ordering::AcqRel) + 1;
+        self.run_hook(version, &published);
         drop(lane);
         Ok(out)
     }
@@ -119,9 +145,11 @@ impl SnapshotCell {
         let _lane = self.writer.lock().unwrap_or_else(|p| p.into_inner());
         let cur = self.current.load(Ordering::Relaxed);
         let next = (cur + 1) % SLOTS;
-        *self.lock_slot(next) = Arc::new(session);
+        let published = Arc::new(session);
+        *self.lock_slot(next) = Arc::clone(&published);
         self.current.store(next, Ordering::Release);
-        self.version.fetch_add(1, Ordering::AcqRel);
+        let version = self.version.fetch_add(1, Ordering::AcqRel) + 1;
+        self.run_hook(version, &published);
     }
 
     fn lock_slot(&self, idx: usize) -> MutexGuard<'_, Arc<EngineSession<'static>>> {
@@ -219,6 +247,27 @@ mod tests {
         cell.replace(EngineSession::owned(db));
         assert_eq!(cell.version(), 1);
         assert_eq!(cell.load().database().total_tuples(), 2);
+    }
+
+    #[test]
+    fn publish_hook_sees_every_publish_in_order() {
+        let cell = SnapshotCell::new(EngineSession::owned(tiny_db()));
+        let seen: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        let log = Arc::clone(&seen);
+        cell.set_publish_hook(Box::new(move |version, session| {
+            log.lock()
+                .unwrap()
+                .push((version, session.database().total_tuples()));
+        }));
+        cell.update(|s| s.insert(0, row(2))).unwrap();
+        cell.update(|s| s.insert(0, row(3))).unwrap();
+        let _ = cell.update(|s| s.insert(99, row(4))); // fails: no publish
+        cell.replace(EngineSession::owned(tiny_db()));
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec![(1, 2), (2, 3), (3, 1)],
+            "hook fires per successful publish with the live state"
+        );
     }
 
     #[test]

@@ -51,16 +51,30 @@ fn parse_response(raw: &str) -> io::Result<(u16, String)> {
     Ok((status, body))
 }
 
+/// Dial attempts per request (1 initial + retries).
+const MAX_DIAL_ATTEMPTS: u32 = 5;
+/// First retry backoff; doubles per attempt (10 → 20 → 40 → 80 ms).
+const BACKOFF_BASE: Duration = Duration::from_millis(10);
+
 /// A persistent keep-alive connection to the server.
 ///
 /// Each call writes one request and reads exactly one response (framed
 /// by `Content-Length` — a kept-alive socket never signals "done" by
 /// closing). If the server answers `Connection: close` — or the socket
 /// errors — the connection transparently redials on the next call.
+///
+/// Transient failures are retried with bounded exponential backoff:
+/// a refused/timed-out dial backs off and redials (up to
+/// [`MAX_DIAL_ATTEMPTS`] attempts — smoothing over server startup
+/// races), and a request that dies on a *reused* connection (the
+/// server idled it out between calls) is retried once on a fresh
+/// dial. [`Client::retries`] reports the total, so load generators
+/// can keep their throughput numbers honest.
 pub struct Client {
     addr: SocketAddr,
     conn: Option<BufReader<TcpStream>>,
     read_timeout: Duration,
+    retries: u64,
 }
 
 impl Client {
@@ -77,6 +91,7 @@ impl Client {
             addr,
             conn: None,
             read_timeout: Duration::from_secs(60),
+            retries: 0,
         })
     }
 
@@ -84,18 +99,34 @@ impl Client {
     /// `(status, body)`.
     ///
     /// # Errors
-    /// I/O failures (after which the next call redials), plus malformed
-    /// response framing surfaced as `InvalidData`.
+    /// I/O failures that survive the bounded retries (after which the
+    /// next call redials), plus malformed response framing surfaced as
+    /// `InvalidData`.
     pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
-        let mut conn = match self.conn.take() {
-            Some(c) => c,
-            None => self.dial()?,
+        let (mut conn, reused) = match self.conn.take() {
+            Some(c) => (c, true),
+            None => (self.dial()?, false),
         };
         let out = Self::roundtrip(&mut conn, method, path, body);
         match out {
             Ok((status, body, keep)) => {
                 if keep {
                     self.conn = Some(conn);
+                }
+                Ok((status, body))
+            }
+            // A kept-alive socket can die between calls (server idle
+            // timeout, restart): that failure says nothing about the
+            // request, so retry it once on a fresh connection. Never
+            // retry on a fresh dial — the request itself may be the
+            // problem, and replaying an `/update` would double-apply.
+            Err(e) if reused && is_transient(&e) => {
+                drop(conn);
+                self.retries += 1;
+                let mut fresh = self.dial()?;
+                let (status, body, keep) = Self::roundtrip(&mut fresh, method, path, body)?;
+                if keep {
+                    self.conn = Some(fresh);
                 }
                 Ok((status, body))
             }
@@ -109,12 +140,32 @@ impl Client {
         self.conn.is_some()
     }
 
-    fn dial(&self) -> io::Result<BufReader<TcpStream>> {
-        let stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(10))?;
-        stream.set_read_timeout(Some(self.read_timeout))?;
-        stream.set_write_timeout(Some(self.read_timeout))?;
-        stream.set_nodelay(true)?;
-        Ok(BufReader::new(stream))
+    /// Transparent retries performed so far (backed-off redials plus
+    /// replays after a dead kept-alive socket).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    fn dial(&mut self) -> io::Result<BufReader<TcpStream>> {
+        let mut backoff = BACKOFF_BASE;
+        let mut attempt = 1;
+        loop {
+            match TcpStream::connect_timeout(&self.addr, Duration::from_secs(10)) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(self.read_timeout))?;
+                    stream.set_write_timeout(Some(self.read_timeout))?;
+                    stream.set_nodelay(true)?;
+                    return Ok(BufReader::new(stream));
+                }
+                Err(e) if attempt < MAX_DIAL_ATTEMPTS && is_transient(&e) => {
+                    std::thread::sleep(backoff);
+                    backoff *= 2;
+                    attempt += 1;
+                    self.retries += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     fn roundtrip(
@@ -135,6 +186,23 @@ impl Client {
         w.flush()?;
         read_response(conn)
     }
+}
+
+/// Failures worth retrying: the connection died or never came up, as
+/// opposed to errors that will repeat verbatim (address invalid,
+/// permission denied, malformed response data).
+fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::NotConnected
+    )
 }
 
 /// Read one `Content-Length`-framed response off a kept-alive

@@ -37,10 +37,12 @@
 //! (plus a `catch_unwind` shield per request as a last resort).
 
 pub mod client;
+pub mod durability;
 pub mod http;
 pub mod server;
 pub mod wire;
 
 pub use client::{request, Client};
+pub use durability::{Durability, DurabilityConfig};
 pub use server::{Server, ServerState};
 pub use wire::{parse_batch, parse_query, QueryOp, QueryRequest};

@@ -37,6 +37,7 @@
 //! private fork (which is then discarded) — never the published
 //! snapshot.
 
+use crate::durability::Durability;
 use crate::http::{self, error_body, json_escape, Request};
 use crate::wire::{self, QueryOp, QueryRequest};
 use rand::rngs::StdRng;
@@ -50,8 +51,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tsens_core::elastic::plan_order_from_tree;
 use tsens_core::{SensitivityReport, SessionExt};
-use tsens_data::io::parse_ops;
-use tsens_data::Database;
+use tsens_data::io::parse_ops_indexed;
+use tsens_data::{DataError, Database, Update};
 use tsens_dp::truncation::TruncationProfile;
 use tsens_dp::tsensdp::tsensdp_answer_from_profile;
 use tsens_engine::{EngineSession, SnapshotCell};
@@ -66,11 +67,12 @@ const IDLE_POLL: Duration = Duration::from_millis(50);
 /// closes it.
 const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(30);
 
-/// One served database: the name clients address it by and the
-/// snapshot cell publishing its session.
+/// One served database: the name clients address it by, the snapshot
+/// cell publishing its session, and (optionally) its durable half.
 struct NamedDb {
     name: String,
     cell: SnapshotCell,
+    durability: Option<Arc<Durability>>,
 }
 
 /// Everything the worker pool shares: the catalog of served databases.
@@ -82,14 +84,38 @@ impl ServerState {
     /// Build the state, encoding every database into its own resident
     /// session (the once-per-database preprocessing cost, paid at
     /// startup instead of per request) and publishing it as snapshot
-    /// version 0.
+    /// version 0. Ephemeral: updates live only as long as the process.
     pub fn new(dbs: Vec<(String, Database)>) -> Self {
+        Self::from_sessions(
+            dbs.into_iter()
+                .map(|(name, db)| (name, EngineSession::owned(db), None))
+                .collect(),
+        )
+    }
+
+    /// Build the state from already-opened sessions — the durable boot
+    /// path, where [`Durability::boot`] produced each session from a
+    /// snapshot+WAL recovery (or a CSV fallback) along with its store
+    /// handle. Databases with a `Durability` get WAL appends in their
+    /// `/update` lane and a checkpoint trigger on every publish.
+    pub fn from_sessions(dbs: Vec<(String, EngineSession<'static>, Option<Durability>)>) -> Self {
         ServerState {
             dbs: dbs
                 .into_iter()
-                .map(|(name, db)| NamedDb {
-                    name,
-                    cell: SnapshotCell::new(EngineSession::owned(db)),
+                .map(|(name, session, durability)| {
+                    let cell = SnapshotCell::new(session);
+                    let durability = durability.map(Arc::new);
+                    if let Some(d) = &durability {
+                        let hook = Arc::clone(d);
+                        cell.set_publish_hook(Box::new(move |_version, session| {
+                            hook.maybe_checkpoint(session);
+                        }));
+                    }
+                    NamedDb {
+                        name,
+                        cell,
+                        durability,
+                    }
                 })
                 .collect(),
         }
@@ -318,6 +344,10 @@ fn handle_stats(state: &ServerState, req: &Request) -> (u16, String) {
     let enc = session.encoded();
     let dict = session.dict();
     let s = session.stats();
+    let durability = match &ndb.durability {
+        Some(d) => d.stats_json(),
+        None => "{\"enabled\":false}".to_owned(),
+    };
     let body = format!(
         "{{\"ok\":true,\"db\":\"{}\",\"relations\":{},\"total_tuples\":{},\
          \"snapshot\":{{\"version\":{},\"forks\":{}}},\
@@ -325,7 +355,8 @@ fn handle_stats(state: &ServerState, req: &Request) -> (u16, String) {
          \"cache\":{{\"atom_hits\":{},\"atom_misses\":{},\"pass_hits\":{},\"pass_misses\":{},\
          \"result_hits\":{},\"result_misses\":{},\"mf_hits\":{},\"mf_misses\":{}}},\
          \"updates\":{{\"applied\":{},\"dict_epochs\":{},\"atoms_invalidated\":{},\
-         \"passes_invalidated\":{},\"results_invalidated\":{},\"mf_invalidated\":{}}}}}",
+         \"passes_invalidated\":{},\"results_invalidated\":{},\"mf_invalidated\":{}}},\
+         \"durability\":{durability}}}",
         json_escape(&ndb.name),
         db.relation_count(),
         db.total_tuples(),
@@ -636,22 +667,58 @@ fn handle_update(state: &ServerState, req: &Request) -> (u16, String) {
     };
     let ops = {
         let snap = ndb.cell.load();
-        match parse_ops(snap.database(), &req.body) {
+        match parse_ops_indexed(snap.database(), &req.body) {
             Ok(ops) => ops,
             Err(e) => return (400, error_body(&e.to_string())),
         }
     };
     let total = ops.len();
+    // Keep each op's provenance so an apply-stage failure names the
+    // exact input line, not just "the batch failed".
+    let located: Vec<String> = ops.iter().map(|o| o.locate()).collect();
+    let updates: Vec<Update> = ops.into_iter().map(|o| o.update).collect();
+    let mut failed_at: Option<usize> = None;
+    let mut wal_failed: Option<String> = None;
     let t0 = Instant::now();
     let result = ndb.cell.update(|fork| {
         let before = fork.stats();
-        let applied = fork.apply_all(ops)?;
+        let applied = match fork.apply_all_diagnosed(updates) {
+            Ok(n) => n,
+            Err((i, e)) => {
+                failed_at = Some(i);
+                return Err(e);
+            }
+        };
+        // Durability barrier: the batch applied cleanly — log it (and
+        // under fsync=always, make it stable) *before* the publish.
+        // A failed append discards the fork: readers never see state
+        // the WAL cannot reproduce.
+        if let Some(d) = &ndb.durability {
+            if let Err(e) = d.append_batch(&req.body) {
+                wal_failed = Some(e.to_string());
+                return Err(DataError::Malformed("WAL append failed".into()).into());
+            }
+        }
         Ok((applied, before, fork.stats()))
     });
     let micros = t0.elapsed().as_micros();
     let (applied, before, after) = match result {
         Ok(r) => r,
-        Err(e) => return (400, error_body(&e.to_string())),
+        Err(e) => {
+            if let Some(w) = wal_failed {
+                return (
+                    503,
+                    error_body(&format!(
+                        "durability: WAL append failed, batch not applied: {w}"
+                    )),
+                );
+            }
+            let msg = match failed_at {
+                Some(i) => format!("op #{i} ({}): {e}", located[i]),
+                None => e.to_string(),
+            };
+            return (400, error_body(&msg));
+        }
     };
     let body = format!(
         "{{\"ok\":true,\"db\":\"{}\",\"applied\":{applied},\"total\":{total},\"micros\":{micros},\

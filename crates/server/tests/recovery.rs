@@ -1,0 +1,218 @@
+//! End-to-end durability over a real loopback socket: boot a durable
+//! server, stream updates, stop it *without* any clean shutdown of the
+//! store, and boot a second server from the same directory — the
+//! recovered process must answer with the post-update state (restored
+//! from snapshot + WAL, no CSV re-encode) and say so in `/stats`.
+
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use tsens_data::store::FsyncPolicy;
+use tsens_data::{Database, Relation, Schema, Value};
+use tsens_server::{client, Durability, DurabilityConfig, Server, ServerState};
+
+/// The Figure 1 / Example 2.1 database (LS = 4 via inserting
+/// `(a2, b2, c1)` into R1).
+fn figure1() -> Database {
+    let mut db = Database::new();
+    let [a, b, c, d, e, f] = db.attrs(["A", "B", "C", "D", "E", "F"]);
+    let v = Value::str;
+    db.add_relation(
+        "R1",
+        Relation::from_rows(
+            Schema::new(vec![a, b, c]),
+            vec![
+                vec![v("a1"), v("b1"), v("c1")],
+                vec![v("a1"), v("b2"), v("c1")],
+                vec![v("a2"), v("b1"), v("c1")],
+            ],
+        ),
+    )
+    .unwrap();
+    db.add_relation(
+        "R2",
+        Relation::from_rows(
+            Schema::new(vec![a, b, d]),
+            vec![
+                vec![v("a1"), v("b1"), v("d1")],
+                vec![v("a2"), v("b2"), v("d2")],
+            ],
+        ),
+    )
+    .unwrap();
+    db.add_relation(
+        "R3",
+        Relation::from_rows(
+            Schema::new(vec![a, e]),
+            vec![
+                vec![v("a1"), v("e1")],
+                vec![v("a2"), v("e1")],
+                vec![v("a2"), v("e2")],
+            ],
+        ),
+    )
+    .unwrap();
+    db.add_relation(
+        "R4",
+        Relation::from_rows(
+            Schema::new(vec![b, f]),
+            vec![
+                vec![v("b1"), v("f1")],
+                vec![v("b2"), v("f1")],
+                vec![v("b2"), v("f2")],
+            ],
+        ),
+    )
+    .unwrap();
+    db
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tsens-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Boot a durable server over `dir`; `fallback_used` is set iff the
+/// CSV-path closure ran (i.e. nothing on disk was usable).
+fn start_durable(dir: &PathBuf, fallback_used: &mut bool) -> (Server, SocketAddr) {
+    let config = DurabilityConfig::new(dir, FsyncPolicy::Always);
+    let mut used = false;
+    let (session, durability) = Durability::boot(&config, || {
+        used = true;
+        figure1()
+    })
+    .expect("durable boot");
+    *fallback_used = used;
+    let state = ServerState::from_sessions(vec![("fig1".to_owned(), session, Some(durability))]);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let server = Server::start(listener, state, 3).expect("start server");
+    let addr = server.addr();
+    (server, addr)
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    client::request(addr, "POST", path, body).expect("request")
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    client::request(addr, "GET", path, "").expect("request")
+}
+
+#[test]
+fn restart_restores_acked_updates_from_snapshot_plus_wal() {
+    let dir = tmpdir("restart");
+
+    // First boot: empty directory, so the CSV fallback runs.
+    let mut fallback_used = false;
+    let (server, addr) = start_durable(&dir, &mut fallback_used);
+    assert!(fallback_used, "first boot must encode from source data");
+    let (_, stats) = get(addr, "/stats");
+    assert!(stats.contains("\"enabled\":true"), "{stats}");
+    assert!(stats.contains("\"source\":\"csv\""), "{stats}");
+    assert!(stats.contains("\"fsync\":\"always\""), "{stats}");
+
+    let count = "op=count\njoin=R1,R2,R3,R4";
+    let (status, body) = post(addr, "/query", count);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"count\":1"), "{body}");
+
+    // Two acked updates: the witness insert (count 1 → 5), then another
+    // row carrying brand-new values (dict overflow through the WAL).
+    let (status, body) = post(addr, "/update", "+,R1,a2,b2,c1");
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = post(addr, "/update", "+,R3,a9,e9\n-,R3,a9,e9");
+    assert_eq!(status, 200, "{body}");
+    let (_, body) = post(addr, "/query", count);
+    assert!(body.contains("\"count\":5"), "{body}");
+
+    // Stop the front-end without touching the store — the WAL under
+    // fsync=always is already durable, exactly as after a `kill -9`.
+    post(addr, "/shutdown", "");
+    server.join();
+
+    // Second boot: must restore from snapshot + WAL, not the CSVs.
+    let (server, addr) = start_durable(&dir, &mut fallback_used);
+    assert!(
+        !fallback_used,
+        "recovery must not re-encode from source data"
+    );
+    let (_, stats) = get(addr, "/stats");
+    assert!(stats.contains("\"source\":\"snapshot+wal\""), "{stats}");
+    assert!(stats.contains("\"wal_batches_replayed\":2"), "{stats}");
+    assert!(stats.contains("\"wal_ops_replayed\":3"), "{stats}");
+    assert!(stats.contains("\"torn_tail\":false"), "{stats}");
+
+    // The acked updates survived the restart.
+    let (status, body) = post(addr, "/query", count);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"count\":5"), "{body}");
+
+    // The recovered session keeps absorbing updates durably.
+    let (status, body) = post(addr, "/update", "-,R1,a2,b2,c1");
+    assert_eq!(status, 200, "{body}");
+    let (_, body) = post(addr, "/query", count);
+    assert!(body.contains("\"count\":1"), "{body}");
+
+    post(addr, "/shutdown", "");
+    server.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_wal_tail_recovers_to_the_acked_prefix() {
+    let dir = tmpdir("torn");
+
+    let mut fallback_used = false;
+    let (server, addr) = start_durable(&dir, &mut fallback_used);
+    let count = "op=count\njoin=R1,R2,R3,R4";
+    let (status, _) = post(addr, "/update", "+,R1,a2,b2,c1");
+    assert_eq!(status, 200);
+    let (status, _) = post(addr, "/update", "+,R1,a3,b3,c1");
+    assert_eq!(status, 200);
+    post(addr, "/shutdown", "");
+    server.join();
+
+    // Tear the last WAL record in half, as a crash mid-append would.
+    let wals = tsens_data::store::list_wals(&dir).unwrap();
+    let (_, wal) = wals.last().expect("a WAL exists");
+    let len = std::fs::metadata(wal).unwrap().len();
+    tsens_data::store::truncate_tail(wal, len - 3).unwrap();
+
+    let (server, addr) = start_durable(&dir, &mut fallback_used);
+    assert!(!fallback_used);
+    let (_, stats) = get(addr, "/stats");
+    assert!(stats.contains("\"torn_tail\":true"), "{stats}");
+    assert!(stats.contains("\"wal_batches_replayed\":1"), "{stats}");
+
+    // Exactly the first update survived: count reflects the witness
+    // insert (1 → 5) but not the second row.
+    let (_, body) = post(addr, "/query", count);
+    assert!(body.contains("\"count\":5"), "{body}");
+
+    post(addr, "/shutdown", "");
+    server.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn update_errors_carry_op_diagnostics_and_wal_stays_clean() {
+    let dir = tmpdir("diag");
+
+    let mut fallback_used = false;
+    let (server, addr) = start_durable(&dir, &mut fallback_used);
+
+    // Second op is bad (wrong arity): the 4xx body must say which.
+    let (status, body) = post(addr, "/update", "+,R1,a7,b7,c7\n+,R3,only-one-value");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("line 2"), "{body}");
+    assert!(body.contains("only-one-value"), "{body}");
+
+    // Nothing was published and nothing hit the WAL.
+    let (_, stats) = get(addr, "/stats");
+    assert!(stats.contains("\"wal_records\":0"), "{stats}");
+    assert!(stats.contains("\"snapshot\":{\"version\":0"), "{stats}");
+
+    post(addr, "/shutdown", "");
+    server.join();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -3,7 +3,9 @@
 //! ```text
 //! tsens-cli <table.csv>... --join R1,R2,... [options]
 //! tsens-cli update <table.csv>... --ops <ops.csv> [--join R1,R2,...]
-//! tsens-cli serve <table.csv>... [--port N] [--threads N] [--name DB]
+//! tsens-cli serve <table.csv>... [--port N] [--threads N] [--name DB] [--data-dir DIR] [--fsync always|batch|off]
+//! tsens-cli snapshot save <table.csv>... --dir DIR [--generation N]
+//! tsens-cli snapshot <load|inspect> <snapshot-file>
 //! tsens-cli client [--host H] [--port N] <query|batch|update|stats|healthz|shutdown> [args...]
 //! tsens-cli client [--host H] [--port N] exec '<cmd body...>' '<cmd body...>' ...
 //! tsens-cli loadgen [--host H] [--port N] [--connections C] [--requests N] [options]
@@ -69,12 +71,13 @@ use std::time::Instant;
 use tsens::core::elastic::plan_order_from_tree;
 use tsens::core::SessionExt;
 use tsens::data::io::{load_csv, parse_ops};
+use tsens::data::store::{self, FsyncPolicy};
 use tsens::dp::truncation::TruncationProfile;
 use tsens::dp::tsensdp::tsensdp_answer_from_profile;
 use tsens::engine::EngineSession;
 use tsens::prelude::*;
 use tsens::query::auto_decompose;
-use tsens::server::{Server, ServerState};
+use tsens::server::{Durability, DurabilityConfig, Server, ServerState};
 
 struct Args {
     files: Vec<PathBuf>,
@@ -316,29 +319,10 @@ fn read_ops_file(db: &Database, path: &Path) -> Result<Vec<Update>, String> {
     parse_ops(db, &text).map_err(|e| e.to_string())
 }
 
-/// `serve` subcommand: load the CSVs, build one resident session, and
-/// serve it over HTTP until `/shutdown`.
-fn serve(args: &[String]) -> Result<(), String> {
-    let mut files: Vec<PathBuf> = Vec::new();
-    let mut port: u16 = 7878;
-    let mut threads: usize = 4;
-    let mut name: Option<String> = None;
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        let mut value = |opt: &str| it.next().cloned().ok_or(format!("{opt} needs a value"));
-        match arg.as_str() {
-            "--port" => port = value("--port")?.parse().map_err(|_| "bad --port")?,
-            "--threads" => threads = value("--threads")?.parse().map_err(|_| "bad --threads")?,
-            "--name" => name = Some(value("--name")?),
-            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
-            file => files.push(PathBuf::from(file)),
-        }
-    }
-    if files.is_empty() {
-        return Err("serve needs at least one CSV file".into());
-    }
+/// Load every CSV into one fresh catalog, printing a line per table.
+fn load_csvs(files: &[PathBuf]) -> Result<Database, String> {
     let mut db = Database::new();
-    for path in &files {
+    for path in files {
         let idx = load_csv(&mut db, path).map_err(|e| e.to_string())?;
         println!(
             "loaded {:<20} {} rows",
@@ -346,10 +330,54 @@ fn serve(args: &[String]) -> Result<(), String> {
             db.relation(idx).len()
         );
     }
+    Ok(db)
+}
+
+/// `serve` subcommand: load the CSVs, build one resident session, and
+/// serve it over HTTP until `/shutdown`. With `--data-dir` the session
+/// is durable: boot recovers snapshot + WAL from the directory (the
+/// CSVs are only read when the directory has no usable state), and
+/// every accepted `/update` is WAL-logged before it is published.
+fn serve(args: &[String]) -> Result<(), String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut port: u16 = 7878;
+    let mut threads: usize = 4;
+    let mut name: Option<String> = None;
+    let mut data_dir: Option<PathBuf> = None;
+    let mut fsync = FsyncPolicy::Always;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |opt: &str| it.next().cloned().ok_or(format!("{opt} needs a value"));
+        match arg.as_str() {
+            "--port" => port = value("--port")?.parse().map_err(|_| "bad --port")?,
+            "--threads" => threads = value("--threads")?.parse().map_err(|_| "bad --threads")?,
+            "--name" => name = Some(value("--name")?),
+            "--data-dir" => data_dir = Some(PathBuf::from(value("--data-dir")?)),
+            "--fsync" => fsync = value("--fsync")?.parse()?,
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+    if files.is_empty() {
+        return Err("serve needs at least one CSV file".into());
+    }
     let name = name.unwrap_or_else(|| "default".to_owned());
     let listener = TcpListener::bind(("127.0.0.1", port))
         .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
-    let state = ServerState::new(vec![(name, db)]);
+    let state = match &data_dir {
+        Some(dir) => {
+            let config = DurabilityConfig::new(dir, fsync);
+            let (session, durability) = Durability::boot(&config, || {
+                load_csvs(&files).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                })
+            })
+            .map_err(|e| format!("{}: {e}", dir.display()))?;
+            ServerState::from_sessions(vec![(name, session, Some(durability))])
+        }
+        None => ServerState::new(vec![(name, load_csvs(&files)?)]),
+    };
     let server = Server::start(listener, state, threads).map_err(|e| e.to_string())?;
     println!(
         "tsens-server listening on http://{} ({threads} worker threads); \
@@ -359,6 +387,104 @@ fn serve(args: &[String]) -> Result<(), String> {
     server.join();
     println!("server stopped");
     Ok(())
+}
+
+/// Print one snapshot summary (shared by `snapshot load`/`inspect`).
+fn print_snapshot_info(info: &store::SnapshotInfo) {
+    println!(
+        "generation {} (format v{}), {} bytes on disk",
+        info.generation, info.format_version, info.file_bytes
+    );
+    println!(
+        "dict: {} value(s) ({} overflow), epoch {}",
+        info.dict_values, info.dict_overflow, info.epoch
+    );
+    println!(
+        "{} relation(s), {} tuple(s) total:",
+        info.relations.len(),
+        info.total_tuples
+    );
+    for (name, arity, entries) in &info.relations {
+        println!("  {name:<20} arity {arity}, {entries} distinct row(s)");
+    }
+}
+
+/// `snapshot` subcommand: work with the durable on-disk format without
+/// a running server.
+///
+/// * `save <csv>... --dir DIR [--generation N]` — encode the CSVs and
+///   write one snapshot file (timed against the encode).
+/// * `load <file>` — fully load + validate a snapshot into a session.
+/// * `inspect <file>` — print the summary (still decodes every section;
+///   a snapshot that inspects clean will load clean).
+fn snapshot_cmd(args: &[String]) -> Result<(), String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut dir: Option<PathBuf> = None;
+    let mut generation: u64 = 1;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |opt: &str| it.next().cloned().ok_or(format!("{opt} needs a value"));
+        match arg.as_str() {
+            "--dir" => dir = Some(PathBuf::from(value("--dir")?)),
+            "--generation" => {
+                generation = value("--generation")?
+                    .parse()
+                    .map_err(|_| "bad --generation")?
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            other => positional.push(other.to_owned()),
+        }
+    }
+    let Some((command, rest)) = positional.split_first() else {
+        return Err("snapshot needs a command: save | load | inspect".into());
+    };
+    match command.as_str() {
+        "save" => {
+            files.extend(rest.iter().map(PathBuf::from));
+            if files.is_empty() {
+                return Err("snapshot save needs at least one CSV file".into());
+            }
+            let dir = dir.ok_or("snapshot save needs --dir <directory>")?;
+            std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            let db = load_csvs(&files)?;
+            let t0 = Instant::now();
+            let session = EngineSession::owned(db);
+            let t_encode = t0.elapsed();
+            let t1 = Instant::now();
+            let path =
+                store::save_snapshot(&dir, generation, session.database(), session.encoded())
+                    .map_err(|e| e.to_string())?;
+            let t_save = t1.elapsed();
+            println!(
+                "saved {} (encode {t_encode:.2?}, snapshot write {t_save:.2?})",
+                path.display()
+            );
+            Ok(())
+        }
+        "load" => {
+            let [path] = rest else {
+                return Err("snapshot load needs exactly one snapshot file".into());
+            };
+            let t0 = Instant::now();
+            let loaded = store::load_snapshot(Path::new(path)).map_err(|e| e.to_string())?;
+            let t_load = t0.elapsed();
+            // Prove the loaded state is servable, not just parseable.
+            EngineSession::from_encoded(loaded.db, loaded.enc).map_err(|e| e.to_string())?;
+            print_snapshot_info(&loaded.info);
+            println!("loaded into a session in {t_load:.2?} (no CSV re-encode)");
+            Ok(())
+        }
+        "inspect" => {
+            let [path] = rest else {
+                return Err("snapshot inspect needs exactly one snapshot file".into());
+            };
+            let info = store::inspect_snapshot(Path::new(path)).map_err(|e| e.to_string())?;
+            print_snapshot_info(&info);
+            Ok(())
+        }
+        other => Err(format!("unknown snapshot command {other:?}")),
+    }
 }
 
 /// `client` subcommand: issue one request against a running server and
@@ -529,7 +655,7 @@ fn loadgen(args: &[String]) -> Result<(), String> {
         let delta = spec.split(';').collect::<Vec<_>>().join("\n");
         let stop = std::sync::Arc::clone(&stop);
         let addr = (host.clone(), port);
-        std::thread::spawn(move || -> Result<u64, String> {
+        std::thread::spawn(move || -> Result<(u64, u64), String> {
             let mut client = tsens::server::Client::new(addr).map_err(|e| e.to_string())?;
             let mut published = 0u64;
             while !stop.load(std::sync::atomic::Ordering::Acquire) {
@@ -541,7 +667,7 @@ fn loadgen(args: &[String]) -> Result<(), String> {
                 }
                 published += 1;
             }
-            Ok(published)
+            Ok((published, client.retries()))
         })
     });
 
@@ -550,7 +676,7 @@ fn loadgen(args: &[String]) -> Result<(), String> {
         .map(|_| {
             let addr = (host.clone(), port);
             let body = body.clone();
-            std::thread::spawn(move || -> Result<Vec<u64>, String> {
+            std::thread::spawn(move || -> Result<(Vec<u64>, u64), String> {
                 let mut client = tsens::server::Client::new(addr).map_err(|e| e.to_string())?;
                 let mut lat = Vec::with_capacity(requests);
                 for _ in 0..requests {
@@ -563,18 +689,25 @@ fn loadgen(args: &[String]) -> Result<(), String> {
                         return Err(format!("reader got HTTP {status}: {resp}"));
                     }
                 }
-                Ok(lat)
+                Ok((lat, client.retries()))
             })
         })
         .collect();
     let mut latencies: Vec<u64> = Vec::with_capacity(connections * requests);
+    let mut retries = 0u64;
     for r in readers {
-        latencies.extend(r.join().map_err(|_| "reader thread panicked")??);
+        let (lat, r_retries) = r.join().map_err(|_| "reader thread panicked")??;
+        latencies.extend(lat);
+        retries += r_retries;
     }
     let elapsed = t0.elapsed();
     stop.store(true, std::sync::atomic::Ordering::Release);
     let publishes = match updater {
-        Some(u) => u.join().map_err(|_| "updater thread panicked")??,
+        Some(u) => {
+            let (published, u_retries) = u.join().map_err(|_| "updater thread panicked")??;
+            retries += u_retries;
+            published
+        }
         None => 0,
     };
 
@@ -592,6 +725,7 @@ fn loadgen(args: &[String]) -> Result<(), String> {
     println!("p99_us={p99}");
     println!("max_us={}", latencies[latencies.len() - 1]);
     println!("concurrent_update_publishes={publishes}");
+    println!("transparent_retries={retries}");
     if let Some(floor) = assert_min_rps {
         if rps < floor {
             return Err(format!("throughput {rps:.0} req/s below floor {floor}"));
@@ -610,7 +744,10 @@ fn usage() {
         "usage: tsens-cli <table.csv>... [--join A,B,C] [--private R] \
          [--epsilon X] [--ell N] [--seed N]\n       \
          tsens-cli update <table.csv>... --ops <ops.csv> [--join A,B,C]\n       \
-         tsens-cli serve <table.csv>... [--port N] [--threads N] [--name DB]\n       \
+         tsens-cli serve <table.csv>... [--port N] [--threads N] [--name DB] \
+         [--data-dir DIR] [--fsync always|batch|off]\n       \
+         tsens-cli snapshot save <table.csv>... --dir DIR [--generation N]\n       \
+         tsens-cli snapshot <load|inspect> <snapshot-file>\n       \
          tsens-cli client [--host H] [--port N] \
          <query|batch|update|stats|healthz|shutdown> [lines...]\n       \
          tsens-cli client [--host H] [--port N] exec '<cmd lines...>' ...\n       \
@@ -630,6 +767,15 @@ fn main() -> ExitCode {
                     eprintln!("error: {msg}\n");
                     usage();
                     ExitCode::from(2)
+                }
+            }
+        }
+        Some("snapshot") => {
+            return match snapshot_cmd(&argv[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    ExitCode::FAILURE
                 }
             }
         }
