@@ -19,7 +19,7 @@ use rand::{RngExt, SeedableRng};
 use tsens_core::{naive_local_sensitivity, tsens, tsens_path, tsens_topk, SessionExt};
 use tsens_data::{AttrId, Count, CountedRelation, Dict, Row, Schema, Value};
 use tsens_engine::ops::{hash_join, hash_join_enc, lookup_join, lookup_join_enc};
-use tsens_engine::{EngineSession, SnapshotCell};
+use tsens_engine::{EngineSession, Pool, SnapshotCell};
 use tsens_query::gyo_decompose;
 use tsens_server::{Client, Server, ServerState};
 use tsens_workloads::facebook::{self, small_params};
@@ -95,6 +95,86 @@ fn bench_hash_join_encoding(c: &mut Criterion) {
     group.bench_function("group_encoded", |b| {
         b.iter(|| r_enc.group(&Schema::new(vec![AttrId(1)])))
     });
+    group.finish();
+}
+
+/// Sequential vs pooled execution on identical inputs — the intra-query
+/// parallelism ablation. Three layers, each with a `_seq`/`_par` key
+/// pair so the perf gate tracks both and their ratio is readable from
+/// one report:
+///
+/// * `encode_*` — per-relation fan-out in `EncodedDatabase` construction;
+/// * `partitioned_join_*` — one hash join above `PAR_JOIN_THRESHOLD`,
+///   partitioned across the pool vs the single-probe baseline;
+/// * `cold_q3_*` — a cold TPC-H q3 session end to end (encode + ⊥/⊤
+///   passes), the unit the worker pool targets.
+///
+/// On a single-core runner the pairs coincide (the pool degenerates to
+/// chunked execution on one worker); the keys still gate regressions in
+/// the partitioning/scheduling overhead itself.
+fn bench_parallel(c: &mut Criterion) {
+    use std::sync::atomic::AtomicU64;
+    use tsens_engine::ops::partitioned_hash_join_enc;
+
+    let seq = Pool::sequential();
+    let par = Pool::new(4).expect("4 > 0");
+
+    let mut group = c.benchmark_group("parallel");
+    group.sample_size(if quick() { 15 } else { 20 });
+
+    let (db, _) = tpch::tpch_database(if quick() { 0.0005 } else { 0.002 }, 348);
+    for (pool, label) in [(seq, "encode_seq"), (par, "encode_par")] {
+        group.bench_function(label, |b| {
+            b.iter(|| tsens_data::EncodedDatabase::new_with_pool(black_box(&db), &pool))
+        });
+    }
+
+    // A join big enough to cross PAR_JOIN_THRESHOLD even in quick mode.
+    let rows = 20_000;
+    let domain = (rows / 10) as i64;
+    let mut rng = StdRng::seed_from_u64(348);
+    let mut pairs = |n: usize| -> Vec<(Row, Count)> {
+        (0..n)
+            .map(|_| {
+                (
+                    vec![
+                        Value::Int(rng.random_range(0..domain)),
+                        Value::Int(rng.random_range(0..domain)),
+                    ],
+                    1,
+                )
+            })
+            .collect()
+    };
+    let schema = |ids: [u32; 2]| Schema::new(ids.iter().map(|&i| AttrId(i)).collect());
+    let r = CountedRelation::from_pairs(schema([0, 1]), pairs(rows));
+    let s = CountedRelation::from_pairs(schema([1, 2]), pairs(rows));
+    let dict = Dict::from_values(
+        r.iter()
+            .chain(s.iter())
+            .flat_map(|(row, _)| row.iter().cloned())
+            .collect::<Vec<_>>(),
+    );
+    let r_enc = dict.encode_counted(&r);
+    let s_enc = dict.encode_counted(&s);
+    for (pool, label) in [(seq, "partitioned_join_seq"), (par, "partitioned_join_par")] {
+        group.bench_function(label, |b| {
+            let tasks = AtomicU64::new(0);
+            b.iter(|| {
+                partitioned_hash_join_enc(black_box(&r_enc), black_box(&s_enc), &pool, &tasks)
+            })
+        });
+    }
+
+    let (q3, t3, s3) = tpch::q3(&db).unwrap();
+    for (pool, label) in [(seq, "cold_q3_seq"), (par, "cold_q3_par")] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let session = EngineSession::with_pool(&db, pool);
+                session.tsens_with_skips(&q3, &t3, &s3).expect("resident")
+            })
+        });
+    }
     group.finish();
 }
 
@@ -459,6 +539,7 @@ criterion_group!(
     benches,
     bench_path_vs_general,
     bench_hash_join_encoding,
+    bench_parallel,
     bench_topk,
     bench_vs_naive,
     bench_session,

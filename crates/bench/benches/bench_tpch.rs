@@ -7,15 +7,34 @@
 //! encoding plus the query — the cost a cold curator pays for its very
 //! first query. Warm serving latency is covered by `bench_facebook`'s
 //! `facebook_warm` group and `bench_ablation`'s `session` group.
+//!
+//! Set `TSENS_TPCH_SCALES=0.01,0.1` to bench other scales without
+//! editing code (scale 0.1 takes minutes per key; prefer
+//! `repro tpch --scale 0.1` for a one-shot table).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tsens_core::elastic::{elastic_sensitivity, plan_order_from_tree};
-use tsens_core::tsens_with_skips;
+use tsens_core::{tsens_with_skips, SessionExt};
 use tsens_engine::yannakakis::count_query;
+use tsens_engine::{EngineSession, Pool};
 use tsens_workloads::tpch;
 
+fn scales_from_env() -> Vec<f64> {
+    match std::env::var("TSENS_TPCH_SCALES") {
+        Ok(raw) => raw
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("TSENS_TPCH_SCALES: bad scale {s:?}"))
+            })
+            .collect(),
+        Err(_) => vec![0.0005, 0.002],
+    }
+}
+
 fn bench_tpch(c: &mut Criterion) {
-    for &scale in &[0.0005f64, 0.002] {
+    for &scale in &scales_from_env() {
         let (db, _) = tpch::tpch_database(scale, 348);
         let cases: Vec<(&str, _, _, Vec<usize>)> = {
             let (q1, t1) = tpch::q1(&db).unwrap();
@@ -39,6 +58,22 @@ fn bench_tpch(c: &mut Criterion) {
             });
             group.bench_with_input(BenchmarkId::new("evaluation", name), &(), |b, ()| {
                 b.iter(|| count_query(&db, q, tree))
+            });
+        }
+        // Sequential vs pooled engine on q3 (the pacing query): a cold
+        // session per iteration — encoding plus both passes, the unit
+        // the intra-query parallelism targets. On a single-core runner
+        // the two keys coincide.
+        let (_, q3, t3, s3) = &cases[2];
+        for (pool, label) in [
+            (Pool::sequential(), "session_seq"),
+            (Pool::default(), "session_par"),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, "q3"), &(), |b, ()| {
+                b.iter(|| {
+                    let session = EngineSession::with_pool(&db, pool);
+                    session.tsens_with_skips(q3, t3, s3).expect("resident")
+                })
             });
         }
         group.finish();

@@ -11,7 +11,8 @@
 //!   table2    DP answering: TSensDP vs PrivSQL, 7 queries
 //!   param-l   §7.3 ℓ sweep on q*
 //!   updates   interleaved update/query serving: warm session vs rebuild
-//!   all       everything above
+//!   tpch      sequential vs parallel engine on TPC-H at one scale
+//!   all       everything above (tpch excluded; run it separately)
 //!
 //! options:
 //!   --seed N            RNG seed (default 348)
@@ -20,7 +21,11 @@
 //!   --fig6b-scale X     scale for fig6b (default 0.01)
 //!   --table2-scale X    TPC-H scale for table2 (default 0.01)
 //!   --updates-scale X   TPC-H scale for updates (default 0.002)
-//!   --runs N            repetitions for DP experiments (default 20)
+//!   --scale X           TPC-H scale for tpch (default 0.01, ~1 min; at 0.1 a
+//!                       single q3 tsens rep runs 10–15 min and peaks ~35 GB)
+//!   --threads N         parallel thread count for tpch (default all cores)
+//!   --runs N            repetitions for DP experiments and tpch (default 20;
+//!                       use 3 for tpch at 0.01, 1 at 0.1)
 //!   --eps X             privacy budget per run (default 2.0; unreported in the paper)
 //!   --fb-small          use the small Facebook workload (for smoke runs)
 //! ```
@@ -35,6 +40,8 @@ struct Options {
     fig6b_scale: f64,
     table2_scale: f64,
     updates_scale: f64,
+    tpch_scale: f64,
+    threads: usize,
     runs: usize,
     eps: f64,
     fb: FacebookParams,
@@ -49,6 +56,8 @@ impl Default for Options {
             fig6b_scale: 0.01,
             table2_scale: 0.01,
             updates_scale: 0.002,
+            tpch_scale: 0.01,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             runs: 20,
             eps: 2.0,
             fb: FacebookParams::default(),
@@ -97,6 +106,16 @@ fn parse_args() -> (String, Options) {
                     .parse()
                     .unwrap_or_else(|_| usage("bad --updates-scale"));
             }
+            "--scale" => {
+                opts.tpch_scale = value("--scale")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --scale"));
+            }
+            "--threads" => {
+                opts.threads = value("--threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --threads"));
+            }
             "--runs" => {
                 opts.runs = value("--runs")
                     .parse()
@@ -117,9 +136,10 @@ fn parse_args() -> (String, Options) {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro <fig6a|fig6b|fig7|table1|table2|param-l|updates|all> \
+        "usage: repro <fig6a|fig6b|fig7|table1|table2|param-l|updates|tpch|all> \
          [--seed N] [--scales a,b,c] [--q3-max-scale X] [--fig6b-scale X] \
-         [--table2-scale X] [--updates-scale X] [--runs N] [--eps X] [--fb-small]"
+         [--table2-scale X] [--updates-scale X] [--scale X] [--threads N] \
+         [--runs N] [--eps X] [--fb-small]"
     );
     std::process::exit(2)
 }
@@ -149,6 +169,10 @@ fn main() {
         )
     };
     let run_updates = || println!("{}", experiments::updates(o.updates_scale, o.seed));
+    let run_tpch = || match experiments::tpch_parallel(o.tpch_scale, o.threads, o.runs, o.seed) {
+        Ok(report) => println!("{report}"),
+        Err(e) => usage(&format!("tpch: {e}")),
+    };
     match command.as_str() {
         "fig6a" => run_fig6a(),
         "fig6b" => run_fig6b(),
@@ -157,6 +181,7 @@ fn main() {
         "table2" => run_table2(),
         "param-l" => run_param_l(),
         "updates" => run_updates(),
+        "tpch" => run_tpch(),
         "all" => {
             run_fig6a();
             run_fig6b();

@@ -14,7 +14,7 @@ use tsens_data::{Count, Database};
 use tsens_dp::truncation::TruncationProfile;
 use tsens_dp::tsensdp::tsensdp_answer_from_profile;
 use tsens_dp::{privsql_answer_session, CascadeRule, PrivSqlPolicy};
-use tsens_engine::EngineSession;
+use tsens_engine::{EngineSession, Pool};
 use tsens_query::{ConjunctiveQuery, DecompositionTree};
 use tsens_workloads::facebook::{self, FacebookParams};
 use tsens_workloads::tpch;
@@ -937,6 +937,160 @@ impl fmt::Display for Updates {
                 r.requery_us,
                 r.rebuild_us,
                 r.speedup()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// TPC-H sequential vs parallel — the intra-query parallel execution
+// experiment (`repro tpch`).
+// ---------------------------------------------------------------------
+
+/// One query's sequential-vs-parallel medians, all in microseconds.
+#[derive(Clone, Debug)]
+pub struct TpchParallelRow {
+    /// Query name (`q1`, `q2`, `q3`).
+    pub query: String,
+    /// Cold evaluation (`count_query`: bag joins + ⊥ pass), sequential.
+    pub seq_eval_us: f64,
+    /// Cold evaluation on the parallel pool.
+    pub par_eval_us: f64,
+    /// TSens over the warm pass state (⊤ pass + multiplicity tables),
+    /// sequential.
+    pub seq_tsens_us: f64,
+    /// The same on the parallel pool.
+    pub par_tsens_us: f64,
+}
+
+/// `repro tpch` result: per-query medians plus the per-relation encoding
+/// (session construction) cost under both pools.
+pub struct TpchParallel {
+    pub scale: f64,
+    /// Worker threads in the parallel configuration.
+    pub threads: usize,
+    /// Runs per measurement (medians reported).
+    pub runs: usize,
+    /// Session construction (dictionary + per-relation encode), µs.
+    pub seq_encode_us: f64,
+    pub par_encode_us: f64,
+    pub rows: Vec<TpchParallelRow>,
+}
+
+/// Measure TPC-H q1/q2/q3 cold evaluation and tsens under the sequential
+/// engine versus a `threads`-wide pool, same database, medians over
+/// `runs` fresh sessions per mode. The parallel runs are checked to
+/// produce identical sensitivities and counts before timings are
+/// reported.
+///
+/// # Errors
+/// [`tsens_data::TsensError::ZeroThreads`] when `threads == 0`.
+pub fn tpch_parallel(
+    scale: f64,
+    threads: usize,
+    runs: usize,
+    seed: u64,
+) -> Result<TpchParallel, tsens_data::TsensError> {
+    let par_pool = Pool::new(threads)?;
+    let (db, attrs) = tpch::tpch_database(scale, seed);
+    let queries = tpch_queries(&db, attrs);
+    let runs = runs.max(1);
+
+    // measure[mode][query] = (eval_us, tsens_us); plus encode_us per mode
+    // and the answers for the cross-check.
+    let measure = |pool: Pool| {
+        let mut encodes = Vec::with_capacity(runs);
+        let mut evals = vec![Vec::with_capacity(runs); queries.len()];
+        let mut tsenses = vec![Vec::with_capacity(runs); queries.len()];
+        let mut answers = Vec::new();
+        for rep in 0..runs {
+            let (session, enc_secs) = time_it(|| EngineSession::with_pool(&db, pool));
+            encodes.push(enc_secs * 1e6);
+            for (qi, pq) in queries.iter().enumerate() {
+                let (count, eval_secs) =
+                    time_it(|| session.count_query(&pq.cq, &pq.tree).expect("resident"));
+                let (report, tsens_secs) = time_it(|| {
+                    session
+                        .tsens_with_skips(&pq.cq, &pq.tree, &pq.skips)
+                        .expect("resident")
+                });
+                evals[qi].push(eval_secs * 1e6);
+                tsenses[qi].push(tsens_secs * 1e6);
+                if rep == 0 {
+                    answers.push((count, report.local_sensitivity));
+                }
+            }
+        }
+        (median_f64(&encodes), evals, tsenses, answers)
+    };
+
+    let (seq_encode_us, seq_evals, seq_tsenses, seq_answers) = measure(Pool::sequential());
+    let (par_encode_us, par_evals, par_tsenses, par_answers) = measure(par_pool);
+    assert_eq!(
+        seq_answers, par_answers,
+        "parallel answers must match sequential"
+    );
+
+    let rows = queries
+        .iter()
+        .enumerate()
+        .map(|(qi, pq)| TpchParallelRow {
+            query: pq.name.clone(),
+            seq_eval_us: median_f64(&seq_evals[qi]),
+            par_eval_us: median_f64(&par_evals[qi]),
+            seq_tsens_us: median_f64(&seq_tsenses[qi]),
+            par_tsens_us: median_f64(&par_tsenses[qi]),
+        })
+        .collect();
+    Ok(TpchParallel {
+        scale,
+        threads,
+        runs,
+        seq_encode_us,
+        par_encode_us,
+        rows,
+    })
+}
+
+impl fmt::Display for TpchParallel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let speedup = |seq: f64, par: f64| seq / par.max(1e-9);
+        writeln!(
+            f,
+            "TPC-H scale {}: sequential vs {}-thread engine \
+             (cold sessions, medians over {} runs)",
+            self.scale, self.threads, self.runs
+        )?;
+        writeln!(
+            f,
+            "encode: seq {:.1}ms, par {:.1}ms ({:.2}x)",
+            self.seq_encode_us / 1e3,
+            self.par_encode_us / 1e3,
+            speedup(self.seq_encode_us, self.par_encode_us)
+        )?;
+        writeln!(
+            f,
+            "{:>5} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8}",
+            "query",
+            "eval seq ms",
+            "eval par ms",
+            "speedup",
+            "tsens seq ms",
+            "tsens par ms",
+            "speedup"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>5} {:>12.1} {:>12.1} {:>7.2}x {:>12.1} {:>12.1} {:>7.2}x",
+                r.query,
+                r.seq_eval_us / 1e3,
+                r.par_eval_us / 1e3,
+                speedup(r.seq_eval_us, r.par_eval_us),
+                r.seq_tsens_us / 1e3,
+                r.par_tsens_us / 1e3,
+                speedup(r.seq_tsens_us, r.par_tsens_us)
             )?;
         }
         Ok(())

@@ -264,15 +264,22 @@ pub fn tsens_with_skips(
 }
 
 /// [`tsens_with_skips_session`] with the per-relation multiplicity tables
-/// computed on `threads` OS threads over one shared session pass state.
-/// The tables are independent given the shared ⊤/⊥ passes, so this
-/// parallelises the only super-linear step of Algorithm 2 (Theorem 5.1's
-/// `O(m d n^d log n)` term). Results are bit-identical to the sequential
-/// version. Always computes (no report-cache read): callers ask for it
-/// explicitly to exercise the parallel path.
+/// computed on an explicitly sized worker pool over one shared session
+/// pass state. The tables are independent given the shared ⊤/⊥ passes, so
+/// this parallelises the only super-linear step of Algorithm 2 (Theorem
+/// 5.1's `O(m d n^d log n)` term). Results are bit-identical to the
+/// sequential version. Always computes (no report-cache read): callers
+/// ask for it explicitly to exercise the parallel path.
 ///
-/// # Panics
-/// Panics if `threads == 0`.
+/// The `(node, atom)` work items run through
+/// [`tsens_engine::pool::Pool::run`]'s chunked work queue — the old
+/// hand-rolled round-robin bucketing, which assigned each thread a fixed
+/// stride regardless of how skewed the per-atom table costs were, is
+/// retired onto the shared pool primitive.
+///
+/// # Errors
+/// [`TsensError::ZeroThreads`] when `threads == 0` (the request-path
+/// replacement for the old `assert!`), plus the usual residency errors.
 pub fn tsens_parallel_session(
     session: &EngineSession<'_>,
     cq: &ConjunctiveQuery,
@@ -280,10 +287,9 @@ pub fn tsens_parallel_session(
     skip_atoms: &[usize],
     threads: usize,
 ) -> Result<SensitivityReport, TsensError> {
-    assert!(threads > 0, "need at least one thread");
+    let pool = tsens_engine::Pool::new(threads)?;
     let passes = session.passes(cq, tree)?;
     let tops = passes.tops(tree);
-    // Work items: (node, atom), bucketed round-robin.
     let mut items: Vec<(usize, usize)> = Vec::with_capacity(cq.atom_count());
     for v in 0..tree.bag_count() {
         for &ai in &tree.bags()[v].atoms {
@@ -292,42 +298,27 @@ pub fn tsens_parallel_session(
             }
         }
     }
-    let buckets: Vec<Vec<(usize, usize)>> = (0..threads)
-        .map(|t| items.iter().copied().skip(t).step_by(threads).collect())
-        .collect();
     let passes_ref = &*passes;
-    let mut per_relation: Vec<crate::report::RelationSensitivity> = std::thread::scope(|scope| {
-        let handles: Vec<_> = buckets
-            .into_iter()
-            .map(|bucket| {
-                scope.spawn(move || {
-                    bucket
-                        .into_iter()
-                        .map(|(v, ai)| {
-                            let table = table_for_atom(cq, tree, passes_ref, tops, v, ai);
-                            table.max_sensitivity(&cq.atoms()[ai].schema)
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker panicked"))
-            .collect()
+    let mut per_relation: Vec<crate::report::RelationSensitivity> = pool.run(items.len(), |k| {
+        let (v, ai) = items[k];
+        let table = table_for_atom(cq, tree, passes_ref, tops, v, ai);
+        table.max_sensitivity(&cq.atoms()[ai].schema)
     });
     per_relation.sort_by_key(|rs| rs.relation);
     Ok(SensitivityReport::from_per_relation(per_relation))
 }
 
 /// [`tsens_parallel_session`] as a one-shot call (fresh session).
+///
+/// # Errors
+/// [`TsensError::ZeroThreads`] when `threads == 0`.
 pub fn tsens_parallel(
     db: &Database,
     cq: &ConjunctiveQuery,
     tree: &DecompositionTree,
     skip_atoms: &[usize],
     threads: usize,
-) -> SensitivityReport {
+) -> Result<SensitivityReport, TsensError> {
     tsens_parallel_session(
         &EngineSession::for_query(db, cq),
         cq,
@@ -335,7 +326,6 @@ pub fn tsens_parallel(
         skip_atoms,
         threads,
     )
-    .expect("one-shot sessions are resident over their query")
 }
 
 #[cfg(test)]
@@ -545,7 +535,7 @@ mod tests {
         let (db, q, tree) = figure1();
         let seq = tsens(&db, &q, &tree);
         for threads in [1, 2, 4] {
-            let par = tsens_parallel(&db, &q, &tree, &[], threads);
+            let par = tsens_parallel(&db, &q, &tree, &[], threads).expect("threads > 0");
             assert_eq!(par.local_sensitivity, seq.local_sensitivity);
             for (a, b) in par.per_relation.iter().zip(seq.per_relation.iter()) {
                 assert_eq!(a.relation, b.relation);
@@ -556,10 +546,19 @@ mod tests {
     }
 
     #[test]
+    fn parallel_zero_threads_is_typed_error() {
+        let (db, q, tree) = figure1();
+        assert_eq!(
+            tsens_parallel(&db, &q, &tree, &[], 0).err(),
+            Some(TsensError::ZeroThreads)
+        );
+    }
+
+    #[test]
     fn parallel_respects_skips() {
         let (db, q, tree) = figure1();
         let seq = tsens_with_skips(&db, &q, &tree, &[0]);
-        let par = tsens_parallel(&db, &q, &tree, &[0], 3);
+        let par = tsens_parallel(&db, &q, &tree, &[0], 3).expect("threads > 0");
         assert_eq!(par.local_sensitivity, seq.local_sensitivity);
         assert!(par.per_relation.iter().all(|rs| rs.relation != 0));
     }

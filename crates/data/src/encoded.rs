@@ -530,6 +530,19 @@ impl EncodedRelation {
         self.counts.push(count);
     }
 
+    /// Append every entry of `other` (same schema) after this
+    /// relation's entries — the partitioned-join concatenation step.
+    /// The flat buffers are copied wholesale: no per-row allocation, no
+    /// per-row bookkeeping.
+    ///
+    /// # Panics
+    /// Panics (debug) if the schemas differ.
+    pub fn append(&mut self, other: &EncodedRelation) {
+        debug_assert_eq!(self.schema, other.schema, "append: schemas must match");
+        self.codes.extend_from_slice(&other.codes);
+        self.counts.extend_from_slice(&other.counts);
+    }
+
     /// Reserve room for `additional` more rows.
     pub fn reserve(&mut self, additional: usize) {
         self.codes.reserve(additional * self.schema.arity());

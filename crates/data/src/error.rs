@@ -69,6 +69,10 @@ pub enum TsensError {
         /// Number of relations in the catalog.
         count: usize,
     },
+    /// A worker pool was configured with zero threads (`TSENS_THREADS=0`
+    /// or an explicit `threads = 0` argument) — the request-path
+    /// replacement for the old `assert!(threads > 0)` panic.
+    ZeroThreads,
     /// A catalog/schema error (arity mismatch, unknown name, …).
     Data(DataError),
 }
@@ -90,6 +94,9 @@ impl fmt::Display for TsensError {
                     f,
                     "relation index {relation} out of range (catalog has {count})"
                 )
+            }
+            TsensError::ZeroThreads => {
+                write!(f, "thread pool needs at least one thread (got 0)")
             }
             TsensError::Data(e) => write!(f, "{e}"),
         }

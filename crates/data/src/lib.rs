@@ -29,6 +29,7 @@ pub mod encoded;
 pub mod error;
 pub mod fast;
 pub mod io;
+pub mod par;
 pub mod relation;
 pub mod schema;
 pub mod session;
@@ -43,6 +44,7 @@ pub use domain::{active_domain, active_domain_multi};
 pub use encoded::{Dict, EncodedRelation};
 pub use error::{DataError, TsensError};
 pub use fast::{FastMap, FastSet};
+pub use par::Pool;
 pub use relation::{Relation, Row};
 pub use schema::Schema;
 pub use session::EncodedDatabase;

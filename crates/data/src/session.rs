@@ -39,6 +39,7 @@
 use crate::database::Database;
 use crate::encoded::{Dict, EncodedRelation};
 use crate::error::{DataError, TsensError};
+use crate::par::Pool;
 use crate::relation::Row;
 use crate::update::Update;
 use crate::value::Value;
@@ -92,7 +93,16 @@ impl EncodedDatabase {
     /// distinct values — the "preprocessing" a serving deployment pays
     /// once, not per query.
     pub fn new(db: &Database) -> Self {
-        Self::build(db, vec![true; db.relation_count()])
+        Self::build(db, vec![true; db.relation_count()], &Pool::sequential())
+    }
+
+    /// Like [`EncodedDatabase::new`], but encodes relations in parallel
+    /// on `pool` — cold start scales with cores. The dictionary is still
+    /// built sequentially (one sort over the union of domains); only the
+    /// independent per-relation encode+group steps fan out. Results are
+    /// identical to the sequential build for any pool size.
+    pub fn new_with_pool(db: &Database, pool: &Pool) -> Self {
+        Self::build(db, vec![true; db.relation_count()], pool)
     }
 
     /// Encode only the listed relations (by catalog index); the rest get
@@ -105,28 +115,30 @@ impl EncodedDatabase {
         for r in relations {
             resident[r] = true;
         }
-        Self::build(db, resident)
+        Self::build(db, resident, &Pool::sequential())
     }
 
-    fn build(db: &Database, resident: Vec<bool>) -> Self {
+    fn build(db: &Database, resident: Vec<bool>, pool: &Pool) -> Self {
         let dict = Arc::new(Dict::from_relations(
             db.iter()
                 .filter(|&(i, _, _)| resident[i])
                 .map(|(_, _, r)| r),
         ));
-        let lifted = db
-            .iter()
-            .map(|(i, _, rel)| {
-                if !resident[i] {
-                    return Arc::new(EncodedRelation::new(rel.schema().clone()));
-                }
-                let mut raw = EncodedRelation::with_capacity(rel.schema().clone(), rel.len());
-                for row in rel.rows() {
-                    raw.push_mapped(row.iter().map(|v| dict.code(v)), 1);
-                }
-                Arc::new(raw.group(rel.schema()))
-            })
-            .collect();
+        // Per-relation encode+group steps only read the (now frozen)
+        // dictionary, so they fan out across the pool independently;
+        // `Pool::run` returns them in catalog order.
+        let encode_one = |i: usize| {
+            let rel = db.relation(i);
+            if !resident[i] {
+                return Arc::new(EncodedRelation::new(rel.schema().clone()));
+            }
+            let mut raw = EncodedRelation::with_capacity(rel.schema().clone(), rel.len());
+            for row in rel.rows() {
+                raw.push_mapped(row.iter().map(|v| dict.code(v)), 1);
+            }
+            Arc::new(raw.group(rel.schema()))
+        };
+        let lifted = pool.run(db.relation_count(), encode_one);
         let versions = vec![0; resident.len()];
         EncodedDatabase {
             dict,

@@ -27,12 +27,17 @@
 use super::format::{read_section, write_section, ByteReader, ByteWriter};
 use super::{fsync_dir, StoreError};
 use crate::encoded::{Dict, EncodedRelation};
+use crate::par::Pool;
 use crate::schema::Schema;
 use crate::value::Value;
 use crate::{AttrId, Database, EncodedDatabase, Relation};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+
+/// One relation's decoded `Value` rows plus its tuple total (counts
+/// expanded), as produced by the parallel snapshot decode.
+type DecodedRows = (Vec<Vec<Value>>, u64);
 
 /// Leading magic: "TSNP".
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"TSNP";
@@ -202,6 +207,17 @@ pub struct LoadedSnapshot {
 /// [`StoreError::Corrupt`] on any damage; [`StoreError::Io`] otherwise.
 /// Never panics on arbitrary bytes.
 pub fn load_snapshot(path: &Path) -> Result<LoadedSnapshot, StoreError> {
+    load_snapshot_with_pool(path, &Pool::default())
+}
+
+/// [`load_snapshot`] with an explicit worker pool: the per-relation
+/// Value-row decodes fan out across `pool`, so recovery and cold start
+/// scale with cores. `Pool::sequential()` reproduces the single-threaded
+/// load exactly.
+///
+/// # Errors
+/// As [`load_snapshot`].
+pub fn load_snapshot_with_pool(path: &Path, pool: &Pool) -> Result<LoadedSnapshot, StoreError> {
     let file = File::open(path)?;
     let file_bytes = file.metadata()?.len();
     let mut r = BufReader::new(file);
@@ -338,12 +354,16 @@ pub fn load_snapshot(path: &Path) -> Result<LoadedSnapshot, StoreError> {
     }
 
     // Rebuild the Value-level rows by decoding the lifted relations
-    // (bag semantics: a count-k entry expands to k physical rows).
-    let mut decoded_tuples: u64 = 0;
-    for (idx, rel) in lifted.iter().enumerate() {
-        let name = db.relation_name(idx).to_owned();
-        let out = db.relation_mut(idx);
-        out.reserve(rel.len());
+    // (bag semantics: a count-k entry expands to k physical rows). The
+    // per-relation decodes are independent and fan out across `pool`;
+    // each worker caps its own running total at the meta bound so a
+    // corrupt multiplicity cannot balloon memory before the final
+    // cross-relation check below.
+    let decoded: Vec<Result<DecodedRows, StoreError>> = pool.run(lifted.len(), |idx| {
+        let rel = &lifted[idx];
+        let name = db.relation_name(idx);
+        let mut rows: Vec<Vec<Value>> = Vec::with_capacity(rel.len());
+        let mut tuples: u64 = 0;
         for i in 0..rel.len() {
             let row: Vec<Value> = rel.row(i).iter().map(|&c| dict.decode(c)).collect();
             let copies = usize::try_from(rel.count(i)).map_err(|_| {
@@ -351,18 +371,34 @@ pub fn load_snapshot(path: &Path) -> Result<LoadedSnapshot, StoreError> {
                     "relation {name}: multiplicity exceeds addressable rows"
                 ))
             })?;
-            decoded_tuples = decoded_tuples.saturating_add(copies as u64);
-            if decoded_tuples > total_tuples {
+            tuples = tuples.saturating_add(copies as u64);
+            if tuples > total_tuples {
                 return Err(StoreError::Corrupt(
                     "decoded more tuples than the meta section recorded".into(),
                 ));
             }
             for _ in 1..copies {
-                out.push(row.clone());
+                rows.push(row.clone());
             }
             if copies > 0 {
-                out.push(row);
+                rows.push(row);
             }
+        }
+        Ok((rows, tuples))
+    });
+    let mut decoded_tuples: u64 = 0;
+    for (idx, res) in decoded.into_iter().enumerate() {
+        let (rows, tuples) = res?;
+        decoded_tuples = decoded_tuples.saturating_add(tuples);
+        if decoded_tuples > total_tuples {
+            return Err(StoreError::Corrupt(
+                "decoded more tuples than the meta section recorded".into(),
+            ));
+        }
+        let out = db.relation_mut(idx);
+        out.reserve(rows.len());
+        for row in rows {
+            out.push(row);
         }
     }
     if decoded_tuples != total_tuples {

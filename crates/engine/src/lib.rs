@@ -27,6 +27,7 @@
 pub mod naive_eval;
 pub mod ops;
 pub mod passes;
+pub mod pool;
 pub mod session;
 pub mod snapshot;
 pub mod yannakakis;
@@ -34,13 +35,15 @@ pub mod yannakakis;
 pub use naive_eval::{full_join, naive_count};
 pub use ops::{
     hash_join, hash_join_enc, lookup_join, lookup_join_enc, multiway_join, multiway_join_enc,
-    semijoin, semijoin_enc, sort_merge_join, sort_merge_join_enc,
+    multiway_join_enc_pooled, partitioned_hash_join_enc, semijoin, semijoin_enc, sort_merge_join,
+    sort_merge_join_enc, PAR_JOIN_THRESHOLD,
 };
 pub use passes::{
     bag_relations, bag_relations_from, bag_relations_from_enc, botjoin_pass, botjoin_pass_enc,
-    botjoin_pass_enc_refs, lift_atoms, lift_atoms_enc, query_dict, topjoin_pass, topjoin_pass_enc,
-    topjoin_pass_enc_refs,
+    botjoin_pass_enc_pooled, botjoin_pass_enc_refs, lift_atoms, lift_atoms_enc, query_dict,
+    topjoin_pass, topjoin_pass_enc, topjoin_pass_enc_pooled, topjoin_pass_enc_refs,
 };
+pub use pool::{Pool, THREADS_ENV};
 pub use session::{EngineSession, QueryKey, QueryPasses, SessionStats};
 pub use snapshot::{PublishHook, SnapshotCell};
 pub use tsens_data::Update;

@@ -10,6 +10,8 @@
 //! or fixed-width `&[u32]` slices gathered into one reused scratch
 //! buffer, and output rows are appended straight into the flat buffer.
 
+use crate::pool::Pool;
+use std::sync::atomic::{AtomicU64, Ordering};
 use tsens_data::fast::fast_map_with_capacity;
 use tsens_data::{sat_mul, Count, CountedRelation, EncodedRelation, FastMap, Row, Value};
 
@@ -521,6 +523,117 @@ pub fn multiway_join_enc(inputs: &[&EncodedRelation]) -> EncodedRelation {
         let (i, _) = best.expect("an unused input must remain");
         used[i] = true;
         acc = hash_join_enc(&acc, inputs[i]);
+    }
+    acc
+}
+
+/// Larger-side row count below which [`partitioned_hash_join_enc`] falls
+/// back to the plain [`hash_join_enc`]: partitioning is two extra linear
+/// copies of the inputs, which only pays for itself once the build/probe
+/// work dwarfs them.
+pub const PAR_JOIN_THRESHOLD: usize = 16_384;
+
+/// Partition `rel`'s entries into `partitions` (a power of two) buckets
+/// by a multiplicative hash of the projected key codes. Rows land whole
+/// (flat-buffer pushes, no per-row allocation); every row with a given
+/// key lands in the same bucket on both join sides.
+fn hash_partition_enc(
+    rel: &EncodedRelation,
+    key_idx: &[usize],
+    partitions: usize,
+) -> Vec<EncodedRelation> {
+    debug_assert!(partitions.is_power_of_two());
+    let mut parts: Vec<EncodedRelation> = (0..partitions)
+        .map(|_| EncodedRelation::with_capacity(rel.schema().clone(), rel.len() / partitions + 1))
+        .collect();
+    for (row, c) in rel.iter() {
+        let mut h: u64 = 0;
+        for &k in key_idx {
+            h = (h ^ u64::from(row[k])).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+        let p = (h >> 32) as usize & (partitions - 1);
+        parts[p].push(row, c);
+    }
+    parts
+}
+
+/// Parallel partitioned [`hash_join_enc`]: hash-partition **both** sides
+/// on the shared key into `4 × pool.size()` buckets, join each bucket
+/// pair independently across the pool, and concatenate the encoded
+/// outputs with one whole-buffer copy per bucket
+/// ([`EncodedRelation::append`]) — the zero-per-output-row-allocation
+/// contract survives end to end.
+///
+/// Output rows are a permutation of the sequential join's (bucket-major
+/// instead of probe-major); every caller in the pass pipeline re-groups
+/// (`γ`) before counts are read, so results are unaffected. Falls back
+/// to the sequential join verbatim for sequential pools, cross products
+/// (no shared key to partition on) and inputs under
+/// [`PAR_JOIN_THRESHOLD`]. Each bucket pair joined in parallel adds one
+/// to `tasks` (the session's `parallel_join_tasks` counter).
+pub fn partitioned_hash_join_enc(
+    left: &EncodedRelation,
+    right: &EncodedRelation,
+    pool: &Pool,
+    tasks: &AtomicU64,
+) -> EncodedRelation {
+    let shared = left.schema().intersect(right.schema());
+    if pool.is_sequential() || shared.is_empty() || left.len().max(right.len()) < PAR_JOIN_THRESHOLD
+    {
+        return hash_join_enc(left, right);
+    }
+    let l_key = left.schema().projection_indices(&shared);
+    let r_key = right.schema().projection_indices(&shared);
+    let partitions = (pool.size() * 4).next_power_of_two();
+    let l_parts = hash_partition_enc(left, &l_key, partitions);
+    let r_parts = hash_partition_enc(right, &r_key, partitions);
+    tasks.fetch_add(partitions as u64, Ordering::Relaxed);
+    let joined = pool.run(partitions, |p| hash_join_enc(&l_parts[p], &r_parts[p]));
+    let total: usize = joined.iter().map(EncodedRelation::len).sum();
+    let mut out = EncodedRelation::with_capacity(left.schema().union(right.schema()), total);
+    for part in &joined {
+        out.append(part);
+    }
+    out
+}
+
+/// [`multiway_join_enc`] with each pairwise step running through the
+/// parallel [`partitioned_hash_join_enc`]: same greedy
+/// smallest-estimate join order (so the same intermediate sizes), large
+/// steps fan out across the pool. Sequential pools take
+/// [`multiway_join_enc`] verbatim.
+///
+/// # Panics
+/// Panics if `inputs` is empty.
+pub fn multiway_join_enc_pooled(
+    inputs: &[&EncodedRelation],
+    pool: &Pool,
+    tasks: &AtomicU64,
+) -> EncodedRelation {
+    if pool.is_sequential() {
+        return multiway_join_enc(inputs);
+    }
+    assert!(
+        !inputs.is_empty(),
+        "multiway_join_enc needs at least one input"
+    );
+    let mut used = vec![false; inputs.len()];
+    let mut acc = inputs[0].clone();
+    used[0] = true;
+    for _ in 1..inputs.len() {
+        let mut best: Option<(usize, u128)> = None;
+        for (i, rel) in inputs.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let est = estimate_join_enc(&acc, rel);
+            if best.is_none_or(|(_, e)| est < e) {
+                best = Some((i, est));
+            }
+        }
+        let (i, _) = best.expect("an unused input must remain");
+        used[i] = true;
+        acc = partitioned_hash_join_enc(&acc, inputs[i], pool, tasks);
     }
     acc
 }

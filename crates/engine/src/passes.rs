@@ -14,7 +14,11 @@
 //! ([`crate::ops::lookup_join`]) — the source of the near-linear running
 //! time of §4/§5.3.
 
-use crate::ops::{lookup_join, lookup_join_enc, multiway_join, multiway_join_enc};
+use crate::ops::{
+    lookup_join, lookup_join_enc, multiway_join, multiway_join_enc, multiway_join_enc_pooled,
+};
+use crate::pool::Pool;
+use std::sync::atomic::{AtomicU64, Ordering};
 use tsens_data::{CountedRelation, Database, Dict, EncodedRelation};
 use tsens_query::{ConjunctiveQuery, DecompositionTree};
 
@@ -289,6 +293,133 @@ pub fn topjoin_pass_enc_refs(
         }
         let acc = acc.unwrap_or_else(|| shared.clone());
         tops[v] = Some(acc.group(&tree.up_schema(v)));
+    }
+    tops.into_iter()
+        .map(|t| t.expect("all bags visited"))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Pooled (level-wise parallel) pass variants.
+// ---------------------------------------------------------------------------
+
+/// [`bag_relations_from_arcs`] with multi-atom in-bag joins running
+/// through the parallel partitioned join. Singleton bags are still `Arc`
+/// shares; only genuine in-bag joins (cyclic GHD bags like q3's root)
+/// fan out, via [`multiway_join_enc_pooled`]'s per-step partitioning —
+/// which sidesteps nested `pool.run` calls entirely.
+pub fn bag_relations_from_arcs_pooled(
+    lifted: &[std::sync::Arc<EncodedRelation>],
+    tree: &DecompositionTree,
+    pool: &Pool,
+    join_tasks: &AtomicU64,
+) -> Vec<std::sync::Arc<EncodedRelation>> {
+    tree.bags()
+        .iter()
+        .map(|bag| match bag.atoms[..] {
+            [ai] => std::sync::Arc::clone(&lifted[ai]),
+            _ => {
+                let refs: Vec<&EncodedRelation> =
+                    bag.atoms.iter().map(|&ai| &*lifted[ai]).collect();
+                std::sync::Arc::new(multiway_join_enc_pooled(&refs, pool, join_tasks))
+            }
+        })
+        .collect()
+}
+
+/// [`botjoin_pass_enc_refs`] scheduled level-wise across `pool`: Eqn 7
+/// only couples a bag to its children, so all bags of equal height are
+/// independent — each level fans out, and the pool's scope join is the
+/// barrier that upholds post-order. Per-bag work is byte-for-byte the
+/// sequential loop body; a sequential pool takes the sequential pass
+/// verbatim. Each parallel bag adds one to `tasks`.
+pub fn botjoin_pass_enc_pooled(
+    tree: &DecompositionTree,
+    bags: &[&EncodedRelation],
+    pool: &Pool,
+    tasks: &AtomicU64,
+) -> Vec<EncodedRelation> {
+    if pool.is_sequential() {
+        return botjoin_pass_enc_refs(tree, bags);
+    }
+    let mut bots: Vec<Option<EncodedRelation>> = vec![None; tree.bag_count()];
+    for level in crate::pool::levels_by_height(tree) {
+        tasks.fetch_add(level.len() as u64, Ordering::Relaxed);
+        let computed = pool.run(level.len(), |k| {
+            let v = level[k];
+            let mut acc: Option<EncodedRelation> = None;
+            for &c in tree.children(v) {
+                let child_bot = bots[c].as_ref().expect("lower level already computed");
+                let joined = lookup_join_enc(acc.as_ref().unwrap_or(bags[v]), child_bot);
+                acc = Some(joined);
+            }
+            match acc {
+                Some(a) => a.group(&tree.up_schema(v)),
+                None => bags[v].group(&tree.up_schema(v)),
+            }
+        });
+        for (k, b) in computed.into_iter().enumerate() {
+            bots[level[k]] = Some(b);
+        }
+    }
+    bots.into_iter()
+        .map(|b| b.expect("all bags visited"))
+        .collect()
+}
+
+/// [`topjoin_pass_enc_refs`] scheduled level-wise across `pool` (levels
+/// by depth, root first). Each level runs in two parallel steps mirroring
+/// the sequential pass's shared-prefix optimisation: first the distinct
+/// parents' `bag(p) r⋈ ⊤(p)` bases (one task per parent — every parent of
+/// a depth-`d` bag sits at depth `d−1`, so its ⊤ is ready), then the
+/// per-bag sibling joins. Sibling ⊥ values come from the finished ⊥ pass,
+/// so bags within a level never depend on each other.
+pub fn topjoin_pass_enc_pooled(
+    tree: &DecompositionTree,
+    bags: &[&EncodedRelation],
+    bots: &[EncodedRelation],
+    pool: &Pool,
+    tasks: &AtomicU64,
+) -> Vec<EncodedRelation> {
+    if pool.is_sequential() {
+        return topjoin_pass_enc_refs(tree, bags, bots);
+    }
+    let mut tops: Vec<Option<EncodedRelation>> = vec![None; tree.bag_count()];
+    tops[tree.root()] = Some(EncodedRelation::unit());
+    let levels = crate::pool::levels_by_depth(tree);
+    for level in &levels[1..] {
+        let mut parents: Vec<usize> = level
+            .iter()
+            .map(|&v| tree.parent(v).expect("non-root level"))
+            .collect();
+        parents.sort_unstable();
+        parents.dedup();
+        tasks.fetch_add(parents.len() as u64, Ordering::Relaxed);
+        let bases = pool.run(parents.len(), |k| {
+            let p = parents[k];
+            let parent_top = tops[p].as_ref().expect("shallower level already computed");
+            lookup_join_enc(bags[p], parent_top)
+        });
+        let mut base: Vec<Option<EncodedRelation>> = vec![None; tree.bag_count()];
+        for (k, b) in bases.into_iter().enumerate() {
+            base[parents[k]] = Some(b);
+        }
+        tasks.fetch_add(level.len() as u64, Ordering::Relaxed);
+        let computed = pool.run(level.len(), |k| {
+            let v = level[k];
+            let p = tree.parent(v).expect("non-root level");
+            let shared = base[p].as_ref().expect("parent base just computed");
+            let mut acc: Option<EncodedRelation> = None;
+            for s in tree.neighbors(v) {
+                let joined = lookup_join_enc(acc.as_ref().unwrap_or(shared), &bots[s]);
+                acc = Some(joined);
+            }
+            let acc = acc.unwrap_or_else(|| shared.clone());
+            acc.group(&tree.up_schema(v))
+        });
+        for (k, t) in computed.into_iter().enumerate() {
+            tops[level[k]] = Some(t);
+        }
     }
     tops.into_iter()
         .map(|t| t.expect("all bags visited"))

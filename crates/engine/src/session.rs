@@ -54,7 +54,10 @@
 //! `&mut self`, so the borrow checker still serializes updates against
 //! in-flight queries.
 
-use crate::passes::{bag_relations_from_arcs, botjoin_pass_enc_refs, topjoin_pass_enc_refs};
+use crate::passes::{
+    bag_relations_from_arcs_pooled, botjoin_pass_enc_pooled, topjoin_pass_enc_pooled,
+};
+use crate::pool::Pool;
 use std::any::Any;
 use std::borrow::Cow;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -124,6 +127,12 @@ pub struct QueryPasses {
     /// ⊥ pass results (Eqn 7), in tree-bag order.
     pub bots: Vec<EncodedRelation>,
     tops: OnceLock<Vec<EncodedRelation>>,
+    /// The pool the entry was built on; the lazy ⊤ pass reuses it so a
+    /// cached entry parallelizes the same way cold and warm.
+    pool: Pool,
+    /// The owning session's parallel-pass-task counter (shared `Arc` so
+    /// the lazy ⊤ pass can report without a session borrow).
+    par_pass_tasks: Arc<AtomicU64>,
 }
 
 impl QueryPasses {
@@ -132,7 +141,13 @@ impl QueryPasses {
     pub fn tops(&self, tree: &DecompositionTree) -> &[EncodedRelation] {
         self.tops.get_or_init(|| {
             let bag_refs: Vec<&EncodedRelation> = self.bags.iter().map(|b| &**b).collect();
-            topjoin_pass_enc_refs(tree, &bag_refs, &self.bots)
+            topjoin_pass_enc_pooled(
+                tree,
+                &bag_refs,
+                &self.bots,
+                &self.pool,
+                &self.par_pass_tasks,
+            )
         })
     }
 }
@@ -175,6 +190,15 @@ pub struct SessionStats {
     /// Copy-on-write forks taken in this session's lineage
     /// ([`EngineSession::fork`] — the snapshot-publish writer path).
     pub forks: u64,
+    /// Worker-pool size this session runs on (1 = sequential paths).
+    pub pool_threads: u64,
+    /// Per-bag pass units executed in parallel (⊥/⊤ level-wise
+    /// scheduling); 0 under a sequential pool.
+    pub parallel_pass_tasks: u64,
+    /// Partition pairs joined in parallel
+    /// ([`crate::ops::partitioned_hash_join_enc`]); 0 under a sequential
+    /// pool or below the size threshold.
+    pub parallel_join_tasks: u64,
 }
 
 #[derive(Default)]
@@ -194,6 +218,10 @@ struct StatCounters {
     results_invalidated: AtomicU64,
     mf_invalidated: AtomicU64,
     forks: AtomicU64,
+    /// `Arc`-shared so cached [`QueryPasses`] entries (whose lazy ⊤ pass
+    /// runs without a session borrow) report into the same counters.
+    par_pass_tasks: Arc<AtomicU64>,
+    par_join_tasks: Arc<AtomicU64>,
 }
 
 impl StatCounters {
@@ -216,6 +244,8 @@ impl StatCounters {
             results_invalidated: AtomicU64::new(s.results_invalidated),
             mf_invalidated: AtomicU64::new(s.mf_invalidated),
             forks: AtomicU64::new(s.forks),
+            par_pass_tasks: Arc::new(AtomicU64::new(s.parallel_pass_tasks)),
+            par_join_tasks: Arc::new(AtomicU64::new(s.parallel_join_tasks)),
         }
     }
 }
@@ -243,13 +273,31 @@ pub struct EngineSession<'a> {
     /// `mf(X, R)` statistics: `(relation, sorted attrs) → max frequency`.
     mf: Mutex<FastMap<(usize, Vec<AttrId>), Count>>,
     stats: StatCounters,
+    /// Intra-query worker pool: passes, large joins and encoding fan out
+    /// across it. `Pool::sequential()` pins every algorithm to the
+    /// original sequential code paths.
+    pool: Pool,
 }
 
 impl<'a> EngineSession<'a> {
     /// Open a session: build the database-wide dictionary and encode
     /// every relation (the once-per-database preprocessing cost).
+    /// Parallel by default — the pool sizes from `TSENS_THREADS` /
+    /// available parallelism; use [`EngineSession::with_pool`] to pin.
     pub fn new(db: &'a Database) -> Self {
-        Self::with_encoding(db, EncodedDatabase::new(db))
+        Self::with_pool(db, Pool::default())
+    }
+
+    /// [`EngineSession::new`] on an explicit worker pool — the
+    /// builder-style entry point serving front-ends use after validating
+    /// `TSENS_THREADS`. `Pool::sequential()` reproduces the
+    /// single-threaded engine byte-for-byte.
+    pub fn with_pool(db: &'a Database, pool: Pool) -> Self {
+        Self::from_parts(
+            Cow::Borrowed(db),
+            EncodedDatabase::new_with_pool(db, &pool),
+            pool,
+        )
     }
 
     /// Open a **partial, read-only** session resident over the relations
@@ -271,8 +319,13 @@ impl<'a> EngineSession<'a> {
     /// that loaded the data (`EngineSession<'static>` slots straight
     /// into an `RwLock` shared across worker threads).
     pub fn owned(db: Database) -> EngineSession<'static> {
-        let enc = EncodedDatabase::new(&db);
-        EngineSession::from_parts(Cow::Owned(db), enc)
+        Self::owned_with_pool(db, Pool::default())
+    }
+
+    /// [`EngineSession::owned`] on an explicit worker pool.
+    pub fn owned_with_pool(db: Database, pool: Pool) -> EngineSession<'static> {
+        let enc = EncodedDatabase::new_with_pool(&db, &pool);
+        EngineSession::from_parts(Cow::Owned(db), enc, pool)
     }
 
     /// Open an owning session over state restored from a durable
@@ -301,14 +354,18 @@ impl<'a> EngineSession<'a> {
         if !enc.fully_resident() {
             return Err(TsensError::ReadOnlySession);
         }
-        Ok(EngineSession::from_parts(Cow::Owned(db), enc))
+        Ok(EngineSession::from_parts(
+            Cow::Owned(db),
+            enc,
+            Pool::default(),
+        ))
     }
 
     fn with_encoding(db: &'a Database, enc: EncodedDatabase) -> Self {
-        Self::from_parts(Cow::Borrowed(db), enc)
+        Self::from_parts(Cow::Borrowed(db), enc, Pool::default())
     }
 
-    fn from_parts(db: Cow<'a, Database>, enc: EncodedDatabase) -> Self {
+    fn from_parts(db: Cow<'a, Database>, enc: EncodedDatabase, pool: Pool) -> Self {
         EngineSession {
             db,
             enc,
@@ -317,7 +374,14 @@ impl<'a> EngineSession<'a> {
             results: Mutex::new(FastMap::default()),
             mf: Mutex::new(FastMap::default()),
             stats: StatCounters::default(),
+            pool,
         }
+    }
+
+    /// The session's intra-query worker pool.
+    #[inline]
+    pub fn pool(&self) -> &Pool {
+        &self.pool
     }
 
     /// The session's current database (reflecting every applied update).
@@ -371,6 +435,9 @@ impl<'a> EngineSession<'a> {
             results_invalidated: self.stats.results_invalidated.load(Ordering::Relaxed),
             mf_invalidated: self.stats.mf_invalidated.load(Ordering::Relaxed),
             forks: self.stats.forks.load(Ordering::Relaxed),
+            pool_threads: self.pool.size() as u64,
+            parallel_pass_tasks: self.stats.par_pass_tasks.load(Ordering::Relaxed),
+            parallel_join_tasks: self.stats.par_join_tasks.load(Ordering::Relaxed),
         }
     }
 
@@ -399,6 +466,7 @@ impl<'a> EngineSession<'a> {
             results: clone_map(&self.results),
             mf: clone_map(&self.mf),
             stats: StatCounters::from_stats(stats),
+            pool: self.pool,
         }
     }
 
@@ -489,15 +557,18 @@ impl<'a> EngineSession<'a> {
         }
         self.stats.pass_misses.fetch_add(1, Ordering::Relaxed);
         let lifted = self.lift_query(cq)?;
-        let bags = bag_relations_from_arcs(&lifted, tree);
+        let bags =
+            bag_relations_from_arcs_pooled(&lifted, tree, &self.pool, &self.stats.par_join_tasks);
         let bag_refs: Vec<&EncodedRelation> = bags.iter().map(|b| &**b).collect();
-        let bots = botjoin_pass_enc_refs(tree, &bag_refs);
+        let bots = botjoin_pass_enc_pooled(tree, &bag_refs, &self.pool, &self.stats.par_pass_tasks);
         let entry = Arc::new(QueryPasses {
             dict: Arc::clone(self.dict()),
             lifted,
             bags,
             bots,
             tops: OnceLock::new(),
+            pool: self.pool,
+            par_pass_tasks: Arc::clone(&self.stats.par_pass_tasks),
         });
         // A racing thread may have inserted meanwhile; keep the first
         // entry so concurrent callers converge on one shared state.

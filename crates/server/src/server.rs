@@ -356,6 +356,7 @@ fn handle_stats(state: &ServerState, req: &Request) -> (u16, String) {
          \"result_hits\":{},\"result_misses\":{},\"mf_hits\":{},\"mf_misses\":{}}},\
          \"updates\":{{\"applied\":{},\"dict_epochs\":{},\"atoms_invalidated\":{},\
          \"passes_invalidated\":{},\"results_invalidated\":{},\"mf_invalidated\":{}}},\
+         \"parallel\":{{\"pool_threads\":{},\"pass_tasks\":{},\"join_tasks\":{}}},\
          \"durability\":{durability}}}",
         json_escape(&ndb.name),
         db.relation_count(),
@@ -380,6 +381,9 @@ fn handle_stats(state: &ServerState, req: &Request) -> (u16, String) {
         s.passes_invalidated,
         s.results_invalidated,
         s.mf_invalidated,
+        s.pool_threads,
+        s.parallel_pass_tasks,
+        s.parallel_join_tasks,
     );
     (200, body)
 }

@@ -361,6 +361,11 @@ fn serve(args: &[String]) -> Result<(), String> {
     if files.is_empty() {
         return Err("serve needs at least one CSV file".into());
     }
+    // Validate the engine pool configuration up front: a bad
+    // TSENS_THREADS should refuse to boot with a clear message, not
+    // panic a worker (or silently fall back) later.
+    let engine_pool = tsens::engine::Pool::from_env()
+        .map_err(|e| format!("{}: {e}", tsens::engine::THREADS_ENV))?;
     let name = name.unwrap_or_else(|| "default".to_owned());
     let listener = TcpListener::bind(("127.0.0.1", port))
         .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
@@ -380,9 +385,11 @@ fn serve(args: &[String]) -> Result<(), String> {
     };
     let server = Server::start(listener, state, threads).map_err(|e| e.to_string())?;
     println!(
-        "tsens-server listening on http://{} ({threads} worker threads); \
+        "tsens-server listening on http://{} ({threads} worker threads, \
+         engine pool {} thread(s)); \
          POST /shutdown (or `tsens-cli client shutdown`) to stop",
-        server.addr()
+        server.addr(),
+        engine_pool.size()
     );
     server.join();
     println!("server stopped");
@@ -645,6 +652,16 @@ fn loadgen(args: &[String]) -> Result<(), String> {
     if connections == 0 || requests == 0 {
         return Err("--connections and --requests must be at least 1".into());
     }
+    // Same startup validation as `serve`: surface a bad TSENS_THREADS
+    // (e.g. 0) as a clear error and log the effective pool size, so a
+    // load test knows what engine configuration it measured.
+    let engine_pool = tsens::engine::Pool::from_env()
+        .map_err(|e| format!("{}: {e}", tsens::engine::THREADS_ENV))?;
+    println!(
+        "loadgen: {connections} connection(s) × {requests} request(s), \
+         engine pool {} thread(s)",
+        engine_pool.size()
+    );
     let body: String = query.split_whitespace().collect::<Vec<_>>().join("\n");
 
     // Optional concurrent bulk updater: loops the delta body through
