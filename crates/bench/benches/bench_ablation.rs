@@ -351,6 +351,20 @@ fn bench_updates(c: &mut Criterion) {
         );
     }
 
+    // The delta-maintenance headline: one in-dictionary insert repairs
+    // the hot query's ⊥/⊤ state in place, so the touched re-query is a
+    // warm pass hit instead of a recompute. Insert and delete both
+    // re-query, so every iteration measures two repair+requery rounds.
+    group.bench_with_input(BenchmarkId::new("delta_maintain", 1), &1usize, |b, _| {
+        b.iter(|| {
+            let row = vec![Value::Int(3), Value::Int(4)];
+            session.insert(0, row.clone()).unwrap();
+            black_box(session.count_query(&hot, &t_hot).unwrap());
+            session.delete(0, row).unwrap();
+            black_box(session.count_query(&hot, &t_hot).unwrap());
+        })
+    });
+
     group.bench_function("rebuild_requery", |b| {
         b.iter(|| {
             let fresh = EngineSession::new(&db);
@@ -358,6 +372,56 @@ fn bench_updates(c: &mut Criterion) {
             black_box(fresh.count_query(&cold, &t_cold).unwrap());
         })
     });
+    group.finish();
+}
+
+/// IVM size-scaling: the same single-tuple delta + touched-query
+/// re-query against growing base tables (1k → 100k rows per relation).
+/// With O(delta) pass repair the measured latency must stay flat in the
+/// base size — before this existed, the re-query recomputed both ⊥
+/// passes and scaled linearly. The perf gate keys `ivm/update_requery/*`
+/// pin the absolute numbers; the flatness claim (≤1.5× spread across the
+/// series) is checked in review against `BENCH_results.json`.
+fn bench_ivm_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ivm");
+    group.sample_size(if quick() { 15 } else { 20 });
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let mut db = tsens_data::Database::new();
+        let [a, b2, c2] = db.attrs(["VA", "VB", "VC"]);
+        let edge = |n: usize| -> Vec<Row> {
+            (0..n)
+                .map(|i| {
+                    vec![
+                        Value::Int(i as i64 % 211),
+                        Value::Int((i as i64 * 13 + 1) % 211),
+                    ]
+                })
+                .collect()
+        };
+        db.add_relation(
+            "R",
+            tsens_data::Relation::from_rows(Schema::new(vec![a, b2]), edge(n)),
+        )
+        .unwrap();
+        db.add_relation(
+            "S",
+            tsens_data::Relation::from_rows(Schema::new(vec![b2, c2]), edge(n)),
+        )
+        .unwrap();
+        let q = tsens_query::ConjunctiveQuery::over(&db, "q", &["R", "S"]).unwrap();
+        let tree = gyo_decompose(&q).unwrap().expect_acyclic("path");
+        let mut session = EngineSession::new(&db);
+        session.count_query(&q, &tree).unwrap();
+        group.bench_with_input(BenchmarkId::new("update_requery", n), &n, |b, _| {
+            b.iter(|| {
+                let row = vec![Value::Int(3), Value::Int(4)];
+                session.insert(0, row.clone()).unwrap();
+                black_box(session.count_query(&q, &tree).unwrap());
+                session.delete(0, row).unwrap();
+                black_box(session.count_query(&q, &tree).unwrap());
+            })
+        });
+    }
     group.finish();
 }
 
@@ -544,6 +608,7 @@ criterion_group!(
     bench_vs_naive,
     bench_session,
     bench_updates,
+    bench_ivm_scaling,
     bench_serving,
     bench_durability
 );

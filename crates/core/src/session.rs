@@ -32,8 +32,14 @@
 //!
 //! // Sessions are mutable: interleave updates with queries (including
 //! // `tsens_dp`'s `tsensdp_answer_session`) — the resident encoding is
-//! // maintained in place and only cache entries whose fingerprint
-//! // contains the updated relation are invalidated.
+//! // maintained in place, and cached ⊥/⊤ pass states of touched queries
+//! // are *repaired* in O(delta) rather than invalidated whenever the
+//! // update enters the join tree through a single unpredicated
+//! // singleton bag. Cached `tsens`/`mtable` reports even survive an
+//! // update outright when the repair proves no pass key group moved
+//! // (the delta row joins nothing); every other divergence point falls
+//! // back to selective invalidation, so answers always equal a fresh
+//! // recompute.
 //! session.insert(0, vec![Value::Int(3), Value::Int(4)]).unwrap();
 //! assert_eq!(session.count_query(&q, &tree).unwrap(), 2);
 //! assert!(session.delete(0, vec![Value::Int(3), Value::Int(4)]).unwrap());

@@ -723,6 +723,13 @@ impl EncodedRelation {
         self.counts[i] = sat_add(self.counts[i], by);
     }
 
+    /// Overwrite the count of row `i` exactly — the incremental-repair
+    /// primitive, where the caller has already computed the new count
+    /// with checked (non-saturating) arithmetic.
+    pub fn set_count(&mut self, i: usize, count: Count) {
+        self.counts[i] = count;
+    }
+
     /// Lower the count of row `i` by `by` (saturating at 0), returning
     /// the remaining count — the caller removes the row when it hits 0.
     pub fn decrement_count(&mut self, i: usize, by: Count) -> Count {

@@ -48,7 +48,7 @@ pub use par::Pool;
 pub use relation::{Relation, Row};
 pub use schema::Schema;
 pub use session::EncodedDatabase;
-pub use update::Update;
+pub use update::{AppliedDelta, Update};
 pub use value::Value;
 
 /// Multiplicity / sensitivity count.

@@ -87,9 +87,12 @@ impl Relation {
     /// Remove **one** occurrence of `row`, returning `true` if one existed.
     ///
     /// This is the `D \ {t}` of downward tuple sensitivity (Def 2.1):
-    /// under bag semantics exactly one copy is removed.
+    /// under bag semantics exactly one copy is removed — which copy is
+    /// immaterial, so the scan runs back to front: update streams
+    /// overwhelmingly delete recently-inserted rows (inserts append), and
+    /// finding them at the tail keeps churn O(1) instead of O(rows).
     pub fn remove_one(&mut self, row: &[Value]) -> bool {
-        if let Some(pos) = self.rows.iter().position(|r| r.as_slice() == row) {
+        if let Some(pos) = self.rows.iter().rposition(|r| r.as_slice() == row) {
             self.rows.swap_remove(pos);
             true
         } else {

@@ -41,7 +41,7 @@ use crate::encoded::{Dict, EncodedRelation};
 use crate::error::{DataError, TsensError};
 use crate::par::Pool;
 use crate::relation::Row;
-use crate::update::Update;
+use crate::update::{AppliedDelta, Update};
 use crate::value::Value;
 use std::sync::Arc;
 
@@ -282,6 +282,18 @@ impl EncodedDatabase {
     /// [`TsensError::Data`] on a row arity mismatch — all checked before
     /// anything is mutated.
     pub fn apply(&mut self, update: &Update) -> Result<bool, TsensError> {
+        Ok(self.apply_traced(update)?.is_some())
+    }
+
+    /// [`EncodedDatabase::apply`], but returning a code-space
+    /// [`AppliedDelta`] describing what changed (`None` for the
+    /// delete-of-absent no-op). The engine session uses the descriptor
+    /// to repair cached pass states in O(delta); callers that only need
+    /// the boolean should stick with [`EncodedDatabase::apply`].
+    ///
+    /// # Errors
+    /// Same as [`EncodedDatabase::apply`].
+    pub fn apply_traced(&mut self, update: &Update) -> Result<Option<AppliedDelta>, TsensError> {
         if !self.fully_resident() {
             return Err(TsensError::ReadOnlySession);
         }
@@ -304,6 +316,14 @@ impl EncodedDatabase {
                 .into())
             }
         };
+        let mut delta = AppliedDelta {
+            relation: rel,
+            rows: Vec::new(),
+            overflow: false,
+            epoch: false,
+            bulk: false,
+        };
+        let epoch_before = self.epoch;
         let applied = match update {
             Update::Insert { row, .. } => {
                 check_arity(row)?;
@@ -316,6 +336,7 @@ impl EncodedDatabase {
                 let codes = match known {
                     Some(codes) => codes,
                     None => {
+                        delta.overflow = true;
                         let dict = Arc::make_mut(&mut self.dict);
                         row.iter().map(|v| dict.encode_or_insert(v)).collect()
                     }
@@ -325,6 +346,7 @@ impl EncodedDatabase {
                     Ok(i) => r.increment_count(i, 1),
                     Err(i) => r.insert_row_at(i, &codes, 1),
                 }
+                delta.rows.push((codes, 1));
                 true
             }
             Update::Delete { row, .. } => {
@@ -334,7 +356,7 @@ impl EncodedDatabase {
                     .and_then(|codes| self.lifted[rel].find_row(&codes).ok().map(|i| (codes, i)));
                 match found {
                     None => false,
-                    Some((_, i)) => {
+                    Some((codes, i)) => {
                         let r = Arc::make_mut(&mut self.lifted[rel]);
                         if r.decrement_count(i, 1) == 0 {
                             r.remove_row_at(i);
@@ -342,16 +364,18 @@ impl EncodedDatabase {
                             // be orphaned in the dictionary.
                             self.churn += 1;
                         }
+                        delta.rows.push((codes, -1));
                         true
                     }
                 }
             }
             Update::BulkLoad { rows, .. } => {
+                delta.bulk = true;
                 for row in rows {
                     check_arity(row)?;
                 }
                 if rows.is_empty() {
-                    return Ok(true);
+                    return Ok(Some(delta));
                 }
                 // Unlike single inserts, a bulk load forks a pinned dict
                 // up front: the possible clone is amortized across the
@@ -378,7 +402,8 @@ impl EncodedDatabase {
                 self.normalize();
             }
         }
-        Ok(applied)
+        delta.epoch = self.epoch != epoch_before;
+        Ok(applied.then_some(delta))
     }
 
     /// Run a re-sort epoch if the dictionary has pending overflow *or*

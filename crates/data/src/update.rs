@@ -78,6 +78,47 @@ impl Update {
     }
 }
 
+/// What one applied [`Update`] did to the resident encoding, in *code*
+/// space — enough for a caller maintaining derived state (the engine's
+/// cached ⊥/⊤ pass states) to repair that state in O(delta) instead of
+/// recomputing it from the base relations.
+///
+/// Produced by [`crate::EncodedDatabase::apply_traced`]. The contract is
+/// the incremental-view-maintenance one: replaying `rows` against the
+/// pre-update encoding yields exactly the post-update encoding, *unless*
+/// `epoch` or `bulk` is set, in which case the descriptor only names the
+/// touched relation and the caller must fall back to recomputation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AppliedDelta {
+    /// Catalog index of the touched relation.
+    pub relation: usize,
+    /// The changed key groups: encoded row plus signed multiplicity
+    /// change (`+1` for an insert, `-1` for a delete). Empty when `bulk`
+    /// is set — bulk loads are not itemized.
+    pub rows: Vec<(Vec<u32>, i64)>,
+    /// An insert carried at least one value the dictionary had never
+    /// seen: its code lives in the overflow region (still mutually
+    /// comparable with base codes, but not value-ordered).
+    pub overflow: bool,
+    /// A dictionary re-sort epoch ran *inside* the apply (overflow or
+    /// churn threshold): every resident code may have been relabeled, so
+    /// `rows` no longer matches either side of the update and derived
+    /// state must be rebuilt, not repaired.
+    pub epoch: bool,
+    /// The update was a [`Update::BulkLoad`]: `rows` is empty and the
+    /// caller should treat the whole relation as replaced.
+    pub bulk: bool,
+}
+
+impl AppliedDelta {
+    /// Whether the delta is precise enough to repair derived state from
+    /// (single itemized key group, codes still valid).
+    #[inline]
+    pub fn repairable(&self) -> bool {
+        !self.epoch && !self.bulk && !self.rows.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

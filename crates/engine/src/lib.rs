@@ -24,6 +24,7 @@
 //!   evaluation" runtime baseline;
 //! * [`naive_eval`] — brute-force full-join evaluation for cross-checks.
 
+pub(crate) mod maintain;
 pub mod naive_eval;
 pub mod ops;
 pub mod passes;

@@ -564,13 +564,23 @@ fn hash_partition_enc(
 /// ([`EncodedRelation::append`]) — the zero-per-output-row-allocation
 /// contract survives end to end.
 ///
+/// **Skew escape hatch:** key-hash partitioning keeps equal keys
+/// together, so a heavy-hitter key can drop >50% of a side's rows into
+/// one bucket (q3's Lineitem dominates its level) — the other workers
+/// idle while one joins most of the data. When any single bucket crosses
+/// that mark the partitioning is abandoned and the join runs as one
+/// shared build index probed by pool-sized *row-range* chunks of the
+/// larger side ([`chunked_probe_join_enc`]): row ranges balance by
+/// construction, independent of the key distribution.
+///
 /// Output rows are a permutation of the sequential join's (bucket-major
 /// instead of probe-major); every caller in the pass pipeline re-groups
 /// (`γ`) before counts are read, so results are unaffected. Falls back
 /// to the sequential join verbatim for sequential pools, cross products
 /// (no shared key to partition on) and inputs under
-/// [`PAR_JOIN_THRESHOLD`]. Each bucket pair joined in parallel adds one
-/// to `tasks` (the session's `parallel_join_tasks` counter).
+/// [`PAR_JOIN_THRESHOLD`]. Each bucket pair or probe chunk joined in
+/// parallel adds one to `tasks` (the session's `parallel_join_tasks`
+/// counter).
 pub fn partitioned_hash_join_enc(
     left: &EncodedRelation,
     right: &EncodedRelation,
@@ -587,11 +597,85 @@ pub fn partitioned_hash_join_enc(
     let partitions = (pool.size() * 4).next_power_of_two();
     let l_parts = hash_partition_enc(left, &l_key, partitions);
     let r_parts = hash_partition_enc(right, &r_key, partitions);
+    let skewed = |parts: &[EncodedRelation], len: usize| parts.iter().any(|p| p.len() * 2 > len);
+    if skewed(&l_parts, left.len()) || skewed(&r_parts, right.len()) {
+        return chunked_probe_join_enc(left, right, pool, tasks);
+    }
     tasks.fetch_add(partitions as u64, Ordering::Relaxed);
     let joined = pool.run(partitions, |p| hash_join_enc(&l_parts[p], &r_parts[p]));
     let total: usize = joined.iter().map(EncodedRelation::len).sum();
     let mut out = EncodedRelation::with_capacity(left.schema().union(right.schema()), total);
     for part in &joined {
+        out.append(part);
+    }
+    out
+}
+
+/// Within-partition parallel probe for skewed joins: build one shared
+/// [`CodeIndex`] over the smaller side, split the larger side into
+/// `pool.size()` contiguous row ranges, probe each range on its own
+/// worker, and concatenate the chunk outputs. Unlike key partitioning,
+/// row ranges stay balanced no matter how concentrated the key
+/// distribution is; the price is that every worker probes the full build
+/// index (read-only, so it shares fine).
+fn chunked_probe_join_enc(
+    left: &EncodedRelation,
+    right: &EncodedRelation,
+    pool: &Pool,
+    tasks: &AtomicU64,
+) -> EncodedRelation {
+    let shared = left.schema().intersect(right.schema());
+    let out_schema = left.schema().union(right.schema());
+    let right_extra = right.schema().difference(left.schema());
+    let l_key = left.schema().projection_indices(&shared);
+    let r_key = right.schema().projection_indices(&shared);
+    let r_extra = right.schema().projection_indices(&right_extra);
+
+    let probe_left = right.len() <= left.len();
+    let index = if probe_left {
+        CodeIndex::build(right, &r_key)
+    } else {
+        CodeIndex::build(left, &l_key)
+    };
+    let probe_len = if probe_left { left.len() } else { right.len() };
+    let chunks = pool.size();
+    let per = probe_len.div_ceil(chunks);
+    tasks.fetch_add(chunks as u64, Ordering::Relaxed);
+    let parts = pool.run(chunks, |c| {
+        let start = (c * per).min(probe_len);
+        let end = ((c + 1) * per).min(probe_len);
+        let mut out = EncodedRelation::with_capacity(out_schema.clone(), end - start);
+        let mut key: Vec<u32> = Vec::with_capacity(l_key.len());
+        let mut extra: Vec<u32> = Vec::with_capacity(r_extra.len());
+        if probe_left {
+            for i in start..end {
+                let (lrow, lc) = (left.row(i), left.count(i));
+                gather(&mut key, lrow, &l_key);
+                for &ri in index.get(&key) {
+                    let ri = ri as usize;
+                    gather(&mut extra, right.row(ri), &r_extra);
+                    out.push_concat(lrow, &extra, sat_mul(lc, right.count(ri)));
+                }
+            }
+        } else {
+            for i in start..end {
+                let (rrow, rc) = (right.row(i), right.count(i));
+                gather(&mut key, rrow, &r_key);
+                let matches = index.get(&key);
+                if !matches.is_empty() {
+                    gather(&mut extra, rrow, &r_extra);
+                    for &li in matches {
+                        let li = li as usize;
+                        out.push_concat(left.row(li), &extra, sat_mul(left.count(li), rc));
+                    }
+                }
+            }
+        }
+        out
+    });
+    let total: usize = parts.iter().map(EncodedRelation::len).sum();
+    let mut out = EncodedRelation::with_capacity(out_schema, total);
+    for part in &parts {
         out.append(part);
     }
     out
@@ -871,6 +955,42 @@ mod tests {
         assert_eq!(
             hash_join_enc(&re, &se).group(&target).decode(&dict),
             legacy.group(&target)
+        );
+    }
+
+    #[test]
+    fn skewed_partitioned_join_matches_sequential() {
+        // 60% of the probe side sits on one heavy key: key-hash
+        // partitioning would funnel those rows into a single bucket, so
+        // the skew escape hatch (one shared build index, row-range
+        // probe chunks) must take over — and agree with the sequential
+        // join after grouping.
+        let pool = Pool::new(4).unwrap();
+        let tasks = AtomicU64::new(0);
+        let n = PAR_JOIN_THRESHOLD + 4_096;
+        let mut left = EncodedRelation::with_capacity(schema(&[0, 1]), n);
+        for i in 0..n as u32 {
+            let b = if (i as usize) * 10 < n * 6 {
+                0
+            } else {
+                i % 1024
+            };
+            left.push(&[i, b], 1);
+        }
+        let mut right = EncodedRelation::with_capacity(schema(&[1, 2]), 16);
+        for c in 0..3 {
+            right.push(&[0, c], 2);
+        }
+        for b in 1..8 {
+            right.push(&[b, 100 + b], 1);
+        }
+        let par = partitioned_hash_join_enc(&left, &right, &pool, &tasks);
+        let seq = hash_join_enc(&left, &right);
+        let target = schema(&[0, 1, 2]);
+        assert_eq!(par.group(&target), seq.group(&target));
+        assert!(
+            tasks.load(Ordering::Relaxed) > 0,
+            "the chunked probe ran across the pool"
         );
     }
 

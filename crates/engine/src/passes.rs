@@ -13,6 +13,14 @@
 //! node's schema, so each step is a linear scan with hash lookups
 //! ([`crate::ops::lookup_join`]) — the source of the near-linear running
 //! time of §4/§5.3.
+//!
+//! Both recurrences are **multilinear** in the per-row counts of their
+//! inputs (each input contributes exactly one factor to every count
+//! product). [`crate::maintain`] exploits this for O(delta) repair of
+//! cached pass states under single-tuple updates: replace the one
+//! changed input by its delta, read every other input at its current
+//! value, and the aggregation of that substituted form *is* the exact
+//! change of the state.
 
 use crate::ops::{
     lookup_join, lookup_join_enc, multiway_join, multiway_join_enc, multiway_join_enc_pooled,

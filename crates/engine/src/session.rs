@@ -75,9 +75,9 @@ use tsens_query::{Atom, ConjunctiveQuery, DecompositionTree, Predicate};
 /// no hash-collision risk is taken on result identity.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct QueryKey {
-    atoms: Vec<(usize, Vec<AttrId>, Predicate)>,
-    bags: Vec<Vec<usize>>,
-    parents: Vec<Option<usize>>,
+    pub(crate) atoms: Vec<(usize, Vec<AttrId>, Predicate)>,
+    pub(crate) bags: Vec<Vec<usize>>,
+    pub(crate) parents: Vec<Option<usize>>,
 }
 
 impl QueryKey {
@@ -126,13 +126,24 @@ pub struct QueryPasses {
     pub bags: Vec<Arc<EncodedRelation>>,
     /// ⊥ pass results (Eqn 7), in tree-bag order.
     pub bots: Vec<EncodedRelation>,
-    tops: OnceLock<Vec<EncodedRelation>>,
+    pub(crate) tops: OnceLock<Vec<EncodedRelation>>,
     /// The pool the entry was built on; the lazy ⊤ pass reuses it so a
     /// cached entry parallelizes the same way cold and warm.
     pool: Pool,
     /// The owning session's parallel-pass-task counter (shared `Arc` so
     /// the lazy ⊤ pass can report without a session borrow).
     par_pass_tasks: Arc<AtomicU64>,
+    /// Dictionary epoch the entry was built (or last repaired) under.
+    /// Delta repair is only sound while this matches the session's
+    /// current epoch — a re-sort relabels every code, so a stale entry
+    /// falls back to full invalidation instead.
+    pub(crate) epoch: u64,
+    /// Per-bag repair generation: bumped whenever `bags[v]` is
+    /// re-pointed, so maintenance indexes keyed on bag rows self-expire.
+    pub(crate) bag_gen: Vec<u64>,
+    /// Lazily built bag-row indexes used by O(delta) repair
+    /// ([`crate::maintain`]); never consulted by query evaluation.
+    pub(crate) maint: crate::maintain::MaintIndexes,
 }
 
 impl QueryPasses {
@@ -187,6 +198,17 @@ pub struct SessionStats {
     pub results_invalidated: u64,
     /// `mf` statistics dropped by per-relation invalidation.
     pub mf_invalidated: u64,
+    /// Pass states **delta-maintained** in place by an update (O(delta)
+    /// ⊥/⊤ repair instead of a drop-and-recompute).
+    pub passes_maintained: u64,
+    /// Cached results retained across an update because the repaired
+    /// pass state was provably unchanged.
+    pub results_maintained: u64,
+    /// `mf` statistics patched or provably retained across an update.
+    pub mf_maintained: u64,
+    /// Predicated lifted-atom entries patched or provably retained
+    /// across an update.
+    pub atoms_maintained: u64,
     /// Copy-on-write forks taken in this session's lineage
     /// ([`EngineSession::fork`] — the snapshot-publish writer path).
     pub forks: u64,
@@ -217,6 +239,10 @@ struct StatCounters {
     passes_invalidated: AtomicU64,
     results_invalidated: AtomicU64,
     mf_invalidated: AtomicU64,
+    passes_maintained: AtomicU64,
+    results_maintained: AtomicU64,
+    mf_maintained: AtomicU64,
+    atoms_maintained: AtomicU64,
     forks: AtomicU64,
     /// `Arc`-shared so cached [`QueryPasses`] entries (whose lazy ⊤ pass
     /// runs without a session borrow) report into the same counters.
@@ -243,6 +269,10 @@ impl StatCounters {
             passes_invalidated: AtomicU64::new(s.passes_invalidated),
             results_invalidated: AtomicU64::new(s.results_invalidated),
             mf_invalidated: AtomicU64::new(s.mf_invalidated),
+            passes_maintained: AtomicU64::new(s.passes_maintained),
+            results_maintained: AtomicU64::new(s.results_maintained),
+            mf_maintained: AtomicU64::new(s.mf_maintained),
+            atoms_maintained: AtomicU64::new(s.atoms_maintained),
             forks: AtomicU64::new(s.forks),
             par_pass_tasks: Arc::new(AtomicU64::new(s.parallel_pass_tasks)),
             par_join_tasks: Arc::new(AtomicU64::new(s.parallel_join_tasks)),
@@ -434,6 +464,10 @@ impl<'a> EngineSession<'a> {
             passes_invalidated: self.stats.passes_invalidated.load(Ordering::Relaxed),
             results_invalidated: self.stats.results_invalidated.load(Ordering::Relaxed),
             mf_invalidated: self.stats.mf_invalidated.load(Ordering::Relaxed),
+            passes_maintained: self.stats.passes_maintained.load(Ordering::Relaxed),
+            results_maintained: self.stats.results_maintained.load(Ordering::Relaxed),
+            mf_maintained: self.stats.mf_maintained.load(Ordering::Relaxed),
+            atoms_maintained: self.stats.atoms_maintained.load(Ordering::Relaxed),
             forks: self.stats.forks.load(Ordering::Relaxed),
             pool_threads: self.pool.size() as u64,
             parallel_pass_tasks: self.stats.par_pass_tasks.load(Ordering::Relaxed),
@@ -561,6 +595,7 @@ impl<'a> EngineSession<'a> {
             bag_relations_from_arcs_pooled(&lifted, tree, &self.pool, &self.stats.par_join_tasks);
         let bag_refs: Vec<&EncodedRelation> = bags.iter().map(|b| &**b).collect();
         let bots = botjoin_pass_enc_pooled(tree, &bag_refs, &self.pool, &self.stats.par_pass_tasks);
+        let bag_gen = vec![0; bags.len()];
         let entry = Arc::new(QueryPasses {
             dict: Arc::clone(self.dict()),
             lifted,
@@ -569,6 +604,9 @@ impl<'a> EngineSession<'a> {
             tops: OnceLock::new(),
             pool: self.pool,
             par_pass_tasks: Arc::clone(&self.stats.par_pass_tasks),
+            epoch: self.enc.epoch(),
+            bag_gen,
+            maint: crate::maintain::MaintIndexes::default(),
         });
         // A racing thread may have inserted meanwhile; keep the first
         // entry so concurrent callers converge on one shared state.
@@ -842,12 +880,12 @@ impl<'a> EngineSession<'a> {
 
     fn apply_inner(&mut self, update: Update, normalize: bool) -> Result<bool, TsensError> {
         self.validate_update(&update)?;
-        // No-op deltas must not sweep anything: an empty bulk load is
+        // No-op deltas must not touch anything: an empty bulk load is
         // vacuously applied, and a delete of an absent row reports
         // `false`. The delete pre-check repeats the encode+search that
         // `EncodedDatabase::apply` will redo, but that O(log n) double
-        // lookup is the price of sweeping the caches *before* the
-        // encoded mutation — the sweep drops the `Arc`s pinning the
+        // lookup is the price of planning maintenance *before* the
+        // encoded mutation — planning strips the `Arc`s pinning the
         // relation, so `make_mut` mutates in place instead of cloning
         // the whole relation.
         match &update {
@@ -863,10 +901,16 @@ impl<'a> EngineSession<'a> {
             }
             Update::Insert { .. } => {}
         }
-        self.invalidate_relation(update.relation());
+        let rel = update.relation();
+        // Phase 1 (pre-mutation): split every cache fingerprinted on
+        // `rel` into provable survivors, O(delta) repair candidates
+        // (resident Arcs stripped), and dropped entries.
+        let mut plan = self.plan_maintenance(rel, &update);
         let epoch_before = self.enc.epoch();
-        let applied = self.enc.apply(&update)?;
-        debug_assert!(applied, "existence was pre-checked");
+        let delta = self
+            .enc
+            .apply_traced(&update)?
+            .expect("existence was pre-checked");
         // Mirror the delta into the Value catalog (copy-on-write: the
         // caller's original database is forked on the first update).
         let db = self.db.to_mut();
@@ -882,47 +926,300 @@ impl<'a> EngineSession<'a> {
                 }
             }
         }
+        // Phase 2 (post-mutation, pre-normalize — the delta's codes are
+        // valid exactly in this window): repair candidates in O(delta)
+        // or fall back, then patch/retain results and mf statistics.
+        self.finish_maintenance(&mut plan, rel, &delta, normalize);
         if normalize {
             self.enc.normalize();
         }
         if self.enc.epoch() != epoch_before {
             self.on_epoch();
+        } else {
+            // No epoch: predicated lifts keep valid codes, so entries
+            // whose predicate rejects the row survive and entries whose
+            // predicate accepts it are patched in place. (An epoch
+            // clears the whole atom cache in `on_epoch` instead.)
+            self.finish_atoms(&plan, &delta);
         }
         self.stats.updates_applied.fetch_add(1, Ordering::Relaxed);
         Ok(true)
     }
 
-    /// Drop every cache entry whose fingerprint contains `rel`. Entries
-    /// over other relations survive untouched — that is the whole point
-    /// of keying caches structurally.
-    fn invalidate_relation(&mut self, rel: usize) {
-        let atoms = self.atoms.get_mut().expect("atom cache poisoned");
-        let n = atoms.len();
-        atoms.retain(|(r, _), _| *r != rel);
-        self.stats
-            .atoms_invalidated
-            .fetch_add((n - atoms.len()) as u64, Ordering::Relaxed);
+    /// Phase 1 of an update: classify every cache entry fingerprinted on
+    /// `rel` **before** the encoded mutation. Entries that cannot be
+    /// repaired or proven untouched are dropped here (they must not pin
+    /// the resident relation through `EncodedDatabase::apply`); repair
+    /// candidates are pulled out of the map with their resident Arcs
+    /// stripped, to be repaired or dropped in
+    /// [`EngineSession::finish_maintenance`].
+    fn plan_maintenance(&mut self, rel: usize, update: &Update) -> MaintPlan {
+        let mut plan = MaintPlan::default();
+        let row = match update {
+            Update::Insert { row, .. } | Update::Delete { row, .. } => Some(row),
+            Update::BulkLoad { .. } => None,
+        };
+        let schema = self.db.relation(rel).schema();
+        let eval = |pred: &Predicate, r: &Row| -> Option<bool> {
+            pred.eval_partial(&|a| schema.position(a).map(|p| r[p].clone()))
+        };
+        let cur_epoch = self.enc.epoch();
+        let resident = self.enc.lifted(rel).ok().map(Arc::clone);
+        let lift_attrs: &[AttrId] = resident
+            .as_deref()
+            .map(|l| l.schema().attrs())
+            .unwrap_or(&[]);
 
+        // `extract_if` moves touched entries out key-and-all, so the hot
+        // path (one repair candidate) never deep-clones a `QueryKey`;
+        // untouched entries are the only ones reinserted.
         let passes = self.passes.get_mut().expect("pass cache poisoned");
-        let n = passes.len();
-        passes.retain(|key, _| !key.touches(rel));
+        let touched: Vec<(QueryKey, Arc<QueryPasses>)> =
+            passes.extract_if(|k, _| k.touches(rel)).collect();
+        let mut dropped = 0u64;
+        for (key, mut entry) in touched {
+            let verdict = row.and_then(|r| classify_for_repair(&key, rel, lift_attrs, r, &eval));
+            match verdict {
+                Some(Classify::Untouched) => {
+                    plan.untouched.push(key.clone());
+                    passes.insert(key, entry);
+                }
+                Some(Classify::Repair { atom, bag }) => {
+                    // Repair mutates the entry in place, so it must be
+                    // uniquely held (a fork sharing it would observe the
+                    // repair) and built under the current dictionary
+                    // epoch (a re-sort relabeled its codes).
+                    match Arc::get_mut(&mut entry) {
+                        Some(e) if e.epoch == cur_epoch => {
+                            // The placeholder is never read: repair
+                            // re-points both slots at the new resident
+                            // lift before anything looks at them, and a
+                            // fallback drops the entry whole.
+                            let placeholder = empty_placeholder();
+                            e.lifted[atom] = Arc::clone(&placeholder);
+                            e.bags[bag] = placeholder;
+                            plan.repair.push(RepairCandidate {
+                                key,
+                                entry,
+                                atom,
+                                bag,
+                            });
+                        }
+                        _ => dropped += 1,
+                    }
+                }
+                None => dropped += 1,
+            }
+        }
         self.stats
             .passes_invalidated
-            .fetch_add((n - passes.len()) as u64, Ordering::Relaxed);
+            .fetch_add(dropped, Ordering::Relaxed);
 
-        let results = self.results.get_mut().expect("result cache poisoned");
-        let n = results.len();
-        results.retain(|(_, key, _), _| !key.touches(rel));
+        // Predicated lifted atoms: a lift whose predicate rejects the
+        // updated row is untouched by construction; one that accepts it
+        // is patched in phase 2 once the codes are known.
+        let atoms = self.atoms.get_mut().expect("atom cache poisoned");
+        if atoms.is_empty() {
+            return plan;
+        }
+        let keys: Vec<(usize, Predicate)> =
+            atoms.keys().filter(|(r, _)| *r == rel).cloned().collect();
+        let mut dropped = 0u64;
+        for key in keys {
+            match row.and_then(|r| eval(&key.1, r)) {
+                Some(false) => plan.atom_keep += 1,
+                Some(true) => plan.atom_patch.push(key),
+                None => {
+                    atoms.remove(&key);
+                    dropped += 1;
+                }
+            }
+        }
         self.stats
-            .results_invalidated
-            .fetch_add((n - results.len()) as u64, Ordering::Relaxed);
+            .atoms_invalidated
+            .fetch_add(dropped, Ordering::Relaxed);
+        plan
+    }
 
+    /// Phase 2 of an update: repair the candidate pass entries against
+    /// the applied delta (falling back to a drop at any divergence
+    /// point), then retain pure pass-derived results for entries proven
+    /// unchanged and patch `mf` statistics where the delta determines
+    /// them exactly.
+    fn finish_maintenance(
+        &mut self,
+        plan: &mut MaintPlan,
+        rel: usize,
+        delta: &tsens_data::AppliedDelta,
+        normalize: bool,
+    ) {
+        // A dictionary re-sort — one that ran inside the apply, or one
+        // this single-delta apply is about to run for a new value —
+        // falls back to full invalidation: the delta's codes are (or
+        // will be) relabeled out from under the repaired entries.
+        // Overflow codes *without* an epoch (batched applies) repair
+        // fine: they are mutually comparable with base codes.
+        let fallback =
+            !delta.repairable() || delta.rows.len() != 1 || (delta.overflow && normalize);
+
+        let mut unchanged: Vec<QueryKey> = Vec::new();
+        let mut maintained = plan.untouched.len() as u64;
+        unchanged.append(&mut plan.untouched);
+
+        let repair = std::mem::take(&mut plan.repair);
+        let mut dropped = 0u64;
+        if fallback {
+            dropped += repair.len() as u64;
+        } else {
+            let (codes, dcount) = &delta.rows[0];
+            let new_lift = Arc::clone(self.enc.lifted(rel).expect("updated relation is resident"));
+            let dict = Arc::clone(self.enc.dict());
+            let passes = self.passes.get_mut().expect("pass cache poisoned");
+            for RepairCandidate {
+                key,
+                mut entry,
+                atom,
+                bag,
+            } in repair
+            {
+                let e = Arc::get_mut(&mut entry).expect("held uniquely since planning");
+                match crate::maintain::repair_entry(
+                    e, &key, atom, bag, codes, *dcount, &new_lift, &dict,
+                ) {
+                    crate::maintain::Repair::Done { unchanged: u } => {
+                        if u {
+                            unchanged.push(key.clone());
+                        }
+                        passes.insert(key, entry);
+                        maintained += 1;
+                    }
+                    crate::maintain::Repair::Fallback => dropped += 1,
+                }
+            }
+        }
+        self.stats
+            .passes_maintained
+            .fetch_add(maintained, Ordering::Relaxed);
+        self.stats
+            .passes_invalidated
+            .fetch_add(dropped, Ordering::Relaxed);
+
+        // Results: an entry survives only if its pass state is provably
+        // unchanged AND its kind derives from pass state alone. Other
+        // kinds ("elastic" reads mf, "truncation_profile" and
+        // "tsens_path" read raw catalog rows) depend on the relation's
+        // contents even when the join counts are unchanged.
+        let results = self.results.get_mut().expect("result cache poisoned");
+        if !results.is_empty() {
+            let n = results.len();
+            let mut kept = 0u64;
+            results.retain(|(kind, key, _), _| {
+                if !key.touches(rel) {
+                    return true;
+                }
+                let keep = PASS_PURE_RESULT_KINDS.contains(kind) && unchanged.contains(key);
+                kept += u64::from(keep);
+                keep
+            });
+            self.stats
+                .results_maintained
+                .fetch_add(kept, Ordering::Relaxed);
+            self.stats
+                .results_invalidated
+                .fetch_add((n - results.len()) as u64, Ordering::Relaxed);
+        }
+
+        // mf statistics: mf(∅,R) = |R| moves by exactly ±1; mf over the
+        // full schema is the max row multiplicity, which the delta row's
+        // post-count either determines (insert) or provably leaves alone
+        // (delete of a row strictly below the max). Partial attribute
+        // sets would need a re-group — drop those.
         let mf = self.mf.get_mut().expect("mf cache poisoned");
-        let n = mf.len();
-        mf.retain(|(r, _), _| *r != rel);
+        if mf.is_empty() {
+            return;
+        }
+        let mut full: Vec<AttrId> = schema_attrs_sorted(self.db.relation(rel).schema());
+        full.dedup();
+        let lifted = Arc::clone(self.enc.lifted(rel).expect("updated relation is resident"));
+        let keys: Vec<(usize, Vec<AttrId>)> =
+            mf.keys().filter(|(r, _)| *r == rel).cloned().collect();
+        let mut kept = 0u64;
+        let mut dropped = 0u64;
+        for key in keys {
+            let patched = delta.repairable() && delta.rows.len() == 1 && {
+                let (codes, dcount) = &delta.rows[0];
+                if key.1.is_empty() {
+                    let v = mf.get_mut(&key).expect("key just listed");
+                    match checked_count(*v).and_then(|c| c.checked_add(*dcount as i128)) {
+                        Some(next) if next >= 0 => {
+                            *v = next as Count;
+                            true
+                        }
+                        _ => false,
+                    }
+                } else if key.1 == full && !delta.epoch {
+                    let after = lifted.find_row(codes).map(|i| lifted.count(i)).unwrap_or(0);
+                    let v = mf.get_mut(&key).expect("key just listed");
+                    if *dcount > 0 {
+                        *v = (*v).max(after);
+                        true
+                    } else {
+                        // Unchanged iff the deleted row's old count sat
+                        // strictly below the max.
+                        after + 1 < *v
+                    }
+                } else {
+                    false
+                }
+            };
+            if patched {
+                kept += 1;
+            } else {
+                mf.remove(&key);
+                dropped += 1;
+            }
+        }
+        self.stats.mf_maintained.fetch_add(kept, Ordering::Relaxed);
         self.stats
             .mf_invalidated
-            .fetch_add((n - mf.len()) as u64, Ordering::Relaxed);
+            .fetch_add(dropped, Ordering::Relaxed);
+    }
+
+    /// Phase 3 of an update (only when no epoch ran): settle the
+    /// predicated-atom cache — count the provably untouched entries and
+    /// patch the lifts whose predicate accepted the updated row.
+    fn finish_atoms(&mut self, plan: &MaintPlan, delta: &tsens_data::AppliedDelta) {
+        let mut maintained = plan.atom_keep;
+        let mut dropped = 0u64;
+        let atoms = self.atoms.get_mut().expect("atom cache poisoned");
+        if delta.repairable() && delta.rows.len() == 1 {
+            let (codes, dcount) = &delta.rows[0];
+            for key in &plan.atom_patch {
+                let Some(shared) = atoms.get_mut(key) else {
+                    continue;
+                };
+                let ok = Arc::get_mut(shared)
+                    .is_some_and(|lift| patch_filtered_lift(lift, codes, *dcount));
+                if ok {
+                    maintained += 1;
+                } else {
+                    atoms.remove(key);
+                    dropped += 1;
+                }
+            }
+        } else {
+            for key in &plan.atom_patch {
+                if atoms.remove(key).is_some() {
+                    dropped += 1;
+                }
+            }
+        }
+        self.stats
+            .atoms_maintained
+            .fetch_add(maintained, Ordering::Relaxed);
+        self.stats
+            .atoms_invalidated
+            .fetch_add(dropped, Ordering::Relaxed);
     }
 
     /// A re-sort epoch relabeled every code. Cached predicated lifts
@@ -937,6 +1234,175 @@ impl<'a> EngineSession<'a> {
             .atoms_invalidated
             .fetch_add(atoms.len() as u64, Ordering::Relaxed);
         atoms.clear();
+    }
+}
+
+/// Result kinds that are pure functions of the ⊥/⊤ pass state (plus the
+/// lifts of *other* atoms), so a repaired pass entry proven unchanged
+/// keeps them valid. Deliberately excluded: `"tsens_topk"` recomputes
+/// capped passes from the raw lifted atoms (and enumerates candidate
+/// tuples from them, so even a join-invisible row can shift top-k
+/// tie-breaks); `"elastic"` reads `mf` statistics; `"tsens_path"` and
+/// `"truncation_profile"` read raw catalog rows.
+const PASS_PURE_RESULT_KINDS: &[&str] = &["tsens", "mtable"];
+
+/// Maintenance work sheet for one update, split at the encoded mutation:
+/// built by [`EngineSession::plan_maintenance`] before the apply (while
+/// old codes are still addressable and stripping Arcs still prevents a
+/// copy-on-write fork of the resident relation), consumed by
+/// [`EngineSession::finish_maintenance`] / [`EngineSession::finish_atoms`]
+/// after it.
+#[derive(Default)]
+struct MaintPlan {
+    /// Touched pass entries proven unchanged (predicate rejects the
+    /// row). They stay in the cache; listed here so dependent results
+    /// can be retained too.
+    untouched: Vec<QueryKey>,
+    /// Touched pass entries pulled out for O(delta) repair.
+    repair: Vec<RepairCandidate>,
+    /// Predicated lifts over the relation whose predicate rejects the
+    /// row — provably untouched.
+    atom_keep: u64,
+    /// Predicated lifts whose predicate accepts the row — patched in
+    /// place once the delta's codes are known.
+    atom_patch: Vec<(usize, Predicate)>,
+}
+
+/// A pass entry eligible for delta repair, removed from the cache with
+/// the resident relation's `Arc`s stripped to a placeholder (so the
+/// encoded apply can `make_mut` in place instead of cloning).
+struct RepairCandidate {
+    key: QueryKey,
+    entry: Arc<QueryPasses>,
+    /// Index of the (unique, unpredicated) atom over the updated
+    /// relation.
+    atom: usize,
+    /// Index of the singleton bag holding that atom.
+    bag: usize,
+}
+
+/// Pre-mutation verdict for one touched pass entry.
+enum Classify {
+    /// The entry provably cannot observe the delta (its predicate
+    /// rejects the updated row).
+    Untouched,
+    /// The delta enters the join tree through exactly one singleton bag
+    /// — the shape [`crate::maintain::repair_entry`] handles.
+    Repair { atom: usize, bag: usize },
+}
+
+/// Decide how a single-row update to `rel` interacts with the entry
+/// cached under `key`. `None` means "cannot prove anything cheap —
+/// invalidate". `lift_attrs` is the resident encoding's schema for
+/// `rel`; repair re-points the entry's bag at the resident lift, which
+/// is only sound when the atom was lifted verbatim (trivial predicate,
+/// identical schema).
+fn classify_for_repair(
+    key: &QueryKey,
+    rel: usize,
+    lift_attrs: &[AttrId],
+    row: &Row,
+    eval: &impl Fn(&Predicate, &Row) -> Option<bool>,
+) -> Option<Classify> {
+    let mut touched: Option<usize> = None;
+    for (i, (r, _, _)) in key.atoms.iter().enumerate() {
+        if *r == rel {
+            if touched.is_some() {
+                // Self-join: the delta changes two inputs of the same
+                // multilinear form at once — repair handles exactly one.
+                return None;
+            }
+            touched = Some(i);
+        }
+    }
+    let ai = touched?;
+    let (_, attrs, pred) = &key.atoms[ai];
+    if !pred.is_trivial() {
+        // A predicated atom sees the delta only if the predicate
+        // accepts the row; rejection proves the whole entry untouched.
+        // (Acceptance would need the delta pushed through the filtered
+        // lift — not worth the extra surface; invalidate.)
+        return match eval(pred, row) {
+            Some(false) => Some(Classify::Untouched),
+            _ => None,
+        };
+    }
+    if attrs != lift_attrs {
+        return None;
+    }
+    if key.bags.is_empty() || key.parents.len() != key.bags.len() {
+        return None;
+    }
+    let mut bag: Option<usize> = None;
+    for (v, b) in key.bags.iter().enumerate() {
+        if b.contains(&ai) {
+            if bag.is_some() || b.len() != 1 {
+                // Multi-atom bag: the bag relation is a join the delta
+                // row enters non-trivially; cover trees can also place
+                // one atom in several bags. Both shapes fall back.
+                return None;
+            }
+            bag = Some(v);
+        }
+    }
+    bag.map(|v| Classify::Repair { atom: ai, bag: v })
+}
+
+/// Shared stand-in `Arc` swapped into a repair candidate's stripped
+/// slots so the candidate stops pinning the resident relation across
+/// `EncodedDatabase::apply` (letting `make_mut` mutate in place). Its
+/// empty schema is fine because the placeholder is never read —
+/// [`crate::maintain::repair_entry`] re-points both slots before any
+/// access, and a fallback drops the entry whole.
+fn empty_placeholder() -> Arc<EncodedRelation> {
+    static PLACEHOLDER: std::sync::OnceLock<Arc<EncodedRelation>> = std::sync::OnceLock::new();
+    Arc::clone(PLACEHOLDER.get_or_init(|| Arc::new(EncodedRelation::new(Schema::new(Vec::new())))))
+}
+
+/// `Count` as a checked signed value; `None` poisons the patch (the
+/// stored count saturated, so exact arithmetic on it is meaningless).
+#[inline]
+fn checked_count(c: Count) -> Option<i128> {
+    (c <= i128::MAX as u128).then_some(c as i128)
+}
+
+/// Sorted attribute list of `schema`, matching the `mf` cache's
+/// canonical key form.
+fn schema_attrs_sorted(schema: &Schema) -> Vec<AttrId> {
+    let mut attrs = schema.attrs().to_vec();
+    attrs.sort_unstable();
+    attrs
+}
+
+/// Apply a `±dcount` single-row delta to a cached predicated lift whose
+/// predicate accepted the row. Returns `false` (caller invalidates) on
+/// saturated counts, a negative result, or a delete of an absent row.
+fn patch_filtered_lift(lift: &mut EncodedRelation, codes: &[u32], dcount: i64) -> bool {
+    match lift.find_row(codes) {
+        Ok(i) => {
+            let Some(next) =
+                checked_count(lift.count(i)).and_then(|c| c.checked_add(dcount as i128))
+            else {
+                return false;
+            };
+            if next < 0 {
+                false
+            } else if next == 0 {
+                lift.remove_row_at(i);
+                true
+            } else {
+                lift.set_count(i, next as Count);
+                true
+            }
+        }
+        Err(i) => {
+            if dcount > 0 {
+                lift.insert_row_at(i, codes, dcount as Count);
+                true
+            } else {
+                false
+            }
+        }
     }
 }
 
@@ -1085,17 +1551,23 @@ mod tests {
         let stats = session.stats();
         assert_eq!(stats.updates_applied, 1);
         assert_eq!(stats.dict_epochs, 0);
-        assert_eq!(stats.passes_invalidated, 1, "only the R⋈S pass dies");
+        assert_eq!(
+            stats.passes_maintained, 1,
+            "the R⋈S pass is delta-repaired in place"
+        );
+        assert_eq!(stats.passes_invalidated, 0, "nothing is swept");
 
         // S's pass state is still warm: pure cache hit.
         assert_eq!(session.count_query(&s_only, &s_tree).unwrap(), s_count);
         assert_eq!(session.stats().pass_hits, 1);
         assert_eq!(session.stats().pass_misses, 2);
 
-        // The R⋈S query recomputes against the maintained encoding:
-        // (2,10) joins S's two B=10 rows → count grows by 2.
+        // The R⋈S query answers from the repaired pass state — a warm
+        // hit, not a recompute: (2,10) joins S's two B=10 rows → count
+        // grows by 2.
         assert_eq!(session.count_query(&q, &tree).unwrap(), rs_before + 2);
-        assert_eq!(session.stats().pass_misses, 3);
+        assert_eq!(session.stats().pass_hits, 2);
+        assert_eq!(session.stats().pass_misses, 2);
         // And it matches a from-scratch run on the mutated catalog.
         assert_eq!(
             session.count_query(&q, &tree).unwrap(),

@@ -239,6 +239,46 @@ mod tests {
     }
 
     #[test]
+    fn fork_shared_pass_state_falls_back_without_corrupting_readers() {
+        // Delta repair mutates a cached `QueryPasses` in place, which is
+        // only sound when the writer fork holds the entry uniquely. A
+        // pinned reader snapshot shares every warm entry with the fork,
+        // so maintenance must take the invalidation fallback — and the
+        // reader must keep answering from the untouched state.
+        use tsens_query::{gyo_decompose, ConjunctiveQuery};
+        let mut db = Database::new();
+        let [a, b, c] = db.attrs(["A", "B", "C"]);
+        let mut r = Relation::new(Schema::new(vec![a, b]));
+        r.push(vec![Value::Int(1), Value::Int(10)]);
+        let mut s = Relation::new(Schema::new(vec![b, c]));
+        s.push(vec![Value::Int(10), Value::Int(5)]);
+        s.push(vec![Value::Int(10), Value::Int(6)]);
+        db.add_relation("R", r).unwrap();
+        db.add_relation("S", s).unwrap();
+        let q = ConjunctiveQuery::over(&db, "q", &["R", "S"]).unwrap();
+        let tree = gyo_decompose(&q).unwrap().expect_acyclic("path");
+
+        let cell = SnapshotCell::new(EngineSession::owned(db));
+        let pinned = cell.load();
+        let before = pinned.count_query(&q, &tree).unwrap();
+        assert_eq!(before, 2);
+
+        cell.update(|f| f.insert(0, vec![Value::Int(2), Value::Int(10)]))
+            .unwrap();
+        let stats = cell.load().stats();
+        assert_eq!(
+            stats.passes_invalidated, 1,
+            "shared entry forces the fallback"
+        );
+        assert_eq!(stats.passes_maintained, 0);
+
+        // The pin still answers from its (untouched) warm pass state;
+        // the new snapshot recomputes against the maintained encoding.
+        assert_eq!(pinned.count_query(&q, &tree).unwrap(), before);
+        assert_eq!(cell.load().count_query(&q, &tree).unwrap(), before + 2);
+    }
+
+    #[test]
     fn replace_swaps_wholesale() {
         let cell = SnapshotCell::new(EngineSession::owned(tiny_db()));
         let mut db = tiny_db();

@@ -355,7 +355,9 @@ fn handle_stats(state: &ServerState, req: &Request) -> (u16, String) {
          \"cache\":{{\"atom_hits\":{},\"atom_misses\":{},\"pass_hits\":{},\"pass_misses\":{},\
          \"result_hits\":{},\"result_misses\":{},\"mf_hits\":{},\"mf_misses\":{}}},\
          \"updates\":{{\"applied\":{},\"dict_epochs\":{},\"atoms_invalidated\":{},\
-         \"passes_invalidated\":{},\"results_invalidated\":{},\"mf_invalidated\":{}}},\
+         \"passes_invalidated\":{},\"results_invalidated\":{},\"mf_invalidated\":{},\
+         \"atoms_maintained\":{},\"passes_maintained\":{},\"results_maintained\":{},\
+         \"mf_maintained\":{}}},\
          \"parallel\":{{\"pool_threads\":{},\"pass_tasks\":{},\"join_tasks\":{}}},\
          \"durability\":{durability}}}",
         json_escape(&ndb.name),
@@ -381,6 +383,10 @@ fn handle_stats(state: &ServerState, req: &Request) -> (u16, String) {
         s.passes_invalidated,
         s.results_invalidated,
         s.mf_invalidated,
+        s.atoms_maintained,
+        s.passes_maintained,
+        s.results_maintained,
+        s.mf_maintained,
         s.pool_threads,
         s.parallel_pass_tasks,
         s.parallel_join_tasks,
@@ -727,13 +733,18 @@ fn handle_update(state: &ServerState, req: &Request) -> (u16, String) {
     let body = format!(
         "{{\"ok\":true,\"db\":\"{}\",\"applied\":{applied},\"total\":{total},\"micros\":{micros},\
          \"snapshot_version\":{},\
-         \"invalidated\":{{\"passes\":{},\"results\":{},\"atoms\":{},\"mf\":{}}},\"dict_epochs\":{}}}",
+         \"invalidated\":{{\"passes\":{},\"results\":{},\"atoms\":{},\"mf\":{}}},\
+         \"maintained\":{{\"passes\":{},\"results\":{},\"atoms\":{},\"mf\":{}}},\"dict_epochs\":{}}}",
         json_escape(&ndb.name),
         ndb.cell.version(),
         after.passes_invalidated - before.passes_invalidated,
         after.results_invalidated - before.results_invalidated,
         after.atoms_invalidated - before.atoms_invalidated,
         after.mf_invalidated - before.mf_invalidated,
+        after.passes_maintained - before.passes_maintained,
+        after.results_maintained - before.results_maintained,
+        after.atoms_maintained - before.atoms_maintained,
+        after.mf_maintained - before.mf_maintained,
         after.dict_epochs - before.dict_epochs,
     );
     (200, body)

@@ -272,7 +272,14 @@ fn run(args: Args) -> Result<(), String> {
             t_rebuild.as_secs_f64() / warm.as_secs_f64().max(1e-9)
         );
         println!(
-            "invalidation: {} pass state(s), {} result(s), {} lifted atom(s), {} mf stat(s); {} dict epoch(s)",
+            "delta-maintained: {} pass state(s), {} result(s), {} lifted atom(s), {} mf stat(s)",
+            stats.passes_maintained,
+            stats.results_maintained,
+            stats.atoms_maintained,
+            stats.mf_maintained
+        );
+        println!(
+            "invalidated:      {} pass state(s), {} result(s), {} lifted atom(s), {} mf stat(s); {} dict epoch(s)",
             stats.passes_invalidated,
             stats.results_invalidated,
             stats.atoms_invalidated,
