@@ -599,6 +599,92 @@ fn bench_durability(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The sharding ablation on the TAO-style social workload: the same
+/// warm queries through one resident session-equivalent (1-shard
+/// `ShardedEngine`, pure delegation) versus four hash-partitioned
+/// shards.
+///
+/// * `social_count/{1,4}shard` — warm `Follow ⋈ Like` count: per-shard
+///   cache hits plus the gather (sum) across shards, so the pair reads
+///   as "what does fanning the same answer out over 4 snapshots cost";
+/// * `shard_scatter_gather_overhead` — warm `assoc_count(hot)` at 4
+///   shards: the per-shard work is a cached single-atom count, so the
+///   key isolates the scatter machinery itself (pin 4 snapshots,
+///   dispatch on the pool, sum);
+/// * `social_update_requery` — a hot-user single-row insert + touched
+///   requery + delete + requery, routed through the 4-shard publish
+///   lanes: only the celebrity's shard recomputes its passes, the
+///   other three answer from warm caches (the sharded mirror of
+///   `ivm/update_requery`).
+fn bench_sharding(c: &mut Criterion) {
+    use tsens_core::ShardedSessionExt;
+    use tsens_engine::ShardedEngine;
+    use tsens_workloads::social::{self, SocialParams};
+
+    let params = if quick() {
+        social::small_params()
+    } else {
+        SocialParams {
+            users: 10_000,
+            follow_edges: 80_000,
+            like_edges: 20_000,
+            pages: 5_000,
+            zipf_s: 1.0,
+        }
+    };
+    let db = social::social_database(params, 348);
+    let (join, join_tree) = social::follow_like_join(&db).unwrap();
+    let hot = social::hottest_user();
+    let (assoc, assoc_tree) = social::assoc_count(&db, hot).unwrap();
+    let one = ShardedEngine::new(db.clone(), 1).unwrap();
+    let four = ShardedEngine::new(db.clone(), 4).unwrap();
+    // Prime every shard's caches and cross-check the gathered answers —
+    // the bench must not time silently-wrong scatter paths.
+    for q in [(&join, &join_tree), (&assoc, &assoc_tree)] {
+        assert_eq!(one.count(q.0, q.1).unwrap(), four.count(q.0, q.1).unwrap());
+        assert_eq!(
+            ShardedSessionExt::tsens(&one, q.0, q.1)
+                .unwrap()
+                .local_sensitivity,
+            ShardedSessionExt::tsens(&four, q.0, q.1)
+                .unwrap()
+                .local_sensitivity
+        );
+    }
+
+    let mut group = c.benchmark_group("sharding");
+    group.sample_size(if quick() { 15 } else { 20 });
+    for (engine, label) in [(&one, "1shard"), (&four, "4shard")] {
+        group.bench_function(BenchmarkId::new("social_count", label), |b| {
+            b.iter(|| black_box(engine.count(&join, &join_tree).unwrap()))
+        });
+    }
+    group.bench_function("shard_scatter_gather_overhead", |b| {
+        b.iter(|| black_box(four.count(&assoc, &assoc_tree).unwrap()))
+    });
+    let row = vec![Value::Int(hot), Value::Int(-1)];
+    let follow_rel = (0..db.relation_count())
+        .find(|&i| db.relation_name(i) == "Follow")
+        .unwrap();
+    group.bench_function("social_update_requery", |b| {
+        b.iter(|| {
+            four.update_all(vec![tsens_data::Update::Insert {
+                relation: follow_rel,
+                row: row.clone(),
+            }])
+            .unwrap();
+            black_box(four.count(&join, &join_tree).unwrap());
+            four.update_all(vec![tsens_data::Update::Delete {
+                relation: follow_rel,
+                row: row.clone(),
+            }])
+            .unwrap();
+            black_box(four.count(&join, &join_tree).unwrap());
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_path_vs_general,
@@ -610,6 +696,7 @@ criterion_group!(
     bench_updates,
     bench_ivm_scaling,
     bench_serving,
-    bench_durability
+    bench_durability,
+    bench_sharding
 );
 criterion_main!(benches);

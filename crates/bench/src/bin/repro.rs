@@ -12,7 +12,8 @@
 //!   param-l   §7.3 ℓ sweep on q*
 //!   updates   interleaved update/query serving: warm session vs rebuild
 //!   tpch      sequential vs parallel engine on TPC-H at one scale
-//!   all       everything above (tpch excluded; run it separately)
+//!   social    TAO-style social graph: 1 session vs sharded scatter-gather
+//!   all       everything above (tpch and social excluded; run them separately)
 //!
 //! options:
 //!   --seed N            RNG seed (default 348)
@@ -24,8 +25,10 @@
 //!   --scale X           TPC-H scale for tpch (default 0.01, ~1 min; at 0.1 a
 //!                       single q3 tsens rep runs 10–15 min and peaks ~35 GB)
 //!   --threads N         parallel thread count for tpch (default all cores)
-//!   --runs N            repetitions for DP experiments and tpch (default 20;
-//!                       use 3 for tpch at 0.01, 1 at 0.1)
+//!   --edges N           total social associations (default 1000000)
+//!   --shards N          shard count for social (default 4)
+//!   --runs N            repetitions for DP experiments, tpch and social
+//!                       (default 20; use 3 for tpch at 0.01, 1 at 0.1)
 //!   --eps X             privacy budget per run (default 2.0; unreported in the paper)
 //!   --fb-small          use the small Facebook workload (for smoke runs)
 //! ```
@@ -42,6 +45,8 @@ struct Options {
     updates_scale: f64,
     tpch_scale: f64,
     threads: usize,
+    edges: usize,
+    shards: usize,
     runs: usize,
     eps: f64,
     fb: FacebookParams,
@@ -58,6 +63,8 @@ impl Default for Options {
             updates_scale: 0.002,
             tpch_scale: 0.01,
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            edges: 1_000_000,
+            shards: 4,
             runs: 20,
             eps: 2.0,
             fb: FacebookParams::default(),
@@ -116,6 +123,16 @@ fn parse_args() -> (String, Options) {
                     .parse()
                     .unwrap_or_else(|_| usage("bad --threads"));
             }
+            "--edges" => {
+                opts.edges = value("--edges")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --edges"));
+            }
+            "--shards" => {
+                opts.shards = value("--shards")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --shards"));
+            }
             "--runs" => {
                 opts.runs = value("--runs")
                     .parse()
@@ -136,10 +153,10 @@ fn parse_args() -> (String, Options) {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro <fig6a|fig6b|fig7|table1|table2|param-l|updates|tpch|all> \
+        "usage: repro <fig6a|fig6b|fig7|table1|table2|param-l|updates|tpch|social|all> \
          [--seed N] [--scales a,b,c] [--q3-max-scale X] [--fig6b-scale X] \
          [--table2-scale X] [--updates-scale X] [--scale X] [--threads N] \
-         [--runs N] [--eps X] [--fb-small]"
+         [--edges N] [--shards N] [--runs N] [--eps X] [--fb-small]"
     );
     std::process::exit(2)
 }
@@ -173,6 +190,10 @@ fn main() {
         Ok(report) => println!("{report}"),
         Err(e) => usage(&format!("tpch: {e}")),
     };
+    let run_social = || match experiments::social(o.edges, o.shards, o.runs, o.seed) {
+        Ok(report) => println!("{report}"),
+        Err(e) => usage(&format!("social: {e}")),
+    };
     match command.as_str() {
         "fig6a" => run_fig6a(),
         "fig6b" => run_fig6b(),
@@ -182,6 +203,7 @@ fn main() {
         "param-l" => run_param_l(),
         "updates" => run_updates(),
         "tpch" => run_tpch(),
+        "social" => run_social(),
         "all" => {
             run_fig6a();
             run_fig6b();

@@ -9,14 +9,15 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
 use tsens_core::elastic::plan_order_from_tree;
-use tsens_core::SessionExt;
-use tsens_data::{Count, Database};
+use tsens_core::{SessionExt, ShardedSessionExt};
+use tsens_data::{Count, Database, TsensError, Update, Value};
 use tsens_dp::truncation::TruncationProfile;
 use tsens_dp::tsensdp::tsensdp_answer_from_profile;
 use tsens_dp::{privsql_answer_session, CascadeRule, PrivSqlPolicy};
-use tsens_engine::{EngineSession, Pool};
+use tsens_engine::{EngineSession, Pool, ShardedEngine};
 use tsens_query::{ConjunctiveQuery, DecompositionTree};
 use tsens_workloads::facebook::{self, FacebookParams};
+use tsens_workloads::social::{self, SocialParams};
 use tsens_workloads::tpch;
 
 /// A fully-prepared workload query: the query, its decomposition, the
@@ -1097,6 +1098,242 @@ impl fmt::Display for TpchParallel {
     }
 }
 
+// ---------------------------------------------------------------------
+// Sharded social graph — the TAO-style scatter-gather experiment
+// (`repro social`).
+// ---------------------------------------------------------------------
+
+/// One social query's single-session vs scatter-gather medians. The
+/// sharded answers are asserted equal to the single-session ground truth
+/// on every run before any timing is reported.
+#[derive(Clone, Debug)]
+pub struct SocialRow {
+    /// Display name (`follow_like_join`, `assoc_count(hot)`).
+    pub query: String,
+    /// The (verified-equal) count answer.
+    pub answer: Count,
+    /// The (verified-equal) local sensitivity.
+    pub sensitivity: Count,
+    /// Warm count via the single session, µs.
+    pub mono_count_us: f64,
+    /// Warm count scatter-gathered across the shards, µs.
+    pub sharded_count_us: f64,
+    /// Warm tsens via the single session, µs.
+    pub mono_tsens_us: f64,
+    /// Warm tsens scatter-gathered across the shards, µs.
+    pub sharded_tsens_us: f64,
+}
+
+/// `repro social` result: build costs, per-query scatter-gather medians,
+/// and the routed update + touched-requery latency on the hot shard.
+pub struct Social {
+    /// Total associations (Follow + Like rows).
+    pub edges: usize,
+    /// User universe size.
+    pub users: usize,
+    pub shards: usize,
+    /// Runs per measurement (medians reported).
+    pub runs: usize,
+    /// Single `EngineSession` construction, µs.
+    pub mono_build_us: f64,
+    /// `ShardedEngine` construction (partition + per-shard encode), µs.
+    pub sharded_build_us: f64,
+    /// Hot-user single-row insert+delete round (each with a touched
+    /// requery of the join), per update+requery, µs — single session.
+    pub mono_update_requery_us: f64,
+    /// The same routed through the sharded engine's publish lanes, µs.
+    pub sharded_update_requery_us: f64,
+    pub rows: Vec<SocialRow>,
+}
+
+/// Scale [`SocialParams`] to a total edge budget: the TAO-ish 80/20
+/// Follow/Like split over `edges/10` users and `edges/20` pages.
+pub fn social_params_for(edges: usize) -> SocialParams {
+    let follow_edges = edges * 4 / 5;
+    SocialParams {
+        users: (edges / 10).max(16),
+        follow_edges,
+        like_edges: edges - follow_edges,
+        pages: (edges / 20).max(16),
+        zipf_s: 1.0,
+    }
+}
+
+/// Measure the TAO-style social workload on one resident session versus
+/// a hash-partitioned `ShardedEngine`: the co-partitioned
+/// `Follow ⋈ Like` join and the celebrity's `assoc_count`, warm count
+/// and tsens medians over `runs`, plus a hot-shard single-row update
+/// with touched requery through both paths. Every sharded answer is
+/// asserted equal to the single-session ground truth — this is the
+/// acceptance check that scatter-gather (per-shard sum / per-shard max)
+/// is exact, at any `edges` scale.
+///
+/// # Errors
+/// Invalid `shards` (0 or absurd), or update routing failures.
+pub fn social(edges: usize, shards: usize, runs: usize, seed: u64) -> Result<Social, TsensError> {
+    let params = social_params_for(edges);
+    let db = social::social_database(params, seed);
+    let runs = runs.max(1);
+
+    let (join_q, join_tree) = social::follow_like_join(&db).expect("social catalog");
+    let hot = social::hottest_user();
+    let (hot_q, hot_tree) = social::assoc_count(&db, hot).expect("social catalog");
+    let queries = [
+        ("follow_like_join", &join_q, &join_tree),
+        ("assoc_count(hot)", &hot_q, &hot_tree),
+    ];
+
+    let (mut mono, mono_build_secs) = time_it(|| EngineSession::owned(db.clone()));
+    let shard_input = db.clone();
+    let (engine, sharded_build_secs) = time_it(move || ShardedEngine::new(shard_input, shards));
+    let engine = engine?;
+
+    let mut rows = Vec::with_capacity(queries.len());
+    for (name, q, tree) in queries {
+        let mut mono_counts = Vec::with_capacity(runs);
+        let mut sharded_counts = Vec::with_capacity(runs);
+        let mut mono_tsenses = Vec::with_capacity(runs);
+        let mut sharded_tsenses = Vec::with_capacity(runs);
+        let mut answer = 0;
+        let mut sensitivity = 0;
+        for _ in 0..runs {
+            let (truth, secs) = time_it(|| mono.count_query(q, tree).expect("resident"));
+            mono_counts.push(secs * 1e6);
+            let (gathered, secs) = time_it(|| engine.count(q, tree));
+            sharded_counts.push(secs * 1e6);
+            assert_eq!(gathered?, truth, "sharded count diverged on {name}");
+            let (truth, secs) = time_it(|| mono.tsens(q, tree).expect("resident"));
+            mono_tsenses.push(secs * 1e6);
+            let (report, secs) = time_it(|| ShardedSessionExt::tsens(&engine, q, tree));
+            sharded_tsenses.push(secs * 1e6);
+            assert_eq!(
+                report?.local_sensitivity, truth.local_sensitivity,
+                "sharded tsens diverged on {name}"
+            );
+            answer = mono.count_query(q, tree).expect("resident");
+            sensitivity = truth.local_sensitivity;
+        }
+        rows.push(SocialRow {
+            query: name.to_owned(),
+            answer,
+            sensitivity,
+            mono_count_us: median_f64(&mono_counts),
+            sharded_count_us: median_f64(&sharded_counts),
+            mono_tsens_us: median_f64(&mono_tsenses),
+            sharded_tsens_us: median_f64(&sharded_tsenses),
+        });
+    }
+
+    // Routed update + touched requery: insert a fresh hot-user edge
+    // (new destination id — crosses the dict epoch like a live write),
+    // requery the join, undo, requery again. The hot user pins the
+    // worst-case shard; halve to report per update+requery.
+    let follow_rel = (0..db.relation_count())
+        .find(|&i| db.relation_name(i) == "Follow")
+        .expect("social catalog");
+    let mut mono_updates = Vec::with_capacity(runs);
+    let mut sharded_updates = Vec::with_capacity(runs);
+    for i in 0..runs {
+        let row = vec![Value::Int(hot), Value::Int((params.users + i) as i64)];
+        let ins = Update::Insert {
+            relation: follow_rel,
+            row: row.clone(),
+        };
+        let del = Update::Delete {
+            relation: follow_rel,
+            row,
+        };
+        let (m_ins, m_del) = (ins.clone(), del.clone());
+        let (pair, secs) = time_it(|| {
+            mono.apply_all(vec![m_ins]).expect("insert");
+            let a = mono.count_query(&join_q, &join_tree).expect("resident");
+            mono.apply_all(vec![m_del]).expect("delete");
+            let b = mono.count_query(&join_q, &join_tree).expect("resident");
+            (a, b)
+        });
+        mono_updates.push(secs * 1e6 / 2.0);
+        let (gathered, secs) = time_it(|| -> Result<(Count, Count), TsensError> {
+            engine.update_all(vec![ins])?;
+            let a = engine.count(&join_q, &join_tree)?;
+            engine.update_all(vec![del])?;
+            let b = engine.count(&join_q, &join_tree)?;
+            Ok((a, b))
+        });
+        sharded_updates.push(secs * 1e6 / 2.0);
+        assert_eq!(gathered?, pair, "sharded requery diverged after update");
+    }
+
+    Ok(Social {
+        edges: params.follow_edges + params.like_edges,
+        users: params.users,
+        shards,
+        runs,
+        mono_build_us: mono_build_secs * 1e6,
+        sharded_build_us: sharded_build_secs * 1e6,
+        mono_update_requery_us: median_f64(&mono_updates),
+        sharded_update_requery_us: median_f64(&sharded_updates),
+        rows,
+    })
+}
+
+impl fmt::Display for Social {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ratio = |mono: f64, sharded: f64| sharded / mono.max(1e-9);
+        writeln!(
+            f,
+            "Social graph (TAO assoc workload): {} edges over {} users, \
+             1 session vs {} shards (medians over {} runs)",
+            fmt_count(self.edges as Count),
+            fmt_count(self.users as Count),
+            self.shards,
+            self.runs
+        )?;
+        writeln!(
+            f,
+            "build: mono {:.1}ms, sharded {:.1}ms",
+            self.mono_build_us / 1e3,
+            self.sharded_build_us / 1e3
+        )?;
+        writeln!(
+            f,
+            "{:>17} {:>12} {:>6} {:>11} {:>11} {:>7} {:>11} {:>11} {:>7}",
+            "query",
+            "count",
+            "LS",
+            "cnt mono µs",
+            "cnt shrd µs",
+            "ratio",
+            "ts mono µs",
+            "ts shrd µs",
+            "ratio"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>17} {:>12} {:>6} {:>11.1} {:>11.1} {:>6.2}x {:>11.1} {:>11.1} {:>6.2}x",
+                r.query,
+                fmt_count(r.answer),
+                r.sensitivity,
+                r.mono_count_us,
+                r.sharded_count_us,
+                ratio(r.mono_count_us, r.sharded_count_us),
+                r.mono_tsens_us,
+                r.sharded_tsens_us,
+                ratio(r.mono_tsens_us, r.sharded_tsens_us)
+            )?;
+        }
+        writeln!(
+            f,
+            "hot-shard update + touched requery: mono {:.1}µs, routed {:.1}µs",
+            self.mono_update_requery_us, self.sharded_update_requery_us
+        )?;
+        writeln!(
+            f,
+            "all sharded answers verified equal to the single-session ground truth"
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1132,6 +1369,25 @@ mod tests {
             let rel = pq.cq.atoms()[pq.private_atom].relation;
             assert!(db.relation_name(rel).ends_with("R2"), "{}", pq.name);
         }
+    }
+
+    #[test]
+    fn social_experiment_verifies_scatter_gather() {
+        let result = social(4_000, 3, 2, 11).unwrap();
+        assert_eq!(result.shards, 3);
+        assert_eq!(result.edges, 4_000);
+        assert_eq!(result.rows.len(), 2);
+        // The join over a Zipf-skewed graph must actually join, and the
+        // hot user's sensitivity must dominate the predicated atom's.
+        assert!(result.rows[0].answer > 0);
+        assert!(result.rows[0].sensitivity > result.rows[1].sensitivity);
+        // Display is the paper-style table; smoke the formatting.
+        assert!(result.to_string().contains("verified equal"));
+    }
+
+    #[test]
+    fn social_experiment_rejects_zero_shards() {
+        assert!(social(1_000, 0, 1, 1).is_err());
     }
 
     #[test]

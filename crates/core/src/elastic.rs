@@ -23,7 +23,10 @@
 //! the selection operators") — that is part of why TSens beats it.
 
 use std::collections::BTreeSet;
-use tsens_data::{sat_mul, AttrId, Count, Database, FastMap, Row, Schema, TsensError};
+use std::sync::Arc;
+use tsens_data::{
+    sat_add, sat_mul, AttrId, Count, Database, FastMap, Relation, Row, Schema, TsensError,
+};
 use tsens_engine::session::EngineSession;
 use tsens_query::{ConjunctiveQuery, DecompositionTree};
 
@@ -50,18 +53,36 @@ pub fn plan_order_from_tree(tree: &DecompositionTree) -> Vec<usize> {
 
 type AttrSet = BTreeSet<AttrId>;
 
-/// Max-frequency oracle over the base relations, with memoised
-/// plan-expression lookups layered on top.
+/// Where the oracle's base-relation `mf` statistics come from.
 ///
-/// Base-relation statistics come from one of two sources: a session's
-/// shared cross-query `mf` cache (the serving path), or a local memo plus
-/// direct scans of `db` (the standalone one-shot path). Both compute the
-/// same numbers; the session additionally amortizes them across atoms,
-/// plans, distances and *queries*.
+/// All three sources compute the **same numbers** for the same logical
+/// database: a direct scan of one catalog, a session's shared
+/// cross-query `mf` cache (which additionally amortizes them across
+/// atoms, plans, distances and queries), or a merge across hash-shard
+/// sessions. The merge is exact, not a bound: the shards' relations are
+/// a partition of the global relation's rows, so projecting each
+/// shard's rows into one shared frequency map reproduces the global
+/// multiplicity of every projection value — elastic sensitivity is a
+/// pure function of `mf`, so a sharded engine reports *identical*
+/// elastic bounds to an unsharded one, for any query (no co-partition
+/// requirement).
+#[derive(Clone, Copy)]
+enum BaseMf<'a> {
+    /// Scan the oracle's own catalog.
+    Db,
+    /// A warm session's shared statistics cache.
+    Session(&'a EngineSession<'a>),
+    /// Merge raw rows across shard snapshots (global mf).
+    Shards(&'a [Arc<EngineSession<'static>>]),
+}
+
+/// Max-frequency oracle over the base relations, with memoised
+/// plan-expression lookups layered on top. See [`BaseMf`] for the
+/// statistic sources.
 struct MfOracle<'a> {
     db: &'a Database,
-    /// Shared cross-query statistics cache, when running in a session.
-    session: Option<&'a EngineSession<'a>>,
+    /// Base-relation statistic source.
+    source: BaseMf<'a>,
     /// Atom order in the plan; `plan[j]`'s relation backs leaf `j`.
     plan_atoms: Vec<(usize, Schema)>, // (relation idx, schema)
     /// Cumulative schema of expression node `j` (join of leaves `0..=j`).
@@ -78,7 +99,7 @@ struct MfOracle<'a> {
 impl<'a> MfOracle<'a> {
     fn new(
         db: &'a Database,
-        session: Option<&'a EngineSession<'a>>,
+        source: BaseMf<'a>,
         cq: &ConjunctiveQuery,
         plan: &[usize],
         private: usize,
@@ -99,7 +120,7 @@ impl<'a> MfOracle<'a> {
         }
         MfOracle {
             db,
-            session,
+            source,
             plan_atoms,
             node_attrs,
             memo: FastMap::default(),
@@ -113,7 +134,7 @@ impl<'a> MfOracle<'a> {
     /// the max multiplicity of an `x`-projection value; `|rel|` for `∅`.
     fn base_mf(&mut self, rel: usize, x: &AttrSet) -> Count {
         let key = (rel, x.iter().copied().collect::<Vec<_>>());
-        if let Some(s) = self.session {
+        if let BaseMf::Session(s) = self.source {
             // The session computes from the resident encoding and shares
             // the statistic across atoms, plans and queries.
             let mf = s
@@ -124,23 +145,12 @@ impl<'a> MfOracle<'a> {
         if let Some(&c) = self.base_memo.get(&key) {
             return self.bump_private(rel, c);
         }
-        let r = self.db.relation(rel);
-        let mf = if x.is_empty() {
-            r.len() as Count
-        } else {
-            let positions: Vec<usize> = x
-                .iter()
-                .map(|&a| r.schema().position(a).expect("attr must be in relation"))
-                .collect();
-            let mut counts: FastMap<Row, Count> = FastMap::default();
-            let mut max = 0;
-            for row in r.rows() {
-                let key: Row = positions.iter().map(|&i| row[i].clone()).collect();
-                let slot = counts.entry(key).or_insert(0);
-                *slot += 1;
-                max = max.max(*slot);
+        let mf = match self.source {
+            BaseMf::Db => scanned_mf(std::iter::once(self.db.relation(rel)), x),
+            BaseMf::Shards(sessions) => {
+                scanned_mf(sessions.iter().map(|s| s.database().relation(rel)), x)
             }
-            max
+            BaseMf::Session(_) => unreachable!("handled above"),
         };
         self.base_memo.insert(key, mf);
         self.bump_private(rel, mf)
@@ -234,6 +244,32 @@ impl<'a> MfOracle<'a> {
     }
 }
 
+/// mf of attribute set `x` over the rows of `rels` taken together —
+/// with a single relation, the textbook scan; with several (the shard
+/// path) an exact merge: one shared frequency map accumulates every
+/// shard's `x`-projections, so a value split across shards counts its
+/// **global** multiplicity. `∅` sums the table sizes.
+fn scanned_mf<'r>(rels: impl Iterator<Item = &'r Relation>, x: &AttrSet) -> Count {
+    if x.is_empty() {
+        return rels.fold(0, |acc, r| sat_add(acc, r.len() as Count));
+    }
+    let mut counts: FastMap<Row, Count> = FastMap::default();
+    let mut max = 0;
+    for r in rels {
+        let positions: Vec<usize> = x
+            .iter()
+            .map(|&a| r.schema().position(a).expect("attr must be in relation"))
+            .collect();
+        for row in r.rows() {
+            let key: Row = positions.iter().map(|&i| row[i].clone()).collect();
+            let slot = counts.entry(key).or_insert(0);
+            *slot += 1;
+            max = max.max(*slot);
+        }
+    }
+    max
+}
+
 /// Compute elastic sensitivity bounds at distance `k` (use `k = 0` for a
 /// local-sensitivity bound, as in the paper's experiments) over the given
 /// left-deep `plan` (atom indices; see [`plan_order_from_tree`]).
@@ -246,7 +282,40 @@ pub fn elastic_sensitivity(
     plan: &[usize],
     k: Count,
 ) -> ElasticReport {
-    elastic_report(db, None, cq, plan, k)
+    elastic_report(db, BaseMf::Db, cq, plan, k)
+}
+
+/// [`elastic_sensitivity`] over pinned hash-shard snapshots: base
+/// max-frequency statistics are merged across all shards' raw rows
+/// ([`BaseMf::Shards`]), which reproduces the global statistics
+/// **exactly** — the report equals the unsharded one for any query, with
+/// no co-partition requirement (unlike sharded counts and TSens, elastic
+/// depends on the data only through `mf`). A single shard delegates to
+/// the session path and its shared statistics cache.
+///
+/// # Errors
+/// Propagates session residency errors (single-shard path only).
+///
+/// # Panics
+/// Panics if `sessions` is empty or `plan` is not a permutation of the
+/// query's atom indices.
+pub fn elastic_sensitivity_sharded(
+    sessions: &[Arc<EngineSession<'static>>],
+    cq: &ConjunctiveQuery,
+    plan: &[usize],
+    k: Count,
+) -> Result<ElasticReport, TsensError> {
+    assert!(!sessions.is_empty(), "need at least one shard");
+    if sessions.len() == 1 {
+        return elastic_sensitivity_session(&sessions[0], cq, plan, k);
+    }
+    Ok(elastic_report(
+        sessions[0].database(),
+        BaseMf::Shards(sessions),
+        cq,
+        plan,
+        k,
+    ))
 }
 
 /// [`elastic_sensitivity`] over a warm session: base max-frequency
@@ -269,7 +338,7 @@ pub fn elastic_sensitivity_session(
     let cached = session.try_cached_query_result("elastic", cq, None, &salt, || {
         Ok(elastic_report(
             session.database(),
-            Some(session),
+            BaseMf::Session(session),
             cq,
             plan,
             k,
@@ -280,7 +349,7 @@ pub fn elastic_sensitivity_session(
 
 fn elastic_report(
     db: &Database,
-    session: Option<&EngineSession<'_>>,
+    source: BaseMf<'_>,
     cq: &ConjunctiveQuery,
     plan: &[usize],
     k: Count,
@@ -295,7 +364,7 @@ fn elastic_report(
     let mut per_relation = Vec::with_capacity(cq.atom_count());
     let mut overall: Count = 0;
     for atom in cq.atoms() {
-        let mut oracle = MfOracle::new(db, session, cq, plan, atom.relation, k);
+        let mut oracle = MfOracle::new(db, source, cq, plan, atom.relation, k);
         let s = oracle.sensitivity();
         overall = overall.max(s);
         per_relation.push((atom.relation, s));

@@ -40,6 +40,7 @@ pub mod naive;
 pub mod path;
 pub mod report;
 pub mod session;
+pub mod sharded;
 
 pub use acyclic::{
     multiplicity_table_for, multiplicity_table_for_session, multiplicity_tables,
@@ -48,8 +49,8 @@ pub use acyclic::{
 };
 pub use approx::{tsens_topk, tsens_topk_session};
 pub use elastic::{
-    elastic_sensitivity, elastic_sensitivity_session, plan_order_from_tree, smooth_elastic_bound,
-    ElasticReport,
+    elastic_sensitivity, elastic_sensitivity_session, elastic_sensitivity_sharded,
+    plan_order_from_tree, smooth_elastic_bound, ElasticReport,
 };
 pub use naive::naive_local_sensitivity;
 pub use path::{tsens_path, tsens_path_session};
@@ -57,6 +58,7 @@ pub use report::{
     LocalSensitivity, MultiplicityTable, RelationSensitivity, SensitivityReport, TupleRef,
 };
 pub use session::SessionExt;
+pub use sharded::{sharded_tsens, sharded_tsens_checked, ShardedSessionExt};
 pub use tsens_data::Update;
 
 use tsens_data::Database;

@@ -1,0 +1,231 @@
+//! Scatter-gather sensitivity over a [`ShardedEngine`].
+//!
+//! [`ShardedSessionExt`] attaches the sensitivity suite to the engine's
+//! shard router the same way [`crate::SessionExt`] attaches it to a
+//! single session. Aggregation per operation:
+//!
+//! * **count** — per-shard counts **sum** (the shards partition the
+//!   output bag under the co-partition rule; see
+//!   `tsens_engine::shard`);
+//! * **tsens** — per-shard local sensitivities **max**, per relation.
+//!   Sound and exact under the co-partition rule: a (present or
+//!   hypothetical) tuple's shard-key value routes it to one shard, and
+//!   that shard holds *every* row it can join with, so its tuple
+//!   sensitivity computed inside the shard equals its global tuple
+//!   sensitivity — the paper's decomposition runs unchanged per shard
+//!   and the global worst case is some shard's worst case. The merged
+//!   witness is the achieving shard's witness;
+//! * **elastic** — computed from **globally merged** max-frequency
+//!   statistics ([`crate::elastic::elastic_sensitivity_sharded`]), which
+//!   is exact for *any* query, co-partitioned or not: elastic depends on
+//!   the data only through `mf`, and merging the shards' rows reproduces
+//!   the unsharded `mf` values bit-for-bit.
+//!
+//! Non-co-partitioned multi-atom count/tsens at more than one shard are
+//! rejected with [`TsensError::CrossShardJoin`]; with one shard every
+//! method delegates to the plain session path.
+
+use crate::elastic::{elastic_sensitivity_sharded, ElasticReport};
+use crate::report::{RelationSensitivity, SensitivityReport};
+use crate::session::SessionExt;
+use std::sync::Arc;
+use tsens_data::{Count, ShardSpec, TsensError};
+use tsens_engine::shard::{check_co_partitioned, ShardedEngine};
+use tsens_engine::{EngineSession, Pool};
+use tsens_query::{ConjunctiveQuery, DecompositionTree};
+
+/// Gather step for TSens over already-pinned shard snapshots: run the
+/// full algorithm per shard on `pool`, then take the per-relation
+/// maximum (witness from the achieving shard). Callers are responsible
+/// for the co-partition check — see the module docs for why the max is
+/// then exact.
+///
+/// # Errors
+/// The first shard evaluation error, by shard order.
+///
+/// # Panics
+/// Panics if `sessions` is empty.
+pub fn sharded_tsens(
+    pool: &Pool,
+    sessions: &[Arc<EngineSession<'static>>],
+    cq: &ConjunctiveQuery,
+    tree: &DecompositionTree,
+) -> Result<SensitivityReport, TsensError> {
+    assert!(!sessions.is_empty(), "need at least one shard");
+    if sessions.len() == 1 {
+        return sessions[0].tsens(cq, tree);
+    }
+    let gathered = pool.run(sessions.len(), |s| sessions[s].tsens(cq, tree));
+    let mut reports = Vec::with_capacity(gathered.len());
+    for r in gathered {
+        reports.push(r?);
+    }
+    Ok(merge_max(&reports))
+}
+
+/// Per-relation max across shard reports. All reports come from the
+/// same query on identically-cataloged shards, so their `per_relation`
+/// vectors line up index by index; on ties the earliest shard with a
+/// witness wins, mirroring `from_per_relation`'s first-winner rule.
+fn merge_max(reports: &[SensitivityReport]) -> SensitivityReport {
+    let mut merged: Vec<RelationSensitivity> = reports[0].per_relation.clone();
+    for report in &reports[1..] {
+        for (slot, candidate) in merged.iter_mut().zip(report.per_relation.iter()) {
+            debug_assert_eq!(slot.relation, candidate.relation);
+            if candidate.sensitivity > slot.sensitivity
+                || (candidate.sensitivity == slot.sensitivity
+                    && slot.witness.is_none()
+                    && candidate.witness.is_some())
+            {
+                *slot = candidate.clone();
+            }
+        }
+    }
+    SensitivityReport::from_per_relation(merged)
+}
+
+/// The scatter-gather sensitivity suite as methods on a
+/// [`ShardedEngine`] — the sharded counterpart of [`SessionExt`].
+pub trait ShardedSessionExt {
+    /// Scatter-gathered local sensitivity (per-relation max merge).
+    ///
+    /// # Errors
+    /// [`TsensError::CrossShardJoin`] for non-co-partitioned multi-atom
+    /// queries at more than one shard; per-shard evaluation errors.
+    fn tsens(
+        &self,
+        cq: &ConjunctiveQuery,
+        tree: &DecompositionTree,
+    ) -> Result<SensitivityReport, TsensError>;
+
+    /// Elastic sensitivity from globally merged `mf` statistics — exact
+    /// for any query, no co-partition requirement.
+    ///
+    /// # Errors
+    /// Session residency errors (single-shard path only).
+    fn elastic_sensitivity(
+        &self,
+        cq: &ConjunctiveQuery,
+        plan: &[usize],
+        k: Count,
+    ) -> Result<ElasticReport, TsensError>;
+}
+
+impl ShardedSessionExt for ShardedEngine {
+    fn tsens(
+        &self,
+        cq: &ConjunctiveQuery,
+        tree: &DecompositionTree,
+    ) -> Result<SensitivityReport, TsensError> {
+        let pinned = self.pin();
+        if pinned.len() > 1 {
+            check_co_partitioned(self.spec(), pinned[0].database(), cq)?;
+        }
+        sharded_tsens(self.pool(), &pinned, cq, tree)
+    }
+
+    fn elastic_sensitivity(
+        &self,
+        cq: &ConjunctiveQuery,
+        plan: &[usize],
+        k: Count,
+    ) -> Result<ElasticReport, TsensError> {
+        elastic_sensitivity_sharded(&self.pin(), cq, plan, k)
+    }
+}
+
+/// Convenience for callers that pinned the shards themselves (the
+/// server's per-request read set): the co-partition check + tsens
+/// gather in one call.
+///
+/// # Errors
+/// See [`ShardedSessionExt::tsens`].
+pub fn sharded_tsens_checked(
+    pool: &Pool,
+    spec: &ShardSpec,
+    sessions: &[Arc<EngineSession<'static>>],
+    cq: &ConjunctiveQuery,
+    tree: &DecompositionTree,
+) -> Result<SensitivityReport, TsensError> {
+    if sessions.len() > 1 {
+        check_co_partitioned(spec, sessions[0].database(), cq)?;
+    }
+    sharded_tsens(pool, sessions, cq, tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsens_data::{Database, Relation, Schema, Value};
+    use tsens_query::gyo_decompose;
+
+    fn social_db() -> Database {
+        let mut db = Database::new();
+        let [u, v, p] = db.attrs(["U", "V", "P"]);
+        let follow: Vec<Vec<Value>> = (0..50i64)
+            .map(|i| vec![Value::Int(i % 9), Value::Int(i % 6)])
+            .collect();
+        let like: Vec<Vec<Value>> = (0..30i64)
+            .map(|i| vec![Value::Int(i % 9), Value::Int(i % 4)])
+            .collect();
+        db.add_relation(
+            "Follow",
+            Relation::from_rows(Schema::new(vec![u, v]), follow),
+        )
+        .unwrap();
+        db.add_relation("Like", Relation::from_rows(Schema::new(vec![u, p]), like))
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn sharded_tsens_matches_unsharded_on_co_partitioned_join() {
+        let db = social_db();
+        let q = ConjunctiveQuery::over(&db, "q", &["Follow", "Like"]).unwrap();
+        let tree = gyo_decompose(&q).unwrap().expect_acyclic("star on U");
+        let truth = EngineSession::new(&db).tsens(&q, &tree).unwrap();
+        for n in [1, 2, 4] {
+            let engine = ShardedEngine::new(db.clone(), n).unwrap();
+            let got = ShardedSessionExt::tsens(&engine, &q, &tree).unwrap();
+            assert_eq!(got.local_sensitivity, truth.local_sensitivity, "n={n}");
+            assert_eq!(got.per_relation.len(), truth.per_relation.len());
+            for (a, b) in got.per_relation.iter().zip(truth.per_relation.iter()) {
+                assert_eq!(a.relation, b.relation);
+                assert_eq!(a.sensitivity, b.sensitivity, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_elastic_is_exact_even_for_non_co_partitioned_joins() {
+        // Path R(A,B) ⋈ S(B,C): NOT co-partitioned on first columns —
+        // count/tsens reject it, elastic must still be exact.
+        let mut db = Database::new();
+        let [a, b, c] = db.attrs(["A", "B", "C"]);
+        let r: Vec<Vec<Value>> = (0..40i64)
+            .map(|i| vec![Value::Int(i % 5), Value::Int(i % 8)])
+            .collect();
+        let s: Vec<Vec<Value>> = (0..40i64)
+            .map(|i| vec![Value::Int(i % 8), Value::Int(i % 3)])
+            .collect();
+        db.add_relation("R", Relation::from_rows(Schema::new(vec![a, b]), r))
+            .unwrap();
+        db.add_relation("S", Relation::from_rows(Schema::new(vec![b, c]), s))
+            .unwrap();
+        let q = ConjunctiveQuery::over(&db, "q", &["R", "S"]).unwrap();
+        let truth = crate::elastic_sensitivity(&db, &q, &[0, 1], 3);
+        for n in [1, 2, 4] {
+            let engine = ShardedEngine::new(db.clone(), n).unwrap();
+            let got = ShardedSessionExt::elastic_sensitivity(&engine, &q, &[0, 1], 3).unwrap();
+            assert_eq!(got.overall, truth.overall, "n={n}");
+            assert_eq!(got.per_relation, truth.per_relation, "n={n}");
+        }
+        // ...while tsens on the same query is a typed rejection at n>1.
+        let engine = ShardedEngine::new(db.clone(), 2).unwrap();
+        let tree = gyo_decompose(&q).unwrap().expect_acyclic("path");
+        assert!(matches!(
+            ShardedSessionExt::tsens(&engine, &q, &tree),
+            Err(TsensError::CrossShardJoin { .. })
+        ));
+    }
+}

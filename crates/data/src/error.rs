@@ -73,6 +73,15 @@ pub enum TsensError {
     /// or an explicit `threads = 0` argument) — the request-path
     /// replacement for the old `assert!(threads > 0)` panic.
     ZeroThreads,
+    /// A multi-atom query whose atoms do not all join on their
+    /// relations' shard-key columns was submitted to a sharded engine
+    /// with more than one shard. Such joins span shards, so per-shard
+    /// scatter-gather would undercount; partitioned cross-shard joins
+    /// are an explicit non-goal — serve them from a single shard.
+    CrossShardJoin {
+        /// Human-readable description of the offending atom/column.
+        detail: String,
+    },
     /// A catalog/schema error (arity mismatch, unknown name, …).
     Data(DataError),
 }
@@ -97,6 +106,12 @@ impl fmt::Display for TsensError {
             }
             TsensError::ZeroThreads => {
                 write!(f, "thread pool needs at least one thread (got 0)")
+            }
+            TsensError::CrossShardJoin { detail } => {
+                write!(
+                    f,
+                    "query joins across shards and cannot be scatter-gathered: {detail}"
+                )
             }
             TsensError::Data(e) => write!(f, "{e}"),
         }
@@ -158,6 +173,11 @@ mod tests {
         }
         .to_string()
         .contains("out of range"));
+        assert!(TsensError::CrossShardJoin {
+            detail: "atom S joins on B, shard key is A".into()
+        }
+        .to_string()
+        .contains("across shards"));
         let wrapped: TsensError = DataError::UnknownRelation("X".into()).into();
         assert!(wrapped.to_string().contains("X"));
     }

@@ -33,6 +33,7 @@ pub mod par;
 pub mod relation;
 pub mod schema;
 pub mod session;
+pub mod shard;
 pub mod store;
 pub mod update;
 pub mod value;
@@ -48,6 +49,9 @@ pub use par::Pool;
 pub use relation::{Relation, Row};
 pub use schema::Schema;
 pub use session::EncodedDatabase;
+pub use shard::{
+    partition_database, route_updates, shard_hash, validate_shard_count, ShardSpec, MAX_SHARDS,
+};
 pub use update::{AppliedDelta, Update};
 pub use value::Value;
 

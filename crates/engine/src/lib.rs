@@ -30,6 +30,7 @@ pub mod ops;
 pub mod passes;
 pub mod pool;
 pub mod session;
+pub mod shard;
 pub mod snapshot;
 pub mod yannakakis;
 
@@ -46,6 +47,7 @@ pub use passes::{
 };
 pub use pool::{Pool, THREADS_ENV};
 pub use session::{EngineSession, QueryKey, QueryPasses, SessionStats};
+pub use shard::{check_co_partitioned, sharded_count, ShardedDelta, ShardedEngine};
 pub use snapshot::{PublishHook, SnapshotCell};
 pub use tsens_data::Update;
 pub use yannakakis::{count_query, count_query_legacy};

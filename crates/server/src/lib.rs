@@ -12,12 +12,22 @@
 //! keep-alive and pipelining over `std::net::TcpListener` ([`http`]), a
 //! fixed worker-thread pool ([`server`]), and a line-based `key=value`
 //! wire format reusing the CLI's query/ops conventions ([`wire`]). One
-//! [`SnapshotCell`](tsens_engine::SnapshotCell) per loaded database:
-//! readers pin an atomically-published snapshot and **never block on
-//! writers**; `/update` forks the session copy-on-write, applies the
-//! whole delta off to the side (atomically — any bad op discards the
-//! fork), and publishes with a pointer swap, carrying the warm caches
-//! forward.
+//! [`ShardedEngine`](tsens_engine::ShardedEngine) per loaded database —
+//! at the default `--shards 1` that is exactly one
+//! [`SnapshotCell`](tsens_engine::SnapshotCell): readers pin an
+//! atomically-published snapshot and **never block on writers**;
+//! `/update` forks the session copy-on-write, applies the whole delta
+//! off to the side (atomically — any bad op discards the fork), and
+//! publishes with a pointer swap, carrying the warm caches forward.
+//!
+//! With `--shards N` the rows are hash-partitioned by each relation's
+//! shard-key column across N independent shard sessions: `/query`
+//! scatter-gathers count/tsens/elastic (sums, maxes, and merged-`mf`
+//! respectively — see `tsens_core::sharded` for the soundness
+//! argument), `/update` routes each op to its owning shard's publish
+//! lane, and `/stats` reports per-shard versions plus aggregates.
+//! Cross-shard joins and the topk/DP operators answer 400 on sharded
+//! deployments; durability remains single-shard.
 //!
 //! Endpoints:
 //!

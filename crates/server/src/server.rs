@@ -50,13 +50,18 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tsens_core::elastic::plan_order_from_tree;
-use tsens_core::{SensitivityReport, SessionExt};
+use tsens_core::{
+    elastic_sensitivity_sharded, sharded_tsens_checked, ElasticReport, SensitivityReport,
+    SessionExt,
+};
 use tsens_data::io::parse_ops_indexed;
-use tsens_data::{DataError, Database, Update};
+use tsens_data::{DataError, Database, TsensError, Update};
 use tsens_dp::truncation::TruncationProfile;
 use tsens_dp::tsensdp::tsensdp_answer_from_profile;
-use tsens_engine::{EngineSession, SnapshotCell};
-use tsens_query::{auto_decompose, classify, ConjunctiveQuery, Predicate};
+use tsens_engine::{
+    check_co_partitioned, sharded_count, EngineSession, ShardedEngine, SnapshotCell,
+};
+use tsens_query::{auto_decompose, classify, ConjunctiveQuery, DecompositionTree, Predicate};
 
 /// How long a worker waits on a request already in flight before giving
 /// up on the connection (slow-loris guard).
@@ -67,11 +72,13 @@ const IDLE_POLL: Duration = Duration::from_millis(50);
 /// closes it.
 const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(30);
 
-/// One served database: the name clients address it by, the snapshot
-/// cell publishing its session, and (optionally) its durable half.
+/// One served database: the name clients address it by, the sharded
+/// engine publishing its per-shard snapshots (one shard = exactly the
+/// old single-cell layout), and (optionally) its durable half —
+/// durability is single-shard only, enforced at construction.
 struct NamedDb {
     name: String,
-    cell: SnapshotCell,
+    engine: ShardedEngine,
     durability: Option<Arc<Durability>>,
 }
 
@@ -86,11 +93,26 @@ impl ServerState {
     /// startup instead of per request) and publishing it as snapshot
     /// version 0. Ephemeral: updates live only as long as the process.
     pub fn new(dbs: Vec<(String, Database)>) -> Self {
-        Self::from_sessions(
-            dbs.into_iter()
-                .map(|(name, db)| (name, EngineSession::owned(db), None))
-                .collect(),
-        )
+        Self::new_sharded(dbs, 1).expect("one shard is always valid")
+    }
+
+    /// [`ServerState::new`] with every database hash-partitioned across
+    /// `shards` engine shards (each its own session + snapshot cell; see
+    /// [`ShardedEngine`]). One shard is byte-for-byte the unsharded
+    /// serving path.
+    ///
+    /// # Errors
+    /// Invalid shard counts (0 or above the engine maximum).
+    pub fn new_sharded(dbs: Vec<(String, Database)>, shards: usize) -> Result<Self, TsensError> {
+        let mut out = Vec::with_capacity(dbs.len());
+        for (name, db) in dbs {
+            out.push(NamedDb {
+                name,
+                engine: ShardedEngine::new(db, shards)?,
+                durability: None,
+            });
+        }
+        Ok(ServerState { dbs: out })
     }
 
     /// Build the state from already-opened sessions — the durable boot
@@ -98,6 +120,7 @@ impl ServerState {
     /// snapshot+WAL recovery (or a CSV fallback) along with its store
     /// handle. Databases with a `Durability` get WAL appends in their
     /// `/update` lane and a checkpoint trigger on every publish.
+    /// Always single-shard: the WAL is one ordered stream per database.
     pub fn from_sessions(dbs: Vec<(String, EngineSession<'static>, Option<Durability>)>) -> Self {
         ServerState {
             dbs: dbs
@@ -113,7 +136,7 @@ impl ServerState {
                     }
                     NamedDb {
                         name,
-                        cell,
+                        engine: ShardedEngine::from_cell(cell),
                         durability,
                     }
                 })
@@ -339,7 +362,11 @@ fn handle_stats(state: &ServerState, req: &Request) -> (u16, String) {
         Ok(d) => d,
         Err((status, msg)) => return (status, error_body(&msg)),
     };
-    let session = ndb.cell.load();
+    if ndb.engine.shards() > 1 {
+        return handle_stats_sharded(ndb);
+    }
+    let cell = ndb.engine.primary();
+    let session = cell.load();
     let db = session.database();
     let enc = session.encoded();
     let dict = session.dict();
@@ -363,7 +390,7 @@ fn handle_stats(state: &ServerState, req: &Request) -> (u16, String) {
         json_escape(&ndb.name),
         db.relation_count(),
         db.total_tuples(),
-        ndb.cell.version(),
+        cell.version(),
         s.forks,
         dict.len(),
         dict.base_len(),
@@ -394,6 +421,45 @@ fn handle_stats(state: &ServerState, req: &Request) -> (u16, String) {
     (200, body)
 }
 
+/// `/stats` for a sharded database: catalog-wide aggregates (tuples and
+/// update counters summed, publishes summed across shards) plus a
+/// per-shard breakdown — the observable surface the load generator and
+/// the CI smoke job read per-shard publish counts from.
+fn handle_stats_sharded(ndb: &NamedDb) -> (u16, String) {
+    let pinned = ndb.engine.pin();
+    let versions = ndb.engine.versions();
+    let relations = pinned[0].database().relation_count();
+    let mut total_tuples = 0usize;
+    let mut updates_applied = 0u64;
+    let mut publishes = 0u64;
+    let per: Vec<String> = pinned
+        .iter()
+        .zip(&versions)
+        .enumerate()
+        .map(|(shard, (session, &version))| {
+            let s = session.stats();
+            let tuples = session.database().total_tuples();
+            total_tuples += tuples;
+            updates_applied += s.updates_applied;
+            publishes += version;
+            format!(
+                "{{\"shard\":{shard},\"version\":{version},\"tuples\":{tuples},\
+                 \"updates_applied\":{},\"passes_invalidated\":{},\"passes_maintained\":{}}}",
+                s.updates_applied, s.passes_invalidated, s.passes_maintained,
+            )
+        })
+        .collect();
+    let body = format!(
+        "{{\"ok\":true,\"db\":\"{}\",\"shards\":{},\"relations\":{relations},\
+         \"total_tuples\":{total_tuples},\"updates_applied\":{updates_applied},\
+         \"publishes\":{publishes},\"per_shard\":[{}],\"durability\":{{\"enabled\":false}}}}",
+        json_escape(&ndb.name),
+        ndb.engine.shards(),
+        per.join(","),
+    );
+    (200, body)
+}
+
 fn handle_query(state: &ServerState, req: &Request) -> (u16, String) {
     let parsed = match wire::parse_query(&req.body) {
         Ok(p) => p,
@@ -404,11 +470,17 @@ fn handle_query(state: &ServerState, req: &Request) -> (u16, String) {
         Ok(d) => d,
         Err((status, msg)) => return (status, error_body(&msg)),
     };
-    // Pin the current snapshot for this request: updates published
-    // while we compute don't disturb it, and it's freed when the last
-    // pin drops.
-    let session = ndb.cell.load();
-    match run_query(&session, &ndb.name, &parsed) {
+    // Pin the current snapshot of every shard for this request: updates
+    // published while we compute don't disturb it, and it's freed when
+    // the last pin drops. With one shard this is exactly the old
+    // single-snapshot path.
+    let pinned = ndb.engine.pin();
+    let result = if pinned.len() == 1 {
+        run_query(&pinned[0], &ndb.name, &parsed)
+    } else {
+        run_query_sharded(&ndb.engine, &pinned, &ndb.name, &parsed)
+    };
+    match result {
         Ok(body) => (200, body),
         Err((status, msg)) => (status, error_body(&msg)),
     }
@@ -427,22 +499,27 @@ fn handle_batch(state: &ServerState, req: &Request) -> (u16, String) {
         Ok(p) => p,
         Err(msg) => return (400, error_body(&msg)),
     };
-    let mut pinned: Vec<(String, Arc<EngineSession<'static>>)> = Vec::new();
+    let mut pinned: Vec<(String, Vec<Arc<EngineSession<'static>>>)> = Vec::new();
     let mut results = Vec::with_capacity(parsed.len());
     for q in &parsed {
         let db_name = q.db.as_deref().or_else(|| req.query_param("db"));
         let item = match state.find(db_name) {
             Err((_, msg)) => error_body(&msg),
             Ok(ndb) => {
-                let session = match pinned.iter().find(|(n, _)| *n == ndb.name) {
-                    Some((_, s)) => Arc::clone(s),
+                let sessions = match pinned.iter().find(|(n, _)| *n == ndb.name) {
+                    Some((_, s)) => s.clone(),
                     None => {
-                        let s = ndb.cell.load();
-                        pinned.push((ndb.name.clone(), Arc::clone(&s)));
+                        let s = ndb.engine.pin();
+                        pinned.push((ndb.name.clone(), s.clone()));
                         s
                     }
                 };
-                match run_query(&session, &ndb.name, q) {
+                let run = if sessions.len() == 1 {
+                    run_query(&sessions[0], &ndb.name, q)
+                } else {
+                    run_query_sharded(&ndb.engine, &sessions, &ndb.name, q)
+                };
+                match run {
                     Ok(body) => body,
                     Err((_, msg)) => error_body(&msg),
                 }
@@ -460,15 +537,14 @@ fn handle_batch(state: &ServerState, req: &Request) -> (u16, String) {
     )
 }
 
-/// Execute one parsed query against a pinned snapshot. Every failure —
-/// unknown relation, bad predicate column, cyclic-query decomposition
-/// trouble, session errors — comes back as `(status, message)`.
-fn run_query(
-    session: &EngineSession<'static>,
-    db_name: &str,
+/// Build the validated query + decomposition a wire request describes,
+/// against `db`'s catalog. Every failure — unknown relation, bad
+/// predicate column, cyclic-query decomposition trouble — comes back as
+/// `(status, message)`.
+fn build_query(
+    db: &Database,
     q: &QueryRequest,
-) -> Result<String, (u16, String)> {
-    let db = session.database();
+) -> Result<(ConjunctiveQuery, DecompositionTree), (u16, String)> {
     let names: Vec<String> = if q.join.is_empty() {
         (0..db.relation_count())
             .map(|i| db.relation_name(i).to_owned())
@@ -523,9 +599,20 @@ fn run_query(
         Some(t) => t,
         None => auto_decompose(&cq).map_err(|e| (400, e.to_string()))?,
     };
+    Ok((cq, tree))
+}
+
+/// Execute one parsed query against a pinned snapshot.
+fn run_query(
+    session: &EngineSession<'static>,
+    db_name: &str,
+    q: &QueryRequest,
+) -> Result<String, (u16, String)> {
+    let db = session.database();
+    let (cq, tree) = build_query(db, q)?;
     // A full server session is resident over the whole catalog, so
     // session errors here indicate a server-side bug, not a bad request.
-    let internal = |e: tsens_data::TsensError| (500, e.to_string());
+    let internal = |e: TsensError| (500, e.to_string());
 
     match q.op {
         QueryOp::Count => {
@@ -549,22 +636,7 @@ fn run_query(
             let elastic = session
                 .elastic_sensitivity(&cq, &plan, 0)
                 .map_err(internal)?;
-            let per: Vec<String> = elastic
-                .per_relation
-                .iter()
-                .map(|(rel, bound)| {
-                    format!(
-                        "{{\"relation\":\"{}\",\"bound\":{bound}}}",
-                        json_escape(db.relation_name(*rel))
-                    )
-                })
-                .collect();
-            Ok(format!(
-                "{{\"ok\":true,\"op\":\"elastic\",\"db\":\"{}\",\"overall\":{},\"per_relation\":[{}]}}",
-                json_escape(db_name),
-                elastic.overall,
-                per.join(",")
-            ))
+            Ok(elastic_body(db, db_name, &elastic))
         }
         QueryOp::TsensDp => {
             let private = q.private.as_deref().expect("checked by the wire parser");
@@ -611,6 +683,86 @@ fn run_query(
             ))
         }
     }
+}
+
+/// Execute one parsed query scatter-gather across the pinned shard
+/// snapshots of a multi-shard database.
+///
+/// * `count` — per-shard counts summed (co-partition rule enforced);
+/// * `tsens` — per-shard reports max-merged (co-partition rule
+///   enforced);
+/// * `elastic` — computed from globally merged `mf` statistics, exact
+///   for any query with no co-partition requirement;
+/// * `tsens_topk` / `tsensdp` — rejected with 400: top-k frequency
+///   capping and the SVT release are not proven scatter-gather exact,
+///   so they are served from single-shard deployments only.
+///
+/// Cross-shard joins answer 400 (the query shape does not fit this
+/// deployment); all shard catalogs are identical, so any other shard
+/// error indicates a server-side bug and answers 500.
+fn run_query_sharded(
+    engine: &ShardedEngine,
+    pinned: &[Arc<EngineSession<'static>>],
+    db_name: &str,
+    q: &QueryRequest,
+) -> Result<String, (u16, String)> {
+    let db = pinned[0].database();
+    let (cq, tree) = build_query(db, q)?;
+    let classify_err = |e: TsensError| match e {
+        TsensError::CrossShardJoin { .. } => (400, e.to_string()),
+        other => (500, other.to_string()),
+    };
+
+    match q.op {
+        QueryOp::Count => {
+            check_co_partitioned(engine.spec(), db, &cq).map_err(classify_err)?;
+            let count = sharded_count(engine.pool(), pinned, &cq, &tree).map_err(classify_err)?;
+            Ok(format!(
+                "{{\"ok\":true,\"op\":\"count\",\"db\":\"{}\",\"count\":{count}}}",
+                json_escape(db_name)
+            ))
+        }
+        QueryOp::Tsens => {
+            let report = sharded_tsens_checked(engine.pool(), engine.spec(), pinned, &cq, &tree)
+                .map_err(classify_err)?;
+            Ok(report_body(db, db_name, "tsens", "", &report))
+        }
+        QueryOp::Elastic => {
+            let plan = plan_order_from_tree(&tree);
+            let elastic =
+                elastic_sensitivity_sharded(pinned, &cq, &plan, 0).map_err(classify_err)?;
+            Ok(elastic_body(db, db_name, &elastic))
+        }
+        QueryOp::TsensTopk => Err((
+            400,
+            "tsens_topk is not available on a sharded deployment \
+             (top-k capping is not scatter-gather exact); serve it with --shards 1"
+                .to_owned(),
+        )),
+        QueryOp::TsensDp => Err((
+            400,
+            "tsensdp is not available on a sharded deployment; serve it with --shards 1".to_owned(),
+        )),
+    }
+}
+
+fn elastic_body(db: &Database, db_name: &str, elastic: &ElasticReport) -> String {
+    let per: Vec<String> = elastic
+        .per_relation
+        .iter()
+        .map(|(rel, bound)| {
+            format!(
+                "{{\"relation\":\"{}\",\"bound\":{bound}}}",
+                json_escape(db.relation_name(*rel))
+            )
+        })
+        .collect();
+    format!(
+        "{{\"ok\":true,\"op\":\"elastic\",\"db\":\"{}\",\"overall\":{},\"per_relation\":[{}]}}",
+        json_escape(db_name),
+        elastic.overall,
+        per.join(",")
+    )
 }
 
 /// A per-request RNG seed for DP releases when the client supplies
@@ -675,8 +827,12 @@ fn handle_update(state: &ServerState, req: &Request) -> (u16, String) {
         Ok(d) => d,
         Err((status, msg)) => return (status, error_body(&msg)),
     };
+    if ndb.engine.shards() > 1 {
+        return handle_update_sharded(ndb, req);
+    }
+    let cell = ndb.engine.primary();
     let ops = {
-        let snap = ndb.cell.load();
+        let snap = cell.load();
         match parse_ops_indexed(snap.database(), &req.body) {
             Ok(ops) => ops,
             Err(e) => return (400, error_body(&e.to_string())),
@@ -690,7 +846,7 @@ fn handle_update(state: &ServerState, req: &Request) -> (u16, String) {
     let mut failed_at: Option<usize> = None;
     let mut wal_failed: Option<String> = None;
     let t0 = Instant::now();
-    let result = ndb.cell.update(|fork| {
+    let result = cell.update(|fork| {
         let before = fork.stats();
         let applied = match fork.apply_all_diagnosed(updates) {
             Ok(n) => n,
@@ -736,7 +892,7 @@ fn handle_update(state: &ServerState, req: &Request) -> (u16, String) {
          \"invalidated\":{{\"passes\":{},\"results\":{},\"atoms\":{},\"mf\":{}}},\
          \"maintained\":{{\"passes\":{},\"results\":{},\"atoms\":{},\"mf\":{}}},\"dict_epochs\":{}}}",
         json_escape(&ndb.name),
-        ndb.cell.version(),
+        cell.version(),
         after.passes_invalidated - before.passes_invalidated,
         after.results_invalidated - before.results_invalidated,
         after.atoms_invalidated - before.atoms_invalidated,
@@ -746,6 +902,63 @@ fn handle_update(state: &ServerState, req: &Request) -> (u16, String) {
         after.atoms_maintained - before.atoms_maintained,
         after.mf_maintained - before.mf_maintained,
         after.dict_epochs - before.dict_epochs,
+    );
+    (200, body)
+}
+
+/// `POST /update` against a multi-shard database: parse the delta once
+/// (all shard catalogs are identical, so shard 0's catalog validates
+/// for everyone), route each op by the shard hash, and publish each
+/// shard's sub-batch through its own snapshot cell.
+///
+/// Atomicity is **per shard**, not cross-shard: a shard's sub-batch
+/// publishes as one snapshot (all or nothing), but if shard `k` rejects
+/// its sub-batch, shards routed before it have already published theirs
+/// — the 400 says so explicitly. Sharded databases are never durable
+/// (enforced at construction), so there is no WAL lane here.
+fn handle_update_sharded(ndb: &NamedDb, req: &Request) -> (u16, String) {
+    debug_assert!(ndb.durability.is_none(), "durability is single-shard only");
+    let ops = {
+        let snap = ndb.engine.primary().load();
+        match parse_ops_indexed(snap.database(), &req.body) {
+            Ok(ops) => ops,
+            Err(e) => return (400, error_body(&e.to_string())),
+        }
+    };
+    let total = ops.len();
+    let updates: Vec<Update> = ops.into_iter().map(|o| o.update).collect();
+    let t0 = Instant::now();
+    let delta = match ndb.engine.update_all(updates) {
+        Ok(d) => d,
+        Err(e) => {
+            return (
+                400,
+                error_body(&format!(
+                    "sharded update failed (shards routed before the failing one \
+                     have already published their sub-batches): {e}"
+                )),
+            );
+        }
+    };
+    let micros = t0.elapsed().as_micros();
+    let versions = ndb.engine.versions();
+    let per: Vec<String> = delta
+        .per_shard
+        .iter()
+        .zip(&versions)
+        .enumerate()
+        .map(|(shard, (&applied, &version))| {
+            format!("{{\"shard\":{shard},\"applied\":{applied},\"snapshot_version\":{version}}}")
+        })
+        .collect();
+    let body = format!(
+        "{{\"ok\":true,\"db\":\"{}\",\"applied\":{},\"total\":{total},\"micros\":{micros},\
+         \"shards\":{},\"published\":{},\"per_shard\":[{}]}}",
+        json_escape(&ndb.name),
+        delta.applied,
+        ndb.engine.shards(),
+        delta.published,
+        per.join(","),
     );
     (200, body)
 }

@@ -11,14 +11,19 @@
 //!   (4-path), **q∘** (4-cycle) and **q\*** (star over the triangle
 //!   table), with the Fig. 5b decompositions;
 //! * [`sat`] — the Theorem 3.2 reduction from 3SAT to the local
-//!   sensitivity problem, used to validate the NP-hardness construction.
+//!   sensitivity problem, used to validate the NP-hardness construction;
+//! * [`social`] — a TAO-style association workload (`Follow`/`Like`
+//!   relations with Zipfian degrees, sharded by owning user) whose
+//!   `assoc_count`-style queries drive the sharded serving stack.
 //!
 //! All generators are deterministic under a caller-supplied seed.
 
 pub mod facebook;
 pub mod sat;
+pub mod social;
 pub mod tpch;
 
 pub use facebook::{facebook_database, FacebookParams};
 pub use sat::{brute_force_satisfiable, random_3sat, reduction_instance, Sat3Instance};
+pub use social::{social_database, SocialParams};
 pub use tpch::{tpch_database, TpchScale};

@@ -1,0 +1,251 @@
+//! A TAO-style social-graph association workload (SNIPPETS.md): the
+//! sharded serving target.
+//!
+//! TAO models the social graph as typed **associations**
+//! `(id1, atype, id2)` partitioned by `id1`, served by `assoc_get` /
+//! `assoc_count` under a read mix of ~99.8%. Its `assoc_count(id1,
+//! atype)` is literally the counting query this engine answers with
+//! sensitivity attached, so the workload here is two association
+//! relations over a Zipfian-degree user universe:
+//!
+//! * `Follow(U, V)` — user `U` follows user `V`;
+//! * `Like(U, P)` — user `U` likes page `P`.
+//!
+//! Both relations carry the owning user in **column 0**, so the engine's
+//! default first-column shard spec partitions them by `U` — exactly
+//! TAO's `id1` sharding — and the two-atom join `Follow(U,V) ⋈ Like(U,P)`
+//! ("outputs of users who follow someone and like something") is
+//! co-partitioned, i.e. scatter-gatherable at any shard count.
+//!
+//! Out-degrees are Zipfian: user `u`'s weight is `1/(u+1)^s`, so user 0
+//! is the celebrity whose hot shard dominates sensitivity — the shape
+//! that makes per-shard max aggregation worth testing. Generation is
+//! deterministic under a caller-supplied seed, at 10⁶–10⁷ edges by
+//! default ([`SocialParams::default`]) and a few thousand for unit tests
+//! ([`small_params`]).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tsens_data::{Database, Relation, Schema, Value};
+use tsens_query::{gyo_decompose, ConjunctiveQuery, DecompositionTree, Predicate, QueryError};
+
+/// Generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SocialParams {
+    /// Size of the user universe (`U` and `V` domains).
+    pub users: usize,
+    /// Number of `Follow` associations.
+    pub follow_edges: usize,
+    /// Number of `Like` associations.
+    pub like_edges: usize,
+    /// Size of the page universe (`P` domain).
+    pub pages: usize,
+    /// Zipf exponent of the out-degree distribution (1.0 ≈ classic
+    /// social-graph skew; 0.0 = uniform).
+    pub zipf_s: f64,
+}
+
+impl Default for SocialParams {
+    /// 10⁶ total associations over 100k users — large enough that a
+    /// single resident encoding is measurably slower to requery than
+    /// four shards, small enough to generate in seconds.
+    fn default() -> Self {
+        SocialParams {
+            users: 100_000,
+            follow_edges: 800_000,
+            like_edges: 200_000,
+            pages: 50_000,
+            zipf_s: 1.0,
+        }
+    }
+}
+
+/// A smaller parameter set for unit tests and CI smoke jobs.
+pub fn small_params() -> SocialParams {
+    SocialParams {
+        users: 200,
+        follow_edges: 3_000,
+        like_edges: 1_000,
+        pages: 80,
+        zipf_s: 1.0,
+    }
+}
+
+/// Zipf sampler over `0..n`: rank `r` (0-based) has weight
+/// `1/(r+1)^s`. Cumulative weights + binary search, so sampling is
+/// `O(log n)` after an `O(n)` setup.
+struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Zipf {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cumulative.push(acc);
+        }
+        Zipf { cumulative }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("n > 0");
+        let u: f64 = rng.random::<f64>() * total;
+        self.cumulative.partition_point(|&c| c < u)
+    }
+}
+
+/// Generate the social database: `Follow(U, V)` and `Like(U, P)`,
+/// deterministic under `seed`.
+pub fn social_database(params: SocialParams, seed: u64) -> Database {
+    assert!(params.users > 0 && params.pages > 0, "empty universes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = Zipf::new(params.users, params.zipf_s);
+
+    let mut db = Database::new();
+    let [u, v, p] = db.attrs(["U", "V", "P"]);
+    let follow: Vec<Vec<Value>> = (0..params.follow_edges)
+        .map(|_| {
+            let src = zipf.sample(&mut rng) as i64;
+            let dst = rng.random_range(0..params.users) as i64;
+            vec![Value::Int(src), Value::Int(dst)]
+        })
+        .collect();
+    let like: Vec<Vec<Value>> = (0..params.like_edges)
+        .map(|_| {
+            let src = zipf.sample(&mut rng) as i64;
+            let page = rng.random_range(0..params.pages) as i64;
+            vec![Value::Int(src), Value::Int(page)]
+        })
+        .collect();
+    db.add_relation(
+        "Follow",
+        Relation::from_rows(Schema::new(vec![u, v]), follow),
+    )
+    .expect("fresh catalog");
+    db.add_relation("Like", Relation::from_rows(Schema::new(vec![u, p]), like))
+        .expect("fresh catalog");
+    db
+}
+
+/// TAO's `assoc_count(id1, FOLLOWS)`: how many users does `user`
+/// follow? A single predicated atom — scatter-gatherable at any shard
+/// count (the answer lives entirely on `user`'s shard).
+///
+/// # Errors
+/// Query construction failures.
+pub fn assoc_count(
+    db: &Database,
+    user: i64,
+) -> Result<(ConjunctiveQuery, DecompositionTree), QueryError> {
+    let q = ConjunctiveQuery::over(db, "assoc_count", &["Follow"])?;
+    let u = db.attr_id("U").expect("social catalog");
+    let q = q.with_predicate(db, "Follow", Predicate::eq(u, Value::Int(user)));
+    let tree = gyo_decompose(&q)?.expect_acyclic("single atom");
+    Ok((q, tree))
+}
+
+/// The co-partitioned two-atom join `Follow(U,V) ⋈ Like(U,P)`: per-user
+/// activity pairs. Both atoms join on their relations' shard key `U`,
+/// so counts sum and sensitivities max across shards exactly.
+///
+/// # Errors
+/// Query construction failures.
+pub fn follow_like_join(
+    db: &Database,
+) -> Result<(ConjunctiveQuery, DecompositionTree), QueryError> {
+    let q = ConjunctiveQuery::over(db, "follow_like", &["Follow", "Like"])?;
+    let tree = gyo_decompose(&q)?.expect_acyclic("star on U");
+    Ok((q, tree))
+}
+
+/// The hottest user id (Zipf rank 1 — the celebrity). Handy for load
+/// generators and smoke tests that want the worst-case shard.
+pub fn hottest_user() -> i64 {
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsens_data::Count;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = social_database(small_params(), 7);
+        let b = social_database(small_params(), 7);
+        assert_eq!(
+            a.relation_by_name("Follow").unwrap().rows(),
+            b.relation_by_name("Follow").unwrap().rows()
+        );
+        assert_eq!(
+            a.relation_by_name("Like").unwrap().rows(),
+            b.relation_by_name("Like").unwrap().rows()
+        );
+        let c = social_database(small_params(), 8);
+        assert_ne!(
+            a.relation_by_name("Follow").unwrap().rows(),
+            c.relation_by_name("Follow").unwrap().rows()
+        );
+    }
+
+    #[test]
+    fn sizes_match_params() {
+        let params = small_params();
+        let db = social_database(params, 1);
+        assert_eq!(
+            db.relation_by_name("Follow").unwrap().len(),
+            params.follow_edges
+        );
+        assert_eq!(
+            db.relation_by_name("Like").unwrap().len(),
+            params.like_edges
+        );
+    }
+
+    #[test]
+    fn degrees_are_zipf_skewed() {
+        let db = social_database(small_params(), 42);
+        let follow = db.relation_by_name("Follow").unwrap();
+        let mut degree = vec![0usize; small_params().users];
+        for row in follow.rows() {
+            degree[row[0].as_int().unwrap() as usize] += 1;
+        }
+        let hot = degree[hottest_user() as usize];
+        let median = {
+            let mut d = degree.clone();
+            d.sort_unstable();
+            d[d.len() / 2]
+        };
+        assert!(
+            hot >= 10 * median.max(1),
+            "no skew: hottest {hot}, median {median}"
+        );
+    }
+
+    #[test]
+    fn assoc_count_counts_the_users_edges() {
+        let db = social_database(small_params(), 3);
+        let user = hottest_user();
+        let (q, tree) = assoc_count(&db, user).unwrap();
+        let expected = db
+            .relation_by_name("Follow")
+            .unwrap()
+            .rows()
+            .iter()
+            .filter(|r| r[0].as_int() == Some(user))
+            .count() as Count;
+        let session = tsens_engine::EngineSession::for_query(&db, &q);
+        assert_eq!(session.count_query(&q, &tree).unwrap(), expected);
+        assert!(expected > 0, "celebrity must have followers");
+    }
+
+    #[test]
+    fn join_query_is_co_partitioned_under_default_spec() {
+        let db = social_database(small_params(), 5);
+        let (q, _) = follow_like_join(&db).unwrap();
+        let spec = tsens_data::ShardSpec::first_column(&db);
+        assert!(tsens_engine::check_co_partitioned(&spec, &db, &q).is_ok());
+    }
+}

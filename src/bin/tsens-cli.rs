@@ -3,7 +3,8 @@
 //! ```text
 //! tsens-cli <table.csv>... --join R1,R2,... [options]
 //! tsens-cli update <table.csv>... --ops <ops.csv> [--join R1,R2,...]
-//! tsens-cli serve <table.csv>... [--port N] [--threads N] [--name DB] [--data-dir DIR] [--fsync always|batch|off]
+//! tsens-cli serve <table.csv>... [--port N] [--threads N] [--shards N] [--name DB] [--data-dir DIR] [--fsync always|batch|off]
+//! tsens-cli social --out DIR [--users N] [--follow N] [--like N] [--pages N] [--seed N] [--small]
 //! tsens-cli snapshot save <table.csv>... --dir DIR [--generation N]
 //! tsens-cli snapshot <load|inspect> <snapshot-file>
 //! tsens-cli client [--host H] [--port N] <query|batch|update|stats|healthz|shutdown> [args...]
@@ -63,7 +64,7 @@
 //! floors for CI.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -349,6 +350,7 @@ fn serve(args: &[String]) -> Result<(), String> {
     let mut files: Vec<PathBuf> = Vec::new();
     let mut port: u16 = 7878;
     let mut threads: usize = 4;
+    let mut shards_arg: Option<String> = None;
     let mut name: Option<String> = None;
     let mut data_dir: Option<PathBuf> = None;
     let mut fsync = FsyncPolicy::Always;
@@ -358,6 +360,7 @@ fn serve(args: &[String]) -> Result<(), String> {
         match arg.as_str() {
             "--port" => port = value("--port")?.parse().map_err(|_| "bad --port")?,
             "--threads" => threads = value("--threads")?.parse().map_err(|_| "bad --threads")?,
+            "--shards" => shards_arg = Some(value("--shards")?),
             "--name" => name = Some(value("--name")?),
             "--data-dir" => data_dir = Some(PathBuf::from(value("--data-dir")?)),
             "--fsync" => fsync = value("--fsync")?.parse()?,
@@ -368,11 +371,27 @@ fn serve(args: &[String]) -> Result<(), String> {
     if files.is_empty() {
         return Err("serve needs at least one CSV file".into());
     }
-    // Validate the engine pool configuration up front: a bad
-    // TSENS_THREADS should refuse to boot with a clear message, not
-    // panic a worker (or silently fall back) later.
+    // Validate the whole serving configuration up front — a bad
+    // TSENS_THREADS or --shards should refuse to boot with a clear
+    // message naming the knob, not panic a worker (or silently fall
+    // back) later.
     let engine_pool = tsens::engine::Pool::from_env()
         .map_err(|e| format!("{}: {e}", tsens::engine::THREADS_ENV))?;
+    let shards = match &shards_arg {
+        None => 1,
+        Some(raw) => {
+            let n: usize = raw.parse().map_err(|_| {
+                format!("--shards: {raw:?} is not a shard count (expected a positive integer)")
+            })?;
+            tsens::data::validate_shard_count(n).map_err(|e| format!("--shards: {e}"))?
+        }
+    };
+    if shards > 1 && data_dir.is_some() {
+        return Err(format!(
+            "--shards {shards} cannot be combined with --data-dir: durability \
+             (snapshot + WAL) is single-shard only — drop --data-dir or serve with --shards 1"
+        ));
+    }
     let name = name.unwrap_or_else(|| "default".to_owned());
     let listener = TcpListener::bind(("127.0.0.1", port))
         .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
@@ -388,18 +407,76 @@ fn serve(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("{}: {e}", dir.display()))?;
             ServerState::from_sessions(vec![(name, session, Some(durability))])
         }
-        None => ServerState::new(vec![(name, load_csvs(&files)?)]),
+        None => ServerState::new_sharded(vec![(name, load_csvs(&files)?)], shards)
+            .map_err(|e| format!("--shards: {e}"))?,
     };
     let server = Server::start(listener, state, threads).map_err(|e| e.to_string())?;
     println!(
         "tsens-server listening on http://{} ({threads} worker threads, \
-         engine pool {} thread(s)); \
+         {shards} shard(s), engine pool {} thread(s)); \
          POST /shutdown (or `tsens-cli client shutdown`) to stop",
         server.addr(),
         engine_pool.size()
     );
     server.join();
     println!("server stopped");
+    Ok(())
+}
+
+/// `social` subcommand: write the TAO-style social workload
+/// (`Follow(U,V)`, `Like(U,P)`; see `tsens_workloads::social`) as two
+/// CSV files ready for `serve`/`repro` — the shared `U` header is what
+/// makes the loaded relations join (and co-partition) on the owning
+/// user.
+fn social_cmd(args: &[String]) -> Result<(), String> {
+    let mut out = PathBuf::from(".");
+    let mut params = tsens::workloads::SocialParams::default();
+    let mut seed = 42u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |opt: &str| it.next().cloned().ok_or(format!("{opt} needs a value"));
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(value("--out")?),
+            "--users" => params.users = value("--users")?.parse().map_err(|_| "bad --users")?,
+            "--follow" => {
+                params.follow_edges = value("--follow")?.parse().map_err(|_| "bad --follow")?
+            }
+            "--like" => params.like_edges = value("--like")?.parse().map_err(|_| "bad --like")?,
+            "--pages" => params.pages = value("--pages")?.parse().map_err(|_| "bad --pages")?,
+            "--seed" => seed = value("--seed")?.parse().map_err(|_| "bad --seed")?,
+            "--small" => params = tsens::workloads::social::small_params(),
+            other => return Err(format!("unknown social option {other}")),
+        }
+    }
+    std::fs::create_dir_all(&out).map_err(|e| format!("{}: {e}", out.display()))?;
+    let t0 = Instant::now();
+    let db = tsens::workloads::social_database(params, seed);
+    let write = |rel: &str, header: &str| -> Result<PathBuf, String> {
+        let relation = db.relation_by_name(rel).expect("social catalog");
+        let mut text = String::with_capacity(relation.len() * 12);
+        text.push_str(header);
+        text.push('\n');
+        for row in relation.rows() {
+            let (Value::Int(a), Value::Int(b)) = (&row[0], &row[1]) else {
+                unreachable!("social rows are integer pairs")
+            };
+            text.push_str(&format!("{a},{b}\n"));
+        }
+        let path = out.join(format!("{rel}.csv"));
+        std::fs::write(&path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+        Ok(path)
+    };
+    let follow = write("Follow", "U,V")?;
+    let like = write("Like", "U,P")?;
+    println!(
+        "social: {} follow + {} like edges over {} users (seed {seed}) in {:.2?}",
+        params.follow_edges,
+        params.like_edges,
+        params.users,
+        t0.elapsed()
+    );
+    println!("wrote {}", follow.display());
+    println!("wrote {}", like.display());
     Ok(())
 }
 
@@ -617,6 +694,8 @@ fn loadgen(args: &[String]) -> Result<(), String> {
     let mut requests: usize = 1000;
     let mut query = "op=count".to_owned();
     let mut update_body: Option<String> = None;
+    let mut social_users: Option<usize> = None;
+    let mut write_ratio: f64 = 0.002;
     let mut assert_min_rps: Option<f64> = None;
     let mut assert_max_p99_us: Option<u64> = None;
     let mut it = args.iter();
@@ -635,6 +714,19 @@ fn loadgen(args: &[String]) -> Result<(), String> {
             }
             // Space-separated body lines, e.g. "op=count join=R1,R2".
             "--query" => query = value("--query")?,
+            // TAO-style social mix against a server loaded with the
+            // `social` workload: per request, `--write-ratio` of the
+            // traffic inserts a Follow edge and the rest run
+            // `assoc_count(U)` for a random user in 0..N. Defaults to
+            // TAO's measured ~99.8/0.2 read/write split.
+            "--social" => {
+                social_users = Some(value("--social")?.parse().map_err(|_| "bad --social")?)
+            }
+            "--write-ratio" => {
+                write_ratio = value("--write-ratio")?
+                    .parse()
+                    .map_err(|_| "bad --write-ratio")?
+            }
             // Semicolon-separated delta lines, looped by a concurrent
             // updater thread for the whole run, e.g.
             // "+,R1,a9,b9,c1;-,R1,a9,b9,c1".
@@ -658,6 +750,12 @@ fn loadgen(args: &[String]) -> Result<(), String> {
     }
     if connections == 0 || requests == 0 {
         return Err("--connections and --requests must be at least 1".into());
+    }
+    if social_users == Some(0) {
+        return Err("--social needs a non-empty user universe".into());
+    }
+    if !(0.0..=1.0).contains(&write_ratio) {
+        return Err("--write-ratio must be within [0, 1]".into());
     }
     // Same startup validation as `serve`: surface a bad TSENS_THREADS
     // (e.g. 0) as a clear error and log the effective pool size, so a
@@ -697,32 +795,54 @@ fn loadgen(args: &[String]) -> Result<(), String> {
 
     let t0 = Instant::now();
     let readers: Vec<_> = (0..connections)
-        .map(|_| {
+        .map(|conn| {
             let addr = (host.clone(), port);
             let body = body.clone();
-            std::thread::spawn(move || -> Result<(Vec<u64>, u64), String> {
+            std::thread::spawn(move || -> Result<(Vec<u64>, u64, u64), String> {
                 let mut client = tsens::server::Client::new(addr).map_err(|e| e.to_string())?;
+                // Deterministic per-connection mix so reruns issue the
+                // same request stream.
+                let mut rng = StdRng::seed_from_u64(0x50c1_a100 + conn as u64);
                 let mut lat = Vec::with_capacity(requests);
+                let mut writes = 0u64;
                 for _ in 0..requests {
+                    let (path, req_body) = match social_users {
+                        Some(users) if rng.random::<f64>() < write_ratio => {
+                            writes += 1;
+                            let u = rng.random_range(0..users);
+                            let v = rng.random_range(0..users);
+                            ("/update", format!("+,Follow,{u},{v}"))
+                        }
+                        Some(users) => {
+                            let u = rng.random_range(0..users);
+                            (
+                                "/query",
+                                format!("op=count\njoin=Follow\nwhere=Follow.U={u}"),
+                            )
+                        }
+                        None => ("/query", body.clone()),
+                    };
                     let t = Instant::now();
                     let (status, resp) = client
-                        .request("POST", "/query", &body)
+                        .request("POST", path, &req_body)
                         .map_err(|e| e.to_string())?;
                     lat.push(t.elapsed().as_micros() as u64);
                     if status != 200 {
-                        return Err(format!("reader got HTTP {status}: {resp}"));
+                        return Err(format!("loadgen got HTTP {status} on {path}: {resp}"));
                     }
                 }
-                Ok((lat, client.retries()))
+                Ok((lat, client.retries(), writes))
             })
         })
         .collect();
     let mut latencies: Vec<u64> = Vec::with_capacity(connections * requests);
     let mut retries = 0u64;
+    let mut social_writes = 0u64;
     for r in readers {
-        let (lat, r_retries) = r.join().map_err(|_| "reader thread panicked")??;
+        let (lat, r_retries, writes) = r.join().map_err(|_| "reader thread panicked")??;
         latencies.extend(lat);
         retries += r_retries;
+        social_writes += writes;
     }
     let elapsed = t0.elapsed();
     stop.store(true, std::sync::atomic::Ordering::Release);
@@ -750,6 +870,40 @@ fn loadgen(args: &[String]) -> Result<(), String> {
     println!("max_us={}", latencies[latencies.len() - 1]);
     println!("concurrent_update_publishes={publishes}");
     println!("transparent_retries={retries}");
+    // Social mix: report the realized write fraction and, from /stats,
+    // where the routed writes actually published, shard by shard.
+    if social_users.is_some() {
+        println!(
+            "social_writes={social_writes} ({:.3}% of requests)",
+            100.0 * social_writes as f64 / latencies.len().max(1) as f64
+        );
+        let (status, stats) = tsens::server::request((host.as_str(), port), "GET", "/stats", "")
+            .map_err(|e| format!("{host}:{port}: {e}"))?;
+        if status != 200 {
+            return Err(format!("stats after loadgen answered HTTP {status}"));
+        }
+        match stats.find("\"per_shard\":[") {
+            Some(start) => {
+                let tail = &stats[start..];
+                let end = tail.find(']').map(|i| i + 1).unwrap_or(tail.len());
+                println!("per_shard_publishes={}", &tail[..end]);
+            }
+            None => {
+                // Single-shard server: the snapshot version is the
+                // publish count.
+                let version = stats
+                    .find("\"version\":")
+                    .map(|i| {
+                        stats[i + 10..]
+                            .chars()
+                            .take_while(char::is_ascii_digit)
+                            .collect::<String>()
+                    })
+                    .unwrap_or_default();
+                println!("per_shard_publishes=[{{\"shard\":0,\"version\":{version}}}]");
+            }
+        }
+    }
     if let Some(floor) = assert_min_rps {
         if rps < floor {
             return Err(format!("throughput {rps:.0} req/s below floor {floor}"));
@@ -768,8 +922,8 @@ fn usage() {
         "usage: tsens-cli <table.csv>... [--join A,B,C] [--private R] \
          [--epsilon X] [--ell N] [--seed N]\n       \
          tsens-cli update <table.csv>... --ops <ops.csv> [--join A,B,C]\n       \
-         tsens-cli serve <table.csv>... [--port N] [--threads N] [--name DB] \
-         [--data-dir DIR] [--fsync always|batch|off]\n       \
+         tsens-cli serve <table.csv>... [--port N] [--threads N] [--shards N] \
+         [--name DB] [--data-dir DIR] [--fsync always|batch|off]\n       \
          tsens-cli snapshot save <table.csv>... --dir DIR [--generation N]\n       \
          tsens-cli snapshot <load|inspect> <snapshot-file>\n       \
          tsens-cli client [--host H] [--port N] \
@@ -777,7 +931,10 @@ fn usage() {
          tsens-cli client [--host H] [--port N] exec '<cmd lines...>' ...\n       \
          tsens-cli loadgen [--host H] [--port N] [--connections C] [--requests N] \
          [--query 'op=… join=…'] [--update-body '+,R,…;-,R,…'] \
-         [--assert-min-rps X] [--assert-max-p99-us N]"
+         [--social USERS] [--write-ratio X] \
+         [--assert-min-rps X] [--assert-max-p99-us N]\n       \
+         tsens-cli social --out DIR [--users N] [--follow N] [--like N] \
+         [--pages N] [--seed N] [--small]"
     );
 }
 
@@ -814,6 +971,15 @@ fn main() -> ExitCode {
         }
         Some("loadgen") => {
             return match loadgen(&argv[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("social") => {
+            return match social_cmd(&argv[1..]) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(msg) => {
                     eprintln!("error: {msg}");
